@@ -1,0 +1,45 @@
+// Ablation C: link bandwidth sweep. The paper's testbed is 1 GbE; this
+// sweep asks where NDP stops paying as the network gets faster. For each
+// bandwidth we rebuild the testbed, then measure baseline vs NDP load
+// time on one mid-run timestep.
+//
+// Expected shape: large NDP wins on slow links, shrinking toward ~1x as
+// the local (SSD + decompress + pre-filter) path dominates — the paper's
+// "NDP is lower-bounded by local read time" observation, seen from the
+// other side.
+#include "bench_common.h"
+
+using namespace vizndp;
+using namespace vizndp::bench;
+
+int main() {
+  BenchParams params;
+  params.steps = 2;  // populate start+end; we measure the final timestep
+
+  bench_util::Table table({"link", "baseline", "NDP", "speedup",
+                           "baseline net", "NDP net"});
+  const double gbit = 125.0e6;  // bytes/sec per Gb/s
+  for (const double gbps : {0.1, 0.5, 1.0, 2.5, 10.0, 40.0, 100.0}) {
+    bench_util::TestbedConfig cfg;
+    cfg.link.bandwidth_bytes_per_sec = gbps * gbit;
+    bench_util::Testbed testbed(cfg);
+    const auto labels = PopulateImpactSeries(testbed, params);
+    const std::string key = TimestepKey("none", labels.back());
+
+    const auto base = BaselineLoad(testbed, key, "v02");
+    const auto ndp = NdpLoad(testbed, key, "v02", {0.1});
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f Gb/s", gbps);
+    table.AddRow({label, bench_util::FormatSeconds(base.total_s),
+                  bench_util::FormatSeconds(ndp.total_s),
+                  bench_util::FormatRatio(base.total_s / ndp.total_s),
+                  bench_util::FormatBytes(base.network_bytes),
+                  bench_util::FormatBytes(ndp.network_bytes)});
+  }
+  std::cout << "Ablation C — NDP benefit vs link bandwidth (v02, RAW, "
+            << "final timestep)\n";
+  table.Print(std::cout);
+  table.WriteCsv(bench_util::ResultsDir() + "/abl_bandwidth.csv");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation E: brick-indexed storage. The paper's conclusion notes NDP's
+// speedup "is upperbounded by local data read times"; bricking the array
+// with a per-brick min/max index lets the pre-filter skip most of the
+// read + decompress work. This bench compares, per codec:
+//   baseline       — full-array read on the client (monolithic object);
+//   NDP            — pre-filter over the monolithic object;
+//   NDP + bricks   — pre-filter using the brick index (edge sweep).
+#include "bench_common.h"
+
+using namespace vizndp;
+using namespace vizndp::bench;
+
+int main() {
+  BenchParams params;
+  bench_util::Testbed testbed;
+
+  sim::ImpactConfig cfg;
+  cfg.n = params.n;
+  const std::int64_t t = cfg.final_timestep / 2;  // post-impact midpoint
+  std::cerr << "[abl_bricks] generating one timestep at " << params.n
+            << "^3...\n";
+  const grid::Dataset ds = sim::GenerateImpactTimestep(cfg, t, {"v02"});
+
+  const std::vector<double> isos = {0.1};
+  bench_util::Table table({"codec", "layout", "server bytes", "bricks",
+                           "load time", "vs baseline"});
+  for (const std::string& codec : BenchCodecs()) {
+    io::VndWriter mono(ds);
+    mono.SetCodec(compress::MakeCodec(codec));
+    mono.WriteToStore(testbed.store(), testbed.bucket(), codec + "/mono.vnd");
+
+    const double baseline_s = MeanLoadSeconds(params.reps, [&] {
+      return BaselineLoad(testbed, codec + "/mono.vnd", "v02");
+    });
+    table.AddRow({CodecLabel(codec), "baseline", "-", "-",
+                  bench_util::FormatSeconds(baseline_s), "1.0x"});
+
+    ndp::NdpLoadStats stats;
+    const double mono_s = MeanLoadSeconds(params.reps, [&] {
+      return NdpLoad(testbed, codec + "/mono.vnd", "v02", isos, &stats);
+    });
+    table.AddRow({CodecLabel(codec), "NDP monolithic",
+                  bench_util::FormatBytes(stats.stored_bytes), "-",
+                  bench_util::FormatSeconds(mono_s),
+                  bench_util::FormatRatio(baseline_s / mono_s)});
+
+    for (const int edge : {8, 16, 32}) {
+      const std::string key =
+          codec + "/bricked" + std::to_string(edge) + ".vnd";
+      io::VndWriter bricked(ds);
+      bricked.SetCodec(compress::MakeCodec(codec));
+      bricked.SetBrickSize(edge);
+      bricked.WriteToStore(testbed.store(), testbed.bucket(), key);
+
+      ndp::NdpLoadStats bstats;
+      const double bricked_s = MeanLoadSeconds(params.reps, [&] {
+        return NdpLoad(testbed, key, "v02", isos, &bstats);
+      });
+      char bricks[32];
+      std::snprintf(bricks, sizeof(bricks), "%lld/%lld",
+                    static_cast<long long>(bstats.bricks_read),
+                    static_cast<long long>(bstats.bricks_total));
+      table.AddRow({CodecLabel(codec),
+                    "NDP bricks(" + std::to_string(edge) + ")",
+                    bench_util::FormatBytes(bstats.stored_bytes), bricks,
+                    bench_util::FormatSeconds(bricked_s),
+                    bench_util::FormatRatio(baseline_s / bricked_s)});
+    }
+  }
+  std::cout << "Ablation E — brick-indexed pre-filtering (v02, timestep "
+            << t << ", contour 0.1)\n";
+  table.Print(std::cout);
+  table.WriteCsv(bench_util::ResultsDir() + "/abl_bricks.csv");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation A: transport independence. Runs the same NDP pre-filter call
+// over (1) the in-process channel used by the emulated testbed and
+// (2) real TCP on loopback, verifying byte-identical selections and
+// reporting the real (wall-clock) RPC cost of each. This validates that
+// the emulation's only modeled quantity is the link time, not protocol
+// behaviour.
+#include "bench_common.h"
+
+#include "ndp/ndp_server.h"
+#include "net/tcp.h"
+#include "rpc/server.h"
+
+using namespace vizndp;
+using namespace vizndp::bench;
+
+int main() {
+  BenchParams params;
+  params.steps = 3;
+  bench_util::Testbed testbed;
+  const auto labels = PopulateImpactSeries(testbed, params);
+  const std::vector<double> isos = {0.1};
+
+  // TCP side: a second NDP server over real sockets on the same store.
+  rpc::Server rpc_server;
+  ndp::NdpServer ndp_server(testbed.LocalGateway());
+  ndp_server.Bind(rpc_server);
+  rpc::TcpRpcServer tcp(rpc_server, 0);
+  ndp::NdpClient tcp_client(
+      std::make_shared<rpc::Client>(net::TcpConnect("127.0.0.1", tcp.port())),
+      testbed.bucket());
+
+  bench_util::Table table({"timestep", "selected", "in-proc RPC", "TCP RPC",
+                           "identical"});
+  for (const std::int64_t t : labels) {
+    const std::string key = TimestepKey("none", t);
+    ndp::NdpLoadStats inproc_stats, tcp_stats;
+    grid::UniformGeometry geo;
+
+    bench_util::Stopwatch sw1;
+    const contour::SparseField a = testbed.ndp_client().FetchSparseField(
+        key, "v02", isos, &geo, &inproc_stats);
+    const double inproc_s = sw1.Seconds();
+
+    bench_util::Stopwatch sw2;
+    const contour::SparseField b =
+        tcp_client.FetchSparseField(key, "v02", isos, &geo, &tcp_stats);
+    const double tcp_s = sw2.Seconds();
+
+    const bool identical =
+        inproc_stats.selected_points == tcp_stats.selected_points &&
+        inproc_stats.payload_bytes == tcp_stats.payload_bytes &&
+        a.ValidCount() == b.ValidCount();
+    table.AddRow({std::to_string(t),
+                  std::to_string(inproc_stats.selected_points),
+                  bench_util::FormatSeconds(inproc_s),
+                  bench_util::FormatSeconds(tcp_s),
+                  identical ? "yes" : "NO"});
+  }
+  std::cout << "Ablation A — NDP select over in-proc vs real TCP transports\n";
+  table.Print(std::cout);
+  table.WriteCsv(bench_util::ResultsDir() + "/abl_transport.csv");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Shared setup for the reproduction benches: dataset generation, store
+// population (one object per timestep per codec), and environment-
+// variable knobs so the suite scales from CI boxes to big servers.
+//
+//   VIZNDP_BENCH_N      grid edge length (default 80; paper used 500)
+//   VIZNDP_BENCH_STEPS  timesteps in the series (default 9, as the paper)
+//   VIZNDP_BENCH_REPS   repetitions averaged per point (default 2;
+//                       paper used 5)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util/stats.h"
+#include "bench_util/table.h"
+#include "bench_util/testbed.h"
+#include "io/vnd_format.h"
+#include "sim/impact.h"
+#include "sim/nyx.h"
+
+namespace vizndp::bench {
+
+inline long EnvLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+struct BenchParams {
+  long n = EnvLong("VIZNDP_BENCH_N", 128);
+  int steps = static_cast<int>(EnvLong("VIZNDP_BENCH_STEPS", 9));
+  int reps = static_cast<int>(EnvLong("VIZNDP_BENCH_REPS", 2));
+};
+
+inline const std::vector<std::string>& BenchCodecs() {
+  static const std::vector<std::string> codecs = {"none", "gzip", "lz4"};
+  return codecs;
+}
+
+// Human name used in paper tables ("RAW" instead of "none").
+inline std::string CodecLabel(const std::string& codec) {
+  return codec == "none" ? "RAW" : (codec == "gzip" ? "GZip" : "LZ4");
+}
+
+inline std::string TimestepKey(const std::string& codec, std::int64_t t) {
+  return codec + "/ts" + std::to_string(t) + ".vnd";
+}
+
+// Generates the impact series once and stores each timestep under every
+// codec. Returns the timestep labels.
+inline std::vector<std::int64_t> PopulateImpactSeries(
+    bench_util::Testbed& testbed, const BenchParams& params,
+    const std::vector<std::string>& arrays = {"v02", "v03"}) {
+  sim::ImpactConfig cfg;
+  cfg.n = params.n;
+  const auto labels = sim::ImpactTimestepLabels(cfg, params.steps);
+  std::cerr << "[setup] generating " << labels.size() << " timesteps at "
+            << params.n << "^3 and storing under " << BenchCodecs().size()
+            << " codecs...\n";
+  for (const std::int64_t t : labels) {
+    const grid::Dataset ds = sim::GenerateImpactTimestep(cfg, t, arrays);
+    for (const std::string& codec : BenchCodecs()) {
+      io::VndWriter writer(ds);
+      writer.SetCodec(compress::MakeCodec(codec));
+      writer.WriteToStore(testbed.store(), testbed.bucket(),
+                          TimestepKey(codec, t));
+    }
+  }
+  return labels;
+}
+
+inline void PopulateNyx(bench_util::Testbed& testbed,
+                        const BenchParams& params) {
+  sim::NyxConfig cfg;
+  cfg.n = params.n;
+  std::cerr << "[setup] generating a " << params.n
+            << "^3 Nyx snapshot and storing under " << BenchCodecs().size()
+            << " codecs...\n";
+  const grid::Dataset ds = sim::GenerateNyx(cfg, {"baryon_density"});
+  for (const std::string& codec : BenchCodecs()) {
+    io::VndWriter writer(ds);
+    writer.SetCodec(compress::MakeCodec(codec));
+    writer.WriteToStore(testbed.store(), testbed.bucket(),
+                        codec + "/nyx.vnd");
+  }
+}
+
+// One baseline data load (the paper's measured quantity): open the file
+// through the *remote* gateway and read one array, decompressing as
+// needed. Returns total modeled+measured seconds.
+inline bench_util::LoadTimer::Result BaselineLoad(bench_util::Testbed& testbed,
+                                                  const std::string& key,
+                                                  const std::string& array) {
+  auto timer = testbed.StartLoadTimer();
+  io::VndReader reader(testbed.RemoteGateway().Open(key));
+  (void)reader.ReadArray(array);
+  return timer.Stop();
+}
+
+// One NDP data load: pre-filter remotely, ship the selection, reconstruct
+// the sparse field (contour generation itself is excluded, matching the
+// paper's metric).
+inline bench_util::LoadTimer::Result NdpLoad(bench_util::Testbed& testbed,
+                                             const std::string& key,
+                                             const std::string& array,
+                                             const std::vector<double>& isos,
+                                             ndp::NdpLoadStats* stats = nullptr) {
+  auto timer = testbed.StartLoadTimer();
+  grid::UniformGeometry geometry;
+  (void)testbed.ndp_client().FetchSparseField(key, array, isos, &geometry,
+                                              stats);
+  return timer.Stop();
+}
+
+// Averages `reps` runs of a load and returns mean total seconds.
+template <typename LoadFn>
+double MeanLoadSeconds(int reps, LoadFn&& load) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    samples.push_back(load().total_s);
+  }
+  return bench_util::Summarize(samples).mean;
+}
+
+}  // namespace vizndp::bench

@@ -1,0 +1,84 @@
+// Fig. 5 reproduction (all six panels): VTK-native compression on the
+// deep water asteroid impact dataset.
+//   (a)/(d) compression ratio vs timestep for v02 / v03 (GZip and LZ4);
+//   (b)/(e) remote (S3-over-1GbE) data load time, RAW vs GZip vs LZ4;
+//   (c)/(f) local-filesystem data load time, RAW vs GZip vs LZ4.
+//
+// Paper expectations: GZip ratio > LZ4 ratio, both decay over time;
+// compressed remote loads >= ~3x faster than RAW; local loads show LZ4
+// always beating GZip (decompression-bound regime).
+#include "bench_common.h"
+
+using namespace vizndp;
+using namespace vizndp::bench;
+
+namespace {
+
+// "Local filesystem" variant of the load: the reader runs against the
+// local gateway, so only the SSD model and decompression cost remain.
+bench_util::LoadTimer::Result LocalLoad(bench_util::Testbed& testbed,
+                                        const std::string& key,
+                                        const std::string& array) {
+  auto timer = testbed.StartLoadTimer();
+  io::VndReader reader(testbed.LocalGateway().Open(key));
+  (void)reader.ReadArray(array);
+  return timer.Stop();
+}
+
+}  // namespace
+
+int main() {
+  const BenchParams params;
+  bench_util::Testbed testbed;
+  const auto labels = PopulateImpactSeries(testbed, params);
+
+  for (const char* array : {"v02", "v03"}) {
+    // Panels (a)/(d): compression ratios.
+    bench_util::Table ratio_table(
+        {"timestep", "raw size", "GZip ratio", "LZ4 ratio"});
+    for (const std::int64_t t : labels) {
+      io::VndReader raw(testbed.LocalGateway().Open(TimestepKey("none", t)));
+      io::VndReader gz(testbed.LocalGateway().Open(TimestepKey("gzip", t)));
+      io::VndReader lz(testbed.LocalGateway().Open(TimestepKey("lz4", t)));
+      const double raw_size = static_cast<double>(raw.StoredSize(array));
+      ratio_table.AddRow(
+          {std::to_string(t),
+           bench_util::FormatBytes(raw.StoredSize(array)),
+           bench_util::FormatRatio(raw_size / static_cast<double>(
+                                                  gz.StoredSize(array))),
+           bench_util::FormatRatio(raw_size / static_cast<double>(
+                                                  lz.StoredSize(array)))});
+    }
+    std::cout << "\nFig. 5" << (std::string(array) == "v02" ? "a" : "d")
+              << " — compression ratio vs timestep (" << array << ")\n";
+    ratio_table.Print(std::cout);
+    ratio_table.WriteCsv(bench_util::ResultsDir() + "/fig05_ratio_" + array +
+                         ".csv");
+
+    // Panels (b)/(e): remote load times; (c)/(f): local load times.
+    for (const bool remote : {true, false}) {
+      bench_util::Table time_table(
+          {"timestep", "RAW", "GZip", "LZ4"});
+      for (const std::int64_t t : labels) {
+        std::vector<std::string> row = {std::to_string(t)};
+        for (const std::string& codec : BenchCodecs()) {
+          const double mean = MeanLoadSeconds(params.reps, [&] {
+            return remote ? BaselineLoad(testbed, TimestepKey(codec, t), array)
+                          : LocalLoad(testbed, TimestepKey(codec, t), array);
+          });
+          row.push_back(bench_util::FormatSeconds(mean));
+        }
+        time_table.AddRow(std::move(row));
+      }
+      const char* panel = std::string(array) == "v02" ? (remote ? "b" : "c")
+                                                      : (remote ? "e" : "f");
+      std::cout << "\nFig. 5" << panel << " — "
+                << (remote ? "remote (S3 over emulated 1GbE)" : "local")
+                << " data load time (" << array << ")\n";
+      time_table.Print(std::cout);
+      time_table.WriteCsv(bench_util::ResultsDir() + "/fig05_" +
+                          (remote ? "remote_" : "local_") + array + ".csv");
+    }
+  }
+  return 0;
+}

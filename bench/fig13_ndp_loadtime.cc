@@ -1,0 +1,52 @@
+// Fig. 13 reproduction (all six panels): data load time, baseline vs NDP,
+// for RAW/GZip/LZ4 on v02 and v03 across the timestep series. Contour
+// value fixed at 0.1 per panel row, with the 0.1–0.9 sweep summarized by
+// table2_speedups (the paper notes the per-value differences are
+// negligible for load time).
+//
+// Paper expectations: NDP wins everywhere (1.2–2.8x); biggest wins on RAW
+// (largest base data); LZ4 > GZip; v03 slightly better than v02.
+#include "bench_common.h"
+
+using namespace vizndp;
+using namespace vizndp::bench;
+
+int main() {
+  const BenchParams params;
+  bench_util::Testbed testbed;
+  const auto labels = PopulateImpactSeries(testbed, params);
+  const std::vector<double> isovalues = {0.1};
+
+  for (const char* array : {"v02", "v03"}) {
+    for (const std::string& codec : BenchCodecs()) {
+      bench_util::Table table(
+          {"timestep", "baseline", "NDP", "speedup", "NDP net bytes"});
+      for (const std::int64_t t : labels) {
+        const std::string key = TimestepKey(codec, t);
+        const double base_mean = MeanLoadSeconds(
+            params.reps, [&] { return BaselineLoad(testbed, key, array); });
+        ndp::NdpLoadStats stats;
+        std::vector<double> ndp_samples;
+        for (int r = 0; r < params.reps; ++r) {
+          ndp_samples.push_back(
+              NdpLoad(testbed, key, array, isovalues, &stats).total_s);
+        }
+        const double ndp_mean = bench_util::Summarize(ndp_samples).mean;
+        table.AddRow({std::to_string(t), bench_util::FormatSeconds(base_mean),
+                      bench_util::FormatSeconds(ndp_mean),
+                      bench_util::FormatRatio(base_mean / ndp_mean),
+                      bench_util::FormatBytes(stats.payload_bytes)});
+      }
+      const std::string panel =
+          std::string(array) == "v02"
+              ? (codec == "none" ? "a" : codec == "gzip" ? "b" : "c")
+              : (codec == "none" ? "d" : codec == "gzip" ? "e" : "f");
+      std::cout << "\nFig. 13" << panel << " — load time, baseline vs NDP ("
+                << CodecLabel(codec) << ", " << array << ")\n";
+      table.Print(std::cout);
+      table.WriteCsv(bench_util::ResultsDir() + "/fig13_" + codec + "_" +
+                     array + ".csv");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figs. 12 + 14 reproduction: the Nyx case study. Prints the halo-contour
+// selectivity at threshold 81.66 (Fig. 12 reports 0.06%) and compares
+// baseline vs NDP data load times for RAW/GZip/LZ4 (Fig. 14).
+//
+// Paper expectations: NDP 1.8-2.3x; GZip/LZ4 ratios near 1 on this data
+// (GZip managed ~11%), so compression does not help — GZip can even hurt
+// via decompression overhead.
+#include "bench_common.h"
+
+#include "contour/select.h"
+
+using namespace vizndp;
+using namespace vizndp::bench;
+
+int main() {
+  const BenchParams params;
+  bench_util::Testbed testbed;
+  PopulateNyx(testbed, params);
+  const std::vector<double> iso = {sim::kHaloThreshold};
+
+  // Fig. 12 companion number: selectivity of the halo contour.
+  {
+    io::VndReader reader(testbed.LocalGateway().Open("none/nyx.vnd"));
+    const grid::DataArray density = reader.ReadArray("baryon_density");
+    const auto count = contour::CountInterestingPoints(reader.header().dims,
+                                                       density, iso);
+    std::cout << "Fig. 12 — halo contour at " << sim::kHaloThreshold
+              << ": selectivity "
+              << 100.0 * static_cast<double>(count) /
+                     static_cast<double>(reader.header().dims.PointCount())
+              << "% (paper: 0.06% at 512^3)\n";
+  }
+
+  bench_util::Table table({"data type", "stored size", "baseline", "NDP",
+                           "speedup"});
+  for (const std::string& codec : BenchCodecs()) {
+    const std::string key = codec + "/nyx.vnd";
+    io::VndReader reader(testbed.LocalGateway().Open(key));
+    const double base_mean = MeanLoadSeconds(params.reps, [&] {
+      return BaselineLoad(testbed, key, "baryon_density");
+    });
+    const double ndp_mean = MeanLoadSeconds(params.reps, [&] {
+      return NdpLoad(testbed, key, "baryon_density", iso);
+    });
+    table.AddRow({CodecLabel(codec),
+                  bench_util::FormatBytes(reader.StoredSize("baryon_density")),
+                  bench_util::FormatSeconds(base_mean),
+                  bench_util::FormatSeconds(ndp_mean),
+                  bench_util::FormatRatio(base_mean / ndp_mean)});
+  }
+  std::cout << "\nFig. 14 — Nyx data load time, baseline vs NDP ("
+            << params.n << "^3)\n";
+  table.Print(std::cout);
+  table.WriteCsv(bench_util::ResultsDir() + "/fig14_nyx.csv");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks for the substrate layers: codec
+// throughput (compress + decompress per input family), selection scan
+// rate, marching cubes rate, msgpack packing, and the selection wire
+// encodings. These are the numbers that explain where the milliseconds
+// in the figure benches go.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "compress/codec.h"
+#include "contour/marching_cubes.h"
+#include "contour/select.h"
+#include "msgpack/pack.h"
+#include "msgpack/unpack.h"
+#include "ndp/protocol.h"
+#include "sim/impact.h"
+
+namespace {
+
+using namespace vizndp;
+
+// A realistic payload: one v02 array from a mid-run impact timestep.
+const grid::Dataset& ImpactData() {
+  static const grid::Dataset ds = [] {
+    sim::ImpactConfig cfg;
+    cfg.n = 64;
+    return sim::GenerateImpactTimestep(cfg, 24006, {"v02"});
+  }();
+  return ds;
+}
+
+void BM_CodecCompress(benchmark::State& state, const std::string& name) {
+  const auto codec = compress::MakeCodec(name);
+  const ByteSpan input = ImpactData().GetArray("v02").raw();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Compress(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK_CAPTURE(BM_CodecCompress, gzip, std::string("gzip"));
+BENCHMARK_CAPTURE(BM_CodecCompress, lz4, std::string("lz4"));
+BENCHMARK_CAPTURE(BM_CodecCompress, rle, std::string("rle"));
+
+void BM_CodecDecompress(benchmark::State& state, const std::string& name) {
+  const auto codec = compress::MakeCodec(name);
+  const ByteSpan input = ImpactData().GetArray("v02").raw();
+  const Bytes compressed = codec->Compress(input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Decompress(compressed, input.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK_CAPTURE(BM_CodecDecompress, gzip, std::string("gzip"));
+BENCHMARK_CAPTURE(BM_CodecDecompress, lz4, std::string("lz4"));
+BENCHMARK_CAPTURE(BM_CodecDecompress, rle, std::string("rle"));
+
+void BM_SelectInterestingPoints(benchmark::State& state) {
+  const grid::Dataset& ds = ImpactData();
+  const double isos[] = {0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        contour::CountInterestingPoints(ds.dims(), ds.GetArray("v02"), isos));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ds.dims().PointCount());
+}
+BENCHMARK(BM_SelectInterestingPoints);
+
+void BM_MarchingCubes(benchmark::State& state) {
+  const grid::Dataset& ds = ImpactData();
+  const double isos[] = {0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contour::MarchingCubes(
+        ds.dims(), ds.geometry(), ds.GetArray("v02"), isos));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ds.dims().CellCount());
+}
+BENCHMARK(BM_MarchingCubes);
+
+void BM_SelectionEncode(benchmark::State& state) {
+  const grid::Dataset& ds = ImpactData();
+  const double isos[] = {0.1};
+  const contour::Selection sel =
+      contour::SelectInterestingPoints(ds.dims(), ds.GetArray("v02"), isos);
+  const auto encoding = static_cast<ndp::SelectionEncoding>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndp::EncodeSelection(sel, encoding));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sel.ids.size()));
+  state.SetLabel(ndp::SelectionEncodingName(encoding));
+}
+BENCHMARK(BM_SelectionEncode)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MsgpackPackBin(benchmark::State& state) {
+  const Bytes blob(static_cast<size_t>(state.range(0)), 0x3C);
+  for (auto _ : state) {
+    Bytes out;
+    out.reserve(blob.size() + 16);
+    msgpack::Packer packer(out);
+    packer.PackArrayHeader(2);
+    packer.PackStr("payload");
+    packer.PackBin(blob);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MsgpackPackBin)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> values(10000);
+  for (auto& v : values) v = rng() % (1ull << (rng() % 40));
+  for (auto _ : state) {
+    Bytes buf;
+    for (const auto v : values) ndp::AppendVarint(v, buf);
+    size_t pos = 0;
+    std::uint64_t sum = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      sum += ndp::ReadVarint(buf, pos);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+}  // namespace

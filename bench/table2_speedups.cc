@@ -1,0 +1,80 @@
+// Table II reproduction: speedups in data load time from every
+// combination of data reduction techniques — RAW (baseline), NDP alone,
+// GZip, LZ4, GZip+NDP, LZ4+NDP — per array (v02, v03) and contour value
+// (0.1..0.9), aggregated over the timestep series exactly as the paper's
+// table aggregates its Fig. 13 runs.
+//
+// Paper expectations (shape): NDP alone ~2.3-2.8x; GZip ~3.9x; LZ4 ~4.6x;
+// GZip+NDP ~4.8-7.4x; LZ4+NDP ~6.2-11.9x; v03 > v02; speedups rising
+// slightly with the contour value.
+#include <map>
+
+#include "bench_common.h"
+
+using namespace vizndp;
+using namespace vizndp::bench;
+
+namespace {
+
+std::string ContourLabel(double value) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const BenchParams params;
+  bench_util::Testbed testbed;
+  const auto labels = PopulateImpactSeries(testbed, params);
+  const std::vector<double> contour_values = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+  bench_util::Table table({"array", "contour", "RAW", "NDP", "GZip", "LZ4",
+                           "GZip+NDP", "LZ4+NDP"});
+
+  for (const char* array : {"v02", "v03"}) {
+    // The compression-only columns do not depend on the contour value;
+    // measure them once per array (summed over the series).
+    std::map<std::string, double> baseline_total;  // codec -> total seconds
+    for (const std::string& codec : BenchCodecs()) {
+      double total = 0;
+      for (const std::int64_t t : labels) {
+        total += MeanLoadSeconds(params.reps, [&] {
+          return BaselineLoad(testbed, TimestepKey(codec, t), array);
+        });
+      }
+      baseline_total[codec] = total;
+    }
+
+    for (const double value : contour_values) {
+      const std::vector<double> isos = {value};
+      std::map<std::string, double> ndp_total;
+      for (const std::string& codec : BenchCodecs()) {
+        double total = 0;
+        for (const std::int64_t t : labels) {
+          total += MeanLoadSeconds(params.reps, [&] {
+            return NdpLoad(testbed, TimestepKey(codec, t), array, isos);
+          });
+        }
+        ndp_total[codec] = total;
+      }
+      const double raw = baseline_total["none"];
+      table.AddRow(
+          {array, ContourLabel(value),
+           "1.0x",
+           bench_util::FormatRatio(raw / ndp_total["none"]),
+           bench_util::FormatRatio(raw / baseline_total["gzip"]),
+           bench_util::FormatRatio(raw / baseline_total["lz4"]),
+           bench_util::FormatRatio(raw / ndp_total["gzip"]),
+           bench_util::FormatRatio(raw / ndp_total["lz4"])});
+    }
+  }
+
+  std::cout << "\nTable II — speedups in data load time by technique "
+            << "(impact dataset, " << params.n << "^3, " << labels.size()
+            << " timesteps)\n";
+  table.Print(std::cout);
+  table.WriteCsv(bench_util::ResultsDir() + "/table2_speedups.csv");
+  return 0;
+}

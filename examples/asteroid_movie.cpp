@@ -1,0 +1,100 @@
+// The paper's headline workload (Figs. 7/8): a contour movie of the deep
+// water asteroid impact. Generates a timestep series into a catalog,
+// then renders water (v02) and asteroid (v03) contours at value 0.1 for
+// every timestep through the NDP split pipeline, writing one PPM frame
+// and one OBJ mesh per step plus a per-step load report.
+//
+// Usage: ./asteroid_movie [grid_n] [timestep_count] [out_dir]
+//        defaults: 64 5 movie_out
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <map>
+
+#include "bench_util/table.h"
+#include "bench_util/testbed.h"
+#include "ndp/catalog.h"
+#include "render/render_sink.h"
+#include "sim/impact.h"
+
+using namespace vizndp;
+
+int main(int argc, char** argv) {
+  sim::ImpactConfig cfg;
+  cfg.n = argc > 1 ? std::atol(argv[1]) : 64;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 5;
+  const std::string out_dir = argc > 3 ? argv[3] : "movie_out";
+  std::filesystem::create_directories(out_dir);
+
+  bench_util::Testbed testbed;
+  ndp::TimestepCatalog catalog(testbed.LocalGateway());
+  const auto labels = sim::ImpactTimestepLabels(cfg, steps);
+
+  std::printf("generating %d timesteps at %ld^3 and storing them (lz4)...\n",
+              steps, static_cast<long>(cfg.n));
+  const auto lz4 = compress::MakeCodec("lz4");
+  for (const std::int64_t t : labels) {
+    catalog.Put(t, sim::GenerateImpactTimestep(cfg, t, {"v02", "v03"}), lz4);
+  }
+
+  const render::Camera camera({0.5, -1.25, 1.05}, {0.5, 0.5, 0.35},
+                              {0, 0, 1}, 55.0, 4.0 / 3.0);
+  render::Material water_mat;
+  water_mat.base = {90, 200, 220};  // cyan, as in the paper's Fig. 4
+  render::Material asteroid_mat;
+  asteroid_mat.base = {230, 200, 60};  // yellow
+
+  // Two movie drivers, one per array — the paper's multi-filter setup.
+  const ndp::ContourMovieDriver water_driver("v02", {0.1});
+  const ndp::ContourMovieDriver asteroid_driver("v03", {0.1});
+
+  struct Frame {
+    contour::PolyData water;
+    ndp::NdpLoadStats water_stats;
+  };
+  std::map<std::int64_t, Frame> pending;
+
+  testbed.link().Reset();
+  auto timer = testbed.StartLoadTimer();
+  water_driver.RunNdp(testbed.ndp_client(), catalog.Timesteps(),
+                      [&](const ndp::ContourMovieDriver::FrameInfo& info,
+                          const contour::PolyData& poly) {
+                        pending[info.timestep] = {poly, *info.ndp_stats};
+                      });
+
+  bench_util::Table report({"timestep", "v02 sel", "v03 sel", "load time",
+                            "net bytes", "triangles"});
+  asteroid_driver.RunNdp(
+      testbed.ndp_client(), catalog.Timesteps(),
+      [&](const ndp::ContourMovieDriver::FrameInfo& info,
+          const contour::PolyData& asteroid) {
+        const Frame& frame = pending.at(info.timestep);
+
+        render::Framebuffer fb(640, 480);
+        RenderPolyData(frame.water, camera, water_mat, fb);
+        RenderPolyData(asteroid, camera, asteroid_mat, fb);
+        fb.WritePpm(out_dir + "/frame_" + std::to_string(info.timestep) +
+                    ".ppm");
+
+        contour::PolyData combined = frame.water;
+        combined.Append(asteroid);
+        combined.WriteObj(out_dir + "/contours_" +
+                          std::to_string(info.timestep) + ".obj");
+
+        const auto load = timer.Stop();
+        report.AddRow(
+            {std::to_string(info.timestep),
+             bench_util::FormatPermille(1000.0 *
+                                        frame.water_stats.Selectivity()),
+             bench_util::FormatPermille(1000.0 *
+                                        info.ndp_stats->Selectivity()),
+             bench_util::FormatSeconds(load.total_s),
+             bench_util::FormatBytes(load.network_bytes),
+             std::to_string(combined.TriangleCount())});
+      });
+
+  report.Print(std::cout);
+  std::printf("(load time and net bytes are cumulative across the movie)\n");
+  std::printf("frames and meshes written to %s/\n", out_dir.c_str());
+  return 0;
+}

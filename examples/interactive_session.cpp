@@ -1,0 +1,98 @@
+// Interactive exploration — the paper's motivating scenario: a scientist
+// sweeps the contour value looking for structure. The traditional
+// pipeline reads the full array once and recontours locally; NDP issues
+// one small pre-filter request per isovalue. This example simulates a
+// ten-step exploration session and reports the cumulative traffic and
+// load time of both strategies, including where each wins.
+//
+// Usage: ./interactive_session [grid_n]   (default 96)
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util/table.h"
+#include "bench_util/testbed.h"
+#include "contour/contour_filter.h"
+#include "io/vnd_format.h"
+#include "ndp/catalog.h"
+#include "sim/impact.h"
+
+using namespace vizndp;
+
+int main(int argc, char** argv) {
+  sim::ImpactConfig cfg;
+  cfg.n = argc > 1 ? std::atol(argv[1]) : 96;
+
+  bench_util::Testbed testbed;
+  ndp::TimestepCatalog catalog(testbed.LocalGateway());
+  std::printf("generating timestep 24006 at %ld^3 (lz4, bricked)...\n",
+              static_cast<long>(cfg.n));
+  {
+    const grid::Dataset ds =
+        sim::GenerateImpactTimestep(cfg, 24006, {"v02"});
+    io::VndWriter writer(ds);
+    writer.SetCodec(compress::MakeCodec("lz4"));
+    writer.SetBrickSize(16);
+    writer.WriteToStore(testbed.store(), testbed.bucket(), "ts24006.vnd");
+  }
+
+  // Ask the storage node for the value distribution first (only a
+  // histogram crosses the wire), then explore around the suggestions.
+  const ndp::NdpClient::ArrayStats stats =
+      testbed.ndp_client().Stats("ts24006.vnd", "v02", 64);
+  std::printf("v02 range [%.3f, %.3f]; near-data histogram suggests "
+              "contour values:", stats.min, stats.max);
+  std::vector<double> sweep = ndp::SuggestIsovalues(stats, 4);
+  for (const double v : sweep) std::printf(" %.3f", v);
+  std::printf("\n");
+  // ...plus the manual hunt around the spray envelope.
+  for (const double v : {0.2, 0.15, 0.1, 0.12, 0.11, 0.1}) sweep.push_back(v);
+
+  // Strategy A (traditional): read the whole array once, recontour
+  // locally for each step.
+  testbed.link().Reset();
+  auto t_base = testbed.StartLoadTimer();
+  io::VndReader reader(testbed.RemoteGateway().Open("ts24006.vnd"));
+  const grid::DataArray v02 = reader.ReadArray("v02");
+  size_t base_triangles = 0;
+  for (const double iso : sweep) {
+    const contour::ContourFilter filter({iso});
+    base_triangles += filter
+                          .Execute(reader.header().dims,
+                                   reader.header().geometry, v02)
+                          .TriangleCount();
+  }
+  const auto base = t_base.Stop();
+
+  // Strategy B (NDP): one pre-filter request per isovalue.
+  testbed.link().Reset();
+  auto t_ndp = testbed.StartLoadTimer();
+  size_t ndp_triangles = 0;
+  for (const double iso : sweep) {
+    ndp_triangles +=
+        testbed.ndp_client().Contour("ts24006.vnd", "v02", {iso})
+            .TriangleCount();
+  }
+  const auto ndp = t_ndp.Stop();
+
+  bench_util::Table table({"strategy", "network bytes", "total time",
+                           "triangles (sum)"});
+  table.AddRow({"traditional: read once, recontour locally",
+                bench_util::FormatBytes(base.network_bytes),
+                bench_util::FormatSeconds(base.total_s),
+                std::to_string(base_triangles)});
+  table.AddRow({"NDP: one pre-filter request per isovalue",
+                bench_util::FormatBytes(ndp.network_bytes),
+                bench_util::FormatSeconds(ndp.total_s),
+                std::to_string(ndp_triangles)});
+  table.Print(std::cout);
+
+  std::printf(
+      "\nSanity: both strategies saw the same geometry: %s\n"
+      "The traditional pipeline amortizes its one big read across the\n"
+      "session; NDP keeps every step cheap (bricked pre-filtering) and\n"
+      "never ships the array. Crossover depends on session length, link\n"
+      "speed, and selectivity — exactly the trade-off the paper's future\n"
+      "work discusses for interactive use.\n",
+      base_triangles == ndp_triangles ? "yes" : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Client-node half of the two-process demo: connects to ndp_server over
+// TCP, then loads the v02 contour both ways — the traditional pipeline
+// (full array over the wire via the remote object store) and the NDP
+// split pipeline (pre-filtered selection only) — and compares bytes,
+// times, and geometry.
+//
+// Usage: ./ndp_client [port] [timestep]    defaults: 47801 24006
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "contour/marching_cubes.h"
+#include "io/vnd_format.h"
+#include "ndp/ndp_client.h"
+#include "net/tcp.h"
+#include "storage/remote_store.h"
+#include "storage/store_rpc.h"
+
+using namespace vizndp;
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint16_t port =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 47801;
+  const long timestep = argc > 2 ? std::atol(argv[2]) : 24006;
+  const std::string key = "ts" + std::to_string(timestep) + ".vnd";
+  const std::vector<double> isovalues = {0.1};
+
+  std::printf("[client] connecting to 127.0.0.1:%u...\n", port);
+
+  // Baseline path: remote object store, full array transfer.
+  storage::RemoteObjectStore remote(
+      std::make_shared<rpc::Client>(net::TcpConnect("127.0.0.1", port)));
+  const double t0 = Now();
+  io::VndReader reader(storage::FileGateway(remote, "data").Open(key));
+  const grid::DataArray v02 = reader.ReadArray("v02");
+  const double baseline_load = Now() - t0;
+  const contour::PolyData baseline = contour::MarchingCubes(
+      reader.header().dims, reader.header().geometry, v02, isovalues);
+  std::printf("[client] baseline: read %lld B raw in %.3fs -> %zu triangles\n",
+              static_cast<long long>(v02.byte_size()), baseline_load,
+              baseline.TriangleCount());
+
+  // NDP path: pre-filter remotely, post-filter here.
+  ndp::NdpClient ndp(
+      std::make_shared<rpc::Client>(net::TcpConnect("127.0.0.1", port)),
+      "data");
+  const double t1 = Now();
+  ndp::NdpLoadStats stats;
+  const contour::PolyData split = ndp.Contour(key, "v02", isovalues, &stats);
+  const double ndp_load = Now() - t1;
+  std::printf("[client] NDP: %llu of %llu points (%.2f%%), payload %llu B, "
+              "%.3fs -> %zu triangles\n",
+              static_cast<unsigned long long>(stats.selected_points),
+              static_cast<unsigned long long>(stats.total_points),
+              100.0 * stats.Selectivity(),
+              static_cast<unsigned long long>(stats.payload_bytes), ndp_load,
+              split.TriangleCount());
+
+  const bool same = split.GeometricallyEquals(baseline, 0.0);
+  std::printf("[client] identical geometry: %s\n", same ? "yes" : "NO (bug!)");
+  std::printf("[client] payload reduction: %.1fx fewer bytes on the wire\n",
+              static_cast<double>(v02.byte_size()) /
+                  static_cast<double>(stats.payload_bytes));
+  return same ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Storage-node half of the two-process demo (paper Fig. 10): hosts the
+// object store, populates it with an impact timestep series, and serves
+// both the baseline object-read RPCs and the NDP pre-filter RPCs over
+// real TCP. Pair with examples/ndp_client.
+//
+// Usage: ./ndp_server [port] [grid_n] [timesteps]
+//        defaults: 47801 48 5
+#include <csignal>
+#include <cstdio>
+
+#include "io/vnd_format.h"
+#include "ndp/ndp_server.h"
+#include "rpc/server.h"
+#include "sim/impact.h"
+#include "storage/memory_store.h"
+#include "storage/store_rpc.h"
+
+using namespace vizndp;
+
+int main(int argc, char** argv) {
+  const std::uint16_t port =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 47801;
+  sim::ImpactConfig cfg;
+  cfg.n = argc > 2 ? std::atol(argv[2]) : 48;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 5;
+
+  storage::MemoryObjectStore store;
+  store.CreateBucket("data");
+  std::printf("[server] generating %d timesteps at %ld^3 (lz4)...\n", steps,
+              static_cast<long>(cfg.n));
+  for (const std::int64_t t : sim::ImpactTimestepLabels(cfg, steps)) {
+    const grid::Dataset ds =
+        sim::GenerateImpactTimestep(cfg, t, {"v02", "v03"});
+    io::VndWriter writer(ds);
+    writer.SetCodec(compress::MakeCodec("lz4"));
+    writer.WriteToStore(store, "data", "ts" + std::to_string(t) + ".vnd");
+    std::printf("[server]   ts%ld.vnd ready\n", static_cast<long>(t));
+  }
+
+  rpc::Server rpc_server;
+  storage::BindObjectStoreRpc(rpc_server, store);  // baseline path
+  ndp::NdpServer ndp_server(storage::FileGateway(store, "data"));
+  ndp_server.Bind(rpc_server);                     // NDP path
+
+  rpc::TcpRpcServer tcp(rpc_server, port);
+  std::printf("[server] listening on 127.0.0.1:%u — run ndp_client %u\n",
+              tcp.port(), tcp.port());
+  std::printf("[server] Ctrl-C to stop.\n");
+  ::pause();
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "bench_util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vizndp::bench_util {
+
+Summary Summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0;
+  for (const double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (const double x : samples) var += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace vizndp::bench_util

@@ -1,0 +1,121 @@
+#include "bench_util/table.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vizndp::bench_util {
+
+void Table::AddRow(std::vector<std::string> cells) {
+  VIZNDP_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << "+" << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " ";
+    }
+    os << "|\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::WriteCsv(const std::string& path) const {
+  std::ofstream os(path);
+  VIZNDP_CHECK_MSG(os.good(), "cannot open " + path);
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    return out + "\"";
+  };
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << escape(headers_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << escape(row[c]);
+    }
+    os << "\n";
+  }
+}
+
+std::string FormatSeconds(double s) {
+  std::ostringstream os;
+  if (s < 1e-3) {
+    os << std::fixed << std::setprecision(1) << s * 1e6 << "us";
+  } else if (s < 1.0) {
+    os << std::fixed << std::setprecision(2) << s * 1e3 << "ms";
+  } else {
+    os << std::fixed << std::setprecision(2) << s << "s";
+  }
+  return os.str();
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes >= 1ull << 30) {
+    os << static_cast<double>(bytes) / (1ull << 30) << "GiB";
+  } else if (bytes >= 1ull << 20) {
+    os << static_cast<double>(bytes) / (1ull << 20) << "MiB";
+  } else if (bytes >= 1ull << 10) {
+    os << static_cast<double>(bytes) / (1ull << 10) << "KiB";
+  } else {
+    os << bytes << "B";
+  }
+  return os.str();
+}
+
+std::string FormatRatio(double r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(r >= 100 ? 0 : (r >= 10 ? 1 : 2)) << r
+     << "x";
+  return os.str();
+}
+
+std::string FormatPermille(double pm) {
+  std::ostringstream os;
+  if (pm < 0.01) {
+    os << std::scientific << std::setprecision(1) << pm << "‰";
+  } else {
+    os << std::fixed << std::setprecision(pm < 1 ? 3 : 2) << pm << "‰";
+  }
+  return os.str();
+}
+
+std::string ResultsDir() {
+  const std::filesystem::path dir = "results";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+}  // namespace vizndp::bench_util

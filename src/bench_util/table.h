@@ -1,0 +1,40 @@
+// Fixed-width table and CSV emitters so every bench prints the same
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vizndp::bench_util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Pretty fixed-width rendering.
+  void Print(std::ostream& os) const;
+
+  // Machine-readable companion output.
+  void WriteCsv(const std::string& path) const;
+
+  size_t RowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers used by the bench binaries.
+std::string FormatSeconds(double s);
+std::string FormatBytes(std::uint64_t bytes);
+std::string FormatRatio(double r);      // "123.4x"
+std::string FormatPermille(double pm);  // selectivity in ‰
+
+// Directory where benches drop CSVs ("results", created on demand).
+std::string ResultsDir();
+
+}  // namespace vizndp::bench_util

@@ -1,0 +1,52 @@
+#include "bench_util/testbed.h"
+
+#include "net/inproc.h"
+#include "storage/store_rpc.h"
+
+namespace vizndp::bench_util {
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)), link_(config_.link), ssd_(config_.ssd) {
+  if (config_.disk_root.empty()) {
+    store_ = std::make_shared<storage::MemoryObjectStore>(&ssd_);
+  } else {
+    store_ = std::make_shared<storage::LocalObjectStore>(config_.disk_root,
+                                                         &ssd_);
+  }
+  store_->CreateBucket(config_.bucket);
+
+  storage::BindObjectStoreRpc(rpc_server_, *store_);
+  ndp_server_ = std::make_unique<ndp::NdpServer>(LocalGateway());
+  ndp_server_->Bind(rpc_server_);
+
+  // Two connections across the emulated link: one carrying baseline
+  // object reads, one carrying NDP pre-filter calls. Each gets its own
+  // server thread, mirroring the two services on the storage node.
+  for (auto* client_slot : {&store_rpc_client_, &ndp_rpc_client_}) {
+    net::TransportPair pair = net::CreateInProcPair(&link_);
+    server_threads_.emplace_back(
+        [this, server_end = std::shared_ptr<net::Transport>(
+                   std::move(pair.a))]() mutable {
+          rpc_server_.ServeTransport(*server_end);
+        });
+    *client_slot = std::make_shared<rpc::Client>(std::move(pair.b));
+  }
+  remote_store_ = std::make_unique<storage::RemoteObjectStore>(
+      store_rpc_client_);
+  ndp_client_ =
+      std::make_shared<ndp::NdpClient>(ndp_rpc_client_, config_.bucket);
+}
+
+Testbed::~Testbed() {
+  // Dropping the clients closes their transports; the server loops see
+  // the close and exit.
+  ndp_client_.reset();
+  remote_store_.reset();
+  store_rpc_client_.reset();
+  ndp_rpc_client_.reset();
+  for (std::thread& t : server_threads_) {
+    t.join();
+  }
+}
+
+}  // namespace vizndp::bench_util

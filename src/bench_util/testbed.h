@@ -1,0 +1,82 @@
+// Emulated two-node testbed (paper Fig. 11) on one machine:
+//
+//   [storage node]                          [client node]
+//   object store  <- SsdModel charges       VndReader over RemoteObjectStore
+//   rpc::Server serving store.* and ndp.*   (baseline path), or
+//   NdpServer (pre-filter)                  NdpClient (post-filter path)
+//                \________ SimulatedLink charges every frame ________/
+//
+// Both paths use the same storage software stack (object store + SSD
+// model); the only difference — exactly as in the paper — is whether the
+// full array or the pre-filtered selection crosses the link.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "ndp/ndp_client.h"
+#include "ndp/ndp_server.h"
+#include "rpc/server.h"
+#include "bench_util/stats.h"
+#include "storage/local_store.h"
+#include "storage/memory_store.h"
+#include "storage/remote_store.h"
+
+namespace vizndp::bench_util {
+
+struct TestbedConfig {
+  net::LinkConfig link;
+  storage::SsdConfig ssd;
+  std::string bucket = "data";
+  // Default: in-memory store (timing comes from SsdModel either way).
+  // Set to a directory to exercise the real filesystem path.
+  std::filesystem::path disk_root;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // Direct (un-modeled) access for pre-populating datasets.
+  storage::ObjectStore& store() { return *store_; }
+  const std::string& bucket() const { return config_.bucket; }
+
+  // Client-side gateway: every object byte crosses the simulated link
+  // (the paper's baseline: s3fs on the client, MinIO remote).
+  storage::FileGateway RemoteGateway() {
+    return storage::FileGateway(*remote_store_, config_.bucket);
+  }
+
+  // Storage-side gateway: object reads stay local (the NDP setup).
+  storage::FileGateway LocalGateway() {
+    return storage::FileGateway(*store_, config_.bucket);
+  }
+
+  ndp::NdpClient& ndp_client() { return *ndp_client_; }
+  std::shared_ptr<ndp::NdpClient> ndp_client_ptr() { return ndp_client_; }
+
+  net::SimulatedLink& link() { return link_; }
+  storage::SsdModel& ssd() { return ssd_; }
+
+  LoadTimer StartLoadTimer() const { return LoadTimer(link_, ssd_); }
+
+ private:
+  TestbedConfig config_;
+  net::SimulatedLink link_;
+  storage::SsdModel ssd_;
+  std::shared_ptr<storage::ObjectStore> store_;
+  rpc::Server rpc_server_;
+  std::unique_ptr<ndp::NdpServer> ndp_server_;
+  std::vector<std::thread> server_threads_;
+  std::shared_ptr<rpc::Client> store_rpc_client_;
+  std::shared_ptr<rpc::Client> ndp_rpc_client_;
+  std::unique_ptr<storage::RemoteObjectStore> remote_store_;
+  std::shared_ptr<ndp::NdpClient> ndp_client_;
+};
+
+}  // namespace vizndp::bench_util

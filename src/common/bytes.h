@@ -1,0 +1,85 @@
+// Byte-buffer primitives shared by every subsystem.
+//
+// The whole stack (codecs, msgpack, RPC, object store) moves opaque byte
+// ranges around; this header pins down the vocabulary types so modules
+// agree on what a "buffer" is without copying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace vizndp {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using ByteSpan = std::span<const Byte>;
+using MutableByteSpan = std::span<Byte>;
+
+// View a trivially-copyable array as raw bytes (used when hashing,
+// compressing, or shipping typed payloads).
+template <typename T>
+ByteSpan AsBytes(std::span<const T> data) {
+  return ByteSpan(reinterpret_cast<const Byte*>(data.data()),
+                  data.size() * sizeof(T));
+}
+
+template <typename T>
+ByteSpan AsBytes(const std::vector<T>& data) {
+  return AsBytes(std::span<const T>(data));
+}
+
+inline ByteSpan AsBytes(std::string_view s) {
+  return ByteSpan(reinterpret_cast<const Byte*>(s.data()), s.size());
+}
+
+inline std::string_view AsStringView(ByteSpan b) {
+  return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline Bytes ToBytes(std::string_view s) {
+  const auto span = AsBytes(s);
+  return Bytes(span.begin(), span.end());
+}
+
+// Reinterpret a byte buffer as a vector of T. Size must divide evenly.
+template <typename T>
+std::vector<T> BytesTo(ByteSpan bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> out(bytes.size() / sizeof(T));
+  std::memcpy(out.data(), bytes.data(), out.size() * sizeof(T));
+  return out;
+}
+
+// Little-endian scalar load/store. All on-disk and on-wire formats in this
+// project are explicitly little-endian.
+template <typename T>
+void StoreLE(T value, Byte* dst) {
+  static_assert(std::is_integral_v<T>);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    dst[i] = static_cast<Byte>(static_cast<std::make_unsigned_t<T>>(value) >>
+                               (8 * i));
+  }
+}
+
+template <typename T>
+T LoadLE(const Byte* src) {
+  static_assert(std::is_integral_v<T>);
+  std::make_unsigned_t<T> v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::make_unsigned_t<T>>(src[i]) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+template <typename T>
+void AppendLE(T value, Bytes& out) {
+  const size_t old = out.size();
+  out.resize(old + sizeof(T));
+  StoreLE(value, out.data() + old);
+}
+
+}  // namespace vizndp

@@ -1,0 +1,17 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace vizndp {
+
+void ThrowError(const char* file, int line, const char* expr,
+                const std::string& message) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace vizndp

@@ -1,0 +1,53 @@
+// Error handling used across the library.
+//
+// Fatal, non-recoverable misuse (corrupt stream, protocol violation,
+// out-of-range argument) throws vizndp::Error. Hot paths use
+// VIZNDP_CHECK so the failure message carries the failed expression.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vizndp {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+// Corrupt or truncated encoded data (codec, msgpack, RPC framing).
+class DecodeError : public Error {
+ public:
+  using Error::Error;
+};
+
+// I/O failures from the object store / filesystem layer.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+// RPC-level failures (unknown method, transport closed, bad reply).
+class RpcError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] void ThrowError(const char* file, int line, const char* expr,
+                             const std::string& message);
+
+}  // namespace vizndp
+
+#define VIZNDP_CHECK(expr)                                       \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::vizndp::ThrowError(__FILE__, __LINE__, #expr, "");       \
+    }                                                            \
+  } while (0)
+
+#define VIZNDP_CHECK_MSG(expr, msg)                              \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::vizndp::ThrowError(__FILE__, __LINE__, #expr, (msg));    \
+    }                                                            \
+  } while (0)

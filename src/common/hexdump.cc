@@ -1,0 +1,39 @@
+#include "common/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace vizndp {
+
+std::string HexDump(ByteSpan data, size_t max_bytes) {
+  std::ostringstream os;
+  const size_t n = std::min(data.size(), max_bytes);
+  char line[128];
+  for (size_t off = 0; off < n; off += 16) {
+    int pos = std::snprintf(line, sizeof(line), "%08zx  ", off);
+    for (size_t i = 0; i < 16; ++i) {
+      if (off + i < n) {
+        pos += std::snprintf(line + pos, sizeof(line) - pos, "%02x ",
+                             data[off + i]);
+      } else {
+        pos += std::snprintf(line + pos, sizeof(line) - pos, "   ");
+      }
+      if (i == 7) line[pos++] = ' ';
+    }
+    pos += std::snprintf(line + pos, sizeof(line) - pos, " |");
+    for (size_t i = 0; i < 16 && off + i < n; ++i) {
+      const Byte b = data[off + i];
+      line[pos++] = std::isprint(b) ? static_cast<char>(b) : '.';
+    }
+    line[pos++] = '|';
+    line[pos] = '\0';
+    os << line << "\n";
+  }
+  if (data.size() > max_bytes) {
+    os << "... (" << data.size() - max_bytes << " more bytes)\n";
+  }
+  return os.str();
+}
+
+}  // namespace vizndp

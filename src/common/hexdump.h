@@ -1,0 +1,13 @@
+// Debug helper: render a byte range as a classic offset/hex/ascii dump.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace vizndp {
+
+// At most `max_bytes` are rendered; longer inputs end with an elision line.
+std::string HexDump(ByteSpan data, size_t max_bytes = 256);
+
+}  // namespace vizndp

@@ -1,0 +1,37 @@
+// Lock-free accumulator of virtual (modeled) seconds. The emulated
+// testbed mixes measured CPU time with modeled I/O time (network link,
+// SSD path); cost models accumulate the modeled part here.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace vizndp {
+
+class AtomicSeconds {
+ public:
+  void Add(double dt) {
+    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+    for (;;) {
+      const double updated = std::bit_cast<double>(expected) + dt;
+      if (bits_.compare_exchange_weak(expected,
+                                      std::bit_cast<std::uint64_t>(updated),
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  double Get() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  void Reset() { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  // Stores the bit pattern of a double; zero bits == 0.0.
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+}  // namespace vizndp

@@ -1,0 +1,128 @@
+// LSB-first bit streams as DEFLATE (RFC 1951) defines them: bits are
+// packed into bytes starting at the least-significant bit; Huffman codes
+// are written most-significant-code-bit first, plain values LSB first.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace vizndp::compress {
+
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes& out) : out_(out) {}
+
+  // Writes `count` bits of `value`, LSB first (DEFLATE's "value" order).
+  void WriteBits(std::uint32_t value, int count) {
+    acc_ |= static_cast<std::uint64_t>(value & ((1u << count) - 1u)) << nbits_;
+    nbits_ += count;
+    while (nbits_ >= 8) {
+      out_.push_back(static_cast<Byte>(acc_ & 0xFFu));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  // Writes a Huffman code: bit-reversed so the MSB of the code goes first.
+  void WriteCode(std::uint32_t code, int length) {
+    std::uint32_t rev = 0;
+    for (int i = 0; i < length; ++i) {
+      rev = (rev << 1) | ((code >> i) & 1u);
+    }
+    WriteBits(rev, length);
+  }
+
+  // Pads with zero bits to the next byte boundary (stored-block alignment).
+  void AlignToByte() {
+    if (nbits_ > 0) {
+      out_.push_back(static_cast<Byte>(acc_ & 0xFFu));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  Bytes& out_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  std::uint32_t ReadBits(int count) {
+    while (nbits_ < count) {
+      if (pos_ >= data_.size()) {
+        throw DecodeError("bit stream truncated");
+      }
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(acc_ & ((1ull << count) - 1ull));
+    acc_ >>= count;
+    nbits_ -= count;
+    return v;
+  }
+
+  // Reads one bit; used by canonical Huffman decoding.
+  std::uint32_t ReadBit() { return ReadBits(1); }
+
+  // Returns the next `count` bits without consuming them, zero-padded past
+  // the end of input. Table-based Huffman decoding peeks a fixed window
+  // and then consumes only the matched code's length, so the zero padding
+  // is harmless: Consume() still rejects reads past the real end.
+  std::uint32_t PeekBits(int count) {
+    while (nbits_ < count && pos_ < data_.size()) {
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    return static_cast<std::uint32_t>(acc_ & ((1ull << count) - 1ull));
+  }
+
+  void Consume(int count) {
+    if (count > nbits_) {
+      throw DecodeError("bit stream truncated");
+    }
+    acc_ >>= count;
+    nbits_ -= count;
+  }
+
+  void AlignToByte() {
+    const int drop = nbits_ % 8;
+    acc_ >>= drop;
+    nbits_ -= drop;
+  }
+
+  // Byte-aligned raw read for stored blocks. Caller must AlignToByte first.
+  void ReadAlignedBytes(MutableByteSpan dst) {
+    VIZNDP_CHECK(nbits_ % 8 == 0);
+    size_t i = 0;
+    while (nbits_ > 0 && i < dst.size()) {
+      dst[i++] = static_cast<Byte>(acc_ & 0xFFu);
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+    if (dst.size() - i > data_.size() - pos_) {
+      throw DecodeError("stored block truncated");
+    }
+    std::memcpy(dst.data() + i, data_.data() + pos_, dst.size() - i);
+    pos_ += dst.size() - i;
+  }
+
+  // Number of whole bytes consumed so far (rounded up over buffered bits).
+  size_t BytesConsumed() const { return pos_ - nbits_ / 8; }
+
+  bool AtEnd() const { return pos_ >= data_.size() && nbits_ == 0; }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+}  // namespace vizndp::compress

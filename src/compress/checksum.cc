@@ -1,0 +1,52 @@
+#include "compress/checksum.h"
+
+#include <array>
+
+namespace vizndp::compress {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+std::uint32_t Crc32(ByteSpan data, std::uint32_t crc) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const Byte b : data) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t Adler32(ByteSpan data, std::uint32_t adler) {
+  constexpr std::uint32_t kMod = 65521;
+  std::uint32_t a = adler & 0xFFFFu;
+  std::uint32_t b = (adler >> 16) & 0xFFFFu;
+  size_t i = 0;
+  while (i < data.size()) {
+    // Largest run before a can overflow 32 bits is 5552 per RFC 1950.
+    const size_t run = std::min<size_t>(5552, data.size() - i);
+    for (size_t j = 0; j < run; ++j) {
+      a += data[i + j];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    i += run;
+  }
+  return (b << 16) | a;
+}
+
+}  // namespace vizndp::compress

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE, as used by gzip) and Adler-32 (as used by zlib streams).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace vizndp::compress {
+
+// Incremental CRC-32: pass the previous return value as `crc` to continue.
+std::uint32_t Crc32(ByteSpan data, std::uint32_t crc = 0);
+
+// Incremental Adler-32; initial value is 1.
+std::uint32_t Adler32(ByteSpan data, std::uint32_t adler = 1);
+
+}  // namespace vizndp::compress

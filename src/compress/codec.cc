@@ -1,0 +1,24 @@
+#include "compress/codec.h"
+
+#include "common/error.h"
+#include "compress/gzip.h"
+#include "compress/lz4.h"
+#include "compress/rle.h"
+#include "compress/zlib_stream.h"
+
+namespace vizndp::compress {
+
+CodecPtr MakeCodec(const std::string& name) {
+  if (name == "none") return std::make_shared<NullCodec>();
+  if (name == "gzip") return std::make_shared<GzipCodec>();
+  if (name == "lz4") return std::make_shared<Lz4Codec>();
+  if (name == "rle") return std::make_shared<RleCodec>();
+  if (name == "zlib") return std::make_shared<ZlibCodec>();
+  throw Error("unknown codec: '" + name + "'");
+}
+
+std::vector<std::string> RegisteredCodecNames() {
+  return {"none", "gzip", "lz4", "rle", "zlib"};
+}
+
+}  // namespace vizndp::compress

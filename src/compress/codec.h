@@ -1,0 +1,49 @@
+// Codec interface used by the file format, the object store, and the NDP
+// pipeline. Mirrors VTK's pluggable data compressors: the paper evaluates
+// GZip and LZ4, both reimplemented here from scratch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace vizndp::compress {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  // Stable identifier persisted in file headers ("none", "gzip", "lz4", "rle").
+  virtual std::string name() const = 0;
+
+  virtual Bytes Compress(ByteSpan input) const = 0;
+
+  // `size_hint`, when nonzero, is the expected decompressed size; codecs
+  // may use it to reserve output. Throws DecodeError on corrupt input.
+  virtual Bytes Decompress(ByteSpan input, size_t size_hint = 0) const = 0;
+};
+
+using CodecPtr = std::shared_ptr<const Codec>;
+
+// The identity codec ("none").
+class NullCodec final : public Codec {
+ public:
+  std::string name() const override { return "none"; }
+  Bytes Compress(ByteSpan input) const override {
+    return Bytes(input.begin(), input.end());
+  }
+  Bytes Decompress(ByteSpan input, size_t) const override {
+    return Bytes(input.begin(), input.end());
+  }
+};
+
+// Factory over registered codec names. Throws Error for unknown names.
+CodecPtr MakeCodec(const std::string& name);
+
+// Names accepted by MakeCodec, in registration order.
+std::vector<std::string> RegisteredCodecNames();
+
+}  // namespace vizndp::compress

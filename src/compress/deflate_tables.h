@@ -1,0 +1,46 @@
+// Shared RFC 1951 constant tables: length/distance code bases and extra
+// bits, and the code-length-alphabet permutation. Used by both the
+// compressor (deflate.cc) and the decompressor (inflate.cc).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vizndp::compress::detail {
+
+inline constexpr int kNumLitLenSymbols = 288;  // 0..255 lit, 256 EOB, 257..285 len
+inline constexpr int kNumDistSymbols = 30;
+inline constexpr int kEndOfBlock = 256;
+inline constexpr int kMinMatch = 3;
+inline constexpr int kMaxMatch = 258;
+inline constexpr int kWindowSize = 32768;
+
+// Length codes 257..285: base match length and number of extra bits.
+inline constexpr std::array<std::uint16_t, 29> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+inline constexpr std::array<std::uint8_t, 29> kLengthExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+    2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// Distance codes 0..29: base distance and number of extra bits.
+inline constexpr std::array<std::uint16_t, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+inline constexpr std::array<std::uint8_t, 30> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+// Order in which code lengths for the code-length alphabet are stored
+// in a dynamic block header (RFC 1951 §3.2.7).
+inline constexpr std::array<std::uint8_t, 19> kCodeLengthOrder = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+// Maps a match length (3..258) to its length code index (0..28).
+int LengthToCode(int length);
+
+// Maps a distance (1..32768) to its distance code index (0..29).
+int DistanceToCode(int distance);
+
+}  // namespace vizndp::compress::detail

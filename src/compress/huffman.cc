@@ -1,0 +1,167 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace vizndp::compress {
+
+namespace {
+
+// Reverses the low `length` bits of `code`.
+std::uint32_t ReverseBits(std::uint32_t code, int length) {
+  std::uint32_t rev = 0;
+  for (int i = 0; i < length; ++i) {
+    rev = (rev << 1) | ((code >> i) & 1u);
+  }
+  return rev;
+}
+
+// One Huffman-tree build; returns per-symbol depths (0 for unused).
+std::vector<int> TreeDepths(std::span<const std::uint64_t> freq) {
+  struct Node {
+    std::uint64_t weight;
+    int index;  // < n: leaf symbol; >= n: internal node
+  };
+  const int n = static_cast<int>(freq.size());
+  const auto cmp = [](const Node& a, const Node& b) {
+    return a.weight > b.weight;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  for (int i = 0; i < n; ++i) {
+    if (freq[static_cast<size_t>(i)] > 0) {
+      heap.push({freq[static_cast<size_t>(i)], i});
+    }
+  }
+  std::vector<int> parent;  // internal nodes only, indexed by index - n
+  std::vector<std::pair<int, int>> children;
+  if (heap.size() <= 1) {
+    std::vector<int> depths(freq.size(), 0);
+    if (!heap.empty()) depths[static_cast<size_t>(heap.top().index)] = 1;
+    return depths;
+  }
+  int next = n;
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    children.emplace_back(a.index, b.index);
+    heap.push({a.weight + b.weight, next++});
+  }
+  // Walk the tree from the root down, assigning depths.
+  std::vector<int> depths(freq.size(), 0);
+  std::vector<int> node_depth(children.size(), 0);
+  for (int i = static_cast<int>(children.size()) - 1; i >= 0; --i) {
+    const int d = node_depth[static_cast<size_t>(i)];
+    for (const int child : {children[static_cast<size_t>(i)].first,
+                            children[static_cast<size_t>(i)].second}) {
+      if (child < n) {
+        depths[static_cast<size_t>(child)] = d + 1;
+      } else {
+        node_depth[static_cast<size_t>(child - n)] = d + 1;
+      }
+    }
+  }
+  return depths;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BuildCodeLengths(
+    std::span<const std::uint64_t> frequencies, int max_length) {
+  std::vector<std::uint64_t> freq(frequencies.begin(), frequencies.end());
+  for (;;) {
+    const std::vector<int> depths = TreeDepths(freq);
+    const int max_depth = depths.empty()
+                              ? 0
+                              : *std::max_element(depths.begin(), depths.end());
+    if (max_depth <= max_length) {
+      std::vector<std::uint8_t> lengths(depths.size());
+      std::transform(depths.begin(), depths.end(), lengths.begin(),
+                     [](int d) { return static_cast<std::uint8_t>(d); });
+      return lengths;
+    }
+    // Damp the skew and retry: flattening the frequency distribution can
+    // only shorten the deepest leaves.
+    for (auto& f : freq) {
+      if (f > 0) f = f / 2 + 1;
+    }
+  }
+}
+
+std::vector<std::uint16_t> AssignCanonicalCodes(
+    std::span<const std::uint8_t> lengths) {
+  std::array<int, kMaxCodeLength + 1> count{};
+  for (const std::uint8_t len : lengths) {
+    VIZNDP_CHECK(len <= kMaxCodeLength);
+    ++count[len];
+  }
+  count[0] = 0;
+  std::array<std::uint32_t, kMaxCodeLength + 2> next_code{};
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= kMaxCodeLength; ++bits) {
+    code = (code + static_cast<std::uint32_t>(count[bits - 1])) << 1;
+    next_code[bits] = code;
+  }
+  std::vector<std::uint16_t> codes(lengths.size(), 0);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] != 0) {
+      codes[i] = static_cast<std::uint16_t>(next_code[lengths[i]]++);
+    }
+  }
+  return codes;
+}
+
+void HuffmanEncoder::Init(std::span<const std::uint8_t> lengths) {
+  lengths_.assign(lengths.begin(), lengths.end());
+  codes_ = AssignCanonicalCodes(lengths);
+}
+
+void HuffmanDecoder::Init(std::span<const std::uint8_t> lengths) {
+  max_len_ = 0;
+  std::uint64_t space = 0;  // Kraft sum scaled by 2^kMaxCodeLength.
+  int used = 0;
+  for (const std::uint8_t len : lengths) {
+    if (len == 0) continue;
+    if (len > kMaxCodeLength) {
+      throw DecodeError("Huffman code length exceeds 15");
+    }
+    max_len_ = std::max(max_len_, static_cast<int>(len));
+    space += 1ull << (kMaxCodeLength - len);
+    ++used;
+  }
+  if (used == 0) {
+    // Empty alphabet: any decode attempt will fail via the zero table.
+    max_len_ = 1;
+    table_.assign(2, 0);
+    return;
+  }
+  constexpr std::uint64_t kFull = 1ull << kMaxCodeLength;
+  if (used == 1) {
+    // DEFLATE permits a single-symbol distance alphabet with length 1.
+    if (space > kFull) throw DecodeError("over-subscribed Huffman code");
+  } else if (space != kFull) {
+    throw DecodeError(space > kFull ? "over-subscribed Huffman code"
+                                    : "incomplete Huffman code");
+  }
+
+  const auto codes = AssignCanonicalCodes(lengths);
+  table_.assign(1ull << max_len_, 0);
+  for (size_t sym = 0; sym < lengths.size(); ++sym) {
+    const int len = lengths[sym];
+    if (len == 0) continue;
+    // The stream delivers the code MSB-first, and PeekBits returns bits in
+    // arrival order starting at bit 0 — so the table index begins with the
+    // bit-reversed code, followed by every possible filler suffix.
+    const std::uint32_t base = ReverseBits(codes[sym], len);
+    const std::uint32_t entry =
+        (static_cast<std::uint32_t>(sym) << 4) | static_cast<std::uint32_t>(len);
+    for (std::uint32_t fill = 0; fill < (1u << (max_len_ - len)); ++fill) {
+      table_[base | (fill << len)] = entry;
+    }
+  }
+}
+
+}  // namespace vizndp::compress

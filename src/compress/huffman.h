@@ -1,0 +1,71 @@
+// Canonical Huffman coding as DEFLATE uses it (RFC 1951 §3.2.2):
+// codes are fully determined by their lengths, lengths are capped at 15,
+// and shorter codes lexicographically precede longer ones.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitio.h"
+
+namespace vizndp::compress {
+
+inline constexpr int kMaxCodeLength = 15;
+
+// Computes length-limited code lengths from symbol frequencies.
+// Symbols with zero frequency get length 0 (no code). If the natural
+// Huffman tree exceeds `max_length`, frequencies are damped and the tree
+// rebuilt until it fits (the classic overflow fix; optimality loss is
+// negligible for DEFLATE-sized alphabets).
+std::vector<std::uint8_t> BuildCodeLengths(
+    std::span<const std::uint64_t> frequencies, int max_length = kMaxCodeLength);
+
+// Assigns canonical codes (RFC 1951 algorithm) for the given lengths.
+// codes[sym] holds the code MSB-first in its low `lengths[sym]` bits.
+std::vector<std::uint16_t> AssignCanonicalCodes(
+    std::span<const std::uint8_t> lengths);
+
+// Encoder half: code + length per symbol, written via BitWriter::WriteCode.
+class HuffmanEncoder {
+ public:
+  void Init(std::span<const std::uint8_t> lengths);
+
+  void Write(BitWriter& w, int symbol) const {
+    w.WriteCode(codes_[static_cast<size_t>(symbol)],
+                lengths_[static_cast<size_t>(symbol)]);
+  }
+
+  int Length(int symbol) const { return lengths_[static_cast<size_t>(symbol)]; }
+
+ private:
+  std::vector<std::uint16_t> codes_;
+  std::vector<std::uint8_t> lengths_;
+};
+
+// Decoder half: a single-level lookup table over `max_len` peeked bits.
+// Each entry packs (symbol << 4) | code_length.
+class HuffmanDecoder {
+ public:
+  // Throws DecodeError when the lengths do not describe a valid prefix
+  // code (over- or under-subscribed), except for the two degenerate cases
+  // DEFLATE allows: an empty alphabet and a single-symbol alphabet.
+  void Init(std::span<const std::uint8_t> lengths);
+
+  int Decode(BitReader& r) const {
+    const std::uint32_t window = r.PeekBits(max_len_);
+    const std::uint32_t entry = table_[window];
+    const int len = static_cast<int>(entry & 0xFu);
+    if (len == 0) {
+      throw DecodeError("invalid Huffman code in stream");
+    }
+    r.Consume(len);
+    return static_cast<int>(entry >> 4);
+  }
+
+ private:
+  int max_len_ = 0;
+  std::vector<std::uint32_t> table_;
+};
+
+}  // namespace vizndp::compress

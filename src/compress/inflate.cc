@@ -1,0 +1,177 @@
+// DEFLATE decompressor (RFC 1951): stored, fixed-Huffman, and
+// dynamic-Huffman blocks, with table-driven canonical decoding.
+#include <array>
+#include <cstring>
+
+#include "common/error.h"
+#include "compress/bitio.h"
+#include "compress/deflate.h"
+#include "compress/deflate_tables.h"
+#include "compress/huffman.h"
+
+namespace vizndp::compress {
+
+namespace {
+
+using namespace detail;
+
+const HuffmanDecoder& FixedLitLenDecoder() {
+  static const HuffmanDecoder decoder = [] {
+    std::vector<std::uint8_t> lengths(kNumLitLenSymbols);
+    for (int i = 0; i <= 143; ++i) lengths[static_cast<size_t>(i)] = 8;
+    for (int i = 144; i <= 255; ++i) lengths[static_cast<size_t>(i)] = 9;
+    for (int i = 256; i <= 279; ++i) lengths[static_cast<size_t>(i)] = 7;
+    for (int i = 280; i <= 287; ++i) lengths[static_cast<size_t>(i)] = 8;
+    HuffmanDecoder d;
+    d.Init(lengths);
+    return d;
+  }();
+  return decoder;
+}
+
+const HuffmanDecoder& FixedDistDecoder() {
+  static const HuffmanDecoder decoder = [] {
+    std::vector<std::uint8_t> lengths(32, 5);
+    HuffmanDecoder d;
+    d.Init(lengths);
+    return d;
+  }();
+  return decoder;
+}
+
+void ReadDynamicTables(BitReader& r, HuffmanDecoder& litlen,
+                       HuffmanDecoder& dist) {
+  const int hlit = static_cast<int>(r.ReadBits(5)) + 257;
+  const int hdist = static_cast<int>(r.ReadBits(5)) + 1;
+  const int hclen = static_cast<int>(r.ReadBits(4)) + 4;
+  if (hlit > kNumLitLenSymbols || hdist > kNumDistSymbols + 2) {
+    throw DecodeError("dynamic block header out of range");
+  }
+  std::vector<std::uint8_t> cl_lengths(19, 0);
+  for (int i = 0; i < hclen; ++i) {
+    cl_lengths[kCodeLengthOrder[static_cast<size_t>(i)]] =
+        static_cast<std::uint8_t>(r.ReadBits(3));
+  }
+  HuffmanDecoder cl;
+  cl.Init(cl_lengths);
+
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(static_cast<size_t>(hlit + hdist));
+  while (lengths.size() < static_cast<size_t>(hlit + hdist)) {
+    const int sym = cl.Decode(r);
+    if (sym < 16) {
+      lengths.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == 16) {
+      if (lengths.empty()) throw DecodeError("repeat with no previous length");
+      const int count = 3 + static_cast<int>(r.ReadBits(2));
+      lengths.insert(lengths.end(), static_cast<size_t>(count),
+                     lengths.back());
+    } else if (sym == 17) {
+      const int count = 3 + static_cast<int>(r.ReadBits(3));
+      lengths.insert(lengths.end(), static_cast<size_t>(count), 0);
+    } else {  // 18
+      const int count = 11 + static_cast<int>(r.ReadBits(7));
+      lengths.insert(lengths.end(), static_cast<size_t>(count), 0);
+    }
+  }
+  if (lengths.size() != static_cast<size_t>(hlit + hdist)) {
+    throw DecodeError("code length repeat overruns table");
+  }
+  if (lengths[kEndOfBlock] == 0) {
+    throw DecodeError("dynamic block lacks an end-of-block code");
+  }
+  litlen.Init(std::span<const std::uint8_t>(lengths).first(
+      static_cast<size_t>(hlit)));
+  dist.Init(std::span<const std::uint8_t>(lengths).subspan(
+      static_cast<size_t>(hlit)));
+}
+
+void InflateBlockBody(BitReader& r, const HuffmanDecoder& litlen,
+                      const HuffmanDecoder& dist, Bytes& out) {
+  for (;;) {
+    const int sym = litlen.Decode(r);
+    if (sym < 256) {
+      out.push_back(static_cast<Byte>(sym));
+      continue;
+    }
+    if (sym == kEndOfBlock) return;
+    const int lcode = sym - 257;
+    if (lcode >= static_cast<int>(kLengthBase.size())) {
+      throw DecodeError("invalid length symbol");
+    }
+    const int length =
+        kLengthBase[static_cast<size_t>(lcode)] +
+        static_cast<int>(r.ReadBits(kLengthExtra[static_cast<size_t>(lcode)]));
+    const int dcode = dist.Decode(r);
+    if (dcode >= static_cast<int>(kDistBase.size())) {
+      throw DecodeError("invalid distance symbol");
+    }
+    const int distance =
+        kDistBase[static_cast<size_t>(dcode)] +
+        static_cast<int>(r.ReadBits(kDistExtra[static_cast<size_t>(dcode)]));
+    if (distance > static_cast<int>(out.size())) {
+      throw DecodeError("match distance reaches before stream start");
+    }
+    // Bulk-copy fast path for non-overlapping matches; overlapping ones
+    // (the RLE idiom) still need the byte loop.
+    const size_t from = out.size() - static_cast<size_t>(distance);
+    const size_t old = out.size();
+    out.resize(old + static_cast<size_t>(length));
+    Byte* dst = out.data() + old;
+    const Byte* src = out.data() + from;
+    if (distance >= length) {
+      std::memcpy(dst, src, static_cast<size_t>(length));
+    } else {
+      for (int i = 0; i < length; ++i) {
+        dst[i] = src[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Bytes InflateRaw(ByteSpan input, size_t size_hint, size_t* consumed) {
+  Bytes out;
+  if (size_hint > 0) out.reserve(size_hint);
+  BitReader r(input);
+  bool final_block = false;
+  while (!final_block) {
+    final_block = r.ReadBit() != 0;
+    const std::uint32_t btype = r.ReadBits(2);
+    switch (btype) {
+      case 0: {  // stored
+        r.AlignToByte();
+        Byte header[4];
+        r.ReadAlignedBytes(MutableByteSpan(header, 4));
+        const std::uint16_t len = LoadLE<std::uint16_t>(header);
+        const std::uint16_t nlen = LoadLE<std::uint16_t>(header + 2);
+        if (static_cast<std::uint16_t>(~len) != nlen) {
+          throw DecodeError("stored block LEN/NLEN mismatch");
+        }
+        const size_t old = out.size();
+        out.resize(old + len);
+        r.ReadAlignedBytes(MutableByteSpan(out.data() + old, len));
+        break;
+      }
+      case 1:
+        InflateBlockBody(r, FixedLitLenDecoder(), FixedDistDecoder(), out);
+        break;
+      case 2: {
+        HuffmanDecoder litlen;
+        HuffmanDecoder dist;
+        ReadDynamicTables(r, litlen, dist);
+        InflateBlockBody(r, litlen, dist, out);
+        break;
+      }
+      default:
+        throw DecodeError("reserved DEFLATE block type 3");
+    }
+  }
+  if (consumed != nullptr) {
+    *consumed = r.BytesConsumed();
+  }
+  return out;
+}
+
+}  // namespace vizndp::compress

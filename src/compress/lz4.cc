@@ -1,0 +1,195 @@
+#include "compress/lz4.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace vizndp::compress {
+
+namespace {
+
+constexpr int kMinMatch = 4;
+constexpr int kMaxOffset = 65535;
+// The format forbids matches too close to the end: the last 5 bytes are
+// always literals, and a match may not start within the last 12 bytes.
+constexpr size_t kLastLiterals = 5;
+constexpr size_t kMatchSafeMargin = 12;
+
+constexpr int kHashLog = 16;
+
+std::uint32_t Load32(const Byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint32_t Hash4(const Byte* p) {
+  return (Load32(p) * 2654435761u) >> (32 - kHashLog);
+}
+
+void WriteLength(size_t value, Bytes& out) {
+  // Extension bytes after a nibble of 15: each 255 adds 255, the final
+  // byte (< 255) terminates.
+  while (value >= 255) {
+    out.push_back(255);
+    value -= 255;
+  }
+  out.push_back(static_cast<Byte>(value));
+}
+
+void EmitSequence(ByteSpan literals, size_t match_len, size_t offset,
+                  Bytes& out) {
+  const size_t lit_len = literals.size();
+  const size_t ml = match_len > 0 ? match_len - kMinMatch : 0;
+  Byte token = 0;
+  token |= static_cast<Byte>(std::min<size_t>(lit_len, 15) << 4);
+  if (match_len > 0) {
+    token |= static_cast<Byte>(std::min<size_t>(ml, 15));
+  }
+  out.push_back(token);
+  if (lit_len >= 15) WriteLength(lit_len - 15, out);
+  out.insert(out.end(), literals.begin(), literals.end());
+  if (match_len > 0) {
+    out.push_back(static_cast<Byte>(offset & 0xFF));
+    out.push_back(static_cast<Byte>(offset >> 8));
+    if (ml >= 15) WriteLength(ml - 15, out);
+  }
+}
+
+}  // namespace
+
+Bytes Lz4CompressBlock(ByteSpan input, int acceleration) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const size_t n = input.size();
+  if (n == 0) {
+    out.push_back(0);  // single empty-literal sequence
+    return out;
+  }
+  if (n < kMatchSafeMargin + 1) {
+    EmitSequence(input, 0, 0, out);
+    return out;
+  }
+
+  std::vector<std::int64_t> table(1u << kHashLog, -1);
+  const size_t match_limit = n - kMatchSafeMargin;  // last legal match start
+  const Byte* const base = input.data();
+  size_t anchor = 0;
+  size_t pos = 0;
+  const int accel = std::max(1, acceleration);
+
+  while (pos < match_limit) {
+    // Search with step acceleration (LZ4's "skip faster over
+    // incompressible data" heuristic).
+    size_t match_pos = 0;
+    size_t search = pos;
+    int step_counter = accel << 6;
+    bool found = false;
+    while (search < match_limit) {
+      const std::uint32_t h = Hash4(base + search);
+      const std::int64_t cand = table[h];
+      table[h] = static_cast<std::int64_t>(search);
+      if (cand >= 0 &&
+          static_cast<std::int64_t>(search) - cand <= kMaxOffset &&
+          Load32(base + cand) == Load32(base + search)) {
+        match_pos = static_cast<size_t>(cand);
+        pos = search;
+        found = true;
+        break;
+      }
+      search += static_cast<size_t>(step_counter++ >> 6);
+    }
+    if (!found) break;
+
+    // Extend the match backwards over pending literals.
+    while (pos > anchor && match_pos > 0 &&
+           base[pos - 1] == base[match_pos - 1]) {
+      --pos;
+      --match_pos;
+    }
+    // Extend forwards. Matches must leave kLastLiterals at the end.
+    size_t match_len = kMinMatch;
+    const size_t extend_limit = n - kLastLiterals;
+    while (pos + match_len < extend_limit &&
+           base[pos + match_len] == base[match_pos + match_len]) {
+      ++match_len;
+    }
+
+    EmitSequence(input.subspan(anchor, pos - anchor), match_len,
+                 pos - match_pos, out);
+    pos += match_len;
+    anchor = pos;
+    // Index interior positions sparsely to keep future matches findable.
+    if (pos >= 2 && pos - 2 < match_limit) {
+      table[Hash4(base + pos - 2)] = static_cast<std::int64_t>(pos - 2);
+    }
+  }
+
+  // Trailing literals.
+  EmitSequence(input.subspan(anchor), 0, 0, out);
+  return out;
+}
+
+Bytes Lz4DecompressBlock(ByteSpan block, size_t decompressed_size) {
+  Bytes out;
+  out.reserve(decompressed_size);
+  size_t pos = 0;
+  const size_t n = block.size();
+  auto read_byte = [&]() -> Byte {
+    if (pos >= n) throw DecodeError("lz4 block truncated");
+    return block[pos++];
+  };
+  auto read_length = [&](size_t base_len) -> size_t {
+    size_t len = base_len;
+    if (base_len == 15) {
+      Byte b;
+      do {
+        b = read_byte();
+        len += b;
+      } while (b == 255);
+    }
+    return len;
+  };
+
+  while (pos < n) {
+    const Byte token = read_byte();
+    const size_t lit_len = read_length(token >> 4);
+    if (pos + lit_len > n) throw DecodeError("lz4 literal run overruns block");
+    out.insert(out.end(), block.begin() + static_cast<std::ptrdiff_t>(pos),
+               block.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
+    pos += lit_len;
+    if (pos >= n) break;  // final sequence carries no match
+    const size_t offset = static_cast<size_t>(read_byte()) |
+                          (static_cast<size_t>(read_byte()) << 8);
+    if (offset == 0 || offset > out.size()) {
+      throw DecodeError("lz4 match offset out of range");
+    }
+    const size_t match_len = read_length(token & 0x0F) + kMinMatch;
+    size_t from = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from++]);
+    }
+  }
+  if (out.size() != decompressed_size) {
+    throw DecodeError("lz4 decompressed size mismatch: got " +
+                      std::to_string(out.size()) + ", want " +
+                      std::to_string(decompressed_size));
+  }
+  return out;
+}
+
+Bytes Lz4Codec::Compress(ByteSpan input) const {
+  Bytes out;
+  AppendLE<std::uint64_t>(input.size(), out);
+  Bytes block = Lz4CompressBlock(input, acceleration_);
+  out.insert(out.end(), block.begin(), block.end());
+  return out;
+}
+
+Bytes Lz4Codec::Decompress(ByteSpan input, size_t) const {
+  if (input.size() < 8) throw DecodeError("lz4 frame too short");
+  const std::uint64_t size = LoadLE<std::uint64_t>(input.data());
+  return Lz4DecompressBlock(input.subspan(8), size);
+}
+
+}  // namespace vizndp::compress

@@ -1,0 +1,32 @@
+// LZ4 block format (https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md)
+// implemented from scratch: token-per-sequence byte-oriented LZ77 with
+// 16-bit offsets, the fast/low-ratio baseline the paper evaluates.
+//
+// The on-disk form used by this codec prefixes the raw LZ4 block with the
+// 8-byte little-endian decompressed size, since the block format itself
+// does not record it.
+#pragma once
+
+#include "compress/codec.h"
+
+namespace vizndp::compress {
+
+class Lz4Codec final : public Codec {
+ public:
+  // acceleration >= 1: larger values skip more aggressively over
+  // incompressible regions (mirrors LZ4_compress_fast semantics).
+  explicit Lz4Codec(int acceleration = 1) : acceleration_(acceleration) {}
+
+  std::string name() const override { return "lz4"; }
+  Bytes Compress(ByteSpan input) const override;
+  Bytes Decompress(ByteSpan input, size_t size_hint = 0) const override;
+
+ private:
+  int acceleration_;
+};
+
+// Raw block routines (no size prefix), exposed for tests.
+Bytes Lz4CompressBlock(ByteSpan input, int acceleration = 1);
+Bytes Lz4DecompressBlock(ByteSpan block, size_t decompressed_size);
+
+}  // namespace vizndp::compress

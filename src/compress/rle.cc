@@ -1,0 +1,71 @@
+#include "compress/rle.h"
+
+#include "common/error.h"
+
+namespace vizndp::compress {
+
+namespace {
+constexpr size_t kMinRun = 3;
+constexpr size_t kMaxRun = 130;      // control 128..255 -> run 3..130
+constexpr size_t kMaxLiteral = 128;  // control 0..127 -> literal 1..128
+}  // namespace
+
+Bytes RleCodec::Compress(ByteSpan input) const {
+  Bytes out;
+  out.reserve(input.size() / 4 + 16);
+  size_t i = 0;
+  size_t lit_start = 0;
+  auto flush_literals = [&](size_t end) {
+    size_t s = lit_start;
+    while (s < end) {
+      const size_t take = std::min(kMaxLiteral, end - s);
+      out.push_back(static_cast<Byte>(take - 1));
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(s),
+                 input.begin() + static_cast<std::ptrdiff_t>(s + take));
+      s += take;
+    }
+  };
+  while (i < input.size()) {
+    size_t run = 1;
+    while (i + run < input.size() && run < kMaxRun &&
+           input[i + run] == input[i]) {
+      ++run;
+    }
+    if (run >= kMinRun) {
+      flush_literals(i);
+      out.push_back(static_cast<Byte>(128 + (run - kMinRun)));
+      out.push_back(input[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(input.size());
+  return out;
+}
+
+Bytes RleCodec::Decompress(ByteSpan input, size_t size_hint) const {
+  Bytes out;
+  if (size_hint > 0) out.reserve(size_hint);
+  size_t pos = 0;
+  while (pos < input.size()) {
+    const Byte control = input[pos++];
+    if (control < 128) {
+      const size_t count = static_cast<size_t>(control) + 1;
+      if (pos + count > input.size()) {
+        throw DecodeError("rle literal run truncated");
+      }
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos + count));
+      pos += count;
+    } else {
+      if (pos >= input.size()) throw DecodeError("rle repeat truncated");
+      const size_t count = static_cast<size_t>(control) - 128 + kMinRun;
+      out.insert(out.end(), count, input[pos++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace vizndp::compress

@@ -1,0 +1,21 @@
+// Byte-level run-length codec. Not part of the paper's evaluation, but a
+// useful third point on the ratio/speed spectrum for ablations (scientific
+// volume-fraction fields are full of constant runs).
+//
+// Format: repeated (control, payload) pairs.
+//   control < 128: literal run of control+1 bytes follows.
+//   control >= 128: the next byte repeats control-125 times (3..130).
+#pragma once
+
+#include "compress/codec.h"
+
+namespace vizndp::compress {
+
+class RleCodec final : public Codec {
+ public:
+  std::string name() const override { return "rle"; }
+  Bytes Compress(ByteSpan input) const override;
+  Bytes Decompress(ByteSpan input, size_t size_hint = 0) const override;
+};
+
+}  // namespace vizndp::compress

@@ -1,0 +1,70 @@
+#include "compress/zlib_stream.h"
+
+#include "compress/checksum.h"
+
+namespace vizndp::compress {
+
+namespace {
+
+// CMF: deflate method (8) with a 32 KiB window (7 << 4).
+constexpr Byte kCmf = 0x78;
+
+Byte FlgForLevel(int level) {
+  // FLEVEL field (bits 6-7 of FLG) per RFC 1950.
+  const int flevel = level <= 2 ? 0 : (level <= 5 ? 1 : (level <= 7 ? 2 : 3));
+  Byte flg = static_cast<Byte>(flevel << 6);
+  // FCHECK: make (CMF*256 + FLG) a multiple of 31.
+  const int rem = (kCmf * 256 + flg) % 31;
+  if (rem != 0) flg = static_cast<Byte>(flg + (31 - rem));
+  return flg;
+}
+
+}  // namespace
+
+Bytes ZlibCodec::Compress(ByteSpan input) const {
+  Bytes out;
+  out.reserve(input.size() / 3 + 16);
+  out.push_back(kCmf);
+  out.push_back(FlgForLevel(options_.level));
+  const Bytes body = DeflateCompress(input, options_);
+  out.insert(out.end(), body.begin(), body.end());
+  // Adler-32 is stored big-endian (unlike gzip's little-endian CRC).
+  const std::uint32_t adler = Adler32(input);
+  out.push_back(static_cast<Byte>(adler >> 24));
+  out.push_back(static_cast<Byte>(adler >> 16));
+  out.push_back(static_cast<Byte>(adler >> 8));
+  out.push_back(static_cast<Byte>(adler));
+  return out;
+}
+
+Bytes ZlibCodec::Decompress(ByteSpan input, size_t size_hint) const {
+  if (input.size() < 7) throw DecodeError("zlib stream too short");
+  const Byte cmf = input[0];
+  const Byte flg = input[1];
+  if ((cmf & 0x0F) != 8) {
+    throw DecodeError("zlib stream is not deflate");
+  }
+  if ((cmf * 256 + flg) % 31 != 0) {
+    throw DecodeError("zlib header check failed");
+  }
+  if (flg & 0x20) {
+    throw DecodeError("preset dictionaries are not supported");
+  }
+  size_t consumed = 0;
+  Bytes out = InflateRaw(input.subspan(2), size_hint, &consumed);
+  const size_t trailer = 2 + consumed;
+  if (trailer + 4 > input.size()) {
+    throw DecodeError("zlib trailer truncated");
+  }
+  const std::uint32_t adler =
+      (static_cast<std::uint32_t>(input[trailer]) << 24) |
+      (static_cast<std::uint32_t>(input[trailer + 1]) << 16) |
+      (static_cast<std::uint32_t>(input[trailer + 2]) << 8) |
+      static_cast<std::uint32_t>(input[trailer + 3]);
+  if (adler != Adler32(out)) {
+    throw DecodeError("zlib Adler-32 mismatch");
+  }
+  return out;
+}
+
+}  // namespace vizndp::compress

@@ -1,0 +1,24 @@
+// zlib stream format (RFC 1950) over our raw DEFLATE: 2-byte CMF/FLG
+// header, deflate body, Adler-32 trailer. VTK's vtkZLibDataCompressor
+// actually emits this format (not gzip members); having both lets VND
+// files interoperate with either convention.
+#pragma once
+
+#include "compress/codec.h"
+#include "compress/deflate.h"
+
+namespace vizndp::compress {
+
+class ZlibCodec final : public Codec {
+ public:
+  explicit ZlibCodec(int level = 6) : options_{level} {}
+
+  std::string name() const override { return "zlib"; }
+  Bytes Compress(ByteSpan input) const override;
+  Bytes Decompress(ByteSpan input, size_t size_hint = 0) const override;
+
+ private:
+  DeflateOptions options_;
+};
+
+}  // namespace vizndp::compress

@@ -1,0 +1,102 @@
+#include "contour/components.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace vizndp::contour {
+
+namespace {
+
+// Union-find over point indices.
+class DisjointSet {
+ public:
+  explicit DisjointSet(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Component> ConnectedComponents(const PolyData& poly) {
+  const size_t n = poly.PointCount();
+  if (n == 0) return {};
+  DisjointSet sets(n);
+  for (const auto& t : poly.triangles()) {
+    sets.Union(t[0], t[1]);
+    sets.Union(t[1], t[2]);
+  }
+  for (const auto& l : poly.lines()) {
+    sets.Union(l[0], l[1]);
+  }
+
+  // Root -> dense component index (only for points referenced by a
+  // primitive; isolated points do not form components).
+  std::vector<bool> referenced(n, false);
+  for (const auto& t : poly.triangles()) {
+    for (const auto idx : t) referenced[idx] = true;
+  }
+  for (const auto& l : poly.lines()) {
+    for (const auto idx : l) referenced[idx] = true;
+  }
+
+  std::vector<std::int64_t> component_of(n, -1);
+  std::vector<Component> components;
+  const auto component_index = [&](size_t point) {
+    const size_t root = sets.Find(point);
+    if (component_of[root] < 0) {
+      component_of[root] = static_cast<std::int64_t>(components.size());
+      Component c;
+      constexpr double kInf = std::numeric_limits<double>::infinity();
+      c.bbox_min = {kInf, kInf, kInf};
+      c.bbox_max = {-kInf, -kInf, -kInf};
+      components.push_back(c);
+    }
+    return static_cast<size_t>(component_of[root]);
+  };
+
+  for (size_t p = 0; p < n; ++p) {
+    if (!referenced[p]) continue;
+    Component& c = components[component_index(p)];
+    ++c.points;
+    const Vec3& pos = poly.points()[p];
+    c.bbox_min = {std::min(c.bbox_min.x, pos.x), std::min(c.bbox_min.y, pos.y),
+                  std::min(c.bbox_min.z, pos.z)};
+    c.bbox_max = {std::max(c.bbox_max.x, pos.x), std::max(c.bbox_max.y, pos.y),
+                  std::max(c.bbox_max.z, pos.z)};
+  }
+  for (const auto& t : poly.triangles()) {
+    Component& c = components[component_index(t[0])];
+    ++c.triangles;
+    const Vec3& a = poly.points()[t[0]];
+    const Vec3& b = poly.points()[t[1]];
+    const Vec3& d = poly.points()[t[2]];
+    c.area += 0.5 * (b - a).Cross(d - a).Norm();
+  }
+  for (const auto& l : poly.lines()) {
+    Component& c = components[component_index(l[0])];
+    ++c.lines;
+    c.length += (poly.points()[l[1]] - poly.points()[l[0]]).Norm();
+  }
+
+  std::sort(components.begin(), components.end(),
+            [](const Component& a, const Component& b) {
+              return a.area + a.length > b.area + b.length;
+            });
+  return components;
+}
+
+}  // namespace vizndp::contour

@@ -1,0 +1,30 @@
+// Connected-component analysis over contour geometry: counts and
+// measures the separate surfaces (3D) or curves (2D) in a PolyData.
+// This is what turns the Nyx halo contour into a halo *count* (Fig. 12's
+// "regions of candidate halos") and the impact movie into droplet
+// statistics.
+#pragma once
+
+#include <vector>
+
+#include "contour/polydata.h"
+
+namespace vizndp::contour {
+
+struct Component {
+  size_t triangles = 0;
+  size_t lines = 0;
+  size_t points = 0;
+  double area = 0.0;    // triangle area (3D)
+  double length = 0.0;  // polyline length (2D)
+  // Axis-aligned bounding box.
+  Vec3 bbox_min;
+  Vec3 bbox_max;
+};
+
+// Components are connected via shared point indices (the contour builders
+// deduplicate edge vertices, so adjacent cells share points). Sorted by
+// descending area (3D) / length (2D).
+std::vector<Component> ConnectedComponents(const PolyData& poly);
+
+}  // namespace vizndp::contour

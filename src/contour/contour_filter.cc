@@ -1,0 +1,25 @@
+#include "contour/contour_filter.h"
+
+#include "common/error.h"
+#include "contour/marching_cubes.h"
+#include "contour/marching_squares.h"
+
+namespace vizndp::contour {
+
+PolyData ContourFilter::Execute(const grid::Dataset& dataset,
+                                const std::string& array_name) const {
+  return Execute(dataset.dims(), dataset.geometry(),
+                 dataset.GetArray(array_name));
+}
+
+PolyData ContourFilter::Execute(const grid::Dims& dims,
+                                const grid::UniformGeometry& geometry,
+                                const grid::DataArray& array) const {
+  VIZNDP_CHECK_MSG(!isovalues_.empty(), "contour filter has no isovalues");
+  if (dims.Is2D()) {
+    return MarchingSquares(dims, geometry, array, isovalues_);
+  }
+  return MarchingCubes(dims, geometry, array, isovalues_);
+}
+
+}  // namespace vizndp::contour

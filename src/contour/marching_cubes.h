@@ -1,0 +1,46 @@
+// Marching cubes over full (dense) scalar fields on uniform grids, with
+// multi-isovalue support (all isovalues' geometry lands in one PolyData,
+// as VTK's contour filter does).
+#pragma once
+
+#include <span>
+
+#include "contour/polydata.h"
+#include "grid/data_array.h"
+#include "grid/dims.h"
+#include "grid/rectilinear.h"
+
+namespace vizndp::contour {
+
+// Core typed entry points.
+PolyData MarchingCubes(const grid::Dims& dims,
+                       const grid::UniformGeometry& geometry,
+                       std::span<const float> values,
+                       std::span<const double> isovalues);
+PolyData MarchingCubes(const grid::Dims& dims,
+                       const grid::UniformGeometry& geometry,
+                       std::span<const double> values,
+                       std::span<const double> isovalues);
+
+// Dispatches on the array's element type (Float32/Float64 only).
+PolyData MarchingCubes(const grid::Dims& dims,
+                       const grid::UniformGeometry& geometry,
+                       const grid::DataArray& array,
+                       std::span<const double> isovalues);
+
+// Rectilinear (stretched-grid) variants: identical topology, vertex
+// positions interpolated between the per-axis coordinates.
+PolyData MarchingCubes(const grid::Dims& dims,
+                       const grid::RectilinearGeometry& geometry,
+                       std::span<const float> values,
+                       std::span<const double> isovalues);
+PolyData MarchingCubes(const grid::Dims& dims,
+                       const grid::RectilinearGeometry& geometry,
+                       std::span<const double> values,
+                       std::span<const double> isovalues);
+PolyData MarchingCubes(const grid::Dims& dims,
+                       const grid::RectilinearGeometry& geometry,
+                       const grid::DataArray& array,
+                       std::span<const double> isovalues);
+
+}  // namespace vizndp::contour

@@ -1,0 +1,40 @@
+// Marching squares: 2D contour lines over an (nx, ny, 1) uniform grid —
+// the algorithm behind the paper's Fig. 3 example. Ambiguous saddle cases
+// (5 and 10) are resolved with the cell-average decider, as VTK does.
+#pragma once
+
+#include <span>
+
+#include "contour/polydata.h"
+#include "grid/data_array.h"
+#include "grid/dims.h"
+#include "grid/rectilinear.h"
+
+namespace vizndp::contour {
+
+PolyData MarchingSquares(const grid::Dims& dims,
+                         const grid::UniformGeometry& geometry,
+                         std::span<const float> values,
+                         std::span<const double> isovalues);
+PolyData MarchingSquares(const grid::Dims& dims,
+                         const grid::UniformGeometry& geometry,
+                         std::span<const double> values,
+                         std::span<const double> isovalues);
+
+PolyData MarchingSquares(const grid::Dims& dims,
+                         const grid::UniformGeometry& geometry,
+                         const grid::DataArray& array,
+                         std::span<const double> isovalues);
+
+// Rectilinear (stretched-grid) variants. The z coordinate array must
+// hold exactly one entry (2D grids have nz == 1).
+PolyData MarchingSquares(const grid::Dims& dims,
+                         const grid::RectilinearGeometry& geometry,
+                         std::span<const float> values,
+                         std::span<const double> isovalues);
+PolyData MarchingSquares(const grid::Dims& dims,
+                         const grid::RectilinearGeometry& geometry,
+                         const grid::DataArray& array,
+                         std::span<const double> isovalues);
+
+}  // namespace vizndp::contour

@@ -1,0 +1,107 @@
+// Internal marching-cubes cell processor, shared by the full-data filter
+// (marching_cubes.cc) and the NDP post-filter's sparse reconstruction
+// (sparse_field.cc). Both paths must produce bit-identical geometry, so
+// all per-cell logic lives here exactly once.
+#pragma once
+
+#include <unordered_map>
+
+#include "contour/mc_tables.h"
+#include "contour/polydata.h"
+#include "grid/dims.h"
+
+namespace vizndp::contour::detail {
+
+// Inside/outside convention used across the library (and by the
+// pre-filter's edge classification): a point is inside iff value >= iso.
+template <typename T>
+bool Inside(T value, double iso) {
+  return static_cast<double>(value) >= iso;
+}
+
+template <typename T, typename Geo = grid::UniformGeometry>
+class CellProcessor {
+ public:
+  CellProcessor(const grid::Dims& dims, const Geo& geo, const T* values,
+                PolyData& out)
+      : dims_(dims), geo_(geo), values_(values), out_(out) {}
+
+  // Call before each isovalue pass: edge-vertex identity is per isovalue.
+  void BeginIsovalue(double iso) {
+    iso_ = iso;
+    edge_vertices_.clear();
+  }
+
+  // Emits triangles for the cell whose lowest corner is (i, j, k).
+  void ProcessCell(std::int64_t i, std::int64_t j, std::int64_t k) {
+    grid::PointId corner_ids[8];
+    T corner_values[8];
+    unsigned case_index = 0;
+    for (int c = 0; c < 8; ++c) {
+      const auto& off = kCornerOffsets[static_cast<size_t>(c)];
+      const grid::PointId id = dims_.Index(i + off[0], j + off[1], k + off[2]);
+      corner_ids[c] = id;
+      corner_values[c] = values_[id];
+      if (Inside(corner_values[c], iso_)) {
+        case_index |= 1u << c;
+      }
+    }
+    const std::uint16_t edge_mask = kMcEdgeTable[case_index];
+    if (edge_mask == 0) return;
+
+    PolyData::Index edge_point[12];
+    for (int e = 0; e < 12; ++e) {
+      if (edge_mask & (1u << e)) {
+        edge_point[e] = VertexOnEdge(e, corner_ids, corner_values);
+      }
+    }
+    const auto& tris = kMcTriTable[case_index];
+    for (int t = 0; tris[static_cast<size_t>(t)] != -1; t += 3) {
+      out_.AddTriangle(edge_point[tris[static_cast<size_t>(t)]],
+                       edge_point[tris[static_cast<size_t>(t + 1)]],
+                       edge_point[tris[static_cast<size_t>(t + 2)]]);
+    }
+  }
+
+ private:
+  PolyData::Index VertexOnEdge(int e, const grid::PointId* corner_ids,
+                               const T* corner_values) {
+    const int ca = kEdgeCorners[static_cast<size_t>(e)][0];
+    const int cb = kEdgeCorners[static_cast<size_t>(e)][1];
+    grid::PointId pa = corner_ids[ca];
+    grid::PointId pb = corner_ids[cb];
+    double va = static_cast<double>(corner_values[ca]);
+    double vb = static_cast<double>(corner_values[cb]);
+    if (pa > pb) {
+      std::swap(pa, pb);
+      std::swap(va, vb);
+    }
+    // Grid edges are axis-aligned; pb - pa is the stride of the axis.
+    const std::int64_t stride = pb - pa;
+    const int axis = stride == 1 ? 0 : (stride == dims_.nx ? 1 : 2);
+    const std::int64_t key = pa * 3 + axis;
+
+    const auto [it, inserted] = edge_vertices_.try_emplace(key, 0);
+    if (!inserted) return it->second;
+
+    // va != vb on a crossed edge (see Inside()), so t is well defined.
+    const double t = (iso_ - va) / (vb - va);
+    const auto a_pos = geo_.PointPosition(dims_, pa);
+    const auto b_pos = geo_.PointPosition(dims_, pb);
+    const Vec3 p{a_pos[0] + t * (b_pos[0] - a_pos[0]),
+                 a_pos[1] + t * (b_pos[1] - a_pos[1]),
+                 a_pos[2] + t * (b_pos[2] - a_pos[2])};
+    it->second = out_.AddPoint(p);
+    return it->second;
+  }
+
+  grid::Dims dims_;
+  const Geo& geo_;  // caller keeps the geometry alive
+  const T* values_;
+  PolyData& out_;
+  double iso_ = 0.0;
+  // Edge key (canonical point id * 3 + axis) -> output point index.
+  std::unordered_map<std::int64_t, PolyData::Index> edge_vertices_;
+};
+
+}  // namespace vizndp::contour::detail

@@ -1,0 +1,44 @@
+// Classic marching-cubes case tables (Lorensen & Cline, as tabulated by
+// P. Bourke). Corner and edge numbering:
+//
+//        7--------6           +----6----+
+//       /|       /|          /|        /|
+//      4--------5 |         7 11      5 10
+//      | |      | |        /  |      /  |
+//      | 3------|-2       +----4----+   |
+//      |/       |/        |   +---2-|---+
+//      0--------1         8  /      9  /
+//                          | 3       | 1
+//  corner i bit i in the   |/        |/
+//  case index; inside      +----0----+
+//  (value >= iso) sets it.
+//
+// Corner coordinates (x,y,z): 0:(0,0,0) 1:(1,0,0) 2:(1,1,0) 3:(0,1,0)
+//                             4:(0,0,1) 5:(1,0,1) 6:(1,1,1) 7:(0,1,1)
+// Edge e connects kEdgeCorners[e][0] and [1].
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vizndp::contour {
+
+// Bit e set: edge e carries an isosurface vertex for this case.
+extern const std::array<std::uint16_t, 256> kMcEdgeTable;
+
+// Up to 5 triangles per case as edge-index triples, -1 terminated.
+extern const std::array<std::array<std::int8_t, 16>, 256> kMcTriTable;
+
+inline constexpr std::array<std::array<std::uint8_t, 2>, 12> kEdgeCorners = {{
+    {0, 1}, {1, 2}, {2, 3}, {3, 0},
+    {4, 5}, {5, 6}, {6, 7}, {7, 4},
+    {0, 4}, {1, 5}, {2, 6}, {3, 7},
+}};
+
+// Corner offsets (dx, dy, dz) in cell-local coordinates.
+inline constexpr std::array<std::array<std::uint8_t, 3>, 8> kCornerOffsets = {{
+    {0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+    {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+}};
+
+}  // namespace vizndp::contour

@@ -1,0 +1,69 @@
+// Interesting-point selection — the data-reduction core of the paper's
+// pre-filter. A grid edge is "interesting" for isovalue v when one
+// endpoint is inside (value >= v) and the other outside; cells containing
+// at least one interesting edge are "mixed".
+//
+// We select every corner of every mixed cell. This is a superset of
+// "endpoints of interesting edges" (the paper's phrasing) by exactly the
+// corners whose inside/outside bit the client-side marching-cubes case
+// index still needs; selecting them makes the NDP contour *provably
+// identical* to the full-data contour: a cell reconstructs iff all its
+// corners arrived, and a cell with any missing corner is guaranteed
+// non-mixed (mixed ⇒ all corners selected), so skipping it is exact.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/data_array.h"
+#include "grid/dims.h"
+
+namespace vizndp::contour {
+
+struct Selection {
+  grid::Dims dims;
+  std::vector<grid::PointId> ids;  // sorted ascending, unique
+  grid::DataArray values;          // values[i] is the field value at ids[i]
+  std::int64_t total_points = 0;
+
+  // Fraction of points selected, in [0, 1].
+  double Selectivity() const {
+    return total_points == 0
+               ? 0.0
+               : static_cast<double>(ids.size()) /
+                     static_cast<double>(total_points);
+  }
+
+  // Paper's Fig. 6 unit: permillage (parts per thousand).
+  double SelectivityPermille() const { return 1000.0 * Selectivity(); }
+
+  // Bytes of payload (ids + values) before any wire encoding.
+  std::uint64_t PayloadBytes() const {
+    return ids.size() * sizeof(grid::PointId) +
+           static_cast<std::uint64_t>(values.byte_size());
+  }
+};
+
+// Works for 3D grids and 2D grids (nz == 1); multi-isovalue: a point is
+// selected when it is interesting for *any* of the isovalues.
+Selection SelectInterestingPoints(const grid::Dims& dims,
+                                  const grid::DataArray& array,
+                                  std::span<const double> isovalues);
+
+// Count-only variant (no value materialization); used by selectivity
+// sweeps such as the Fig. 6 reproduction.
+std::int64_t CountInterestingPoints(const grid::Dims& dims,
+                                    const grid::DataArray& array,
+                                    std::span<const double> isovalues);
+
+// Thread-parallel variant for multi-core storage nodes: the cell scan is
+// partitioned into k-slabs (z-contiguous, so slab marks only overlap on
+// one shared point plane, which is idempotent). Result is identical to
+// the serial version. `threads` <= 1 or a 2D grid falls back to serial;
+// 0 means hardware_concurrency().
+Selection SelectInterestingPointsParallel(const grid::Dims& dims,
+                                          const grid::DataArray& array,
+                                          std::span<const double> isovalues,
+                                          int threads = 0);
+
+}  // namespace vizndp::contour

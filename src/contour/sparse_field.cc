@@ -1,0 +1,173 @@
+#include "contour/sparse_field.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "contour/mc_core.h"
+#include "contour/ms_core.h"
+
+namespace vizndp::contour {
+
+SparseField::SparseField(grid::Dims dims, grid::DataType type)
+    : dims_(dims),
+      type_(type),
+      values_(static_cast<size_t>(dims.PointCount()) * grid::DataTypeSize(type)),
+      valid_((static_cast<size_t>(dims.PointCount()) + 63) / 64, 0) {}
+
+void SparseField::Scatter(std::span<const grid::PointId> ids,
+                          const grid::DataArray& values) {
+  VIZNDP_CHECK_MSG(values.type() == type_, "scatter value type mismatch");
+  VIZNDP_CHECK_MSG(static_cast<std::int64_t>(ids.size()) == values.size(),
+                   "ids/values length mismatch");
+  const size_t elem = grid::DataTypeSize(type_);
+  const ByteSpan raw = values.raw();
+  scattered_ids_.reserve(scattered_ids_.size() + ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const grid::PointId id = ids[i];
+    VIZNDP_CHECK_MSG(id >= 0 && id < dims_.PointCount(),
+                     "scatter id out of range");
+    // Scatter is on the NDP client's critical path; 4-byte elements (the
+    // common case) take the direct-store fast path.
+    if (elem == 4) {
+      std::uint32_t word32;
+      std::memcpy(&word32, raw.data() + i * 4, 4);
+      std::memcpy(values_.data() + static_cast<size_t>(id) * 4, &word32, 4);
+    } else {
+      std::memcpy(values_.data() + static_cast<size_t>(id) * elem,
+                  raw.data() + i * elem, elem);
+    }
+    auto& word = valid_[static_cast<size_t>(id >> 6)];
+    const std::uint64_t bit = 1ull << (static_cast<size_t>(id) & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      ++valid_count_;
+      scattered_ids_.push_back(id);
+    }
+  }
+}
+
+SparseField SparseField::FromSelection(const Selection& selection,
+                                       grid::DataType type) {
+  SparseField field(selection.dims, type);
+  field.Scatter(selection.ids, selection.values);
+  return field;
+}
+
+std::vector<std::int64_t> SparseField::CompleteCells() const {
+  // Candidate cells are those touching at least one scattered point; of
+  // these keep the ones with all corners valid. Cost is O(valid points),
+  // not O(grid) — the client never scans the full volume.
+  const bool flat = dims_.Is2D();
+  const std::int64_t cx = dims_.nx - 1;
+  const std::int64_t cy = dims_.ny - 1;
+  const std::int64_t cz = flat ? 1 : dims_.nz - 1;
+  VIZNDP_CHECK_MSG(cx > 0 && cy > 0 && cz > 0,
+                   "sparse contour needs at least a 2x2 grid");
+
+  std::vector<std::int64_t> candidates;
+  candidates.reserve(scattered_ids_.size());
+  for (const grid::PointId id : scattered_ids_) {
+    const auto [i, j, k] = dims_.Coords(id);
+    for (int dk = flat ? 0 : -1; dk <= 0; ++dk) {
+      for (int dj = -1; dj <= 0; ++dj) {
+        for (int di = -1; di <= 0; ++di) {
+          const std::int64_t ci = i + di;
+          const std::int64_t cj = j + dj;
+          const std::int64_t ck = k + dk;
+          if (ci < 0 || ci >= cx || cj < 0 || cj >= cy || ck < 0 || ck >= cz) {
+            continue;
+          }
+          candidates.push_back(ci + cx * (cj + cy * ck));
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<std::int64_t> complete;
+  complete.reserve(candidates.size());
+  for (const std::int64_t cell : candidates) {
+    const std::int64_t ci = cell % cx;
+    const std::int64_t cj = (cell / cx) % cy;
+    const std::int64_t ck = cell / (cx * cy);
+    bool all_valid = true;
+    if (flat) {
+      const std::int64_t corners[4] = {
+          dims_.Index(ci, cj), dims_.Index(ci + 1, cj),
+          dims_.Index(ci + 1, cj + 1), dims_.Index(ci, cj + 1)};
+      for (const std::int64_t corner : corners) {
+        if (!IsValid(corner)) {
+          all_valid = false;
+          break;
+        }
+      }
+    } else {
+      for (const auto& off : kCornerOffsets) {
+        if (!IsValid(dims_.Index(ci + off[0], cj + off[1], ck + off[2]))) {
+          all_valid = false;
+          break;
+        }
+      }
+    }
+    if (all_valid) complete.push_back(cell);
+  }
+  return complete;
+}
+
+template <typename T, typename Geo>
+PolyData SparseField::ContourT(const Geo& geometry,
+                               std::span<const double> isovalues) const {
+  PolyData out;
+  const T* values = reinterpret_cast<const T*>(values_.data());
+  const std::vector<std::int64_t> cells = CompleteCells();
+  const std::int64_t cx = dims_.nx - 1;
+  const std::int64_t cy = dims_.ny - 1;
+  if (dims_.Is2D()) {
+    detail::SquareCellProcessor<T, Geo> processor(dims_, geometry, values, out);
+    for (const double iso : isovalues) {
+      processor.BeginIsovalue(iso);
+      for (const std::int64_t cell : cells) {
+        processor.ProcessCell(cell % cx, cell / cx);
+      }
+    }
+    return out;
+  }
+  detail::CellProcessor<T, Geo> processor(dims_, geometry, values, out);
+  for (const double iso : isovalues) {
+    processor.BeginIsovalue(iso);
+    for (const std::int64_t cell : cells) {
+      processor.ProcessCell(cell % cx, (cell / cx) % cy, cell / (cx * cy));
+    }
+  }
+  return out;
+}
+
+PolyData SparseField::Contour(const grid::UniformGeometry& geometry,
+                              std::span<const double> isovalues) const {
+  switch (type_) {
+    case grid::DataType::Float32:
+      return ContourT<float>(geometry, isovalues);
+    case grid::DataType::Float64:
+      return ContourT<double>(geometry, isovalues);
+    default:
+      throw Error("sparse contour requires a floating-point field");
+  }
+}
+
+PolyData SparseField::Contour(const grid::RectilinearGeometry& geometry,
+                              std::span<const double> isovalues) const {
+  geometry.Validate(dims_);
+  switch (type_) {
+    case grid::DataType::Float32:
+      return ContourT<float>(geometry, isovalues);
+    case grid::DataType::Float64:
+      return ContourT<double>(geometry, isovalues);
+    default:
+      throw Error("sparse contour requires a floating-point field");
+  }
+}
+
+}  // namespace vizndp::contour

@@ -1,0 +1,99 @@
+#include "grid/data_array.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vizndp::grid {
+
+size_t DataTypeSize(DataType t) {
+  switch (t) {
+    case DataType::Float32: return 4;
+    case DataType::Float64: return 8;
+    case DataType::Int32: return 4;
+    case DataType::Int64: return 8;
+    case DataType::UInt8: return 1;
+  }
+  throw Error("unknown DataType");
+}
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::Float32: return "float32";
+    case DataType::Float64: return "float64";
+    case DataType::Int32: return "int32";
+    case DataType::Int64: return "int64";
+    case DataType::UInt8: return "uint8";
+  }
+  throw Error("unknown DataType");
+}
+
+DataType DataTypeFromName(const std::string& name) {
+  if (name == "float32") return DataType::Float32;
+  if (name == "float64") return DataType::Float64;
+  if (name == "int32") return DataType::Int32;
+  if (name == "int64") return DataType::Int64;
+  if (name == "uint8") return DataType::UInt8;
+  throw Error("unknown data type name: " + name);
+}
+
+DataArray::DataArray(std::string name, DataType type, std::int64_t count)
+    : name_(std::move(name)),
+      type_(type),
+      raw_(static_cast<size_t>(count) * DataTypeSize(type), 0) {
+  VIZNDP_CHECK(count >= 0);
+}
+
+DataArray::DataArray(std::string name, DataType type, Bytes raw)
+    : name_(std::move(name)), type_(type), raw_(std::move(raw)) {
+  VIZNDP_CHECK_MSG(raw_.size() % DataTypeSize(type_) == 0,
+                   "raw buffer size not a multiple of element size");
+}
+
+double DataArray::ValueAsDouble(std::int64_t i) const {
+  VIZNDP_CHECK(i >= 0 && i < size());
+  switch (type_) {
+    case DataType::Float32:
+      return View<float>()[static_cast<size_t>(i)];
+    case DataType::Float64:
+      return View<double>()[static_cast<size_t>(i)];
+    case DataType::Int32:
+      return View<std::int32_t>()[static_cast<size_t>(i)];
+    case DataType::Int64:
+      return static_cast<double>(View<std::int64_t>()[static_cast<size_t>(i)]);
+    case DataType::UInt8:
+      return View<std::uint8_t>()[static_cast<size_t>(i)];
+  }
+  throw Error("unknown DataType");
+}
+
+namespace {
+
+template <typename T>
+std::pair<double, double> RangeOf(std::span<const T> v) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const T x : v) {
+    const double d = static_cast<double>(x);
+    if (std::isnan(d)) continue;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  if (lo > hi) return {0.0, 0.0};
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::pair<double, double> DataArray::Range() const {
+  if (size() == 0) return {0.0, 0.0};
+  switch (type_) {
+    case DataType::Float32: return RangeOf(View<float>());
+    case DataType::Float64: return RangeOf(View<double>());
+    case DataType::Int32: return RangeOf(View<std::int32_t>());
+    case DataType::Int64: return RangeOf(View<std::int64_t>());
+    case DataType::UInt8: return RangeOf(View<std::uint8_t>());
+  }
+  throw Error("unknown DataType");
+}
+
+}  // namespace vizndp::grid

@@ -1,0 +1,104 @@
+// A named, typed data array — the unit the paper's pipelines read,
+// compress, select, and transfer (e.g. `v02`, `v03`, `baryon_density`).
+//
+// Storage is a raw little-endian byte buffer plus a type tag, which makes
+// arrays cheap to hand to codecs and transports without per-element
+// conversion; typed views are exposed through span accessors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace vizndp::grid {
+
+enum class DataType : std::uint8_t {
+  Float32 = 0,
+  Float64 = 1,
+  Int32 = 2,
+  Int64 = 3,
+  UInt8 = 4,
+};
+
+size_t DataTypeSize(DataType t);
+const char* DataTypeName(DataType t);
+DataType DataTypeFromName(const std::string& name);
+
+template <typename T>
+constexpr DataType DataTypeOf();
+template <>
+constexpr DataType DataTypeOf<float>() { return DataType::Float32; }
+template <>
+constexpr DataType DataTypeOf<double>() { return DataType::Float64; }
+template <>
+constexpr DataType DataTypeOf<std::int32_t>() { return DataType::Int32; }
+template <>
+constexpr DataType DataTypeOf<std::int64_t>() { return DataType::Int64; }
+template <>
+constexpr DataType DataTypeOf<std::uint8_t>() { return DataType::UInt8; }
+
+class DataArray {
+ public:
+  DataArray() = default;
+  DataArray(std::string name, DataType type, std::int64_t count);
+  DataArray(std::string name, DataType type, Bytes raw);
+
+  template <typename T>
+  static DataArray FromVector(std::string name, std::vector<T> values) {
+    DataArray a;
+    a.name_ = std::move(name);
+    a.type_ = DataTypeOf<T>();
+    const auto bytes = AsBytes(std::span<const T>(values));
+    a.raw_.assign(bytes.begin(), bytes.end());
+    return a;
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  DataType type() const { return type_; }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(raw_.size() / DataTypeSize(type_));
+  }
+  std::int64_t byte_size() const { return static_cast<std::int64_t>(raw_.size()); }
+
+  ByteSpan raw() const { return raw_; }
+  Bytes& mutable_raw() { return raw_; }
+
+  // Typed element views. The requested type must match `type()` exactly.
+  template <typename T>
+  std::span<const T> View() const {
+    VIZNDP_CHECK_MSG(type_ == DataTypeOf<T>(),
+                     "type mismatch on array '" + name_ + "'");
+    return std::span<const T>(reinterpret_cast<const T*>(raw_.data()),
+                              raw_.size() / sizeof(T));
+  }
+
+  template <typename T>
+  std::span<T> MutableView() {
+    VIZNDP_CHECK_MSG(type_ == DataTypeOf<T>(),
+                     "type mismatch on array '" + name_ + "'");
+    return std::span<T>(reinterpret_cast<T*>(raw_.data()),
+                        raw_.size() / sizeof(T));
+  }
+
+  // Element read with conversion to double, for type-generic consumers
+  // such as statistics and the ASCII writer. Slower than View<T>().
+  double ValueAsDouble(std::int64_t i) const;
+
+  // Min/max over all elements (NaNs are ignored; returns {0,0} when empty).
+  std::pair<double, double> Range() const;
+
+  bool operator==(const DataArray& other) const {
+    return name_ == other.name_ && type_ == other.type_ && raw_ == other.raw_;
+  }
+
+ private:
+  std::string name_;
+  DataType type_ = DataType::Float32;
+  Bytes raw_;
+};
+
+}  // namespace vizndp::grid

@@ -1,0 +1,66 @@
+#include "grid/dataset.h"
+
+#include <algorithm>
+
+namespace vizndp::grid {
+
+DataArray& Dataset::AddArray(DataArray array) {
+  VIZNDP_CHECK_MSG(array.size() == dims_.PointCount(),
+                   "array '" + array.name() + "' has " +
+                       std::to_string(array.size()) + " elements, grid has " +
+                       std::to_string(dims_.PointCount()) + " points");
+  VIZNDP_CHECK_MSG(FindArray(array.name()) == nullptr,
+                   "duplicate array name '" + array.name() + "'");
+  arrays_.push_back(std::move(array));
+  return arrays_.back();
+}
+
+const DataArray& Dataset::ArrayAt(size_t i) const {
+  VIZNDP_CHECK(i < arrays_.size());
+  return arrays_[i];
+}
+
+const DataArray* Dataset::FindArray(const std::string& name) const {
+  for (const auto& a : arrays_) {
+    if (a.name() == name) return &a;
+  }
+  return nullptr;
+}
+
+DataArray* Dataset::FindArray(const std::string& name) {
+  for (auto& a : arrays_) {
+    if (a.name() == name) return &a;
+  }
+  return nullptr;
+}
+
+const DataArray& Dataset::GetArray(const std::string& name) const {
+  const DataArray* a = FindArray(name);
+  VIZNDP_CHECK_MSG(a != nullptr, "no array named '" + name + "'");
+  return *a;
+}
+
+bool Dataset::RemoveArray(const std::string& name) {
+  const auto it = std::find_if(arrays_.begin(), arrays_.end(),
+                               [&](const DataArray& a) { return a.name() == name; });
+  if (it == arrays_.end()) return false;
+  arrays_.erase(it);
+  return true;
+}
+
+std::vector<std::string> Dataset::ArrayNames() const {
+  std::vector<std::string> names;
+  names.reserve(arrays_.size());
+  for (const auto& a : arrays_) names.push_back(a.name());
+  return names;
+}
+
+Dataset Dataset::Select(const std::vector<std::string>& names) const {
+  Dataset out(dims_, geometry_);
+  for (const auto& name : names) {
+    out.AddArray(GetArray(name));
+  }
+  return out;
+}
+
+}  // namespace vizndp::grid

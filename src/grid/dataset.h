@@ -1,0 +1,58 @@
+// A timestep's worth of simulation output: one uniform grid plus any
+// number of named point-data arrays (the paper's xRage files carry 11).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/data_array.h"
+#include "grid/dims.h"
+
+namespace vizndp::grid {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Dims dims, UniformGeometry geometry = {})
+      : dims_(dims), geometry_(geometry) {}
+
+  const Dims& dims() const { return dims_; }
+  const UniformGeometry& geometry() const { return geometry_; }
+  void set_geometry(const UniformGeometry& g) { geometry_ = g; }
+
+  // Adds an array; its element count must equal dims().PointCount().
+  // Returns a reference to the stored array.
+  DataArray& AddArray(DataArray array);
+
+  size_t ArrayCount() const { return arrays_.size(); }
+  const DataArray& ArrayAt(size_t i) const;
+
+  // nullptr when absent.
+  const DataArray* FindArray(const std::string& name) const;
+  DataArray* FindArray(const std::string& name);
+
+  // Throws when absent.
+  const DataArray& GetArray(const std::string& name) const;
+
+  bool RemoveArray(const std::string& name);
+
+  std::vector<std::string> ArrayNames() const;
+
+  // The paper's "data array selection": a copy of this dataset containing
+  // only the named arrays (every name must exist).
+  Dataset Select(const std::vector<std::string>& names) const;
+
+  bool operator==(const Dataset& other) const {
+    return dims_ == other.dims_ && geometry_ == other.geometry_ &&
+           arrays_ == other.arrays_;
+  }
+
+ private:
+  Dims dims_;
+  UniformGeometry geometry_;
+  std::vector<DataArray> arrays_;
+};
+
+}  // namespace vizndp::grid

@@ -1,0 +1,13 @@
+#include "grid/dims.h"
+
+#include <sstream>
+
+namespace vizndp::grid {
+
+std::string Dims::ToString() const {
+  std::ostringstream os;
+  os << nx << "x" << ny << "x" << nz;
+  return os.str();
+}
+
+}  // namespace vizndp::grid

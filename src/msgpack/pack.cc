@@ -1,0 +1,182 @@
+#include "msgpack/pack.h"
+
+namespace vizndp::msgpack {
+
+void Packer::PackNil() { PutByte(0xC0); }
+
+void Packer::PackBool(bool b) { PutByte(b ? 0xC3 : 0xC2); }
+
+void Packer::PackUint(std::uint64_t u) {
+  if (u <= 0x7F) {
+    PutByte(static_cast<Byte>(u));
+  } else if (u <= 0xFF) {
+    PutByte(0xCC);
+    PutByte(static_cast<Byte>(u));
+  } else if (u <= 0xFFFF) {
+    PutByte(0xCD);
+    PutBE<std::uint16_t>(static_cast<std::uint16_t>(u));
+  } else if (u <= 0xFFFFFFFFull) {
+    PutByte(0xCE);
+    PutBE<std::uint32_t>(static_cast<std::uint32_t>(u));
+  } else {
+    PutByte(0xCF);
+    PutBE<std::uint64_t>(u);
+  }
+}
+
+void Packer::PackInt(std::int64_t i) {
+  if (i >= 0) {
+    PackUint(static_cast<std::uint64_t>(i));
+    return;
+  }
+  if (i >= -32) {
+    PutByte(static_cast<Byte>(i));  // negative fixint
+  } else if (i >= -128) {
+    PutByte(0xD0);
+    PutByte(static_cast<Byte>(i));
+  } else if (i >= -32768) {
+    PutByte(0xD1);
+    PutBE<std::uint16_t>(static_cast<std::uint16_t>(i));
+  } else if (i >= -2147483648LL) {
+    PutByte(0xD2);
+    PutBE<std::uint32_t>(static_cast<std::uint32_t>(i));
+  } else {
+    PutByte(0xD3);
+    PutBE<std::uint64_t>(static_cast<std::uint64_t>(i));
+  }
+}
+
+void Packer::PackFloat(float f) {
+  PutByte(0xCA);
+  PutBE<std::uint32_t>(std::bit_cast<std::uint32_t>(f));
+}
+
+void Packer::PackDouble(double d) {
+  PutByte(0xCB);
+  PutBE<std::uint64_t>(std::bit_cast<std::uint64_t>(d));
+}
+
+void Packer::PackStr(std::string_view s) {
+  const size_t n = s.size();
+  if (n <= 31) {
+    PutByte(static_cast<Byte>(0xA0 | n));
+  } else if (n <= 0xFF) {
+    PutByte(0xD9);
+    PutByte(static_cast<Byte>(n));
+  } else if (n <= 0xFFFF) {
+    PutByte(0xDA);
+    PutBE<std::uint16_t>(static_cast<std::uint16_t>(n));
+  } else {
+    VIZNDP_CHECK(n <= 0xFFFFFFFFull);
+    PutByte(0xDB);
+    PutBE<std::uint32_t>(static_cast<std::uint32_t>(n));
+  }
+  const auto bytes = AsBytes(s);
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void Packer::PackBin(ByteSpan data) {
+  const size_t n = data.size();
+  if (n <= 0xFF) {
+    PutByte(0xC4);
+    PutByte(static_cast<Byte>(n));
+  } else if (n <= 0xFFFF) {
+    PutByte(0xC5);
+    PutBE<std::uint16_t>(static_cast<std::uint16_t>(n));
+  } else {
+    VIZNDP_CHECK(n <= 0xFFFFFFFFull);
+    PutByte(0xC6);
+    PutBE<std::uint32_t>(static_cast<std::uint32_t>(n));
+  }
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Packer::PackExt(std::int8_t type, ByteSpan data) {
+  const size_t n = data.size();
+  switch (n) {
+    case 1: PutByte(0xD4); break;
+    case 2: PutByte(0xD5); break;
+    case 4: PutByte(0xD6); break;
+    case 8: PutByte(0xD7); break;
+    case 16: PutByte(0xD8); break;
+    default:
+      if (n <= 0xFF) {
+        PutByte(0xC7);
+        PutByte(static_cast<Byte>(n));
+      } else if (n <= 0xFFFF) {
+        PutByte(0xC8);
+        PutBE<std::uint16_t>(static_cast<std::uint16_t>(n));
+      } else {
+        VIZNDP_CHECK(n <= 0xFFFFFFFFull);
+        PutByte(0xC9);
+        PutBE<std::uint32_t>(static_cast<std::uint32_t>(n));
+      }
+  }
+  PutByte(static_cast<Byte>(type));
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Packer::PackArrayHeader(std::uint32_t count) {
+  if (count <= 15) {
+    PutByte(static_cast<Byte>(0x90 | count));
+  } else if (count <= 0xFFFF) {
+    PutByte(0xDC);
+    PutBE<std::uint16_t>(static_cast<std::uint16_t>(count));
+  } else {
+    PutByte(0xDD);
+    PutBE<std::uint32_t>(count);
+  }
+}
+
+void Packer::PackMapHeader(std::uint32_t count) {
+  if (count <= 15) {
+    PutByte(static_cast<Byte>(0x80 | count));
+  } else if (count <= 0xFFFF) {
+    PutByte(0xDE);
+    PutBE<std::uint16_t>(static_cast<std::uint16_t>(count));
+  } else {
+    PutByte(0xDF);
+    PutBE<std::uint32_t>(count);
+  }
+}
+
+namespace {
+
+struct ValuePacker {
+  Packer& p;
+
+  void operator()(const Nil&) { p.PackNil(); }
+  void operator()(bool b) { p.PackBool(b); }
+  void operator()(std::int64_t i) { p.PackInt(i); }
+  void operator()(std::uint64_t u) { p.PackUint(u); }
+  void operator()(double d) { p.PackDouble(d); }
+  void operator()(const std::string& s) { p.PackStr(s); }
+  void operator()(const Bytes& b) { p.PackBin(b); }
+  void operator()(const Array& a) {
+    p.PackArrayHeader(static_cast<std::uint32_t>(a.size()));
+    for (const Value& v : a) p.PackValue(v);
+  }
+  void operator()(const Map& m) {
+    p.PackMapHeader(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      p.PackValue(k);
+      p.PackValue(v);
+    }
+  }
+  void operator()(const Ext& e) { p.PackExt(e.type, e.data); }
+};
+
+}  // namespace
+
+void Packer::PackValue(const Value& v) {
+  std::visit(ValuePacker{*this}, v.storage());
+}
+
+Bytes Encode(const Value& v) {
+  Bytes out;
+  Packer p(out);
+  p.PackValue(v);
+  return out;
+}
+
+}  // namespace vizndp::msgpack

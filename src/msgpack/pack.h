@@ -1,0 +1,54 @@
+// MessagePack encoder. Two layers:
+//  * Packer — streaming writer used by the RPC hot path (packs directly
+//    into a growing buffer, picking the minimal wire format per value);
+//  * Encode(Value) — convenience encoding of the dynamic value model.
+// MessagePack is big-endian on the wire.
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <string_view>
+
+#include "msgpack/value.h"
+
+namespace vizndp::msgpack {
+
+class Packer {
+ public:
+  explicit Packer(Bytes& out) : out_(out) {}
+
+  void PackNil();
+  void PackBool(bool b);
+  void PackInt(std::int64_t i);
+  void PackUint(std::uint64_t u);
+  void PackFloat(float f);
+  void PackDouble(double d);
+  void PackStr(std::string_view s);
+  void PackBin(ByteSpan data);
+  void PackExt(std::int8_t type, ByteSpan data);
+
+  // Container headers: callers then pack exactly `count` elements
+  // (or key/value pairs for maps).
+  void PackArrayHeader(std::uint32_t count);
+  void PackMapHeader(std::uint32_t count);
+
+  void PackValue(const Value& v);
+
+ private:
+  void PutByte(Byte b) { out_.push_back(b); }
+  template <typename T>
+  void PutBE(T v) {
+    static_assert(std::is_integral_v<T>);
+    for (int i = static_cast<int>(sizeof(T)) - 1; i >= 0; --i) {
+      out_.push_back(static_cast<Byte>(
+          static_cast<std::make_unsigned_t<T>>(v) >> (8 * i)));
+    }
+  }
+
+  Bytes& out_;
+};
+
+// One-shot encoding of a Value tree.
+Bytes Encode(const Value& v);
+
+}  // namespace vizndp::msgpack

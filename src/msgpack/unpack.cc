@@ -1,0 +1,209 @@
+#include "msgpack/unpack.h"
+
+#include <bit>
+
+namespace vizndp::msgpack {
+
+Byte Unpacker::PeekByte() const {
+  if (pos_ >= data_.size()) throw DecodeError("msgpack input truncated");
+  return data_[pos_];
+}
+
+Byte Unpacker::TakeByte() {
+  const Byte b = PeekByte();
+  ++pos_;
+  return b;
+}
+
+template <typename T>
+T Unpacker::TakeBE() {
+  if (pos_ + sizeof(T) > data_.size()) {
+    throw DecodeError("msgpack input truncated");
+  }
+  std::make_unsigned_t<T> v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v = (v << 8) | data_[pos_ + i];
+  }
+  pos_ += sizeof(T);
+  return static_cast<T>(v);
+}
+
+ByteSpan Unpacker::TakeBytes(size_t n) {
+  if (pos_ + n > data_.size()) throw DecodeError("msgpack input truncated");
+  const ByteSpan s = data_.subspan(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+std::uint64_t Unpacker::NextUint() {
+  const Value v = Next();
+  return v.AsUint();
+}
+
+std::int64_t Unpacker::NextInt() {
+  const Value v = Next();
+  return v.AsInt();
+}
+
+double Unpacker::NextDouble() {
+  const Value v = Next();
+  return v.AsDouble();
+}
+
+bool Unpacker::NextBool() {
+  const Value v = Next();
+  return v.As<bool>();
+}
+
+std::string Unpacker::NextStr() {
+  Value v = Next();
+  return v.As<std::string>();
+}
+
+Bytes Unpacker::NextBin() {
+  const ByteSpan view = NextBinView();
+  return Bytes(view.begin(), view.end());
+}
+
+ByteSpan Unpacker::NextBinView() {
+  const Byte tag = TakeByte();
+  size_t n = 0;
+  switch (tag) {
+    case 0xC4: n = TakeByte(); break;
+    case 0xC5: n = TakeBE<std::uint16_t>(); break;
+    case 0xC6: n = TakeBE<std::uint32_t>(); break;
+    default:
+      throw DecodeError("expected msgpack bin, got tag " + std::to_string(tag));
+  }
+  return TakeBytes(n);
+}
+
+std::uint32_t Unpacker::NextArrayHeader() {
+  const Byte tag = TakeByte();
+  if ((tag & 0xF0) == 0x90) return tag & 0x0F;
+  if (tag == 0xDC) return TakeBE<std::uint16_t>();
+  if (tag == 0xDD) return TakeBE<std::uint32_t>();
+  throw DecodeError("expected msgpack array, got tag " + std::to_string(tag));
+}
+
+std::uint32_t Unpacker::NextMapHeader() {
+  const Byte tag = TakeByte();
+  if ((tag & 0xF0) == 0x80) return tag & 0x0F;
+  if (tag == 0xDE) return TakeBE<std::uint16_t>();
+  if (tag == 0xDF) return TakeBE<std::uint32_t>();
+  throw DecodeError("expected msgpack map, got tag " + std::to_string(tag));
+}
+
+Value Unpacker::Next() {
+  const Byte tag = TakeByte();
+
+  // Fix formats.
+  if (tag <= 0x7F) return Value(static_cast<std::int64_t>(tag));
+  if (tag >= 0xE0) return Value(static_cast<std::int64_t>(static_cast<std::int8_t>(tag)));
+  if ((tag & 0xF0) == 0x80) {  // fixmap
+    const size_t n = tag & 0x0F;
+    Map m;
+    m.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Value k = Next();
+      Value v = Next();
+      m.emplace_back(std::move(k), std::move(v));
+    }
+    return Value(std::move(m));
+  }
+  if ((tag & 0xF0) == 0x90) {  // fixarray
+    const size_t n = tag & 0x0F;
+    Array a;
+    a.reserve(n);
+    for (size_t i = 0; i < n; ++i) a.push_back(Next());
+    return Value(std::move(a));
+  }
+  if ((tag & 0xE0) == 0xA0) {  // fixstr
+    const ByteSpan s = TakeBytes(tag & 0x1F);
+    return Value(std::string(AsStringView(s)));
+  }
+
+  switch (tag) {
+    case 0xC0: return Value(Nil{});
+    case 0xC1: throw DecodeError("msgpack tag 0xC1 is never used");
+    case 0xC2: return Value(false);
+    case 0xC3: return Value(true);
+    case 0xC4: case 0xC5: case 0xC6: {
+      size_t n;
+      if (tag == 0xC4) n = TakeByte();
+      else if (tag == 0xC5) n = TakeBE<std::uint16_t>();
+      else n = TakeBE<std::uint32_t>();
+      const ByteSpan s = TakeBytes(n);
+      return Value(Bytes(s.begin(), s.end()));
+    }
+    case 0xC7: case 0xC8: case 0xC9: {
+      size_t n;
+      if (tag == 0xC7) n = TakeByte();
+      else if (tag == 0xC8) n = TakeBE<std::uint16_t>();
+      else n = TakeBE<std::uint32_t>();
+      const auto type = static_cast<std::int8_t>(TakeByte());
+      const ByteSpan s = TakeBytes(n);
+      return Value(Ext{type, Bytes(s.begin(), s.end())});
+    }
+    case 0xCA:
+      return Value(static_cast<double>(
+          std::bit_cast<float>(TakeBE<std::uint32_t>())));
+    case 0xCB:
+      return Value(std::bit_cast<double>(TakeBE<std::uint64_t>()));
+    case 0xCC: return Value(static_cast<std::uint64_t>(TakeByte()));
+    case 0xCD: return Value(static_cast<std::uint64_t>(TakeBE<std::uint16_t>()));
+    case 0xCE: return Value(static_cast<std::uint64_t>(TakeBE<std::uint32_t>()));
+    case 0xCF: return Value(TakeBE<std::uint64_t>());
+    case 0xD0: return Value(static_cast<std::int64_t>(static_cast<std::int8_t>(TakeByte())));
+    case 0xD1: return Value(static_cast<std::int64_t>(static_cast<std::int16_t>(TakeBE<std::uint16_t>())));
+    case 0xD2: return Value(static_cast<std::int64_t>(static_cast<std::int32_t>(TakeBE<std::uint32_t>())));
+    case 0xD3: return Value(static_cast<std::int64_t>(TakeBE<std::uint64_t>()));
+    case 0xD4: case 0xD5: case 0xD6: case 0xD7: case 0xD8: {
+      const size_t n = size_t{1} << (tag - 0xD4);
+      const auto type = static_cast<std::int8_t>(TakeByte());
+      const ByteSpan s = TakeBytes(n);
+      return Value(Ext{type, Bytes(s.begin(), s.end())});
+    }
+    case 0xD9: case 0xDA: case 0xDB: {
+      size_t n;
+      if (tag == 0xD9) n = TakeByte();
+      else if (tag == 0xDA) n = TakeBE<std::uint16_t>();
+      else n = TakeBE<std::uint32_t>();
+      const ByteSpan s = TakeBytes(n);
+      return Value(std::string(AsStringView(s)));
+    }
+    case 0xDC: case 0xDD: {
+      const size_t n = (tag == 0xDC) ? TakeBE<std::uint16_t>()
+                                     : TakeBE<std::uint32_t>();
+      Array a;
+      a.reserve(std::min<size_t>(n, 1 << 20));
+      for (size_t i = 0; i < n; ++i) a.push_back(Next());
+      return Value(std::move(a));
+    }
+    case 0xDE: case 0xDF: {
+      const size_t n = (tag == 0xDE) ? TakeBE<std::uint16_t>()
+                                     : TakeBE<std::uint32_t>();
+      Map m;
+      m.reserve(std::min<size_t>(n, 1 << 20));
+      for (size_t i = 0; i < n; ++i) {
+        Value k = Next();
+        Value v = Next();
+        m.emplace_back(std::move(k), std::move(v));
+      }
+      return Value(std::move(m));
+    }
+    default:
+      throw DecodeError("unhandled msgpack tag " + std::to_string(tag));
+  }
+}
+
+Value Decode(ByteSpan data) {
+  Unpacker u(data);
+  Value v = u.Next();
+  if (!u.AtEnd()) {
+    throw DecodeError("trailing bytes after msgpack value");
+  }
+  return v;
+}
+
+}  // namespace vizndp::msgpack

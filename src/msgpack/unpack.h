@@ -1,0 +1,48 @@
+// MessagePack decoder: streaming Unpacker plus one-shot Decode(Value).
+// Throws DecodeError on malformed or truncated input.
+#pragma once
+
+#include <string_view>
+
+#include "msgpack/value.h"
+
+namespace vizndp::msgpack {
+
+class Unpacker {
+ public:
+  explicit Unpacker(ByteSpan data) : data_(data) {}
+
+  // Decodes the next complete value (recursively for containers).
+  Value Next();
+
+  // Typed helpers for protocol code that knows the expected shape; each
+  // throws DecodeError when the next value has a different type.
+  std::uint64_t NextUint();
+  std::int64_t NextInt();
+  double NextDouble();
+  bool NextBool();
+  std::string NextStr();
+  Bytes NextBin();
+  // Zero-copy view of the next bin payload (valid while the input lives).
+  ByteSpan NextBinView();
+  std::uint32_t NextArrayHeader();
+  std::uint32_t NextMapHeader();
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  Byte PeekByte() const;
+  Byte TakeByte();
+  template <typename T>
+  T TakeBE();
+  ByteSpan TakeBytes(size_t n);
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+// Decodes exactly one value; trailing bytes are an error.
+Value Decode(ByteSpan data);
+
+}  // namespace vizndp::msgpack

@@ -1,0 +1,104 @@
+#include "msgpack/value.h"
+
+#include <sstream>
+
+namespace vizndp::msgpack {
+
+std::int64_t Value::AsInt() const {
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&v_)) {
+    VIZNDP_CHECK_MSG(*u <= static_cast<std::uint64_t>(INT64_MAX),
+                     "unsigned value too large for int64");
+    return static_cast<std::int64_t>(*u);
+  }
+  throw Error("msgpack value is not an integer");
+}
+
+std::uint64_t Value::AsUint() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&v_)) return *u;
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) {
+    VIZNDP_CHECK_MSG(*i >= 0, "negative value is not unsigned");
+    return static_cast<std::uint64_t>(*i);
+  }
+  throw Error("msgpack value is not an integer");
+}
+
+double Value::AsDouble() const {
+  if (const auto* d = std::get_if<double>(&v_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* u = std::get_if<std::uint64_t>(&v_)) {
+    return static_cast<double>(*u);
+  }
+  throw Error("msgpack value is not numeric");
+}
+
+bool Value::operator==(const Value& other) const {
+  if (IsInteger() && other.IsInteger()) {
+    const bool a_signed = Is<std::int64_t>();
+    const bool b_signed = other.Is<std::int64_t>();
+    if (a_signed == b_signed) return v_ == other.v_;
+    const std::int64_t s = a_signed ? As<std::int64_t>() : other.As<std::int64_t>();
+    const std::uint64_t u = a_signed ? other.As<std::uint64_t>() : As<std::uint64_t>();
+    return s >= 0 && static_cast<std::uint64_t>(s) == u;
+  }
+  return v_ == other.v_;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  const Map& m = As<Map>();
+  for (const auto& [k, v] : m) {
+    if (k.Is<std::string>() && k.As<std::string>() == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::At(const std::string& key) const {
+  const Value* v = Find(key);
+  VIZNDP_CHECK_MSG(v != nullptr, "msgpack map has no key '" + key + "'");
+  return *v;
+}
+
+namespace {
+
+struct Printer {
+  std::ostringstream& os;
+
+  void operator()(const Nil&) { os << "nil"; }
+  void operator()(bool b) { os << (b ? "true" : "false"); }
+  void operator()(std::int64_t i) { os << i; }
+  void operator()(std::uint64_t u) { os << u << "u"; }
+  void operator()(double d) { os << d; }
+  void operator()(const std::string& s) { os << '"' << s << '"'; }
+  void operator()(const Bytes& b) { os << "bin(" << b.size() << ")"; }
+  void operator()(const Array& a) {
+    os << "[";
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << a[i].ToString();
+    }
+    os << "]";
+  }
+  void operator()(const Map& m) {
+    os << "{";
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << m[i].first.ToString() << ": " << m[i].second.ToString();
+    }
+    os << "}";
+  }
+  void operator()(const Ext& e) {
+    os << "ext(" << static_cast<int>(e.type) << ", " << e.data.size() << ")";
+  }
+};
+
+}  // namespace
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  std::visit(Printer{os}, v_);
+  return os.str();
+}
+
+}  // namespace vizndp::msgpack

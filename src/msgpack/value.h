@@ -1,0 +1,97 @@
+// Dynamic value model for MessagePack (https://msgpack.org), the binary
+// serialization format the paper's prototype uses (via rpclib) to marshal
+// pre-filter results between storage and client nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace vizndp::msgpack {
+
+class Value;
+
+using Array = std::vector<Value>;
+// Order-preserving map: msgpack map keys may be any value type.
+using Map = std::vector<std::pair<Value, Value>>;
+
+// Application-defined extension payload (msgpack ext family).
+struct Ext {
+  std::int8_t type = 0;
+  Bytes data;
+  bool operator==(const Ext&) const = default;
+};
+
+struct Nil {
+  bool operator==(const Nil&) const = default;
+};
+
+class Value {
+ public:
+  using Storage = std::variant<Nil, bool, std::int64_t, std::uint64_t, double,
+                               std::string, Bytes, Array, Map, Ext>;
+
+  Value() : v_(Nil{}) {}
+  Value(Nil) : v_(Nil{}) {}
+  Value(bool b) : v_(b) {}
+  Value(std::int64_t i) : v_(i) {}
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(std::uint64_t u) : v_(u) {}
+  Value(double d) : v_(d) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Bytes b) : v_(std::move(b)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Map m) : v_(std::move(m)) {}
+  Value(Ext e) : v_(std::move(e)) {}
+
+  template <typename T>
+  bool Is() const { return std::holds_alternative<T>(v_); }
+
+  bool IsNil() const { return Is<Nil>(); }
+  // True for both signed and unsigned integer storage.
+  bool IsInteger() const { return Is<std::int64_t>() || Is<std::uint64_t>(); }
+
+  template <typename T>
+  const T& As() const {
+    const T* p = std::get_if<T>(&v_);
+    VIZNDP_CHECK_MSG(p != nullptr, "msgpack value type mismatch");
+    return *p;
+  }
+
+  template <typename T>
+  T& AsMutable() {
+    T* p = std::get_if<T>(&v_);
+    VIZNDP_CHECK_MSG(p != nullptr, "msgpack value type mismatch");
+    return *p;
+  }
+
+  // Integer access with signedness coercion; throws on range violation.
+  std::int64_t AsInt() const;
+  std::uint64_t AsUint() const;
+  double AsDouble() const;  // accepts integers too
+
+  const Storage& storage() const { return v_; }
+
+  // Convenience map lookup by string key; throws when missing.
+  const Value& At(const std::string& key) const;
+  const Value* Find(const std::string& key) const;
+
+  // Integers compare numerically across signed/unsigned storage: the wire
+  // format stores non-negative values in unsigned formats, so a packed
+  // int64_t(5) decodes as uint64_t(5) and must still compare equal.
+  bool operator==(const Value& other) const;
+
+  // Compact single-line rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  Storage v_;
+};
+
+}  // namespace vizndp::msgpack

@@ -1,0 +1,147 @@
+#include "ndp/bricked_select.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+
+namespace vizndp::ndp {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool Straddles(double lo, double hi, std::span<const double> isovalues) {
+  for (const double iso : isovalues) {
+    if (lo < iso && hi >= iso) return true;
+  }
+  return false;
+}
+
+template <typename T>
+contour::Selection BrickedSelectT(const io::VndReader& reader,
+                                  const std::string& array,
+                                  const io::ArrayMeta& meta,
+                                  std::span<const double> isovalues,
+                                  BrickedSelectStats* stats) {
+  const grid::Dims dims = reader.header().dims;
+  const io::BrickGrid bgrid(dims, meta.bricks->edge);
+
+  // (id, value) pairs from every straddling brick; ghost points selected
+  // by two bricks dedup after the sort (their values are identical).
+  std::vector<std::pair<grid::PointId, T>> picked;
+  BrickedSelectStats local;
+  local.bricks_total = bgrid.BrickCount();
+
+  // Straddling bricks, ascending (== ascending blob offsets).
+  std::vector<std::int64_t> needed;
+  for (std::int64_t b = 0; b < bgrid.BrickCount(); ++b) {
+    const io::BrickEntry& entry = meta.bricks->entries[static_cast<size_t>(b)];
+    if (Straddles(entry.min, entry.max, isovalues)) needed.push_back(b);
+  }
+  local.bricks_read = static_cast<std::int64_t>(needed.size());
+
+  const compress::CodecPtr codec = compress::MakeCodec(meta.codec);
+  size_t cursor = 0;
+  while (cursor < needed.size()) {
+    // Coalesce runs of consecutive bricks (their blobs are contiguous by
+    // construction) into one ranged read: object-store access latency,
+    // not bandwidth, dominates small-brick reads otherwise.
+    size_t run_end = cursor + 1;
+    while (run_end < needed.size() &&
+           needed[run_end] == needed[run_end - 1] + 1) {
+      ++run_end;
+    }
+    const io::BrickEntry& first =
+        meta.bricks->entries[static_cast<size_t>(needed[cursor])];
+    const io::BrickEntry& last =
+        meta.bricks->entries[static_cast<size_t>(needed[run_end - 1])];
+    const std::uint64_t run_bytes =
+        last.offset + last.stored_size - first.offset;
+
+    const auto t_read = std::chrono::steady_clock::now();
+    const Bytes run = reader.ReadArrayRange(array, first.offset, run_bytes);
+    local.read_seconds += SecondsSince(t_read);
+    local.bytes_read += run_bytes;
+
+    for (size_t r = cursor; r < run_end; ++r) {
+      const std::int64_t b = needed[r];
+      const io::BrickEntry& entry =
+          meta.bricks->entries[static_cast<size_t>(b)];
+      const io::BrickGrid::Extent e = bgrid.BrickExtent(b);
+      const size_t slab_bytes =
+          static_cast<size_t>(e.PointCount()) * sizeof(T);
+
+      const auto t_decompress = std::chrono::steady_clock::now();
+      Bytes raw = codec->Decompress(
+          ByteSpan(run).subspan(entry.offset - first.offset,
+                                entry.stored_size),
+          slab_bytes);
+      if (raw.size() != slab_bytes) {
+        throw DecodeError("brick decompressed to wrong size: " + array);
+      }
+      const grid::DataArray slab(array, meta.type, std::move(raw));
+      local.read_seconds += SecondsSince(t_decompress);
+
+      const auto t_scan = std::chrono::steady_clock::now();
+      const grid::Dims slab_dims{e.x1 - e.x0 + 1, e.y1 - e.y0 + 1,
+                                 e.z1 - e.z0 + 1};
+      const contour::Selection slab_selection =
+          contour::SelectInterestingPoints(slab_dims, slab, isovalues);
+      const auto values = slab_selection.values.template View<T>();
+      for (size_t i = 0; i < slab_selection.ids.size(); ++i) {
+        const auto c = slab_dims.Coords(slab_selection.ids[i]);
+        picked.emplace_back(dims.Index(e.x0 + c[0], e.y0 + c[1], e.z0 + c[2]),
+                            values[i]);
+      }
+      local.scan_seconds += SecondsSince(t_scan);
+    }
+    cursor = run_end;
+  }
+
+  std::sort(picked.begin(), picked.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  picked.erase(std::unique(picked.begin(), picked.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               picked.end());
+
+  contour::Selection out;
+  out.dims = dims;
+  out.total_points = dims.PointCount();
+  out.ids.reserve(picked.size());
+  std::vector<T> values;
+  values.reserve(picked.size());
+  for (const auto& [id, value] : picked) {
+    out.ids.push_back(id);
+    values.push_back(value);
+  }
+  out.values = grid::DataArray::FromVector(array, std::move(values));
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace
+
+contour::Selection SelectInterestingPointsBricked(
+    const io::VndReader& reader, const std::string& array,
+    std::span<const double> isovalues, BrickedSelectStats* stats) {
+  const io::ArrayMeta* meta = reader.header().Find(array);
+  VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
+  VIZNDP_CHECK_MSG(meta->bricks.has_value(),
+                   "array '" + array + "' is not bricked");
+  switch (meta->type) {
+    case grid::DataType::Float32:
+      return BrickedSelectT<float>(reader, array, *meta, isovalues, stats);
+    case grid::DataType::Float64:
+      return BrickedSelectT<double>(reader, array, *meta, isovalues, stats);
+    default:
+      throw Error("selection requires a floating-point array");
+  }
+}
+
+}  // namespace vizndp::ndp

@@ -1,0 +1,33 @@
+// Brick-aware pre-filter: uses the VND brick index (per-brick min/max)
+// to fetch and decompress only the bricks that can contain isovalue
+// crossings. This attacks the bound the paper's conclusion calls out —
+// "this speedup is upperbounded by local data read times" — because the
+// storage node no longer reads or decompresses the whole array.
+//
+// Exactness: a grid cell belongs to exactly one brick (bricks own
+// disjoint cell ranges and store a one-point ghost layer), and a skipped
+// brick's [min, max] bounds every cell inside it, so skipped bricks
+// contain no mixed cells. The resulting selection is identical to the
+// dense SelectInterestingPoints.
+#pragma once
+
+#include <span>
+
+#include "contour/select.h"
+#include "io/vnd_format.h"
+
+namespace vizndp::ndp {
+
+struct BrickedSelectStats {
+  std::int64_t bricks_total = 0;
+  std::int64_t bricks_read = 0;
+  std::uint64_t bytes_read = 0;  // compressed brick bytes fetched
+  double read_seconds = 0;       // fetch + decompress (measured)
+  double scan_seconds = 0;       // per-brick selection scans (measured)
+};
+
+contour::Selection SelectInterestingPointsBricked(
+    const io::VndReader& reader, const std::string& array,
+    std::span<const double> isovalues, BrickedSelectStats* stats = nullptr);
+
+}  // namespace vizndp::ndp

@@ -1,0 +1,74 @@
+#include "ndp/catalog.h"
+
+#include <algorithm>
+
+#include "contour/contour_filter.h"
+
+namespace vizndp::ndp {
+
+void TimestepCatalog::Put(std::int64_t timestep, const grid::Dataset& dataset,
+                          const compress::CodecPtr& codec) {
+  io::VndWriter writer(dataset);
+  writer.SetCodec(codec);
+  writer.WriteToStore(gateway_.store(), gateway_.bucket(), KeyFor(timestep));
+}
+
+std::vector<std::int64_t> TimestepCatalog::Timesteps() const {
+  std::vector<std::int64_t> out;
+  const std::string suffix = ".vnd";
+  for (const storage::ObjectInfo& info : gateway_.List(prefix_ + "ts")) {
+    const std::string& key = info.key;
+    if (key.size() <= prefix_.size() + 2 + suffix.size()) continue;
+    if (key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string digits = key.substr(
+        prefix_.size() + 2, key.size() - prefix_.size() - 2 - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.push_back(std::atoll(digits.c_str()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ContourMovieDriver::FrameInfo> ContourMovieDriver::RunBaseline(
+    const TimestepCatalog& catalog, const FrameSink& frame_sink) const {
+  std::vector<FrameInfo> frames;
+  const contour::ContourFilter filter(isovalues_);
+  for (const std::int64_t t : catalog.Timesteps()) {
+    const io::VndReader reader = catalog.Open(t);
+    const contour::PolyData poly =
+        filter.Execute(reader.header().dims, reader.header().geometry,
+                       reader.ReadArray(array_));
+    FrameInfo info;
+    info.timestep = t;
+    info.triangles = poly.TriangleCount();
+    if (frame_sink) frame_sink(info, poly);
+    frames.push_back(std::move(info));
+  }
+  return frames;
+}
+
+std::vector<ContourMovieDriver::FrameInfo> ContourMovieDriver::RunNdp(
+    NdpClient& client, const std::vector<std::int64_t>& timesteps,
+    const FrameSink& frame_sink, const std::string& catalog_prefix) const {
+  std::vector<FrameInfo> frames;
+  for (const std::int64_t t : timesteps) {
+    const std::string key = catalog_prefix + "ts" + std::to_string(t) + ".vnd";
+    NdpLoadStats stats;
+    const contour::PolyData poly =
+        client.Contour(key, array_, isovalues_, &stats);
+    FrameInfo info;
+    info.timestep = t;
+    info.triangles = poly.TriangleCount();
+    info.ndp_stats = stats;
+    if (frame_sink) frame_sink(info, poly);
+    frames.push_back(std::move(info));
+  }
+  return frames;
+}
+
+}  // namespace vizndp::ndp

@@ -1,0 +1,83 @@
+// Timestep-series management on top of the object store, plus a driver
+// for the paper's headline workload: a contour movie over a simulation's
+// timesteps (Figs. 7/8), run through either the traditional pipeline or
+// the NDP split pipeline.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "contour/polydata.h"
+#include "io/vnd_format.h"
+#include "ndp/ndp_client.h"
+#include "storage/file_gateway.h"
+
+namespace vizndp::ndp {
+
+// Key convention for timestep series: "<prefix>ts<label>.vnd".
+class TimestepCatalog {
+ public:
+  // `gateway` must outlive the catalog.
+  explicit TimestepCatalog(storage::FileGateway gateway,
+                           std::string prefix = "")
+      : gateway_(std::move(gateway)), prefix_(std::move(prefix)) {}
+
+  std::string KeyFor(std::int64_t timestep) const {
+    return prefix_ + "ts" + std::to_string(timestep) + ".vnd";
+  }
+
+  // Stores one timestep dataset under the series convention.
+  void Put(std::int64_t timestep, const grid::Dataset& dataset,
+           const compress::CodecPtr& codec);
+
+  // Timestep labels present in the store, ascending.
+  std::vector<std::int64_t> Timesteps() const;
+
+  bool Contains(std::int64_t timestep) const {
+    return gateway_.Exists(KeyFor(timestep));
+  }
+
+  io::VndReader Open(std::int64_t timestep) const {
+    return io::VndReader(gateway_.Open(KeyFor(timestep)));
+  }
+
+ private:
+  storage::FileGateway gateway_;
+  std::string prefix_;
+};
+
+// Runs a contour movie across a catalog. Each frame's geometry is handed
+// to `frame_sink` (render, write, accumulate — caller's choice).
+class ContourMovieDriver {
+ public:
+  struct FrameInfo {
+    std::int64_t timestep = 0;
+    size_t triangles = 0;
+    // Populated on the NDP path only.
+    std::optional<NdpLoadStats> ndp_stats;
+  };
+
+  using FrameSink =
+      std::function<void(const FrameInfo&, const contour::PolyData&)>;
+
+  ContourMovieDriver(std::string array, std::vector<double> isovalues)
+      : array_(std::move(array)), isovalues_(std::move(isovalues)) {}
+
+  // Traditional pipeline: full-array reads through `catalog`'s gateway.
+  // Returns per-frame info in timestep order.
+  std::vector<FrameInfo> RunBaseline(const TimestepCatalog& catalog,
+                                     const FrameSink& frame_sink) const;
+
+  // NDP split pipeline: pre-filter via `client`, post-filter locally.
+  // `catalog_prefix` must match the catalog the server side exposes.
+  std::vector<FrameInfo> RunNdp(NdpClient& client,
+                                const std::vector<std::int64_t>& timesteps,
+                                const FrameSink& frame_sink,
+                                const std::string& catalog_prefix = "") const;
+
+ private:
+  std::string array_;
+  std::vector<double> isovalues_;
+};
+
+}  // namespace vizndp::ndp

@@ -1,0 +1,118 @@
+#include "ndp/ndp_client.h"
+
+#include <chrono>
+
+#include "common/error.h"
+
+namespace vizndp::ndp {
+
+using msgpack::Array;
+using msgpack::Value;
+
+contour::SparseField NdpClient::FetchSparseField(
+    const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
+    NdpLoadStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Array isos;
+  for (const double v : isovalues) isos.emplace_back(v);
+  Value reply = client_->Call(
+      kRpcNdpSelect,
+      Array{Value(bucket_), Value(key), Value(array), Value(std::move(isos)),
+            Value(static_cast<std::uint64_t>(encoding_))});
+
+  const auto& dims_v = reply.At("dims").As<Array>();
+  const grid::Dims dims{dims_v.at(0).AsInt(), dims_v.at(1).AsInt(),
+                        dims_v.at(2).AsInt()};
+  if (geometry != nullptr) {
+    const auto& o = reply.At("origin").As<Array>();
+    const auto& s = reply.At("spacing").As<Array>();
+    geometry->origin = {o.at(0).AsDouble(), o.at(1).AsDouble(),
+                        o.at(2).AsDouble()};
+    geometry->spacing = {s.at(0).AsDouble(), s.at(1).AsDouble(),
+                         s.at(2).AsDouble()};
+  }
+  const grid::DataType type =
+      grid::DataTypeFromName(reply.At("dtype").As<std::string>());
+  const Bytes& payload = reply.At("payload").As<Bytes>();
+
+  DecodedSelection decoded = DecodeSelection(payload, dims);
+  contour::SparseField field(dims, type);
+  field.Scatter(decoded.ids, decoded.values);
+
+  if (stats != nullptr) {
+    stats->stored_bytes = reply.At("stored_bytes").AsUint();
+    stats->raw_bytes = reply.At("raw_bytes").AsUint();
+    stats->payload_bytes = payload.size();
+    // Approximate full frame size: payload dominates; metadata is ~200 B.
+    stats->reply_bytes = payload.size() + 256;
+    stats->selected_points = reply.At("selected").AsUint();
+    stats->total_points = reply.At("total_points").AsUint();
+    stats->bricks_total = reply.At("bricks_total").AsInt();
+    stats->bricks_read = reply.At("bricks_read").AsInt();
+    stats->server_read_s = reply.At("read_s").AsDouble();
+    stats->server_select_s = reply.At("select_s").AsDouble();
+    stats->client_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return field;
+}
+
+contour::PolyData NdpClient::Contour(const std::string& key,
+                                     const std::string& array,
+                                     const std::vector<double>& isovalues,
+                                     NdpLoadStats* stats) {
+  grid::UniformGeometry geometry;
+  const contour::SparseField field =
+      FetchSparseField(key, array, isovalues, &geometry, stats);
+  return field.Contour(geometry, isovalues);
+}
+
+NdpClient::ArrayStats NdpClient::Stats(const std::string& key,
+                                       const std::string& array, int bins) {
+  const Value reply =
+      client_->Call(kRpcNdpStats, Array{Value(bucket_), Value(key),
+                                        Value(array), Value(bins)});
+  ArrayStats stats;
+  stats.min = reply.At("min").AsDouble();
+  stats.max = reply.At("max").AsDouble();
+  stats.count = reply.At("count").AsUint();
+  for (const Value& c : reply.At("histogram").As<Array>()) {
+    stats.histogram.push_back(c.AsUint());
+  }
+  return stats;
+}
+
+// Picks `k` contour values at evenly spaced quantiles of the value
+// distribution (excluding the extremes, as the paper's sweep does).
+std::vector<double> SuggestIsovalues(const NdpClient::ArrayStats& stats,
+                                     int k) {
+  std::vector<double> out;
+  if (stats.count == 0 || stats.histogram.empty() || k < 1) return out;
+  const double step = 1.0 / (k + 1);
+  std::uint64_t seen = 0;
+  size_t bin = 0;
+  for (int i = 1; i <= k; ++i) {
+    const auto target =
+        static_cast<std::uint64_t>(step * i * static_cast<double>(stats.count));
+    while (bin + 1 < stats.histogram.size() &&
+           seen + stats.histogram[bin] < target) {
+      seen += stats.histogram[bin];
+      ++bin;
+    }
+    out.push_back(stats.BinLow(bin) +
+                  0.5 * (stats.max - stats.min) /
+                      static_cast<double>(stats.histogram.size()));
+  }
+  return out;
+}
+
+pipeline::DataObjectPtr NdpContourSource::Execute(
+    const std::vector<pipeline::DataObjectPtr>&) {
+  return std::make_shared<pipeline::DataObject>(
+      client_->Contour(key_, array_, isovalues_, &stats_));
+}
+
+}  // namespace vizndp::ndp

@@ -1,0 +1,126 @@
+// Client-side half of the split pipeline: issues the pre-filter RPC,
+// reconstructs the sparse field, and runs the post-filter (sparse
+// marching cubes). Produces geometry identical to the traditional
+// full-read pipeline — see tests/ndp_test.cc for the proof-by-test.
+#pragma once
+
+#include <memory>
+
+#include "contour/polydata.h"
+#include "contour/sparse_field.h"
+#include "ndp/protocol.h"
+#include "pipeline/algorithm.h"
+#include "rpc/client.h"
+
+namespace vizndp::ndp {
+
+// Per-phase accounting of one NDP data load (the paper's "data load
+// time" for NDP runs = read + decompress + filter + transfer).
+struct NdpLoadStats {
+  std::uint64_t stored_bytes = 0;    // compressed bytes read on the server
+  std::uint64_t raw_bytes = 0;       // decompressed array size
+  std::uint64_t payload_bytes = 0;   // selection payload shipped to client
+  std::uint64_t reply_bytes = 0;     // full RPC reply frame size
+  std::uint64_t selected_points = 0;
+  std::uint64_t total_points = 0;
+  // Brick-indexed arrays only: how much of the array the server touched.
+  std::int64_t bricks_total = 0;
+  std::int64_t bricks_read = 0;
+  double server_read_s = 0;    // measured on the server (incl. decompress)
+  double server_select_s = 0;  // measured on the server
+  double client_s = 0;         // measured: RPC round trip + decode + scatter
+
+  double Selectivity() const {
+    return total_points == 0 ? 0.0
+                             : static_cast<double>(selected_points) /
+                                   static_cast<double>(total_points);
+  }
+};
+
+class NdpClient {
+ public:
+  explicit NdpClient(std::shared_ptr<rpc::Client> client,
+                     std::string bucket = "data")
+      : client_(std::move(client)), bucket_(std::move(bucket)) {}
+
+  void SetEncoding(SelectionEncoding encoding) { encoding_ = encoding; }
+  SelectionEncoding encoding() const { return encoding_; }
+
+  // Runs the pre-filter remotely and reconstructs the sparse field.
+  // Grid geometry comes back in the reply. `stats` may be null.
+  contour::SparseField FetchSparseField(const std::string& key,
+                                        const std::string& array,
+                                        const std::vector<double>& isovalues,
+                                        grid::UniformGeometry* geometry,
+                                        NdpLoadStats* stats = nullptr);
+
+  // Full NDP contour: fetch + post-filter in one call.
+  contour::PolyData Contour(const std::string& key, const std::string& array,
+                            const std::vector<double>& isovalues,
+                            NdpLoadStats* stats = nullptr);
+
+  // Near-data array statistics (ndp.stats): only the histogram crosses
+  // the network, never the array.
+  struct ArrayStats {
+    double min = 0;
+    double max = 0;
+    std::uint64_t count = 0;
+    std::vector<std::uint64_t> histogram;  // uniform bins over [min, max]
+
+    double BinLow(size_t bin) const {
+      return min + (max - min) * static_cast<double>(bin) /
+                       static_cast<double>(histogram.size());
+    }
+  };
+
+  ArrayStats Stats(const std::string& key, const std::string& array,
+                   int bins = 64);
+
+ private:
+  std::shared_ptr<rpc::Client> client_;
+  std::string bucket_;
+  SelectionEncoding encoding_ = SelectionEncoding::kRunLength;
+};
+
+// Quantile-based contour-value suggestions from near-data statistics.
+std::vector<double> SuggestIsovalues(const NdpClient::ArrayStats& stats,
+                                     int k);
+
+// Pipeline source producing the NDP contour as PolyData, so split
+// pipelines compose with ordinary sinks (Fig. 10's client half).
+class NdpContourSource final : public pipeline::Algorithm {
+ public:
+  NdpContourSource(std::shared_ptr<NdpClient> client, std::string key,
+                   std::string array, std::vector<double> isovalues)
+      : client_(std::move(client)),
+        key_(std::move(key)),
+        array_(std::move(array)),
+        isovalues_(std::move(isovalues)) {}
+
+  void SetKey(std::string key) {
+    key_ = std::move(key);
+    Modified();
+  }
+  void SetIsovalues(std::vector<double> isovalues) {
+    isovalues_ = std::move(isovalues);
+    Modified();
+  }
+
+  const NdpLoadStats& last_stats() const { return stats_; }
+
+  std::string Name() const override { return "NdpContourSource(" + key_ + ")"; }
+  int InputPortCount() const override { return 0; }
+
+ protected:
+  pipeline::DataObjectPtr Execute(
+      const std::vector<pipeline::DataObjectPtr>& inputs) override;
+
+ private:
+  std::shared_ptr<NdpClient> client_;
+  std::string key_;
+  std::string array_;
+  std::vector<double> isovalues_;
+  NdpLoadStats stats_;
+};
+
+}  // namespace vizndp::ndp

@@ -1,0 +1,171 @@
+#include "ndp/ndp_server.h"
+
+#include <algorithm>
+
+#include "contour/select.h"
+#include "io/vnd_format.h"
+#include "ndp/bricked_select.h"
+
+namespace vizndp::ndp {
+
+using msgpack::Array;
+using msgpack::Map;
+using msgpack::Value;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Value Triple(const std::array<double, 3>& v) {
+  return Value(Array{Value(v[0]), Value(v[1]), Value(v[2])});
+}
+
+}  // namespace
+
+msgpack::Value NdpServer::Select(const std::string& key,
+                                 const std::string& array,
+                                 const std::vector<double>& isovalues,
+                                 SelectionEncoding encoding) {
+  auto t0 = std::chrono::steady_clock::now();
+  const io::VndReader reader(gateway_.Open(key));
+  const io::ArrayMeta* meta = reader.header().Find(array);
+  VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
+
+  contour::Selection selection;
+  std::uint64_t stored_bytes = 0;
+  std::int64_t bricks_total = 0;
+  std::int64_t bricks_read = 0;
+  double read_s = 0;
+  double select_s = 0;
+  if (meta->bricks.has_value()) {
+    // Brick-indexed fast path: only straddling bricks are fetched and
+    // decompressed.
+    BrickedSelectStats bstats;
+    selection =
+        SelectInterestingPointsBricked(reader, array, isovalues, &bstats);
+    stored_bytes = bstats.bytes_read;
+    bricks_total = bstats.bricks_total;
+    bricks_read = bstats.bricks_read;
+    read_s = bstats.read_seconds;
+    select_s = bstats.scan_seconds;
+  } else {
+    // Source: ranged-read the full array blob, then scan it.
+    stored_bytes = meta->stored_size;
+    const grid::DataArray data = reader.ReadArray(array);
+    read_s = SecondsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    selection = prefilter_threads_ == 1
+                    ? contour::SelectInterestingPoints(reader.header().dims,
+                                                       data, isovalues)
+                    : contour::SelectInterestingPointsParallel(
+                          reader.header().dims, data, isovalues,
+                          prefilter_threads_);
+    select_s = SecondsSince(t0);
+  }
+  Bytes payload = EncodeSelection(selection, encoding);
+
+  const auto& h = reader.header();
+  Map reply;
+  reply.emplace_back(Value("payload"), Value(std::move(payload)));
+  reply.emplace_back(Value("dims"),
+                     Value(Array{Value(h.dims.nx), Value(h.dims.ny),
+                                 Value(h.dims.nz)}));
+  reply.emplace_back(Value("origin"), Triple(h.geometry.origin));
+  reply.emplace_back(Value("spacing"), Triple(h.geometry.spacing));
+  reply.emplace_back(Value("dtype"),
+                     Value(std::string(grid::DataTypeName(meta->type))));
+  reply.emplace_back(Value("stored_bytes"), Value(stored_bytes));
+  reply.emplace_back(Value("raw_bytes"), Value(meta->raw_size));
+  reply.emplace_back(Value("bricks_total"), Value(bricks_total));
+  reply.emplace_back(Value("bricks_read"), Value(bricks_read));
+  reply.emplace_back(Value("selected"),
+                     Value(static_cast<std::uint64_t>(selection.ids.size())));
+  reply.emplace_back(Value("total_points"),
+                     Value(static_cast<std::uint64_t>(selection.total_points)));
+  reply.emplace_back(Value("read_s"), Value(read_s));
+  reply.emplace_back(Value("select_s"), Value(select_s));
+  return Value(std::move(reply));
+}
+
+msgpack::Value NdpServer::Info(const std::string& key) {
+  const io::VndReader reader(gateway_.Open(key));
+  const auto& h = reader.header();
+  Array arrays;
+  for (const io::ArrayMeta& m : h.arrays) {
+    Map e;
+    e.emplace_back(Value("name"), Value(m.name));
+    e.emplace_back(Value("type"),
+                   Value(std::string(grid::DataTypeName(m.type))));
+    e.emplace_back(Value("codec"), Value(m.codec));
+    e.emplace_back(Value("raw_size"), Value(m.raw_size));
+    e.emplace_back(Value("stored_size"), Value(m.stored_size));
+    arrays.push_back(Value(std::move(e)));
+  }
+  Map reply;
+  reply.emplace_back(Value("dims"),
+                     Value(Array{Value(h.dims.nx), Value(h.dims.ny),
+                                 Value(h.dims.nz)}));
+  reply.emplace_back(Value("arrays"), Value(std::move(arrays)));
+  return Value(std::move(reply));
+}
+
+msgpack::Value NdpServer::Stats(const std::string& key,
+                                const std::string& array, int bins) {
+  VIZNDP_CHECK_MSG(bins >= 1 && bins <= 4096, "bins must be in [1, 4096]");
+  const io::VndReader reader(gateway_.Open(key));
+  const grid::DataArray data = reader.ReadArray(array);
+  const auto [lo, hi] = data.Range();
+
+  std::vector<std::uint64_t> histogram(static_cast<size_t>(bins), 0);
+  const double width = hi > lo ? (hi - lo) / bins : 1.0;
+  const auto accumulate = [&](auto view) {
+    for (const auto v : view) {
+      const double d = static_cast<double>(v);
+      auto bin = static_cast<std::int64_t>((d - lo) / width);
+      bin = std::clamp<std::int64_t>(bin, 0, bins - 1);
+      ++histogram[static_cast<size_t>(bin)];
+    }
+  };
+  switch (data.type()) {
+    case grid::DataType::Float32: accumulate(data.View<float>()); break;
+    case grid::DataType::Float64: accumulate(data.View<double>()); break;
+    default: throw Error("stats require a floating-point array");
+  }
+
+  Map reply;
+  reply.emplace_back(Value("min"), Value(lo));
+  reply.emplace_back(Value("max"), Value(hi));
+  reply.emplace_back(Value("count"),
+                     Value(static_cast<std::uint64_t>(data.size())));
+  Array counts;
+  counts.reserve(histogram.size());
+  for (const std::uint64_t c : histogram) counts.emplace_back(c);
+  reply.emplace_back(Value("histogram"), Value(std::move(counts)));
+  return Value(std::move(reply));
+}
+
+void NdpServer::Bind(rpc::Server& server) {
+  server.Bind(kRpcNdpSelect, [this](const Array& p) -> Value {
+    std::vector<double> isovalues;
+    for (const Value& v : p.at(3).As<Array>()) {
+      isovalues.push_back(v.AsDouble());
+    }
+    // p[0] is the bucket, fixed at gateway construction; kept in the
+    // protocol so multi-bucket servers remain possible.
+    return Select(p.at(1).As<std::string>(), p.at(2).As<std::string>(),
+                  isovalues,
+                  static_cast<SelectionEncoding>(p.at(4).AsUint()));
+  });
+  server.Bind(kRpcNdpInfo, [this](const Array& p) -> Value {
+    return Info(p.at(1).As<std::string>());
+  });
+  server.Bind(kRpcNdpStats, [this](const Array& p) -> Value {
+    return Stats(p.at(1).As<std::string>(), p.at(2).As<std::string>(),
+                 static_cast<int>(p.at(3).AsInt()));
+  });
+}
+
+}  // namespace vizndp::ndp

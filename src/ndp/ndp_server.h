@@ -1,0 +1,49 @@
+// Storage-side half of the split pipeline (Fig. 10): a partial VTK
+// pipeline — source (VND reader over the *local* gateway) plus pre-filter
+// (interesting-point selection) — exposed over RPC. The client-side
+// post-filter talks to this via NdpClient.
+#pragma once
+
+#include <chrono>
+
+#include "ndp/protocol.h"
+#include "rpc/server.h"
+#include "storage/file_gateway.h"
+
+namespace vizndp::ndp {
+
+class NdpServer {
+ public:
+  // `gateway` should be local to the storage node (that is the point);
+  // it must outlive the server.
+  explicit NdpServer(storage::FileGateway gateway)
+      : gateway_(std::move(gateway)) {}
+
+  // Pre-filter scan parallelism on the storage node. 1 = serial
+  // (default); 0 = one thread per hardware core.
+  void SetPreFilterThreads(int threads) { prefilter_threads_ = threads; }
+
+  // Registers ndp.select and ndp.info on `server`.
+  void Bind(rpc::Server& server);
+
+  // Handler core, exposed for tests: reads `key`, selects interesting
+  // points of `array` for `isovalues`, returns the reply map.
+  msgpack::Value Select(const std::string& key, const std::string& array,
+                        const std::vector<double>& isovalues,
+                        SelectionEncoding encoding);
+
+  msgpack::Value Info(const std::string& key);
+
+  // Near-data array statistics: min/max and a value histogram computed on
+  // the storage node (the interactive front end uses these to suggest
+  // contour values without ever moving the array). For brick-indexed
+  // arrays the min/max comes straight from the header index.
+  msgpack::Value Stats(const std::string& key, const std::string& array,
+                       int bins);
+
+ private:
+  storage::FileGateway gateway_;
+  int prefilter_threads_ = 1;
+};
+
+}  // namespace vizndp::ndp

@@ -1,0 +1,56 @@
+// Wire encodings for pre-filter selections (the paper ships these through
+// rpclib/MessagePack). Three interchangeable layouts, compared by the
+// encoding ablation bench:
+//   kIdValue     — [count][ids as i64 LE][values raw]; simple, 12 B/point
+//                  for float32 fields.
+//   kDeltaVarint — [count][varint deltas of sorted ids][values raw];
+//                  ids cluster around interfaces, so deltas are small and
+//                  this typically runs ~5 B/point.
+//   kBitmap      — [one bit per grid point][values raw in id order]; wins
+//                  when selectivity is high (dense selections).
+//   kRunLength   — [(varint gap, varint run length) pairs][values raw];
+//                  the selection marks whole cell corners, so ids come in
+//                  x-contiguous runs and this usually beats delta-varint
+//                  (~0.5-1 B/point of id overhead). NdpClient's default.
+// Every payload starts with a 1-byte encoding tag + 1-byte data type, so
+// decoders self-describe.
+#pragma once
+
+#include <cstdint>
+
+#include "contour/select.h"
+#include "grid/data_array.h"
+
+namespace vizndp::ndp {
+
+enum class SelectionEncoding : std::uint8_t {
+  kIdValue = 0,
+  kDeltaVarint = 1,
+  kBitmap = 2,
+  kRunLength = 3,
+};
+
+const char* SelectionEncodingName(SelectionEncoding e);
+
+struct DecodedSelection {
+  std::vector<grid::PointId> ids;  // sorted ascending
+  grid::DataArray values;
+};
+
+Bytes EncodeSelection(const contour::Selection& selection,
+                      SelectionEncoding encoding);
+
+// `dims` must match the grid the selection was taken from (needed by the
+// bitmap layout). Throws DecodeError on malformed payloads.
+DecodedSelection DecodeSelection(ByteSpan payload, const grid::Dims& dims);
+
+// Unsigned LEB128 helpers (shared with tests).
+void AppendVarint(std::uint64_t value, Bytes& out);
+std::uint64_t ReadVarint(ByteSpan data, size_t& pos);
+
+// RPC method names served by NdpServer.
+inline constexpr const char* kRpcNdpSelect = "ndp.select";
+inline constexpr const char* kRpcNdpInfo = "ndp.info";
+inline constexpr const char* kRpcNdpStats = "ndp.stats";
+
+}  // namespace vizndp::ndp

@@ -1,0 +1,94 @@
+#include "net/inproc.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace vizndp::net {
+
+namespace {
+
+// One direction of the duplex channel.
+struct FrameQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Bytes> frames;
+  bool closed = false;
+
+  void Push(Bytes frame) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      VIZNDP_CHECK_MSG(!closed, "send on closed in-proc channel");
+      frames.push_back(std::move(frame));
+    }
+    cv.notify_one();
+  }
+
+  Bytes Pop() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !frames.empty() || closed; });
+    if (frames.empty()) {
+      throw Error("in-proc channel closed by peer");
+    }
+    Bytes frame = std::move(frames.front());
+    frames.pop_front();
+    return frame;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+struct Channel {
+  FrameQueue a_to_b;
+  FrameQueue b_to_a;
+};
+
+class InProcEndpoint final : public Transport {
+ public:
+  InProcEndpoint(std::shared_ptr<Channel> channel, bool is_a,
+                 SimulatedLink* link)
+      : channel_(std::move(channel)), is_a_(is_a), link_(link) {}
+
+  ~InProcEndpoint() override { Close(); }
+
+  void Send(ByteSpan frame) override {
+    if (link_ != nullptr) {
+      link_->ChargeTransfer(frame.size());
+    }
+    SendQueue().Push(Bytes(frame.begin(), frame.end()));
+  }
+
+  Bytes Receive() override { return ReceiveQueue().Pop(); }
+
+  void Close() override { SendQueue().Close(); }
+
+ private:
+  FrameQueue& SendQueue() {
+    return is_a_ ? channel_->a_to_b : channel_->b_to_a;
+  }
+  FrameQueue& ReceiveQueue() {
+    return is_a_ ? channel_->b_to_a : channel_->a_to_b;
+  }
+
+  std::shared_ptr<Channel> channel_;
+  bool is_a_;
+  SimulatedLink* link_;
+};
+
+}  // namespace
+
+TransportPair CreateInProcPair(SimulatedLink* link) {
+  auto channel = std::make_shared<Channel>();
+  return {std::make_unique<InProcEndpoint>(channel, true, link),
+          std::make_unique<InProcEndpoint>(channel, false, link)};
+}
+
+}  // namespace vizndp::net

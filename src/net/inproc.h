@@ -1,0 +1,23 @@
+// In-process transport: a pair of connected endpoints backed by
+// thread-safe frame queues, with every Send charged to a SimulatedLink.
+// This is how the storage node and the client node are emulated on one
+// server (see DESIGN.md, hardware substitutions).
+#pragma once
+
+#include <memory>
+
+#include "net/link_model.h"
+#include "net/transport.h"
+
+namespace vizndp::net {
+
+struct TransportPair {
+  TransportPtr a;
+  TransportPtr b;
+};
+
+// Creates two connected endpoints. `link` may be null (no cost accounting,
+// e.g. unit tests); it must outlive both endpoints otherwise.
+TransportPair CreateInProcPair(SimulatedLink* link = nullptr);
+
+}  // namespace vizndp::net

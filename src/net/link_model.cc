@@ -1,0 +1,6 @@
+// SimulatedLink is header-only; this TU exists so the library has a home
+// for future non-inline link-model code and to anchor the vtable-less
+// class in one object file for debuggers.
+#include "net/link_model.h"
+
+namespace vizndp::net {}

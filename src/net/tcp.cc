@@ -1,0 +1,152 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace vizndp::net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+void WriteAll(int fd, const Byte* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("tcp write");
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+// Returns false on clean EOF at a frame boundary.
+bool ReadAll(int fd, Byte* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::read(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("tcp read");
+    }
+    if (n == 0) {
+      if (off == 0) return false;
+      throw IoError("tcp connection closed mid-frame");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpTransport() override { Close(); }
+
+  void Send(ByteSpan frame) override {
+    Byte header[4];
+    VIZNDP_CHECK_MSG(frame.size() <= 0xFFFFFFFFull, "frame too large");
+    StoreLE(static_cast<std::uint32_t>(frame.size()), header);
+    WriteAll(fd_, header, sizeof(header));
+    WriteAll(fd_, frame.data(), frame.size());
+  }
+
+  Bytes Receive() override {
+    Byte header[4];
+    if (!ReadAll(fd_, header, sizeof(header))) {
+      throw IoError("tcp connection closed by peer");
+    }
+    const std::uint32_t size = LoadLE<std::uint32_t>(header);
+    Bytes frame(size);
+    if (size > 0 && !ReadAll(fd_, frame.data(), size)) {
+      throw IoError("tcp connection closed mid-frame");
+    }
+    return frame;
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_WR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+TransportPtr TcpConnect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &result);
+  if (rc != 0) {
+    throw IoError("getaddrinfo(" + host + "): " + gai_strerror(rc));
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    throw IoError("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ThrowErrno("bind");
+  }
+  if (::listen(fd_, 8) != 0) ThrowErrno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TransportPtr TcpListener::Accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) ThrowErrno("accept");
+  return std::make_unique<TcpTransport>(fd);
+}
+
+}  // namespace vizndp::net

@@ -1,0 +1,36 @@
+// Real TCP transport (POSIX sockets) with 4-byte little-endian length
+// framing. Lets the NDP server and client actually run as two processes
+// (examples/ndp_server + examples/ndp_client), validating that the
+// emulated setup and the real one speak the same protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/transport.h"
+
+namespace vizndp::net {
+
+// Connects to host:port; throws IoError on failure.
+TransportPtr TcpConnect(const std::string& host, std::uint16_t port);
+
+class TcpListener {
+ public:
+  // Binds to 127.0.0.1:`port`; port 0 picks an ephemeral port (see port()).
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Blocks for one inbound connection.
+  TransportPtr Accept();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace vizndp::net

@@ -1,0 +1,31 @@
+// Message-oriented transport abstraction. Everything above this layer
+// (RPC, the file gateway) exchanges discrete frames; the two concrete
+// transports are an in-process channel with a modeled link (to emulate the
+// paper's 2-node/1GbE testbed on one machine) and real TCP sockets.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+
+namespace vizndp::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends one frame. Thread-safe with respect to Receive on the same
+  // endpoint (full-duplex), not with concurrent Send calls.
+  virtual void Send(ByteSpan frame) = 0;
+
+  // Blocks until a frame arrives. Throws Error when the peer closed.
+  virtual Bytes Receive() = 0;
+
+  // Signals the peer that no more frames will come; subsequent Receive on
+  // the peer throws once its queue drains.
+  virtual void Close() = 0;
+};
+
+using TransportPtr = std::unique_ptr<Transport>;
+
+}  // namespace vizndp::net

@@ -1,0 +1,63 @@
+#include "pipeline/algorithm.h"
+
+#include <atomic>
+
+#include "common/error.h"
+
+namespace vizndp::pipeline {
+
+const grid::Dataset& DataObject::AsDataset() const {
+  const auto* d = std::get_if<grid::Dataset>(&v_);
+  VIZNDP_CHECK_MSG(d != nullptr, "data object is not a Dataset");
+  return *d;
+}
+
+const contour::PolyData& DataObject::AsPolyData() const {
+  const auto* p = std::get_if<contour::PolyData>(&v_);
+  VIZNDP_CHECK_MSG(p != nullptr, "data object is not PolyData");
+  return *p;
+}
+
+std::uint64_t Algorithm::NextTimestamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+void Algorithm::SetInputConnection(int port, Algorithm* producer) {
+  VIZNDP_CHECK_MSG(port >= 0 && port < InputPortCount(),
+                   "input port out of range for " + Name());
+  VIZNDP_CHECK(producer != nullptr);
+  if (inputs_.size() < static_cast<size_t>(InputPortCount())) {
+    inputs_.resize(static_cast<size_t>(InputPortCount()), nullptr);
+  }
+  inputs_[static_cast<size_t>(port)] = producer;
+  Modified();
+}
+
+void Algorithm::Update() {
+  VIZNDP_CHECK_MSG(static_cast<int>(inputs_.size()) == InputPortCount() ||
+                       InputPortCount() == 0,
+                   Name() + " has unconnected inputs");
+  std::uint64_t newest_upstream = 0;
+  std::vector<DataObjectPtr> inputs;
+  inputs.reserve(inputs_.size());
+  for (Algorithm* input : inputs_) {
+    VIZNDP_CHECK_MSG(input != nullptr, Name() + " has an unconnected input");
+    input->Update();
+    newest_upstream = std::max(newest_upstream, input->output_time_);
+    inputs.push_back(input->output_);
+  }
+  const bool dirty =
+      output_ == nullptr || mtime_ > output_time_ || newest_upstream > output_time_;
+  if (!dirty) return;
+  output_ = Execute(inputs);
+  ++execution_count_;
+  output_time_ = NextTimestamp();
+}
+
+DataObjectPtr Algorithm::UpdateAndGetOutput() {
+  Update();
+  return output_;
+}
+
+}  // namespace vizndp::pipeline

@@ -1,0 +1,30 @@
+#include "pipeline/elements.h"
+
+namespace vizndp::pipeline {
+
+DataObjectPtr VndReaderSource::Execute(const std::vector<DataObjectPtr>&) {
+  io::VndReader reader(gateway_.Open(key_));
+  grid::Dataset dataset =
+      selection_.empty() ? reader.ReadAll() : reader.ReadSelected(selection_);
+  return std::make_shared<DataObject>(std::move(dataset));
+}
+
+DataObjectPtr ContourStage::Execute(const std::vector<DataObjectPtr>& inputs) {
+  const grid::Dataset& dataset = inputs.at(0)->AsDataset();
+  return std::make_shared<DataObject>(filter_.Execute(dataset, array_name_));
+}
+
+DataObjectPtr ObjWriterSink::Execute(const std::vector<DataObjectPtr>& inputs) {
+  const contour::PolyData& poly = inputs.at(0)->AsPolyData();
+  poly.WriteObj(path_);
+  return inputs.at(0);
+}
+
+DataObjectPtr PolyStatsSink::Execute(const std::vector<DataObjectPtr>& inputs) {
+  const contour::PolyData& poly = inputs.at(0)->AsPolyData();
+  stats_ = Stats{poly.PointCount(), poly.TriangleCount(), poly.LineCount(),
+                 poly.SurfaceArea()};
+  return inputs.at(0);
+}
+
+}  // namespace vizndp::pipeline

@@ -1,0 +1,40 @@
+#include "render/camera.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vizndp::render {
+
+namespace {
+
+contour::Vec3 Normalize(const contour::Vec3& v) {
+  const double n = v.Norm();
+  VIZNDP_CHECK_MSG(n > 0, "degenerate camera vector");
+  return {v.x / n, v.y / n, v.z / n};
+}
+
+}  // namespace
+
+Camera::Camera(contour::Vec3 eye, contour::Vec3 target, contour::Vec3 up,
+               double vertical_fov_deg, double aspect)
+    : eye_(eye) {
+  forward_ = Normalize(target - eye);
+  right_ = Normalize(forward_.Cross(up));
+  up_ = right_.Cross(forward_);
+  const double half = vertical_fov_deg * 3.14159265358979 / 360.0;
+  scale_y_ = 1.0 / std::tan(half);
+  scale_x_ = scale_y_ / aspect;
+}
+
+contour::Vec3 Camera::Project(const contour::Vec3& world) const {
+  const contour::Vec3 rel = world - eye_;
+  const double depth = rel.Dot(forward_);
+  if (depth <= 1e-9) {
+    return {0, 0, depth};  // behind the camera; caller culls on z
+  }
+  return {scale_x_ * rel.Dot(right_) / depth, scale_y_ * rel.Dot(up_) / depth,
+          depth};
+}
+
+}  // namespace vizndp::render

@@ -1,0 +1,26 @@
+// Minimal look-at + perspective camera for the software rasterizer.
+#pragma once
+
+#include "contour/polydata.h"
+
+namespace vizndp::render {
+
+class Camera {
+ public:
+  // eye/target in world space; `up` need not be orthogonal to the view.
+  Camera(contour::Vec3 eye, contour::Vec3 target, contour::Vec3 up,
+         double vertical_fov_deg, double aspect);
+
+  // World -> normalized view coordinates. Returns x,y in [-1,1] for
+  // visible points; z is positive view-space depth (<= 0 means behind
+  // the camera).
+  contour::Vec3 Project(const contour::Vec3& world) const;
+
+ private:
+  contour::Vec3 eye_;
+  contour::Vec3 right_, up_, forward_;
+  double scale_y_;  // 1 / tan(fov/2)
+  double scale_x_;
+};
+
+}  // namespace vizndp::render

@@ -1,0 +1,56 @@
+#include "render/framebuffer.h"
+
+#include <fstream>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vizndp::render {
+
+Framebuffer::Framebuffer(int width, int height, Color background)
+    : width_(width), height_(height), background_(background) {
+  VIZNDP_CHECK(width > 0 && height > 0);
+  Clear(background);
+}
+
+void Framebuffer::Clear(Color background) {
+  background_ = background;
+  pixels_.assign(static_cast<size_t>(width_) * height_, background);
+  depth_.assign(static_cast<size_t>(width_) * height_,
+                std::numeric_limits<double>::infinity());
+}
+
+void Framebuffer::SetPixel(int x, int y, double depth, Color color) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  const size_t idx = static_cast<size_t>(y) * width_ + x;
+  if (depth < depth_[idx]) {
+    depth_[idx] = depth;
+    pixels_[idx] = color;
+  }
+}
+
+Color Framebuffer::GetPixel(int x, int y) const {
+  VIZNDP_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<size_t>(y) * width_ + x];
+}
+
+void Framebuffer::WritePpm(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  VIZNDP_CHECK_MSG(os.good(), "cannot open " + path);
+  os << "P6\n" << width_ << " " << height_ << "\n255\n";
+  os.write(reinterpret_cast<const char*>(pixels_.data()),
+           static_cast<std::streamsize>(pixels_.size() * sizeof(Color)));
+  VIZNDP_CHECK_MSG(os.good(), "short write to " + path);
+}
+
+double Framebuffer::CoverageFraction() const {
+  size_t covered = 0;
+  for (const Color& c : pixels_) {
+    if (c.r != background_.r || c.g != background_.g || c.b != background_.b) {
+      ++covered;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(pixels_.size());
+}
+
+}  // namespace vizndp::render

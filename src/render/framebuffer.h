@@ -1,0 +1,44 @@
+// RGB framebuffer with z-buffer; writes binary PPM. The sink end of the
+// pipeline — stands in for the paper's OpenGL render subpipeline so our
+// pipelines terminate in an actual image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vizndp::render {
+
+struct Color {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height, Color background = {16, 16, 24});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Clear(Color background);
+
+  // Depth-tested pixel write (smaller depth wins; view looks down -z).
+  void SetPixel(int x, int y, double depth, Color color);
+
+  Color GetPixel(int x, int y) const;
+
+  void WritePpm(const std::string& path) const;
+
+  // Fraction of pixels differing from the clear color; a cheap "did
+  // anything render" probe for tests.
+  double CoverageFraction() const;
+
+ private:
+  int width_;
+  int height_;
+  Color background_;
+  std::vector<Color> pixels_;
+  std::vector<double> depth_;
+};
+
+}  // namespace vizndp::render

@@ -1,0 +1,107 @@
+#include "render/rasterizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vizndp::render {
+
+namespace {
+
+struct ScreenPoint {
+  double x, y, depth;
+  bool visible;
+};
+
+ScreenPoint ToScreen(const contour::Vec3& world, const Camera& camera,
+                     const Framebuffer& fb) {
+  const contour::Vec3 p = camera.Project(world);
+  ScreenPoint sp;
+  sp.visible = p.z > 0;
+  sp.depth = p.z;
+  sp.x = (p.x * 0.5 + 0.5) * (fb.width() - 1);
+  sp.y = (1.0 - (p.y * 0.5 + 0.5)) * (fb.height() - 1);
+  return sp;
+}
+
+Color Shade(const Material& m, double lambert) {
+  const double f = std::clamp(m.ambient + (1.0 - m.ambient) * lambert, 0.0, 1.0);
+  return {static_cast<std::uint8_t>(m.base.r * f),
+          static_cast<std::uint8_t>(m.base.g * f),
+          static_cast<std::uint8_t>(m.base.b * f)};
+}
+
+void DrawTriangle(const ScreenPoint& a, const ScreenPoint& b,
+                  const ScreenPoint& c, Color color, Framebuffer& fb) {
+  if (!a.visible || !b.visible || !c.visible) return;
+  const int min_x = std::max(0, static_cast<int>(
+                                    std::floor(std::min({a.x, b.x, c.x}))));
+  const int max_x = std::min(fb.width() - 1,
+                             static_cast<int>(std::ceil(std::max({a.x, b.x, c.x}))));
+  const int min_y = std::max(0, static_cast<int>(
+                                    std::floor(std::min({a.y, b.y, c.y}))));
+  const int max_y = std::min(fb.height() - 1,
+                             static_cast<int>(std::ceil(std::max({a.y, b.y, c.y}))));
+  const double denom =
+      (b.y - c.y) * (a.x - c.x) + (c.x - b.x) * (a.y - c.y);
+  if (std::abs(denom) < 1e-12) return;  // degenerate in screen space
+  for (int y = min_y; y <= max_y; ++y) {
+    for (int x = min_x; x <= max_x; ++x) {
+      const double w0 =
+          ((b.y - c.y) * (x - c.x) + (c.x - b.x) * (y - c.y)) / denom;
+      const double w1 =
+          ((c.y - a.y) * (x - c.x) + (a.x - c.x) * (y - c.y)) / denom;
+      const double w2 = 1.0 - w0 - w1;
+      if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+      const double depth = w0 * a.depth + w1 * b.depth + w2 * c.depth;
+      fb.SetPixel(x, y, depth, color);
+    }
+  }
+}
+
+void DrawLine(const ScreenPoint& a, const ScreenPoint& b, Color color,
+              Framebuffer& fb) {
+  if (!a.visible || !b.visible) return;
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const int steps =
+      std::max(1, static_cast<int>(std::ceil(std::max(std::abs(dx),
+                                                      std::abs(dy)))));
+  for (int s = 0; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    // Bias depth slightly toward the camera so lines win ties with
+    // coincident surfaces.
+    fb.SetPixel(static_cast<int>(std::round(a.x + t * dx)),
+                static_cast<int>(std::round(a.y + t * dy)),
+                (a.depth + t * (b.depth - a.depth)) * 0.999, color);
+  }
+}
+
+}  // namespace
+
+void RenderPolyData(const contour::PolyData& poly, const Camera& camera,
+                    const Material& material, Framebuffer& fb) {
+  const auto& pts = poly.points();
+  const double light_norm = material.light.Norm();
+  const contour::Vec3 light = {material.light.x / light_norm,
+                               material.light.y / light_norm,
+                               material.light.z / light_norm};
+
+  for (const auto& t : poly.triangles()) {
+    const contour::Vec3& a = pts[t[0]];
+    const contour::Vec3& b = pts[t[1]];
+    const contour::Vec3& c = pts[t[2]];
+    contour::Vec3 n = (b - a).Cross(c - a);
+    const double nn = n.Norm();
+    if (nn < 1e-15) continue;
+    n = {n.x / nn, n.y / nn, n.z / nn};
+    const double lambert = std::abs(n.Dot(light));  // two-sided
+    DrawTriangle(ToScreen(a, camera, fb), ToScreen(b, camera, fb),
+                 ToScreen(c, camera, fb), Shade(material, lambert), fb);
+  }
+  for (const auto& l : poly.lines()) {
+    DrawLine(ToScreen(pts[l[0]], camera, fb), ToScreen(pts[l[1]], camera, fb),
+             material.base, fb);
+  }
+}
+
+}  // namespace vizndp::render

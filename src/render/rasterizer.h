@@ -1,0 +1,21 @@
+// Triangle/line rasterization with z-buffering and Lambert shading.
+#pragma once
+
+#include "render/camera.h"
+#include "render/framebuffer.h"
+
+namespace vizndp::render {
+
+struct Material {
+  Color base = {200, 200, 220};
+  // Light direction in world space (toward the light); shading is
+  // two-sided Lambert plus a small ambient floor.
+  contour::Vec3 light = {0.4, 0.5, 0.8};
+  double ambient = 0.25;
+};
+
+// Renders triangles (shaded) and lines (flat base color) into `fb`.
+void RenderPolyData(const contour::PolyData& poly, const Camera& camera,
+                    const Material& material, Framebuffer& fb);
+
+}  // namespace vizndp::render

@@ -1,0 +1,37 @@
+#include "rpc/client.h"
+
+#include "common/error.h"
+#include "msgpack/pack.h"
+#include "msgpack/unpack.h"
+#include "rpc/protocol.h"
+
+namespace vizndp::rpc {
+
+msgpack::Value Client::Call(const std::string& method, msgpack::Array params) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t msgid = next_msgid_++;
+
+  msgpack::Array request;
+  request.emplace_back(kRequestType);
+  request.emplace_back(msgid);
+  request.emplace_back(method);
+  request.push_back(msgpack::Value(std::move(params)));
+  transport_->Send(msgpack::Encode(msgpack::Value(std::move(request))));
+
+  const Bytes reply = transport_->Receive();
+  msgpack::Value response = msgpack::Decode(reply);
+  auto& fields = response.AsMutable<msgpack::Array>();
+  if (fields.size() != 4 || fields[0].AsInt() != kResponseType) {
+    throw RpcError("malformed RPC response");
+  }
+  if (fields[1].AsUint() != msgid) {
+    throw RpcError("RPC response msgid mismatch");
+  }
+  if (!fields[2].IsNil()) {
+    throw RpcError("remote error calling '" + method +
+                   "': " + fields[2].As<std::string>());
+  }
+  return std::move(fields[3]);
+}
+
+}  // namespace vizndp::rpc

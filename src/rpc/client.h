@@ -1,0 +1,30 @@
+// RPC client: synchronous named calls over a Transport, mirroring
+// rpclib's `client.call(name, args...)`.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "msgpack/value.h"
+#include "net/transport.h"
+
+namespace vizndp::rpc {
+
+class Client {
+ public:
+  explicit Client(net::TransportPtr transport)
+      : transport_(std::move(transport)) {}
+
+  // Calls `method` with positional `params`; blocks for the reply.
+  // Throws RpcError when the server reports an error or the reply is
+  // malformed. Thread-safe (calls are serialized).
+  msgpack::Value Call(const std::string& method,
+                      msgpack::Array params = {});
+
+ private:
+  std::mutex mu_;
+  net::TransportPtr transport_;
+  std::uint64_t next_msgid_ = 1;
+};
+
+}  // namespace vizndp::rpc

@@ -1,0 +1,14 @@
+// msgpack-rpc wire protocol (the format rpclib speaks):
+//   request:  [0, msgid, method(str), params(array)]
+//   response: [1, msgid, error(nil|str), result]
+// Each message is one transport frame.
+#pragma once
+
+#include <cstdint>
+
+namespace vizndp::rpc {
+
+inline constexpr std::int64_t kRequestType = 0;
+inline constexpr std::int64_t kResponseType = 1;
+
+}  // namespace vizndp::rpc

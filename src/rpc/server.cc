@@ -1,0 +1,100 @@
+#include "rpc/server.h"
+
+#include "common/error.h"
+#include "msgpack/pack.h"
+#include "msgpack/unpack.h"
+#include "rpc/protocol.h"
+
+namespace vizndp::rpc {
+
+void Server::Bind(const std::string& method, Handler handler) {
+  VIZNDP_CHECK_MSG(handlers_.emplace(method, std::move(handler)).second,
+                   "duplicate RPC method '" + method + "'");
+}
+
+Bytes Server::Dispatch(ByteSpan request_frame) {
+  msgpack::Value request = msgpack::Decode(request_frame);
+  const auto& fields = request.As<msgpack::Array>();
+  if (fields.size() != 4 || fields[0].AsInt() != kRequestType) {
+    throw RpcError("malformed RPC request");
+  }
+  const std::uint64_t msgid = fields[1].AsUint();
+  const std::string& method = fields[2].As<std::string>();
+  const auto& params = fields[3].As<msgpack::Array>();
+
+  msgpack::Value result;
+  std::string error;
+  const auto it = handlers_.find(method);
+  if (it == handlers_.end()) {
+    error = "unknown method '" + method + "'";
+  } else {
+    try {
+      result = it->second(params);
+    } catch (const std::exception& e) {
+      error = std::string("handler failed: ") + e.what();
+    }
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  msgpack::Array response;
+  response.emplace_back(kResponseType);
+  response.emplace_back(msgid);
+  response.emplace_back(error.empty() ? msgpack::Value(msgpack::Nil{})
+                                      : msgpack::Value(std::move(error)));
+  response.push_back(std::move(result));
+  return msgpack::Encode(msgpack::Value(std::move(response)));
+}
+
+void Server::ServeTransport(net::Transport& transport) {
+  for (;;) {
+    Bytes request;
+    try {
+      request = transport.Receive();
+    } catch (const Error&) {
+      return;  // peer closed
+    }
+    const Bytes response = Dispatch(request);
+    transport.Send(response);
+  }
+}
+
+TcpRpcServer::TcpRpcServer(Server& server, std::uint16_t port)
+    : server_(server), listener_(port) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void TcpRpcServer::AcceptLoop() {
+  for (;;) {
+    net::TransportPtr conn;
+    try {
+      conn = listener_.Accept();
+    } catch (const Error&) {
+      return;  // listener torn down
+    }
+    if (stopping_.load()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers_.emplace_back(
+        [this, c = std::shared_ptr<net::Transport>(std::move(conn))] {
+          server_.ServeTransport(*c);
+        });
+  }
+}
+
+TcpRpcServer::~TcpRpcServer() {
+  stopping_.store(true);
+  // Wake the blocking accept() with a throwaway connection.
+  try {
+    net::TcpConnect("127.0.0.1", listener_.port());
+  } catch (const Error&) {
+    // Listener already failed; the accept thread has exited.
+  }
+  accept_thread_.join();
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+}  // namespace vizndp::rpc

@@ -1,0 +1,66 @@
+// RPC server: named handlers dispatched over any Transport. Mirrors
+// rpclib's `server.bind(name, fn)` model. Handler exceptions are caught
+// and returned to the caller as RPC errors rather than killing the server.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msgpack/value.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace vizndp::rpc {
+
+class Server {
+ public:
+  using Handler = std::function<msgpack::Value(const msgpack::Array& params)>;
+
+  void Bind(const std::string& method, Handler handler);
+
+  // Serves one connection until the peer closes. Runs on the caller's
+  // thread; use std::thread/ServeAsync for concurrent serving.
+  void ServeTransport(net::Transport& transport);
+
+  // Core dispatch: decodes one request frame, runs the handler, returns
+  // the encoded response frame. Exposed for tests.
+  Bytes Dispatch(ByteSpan request_frame);
+
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::map<std::string, Handler> handlers_;
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+// TCP front end: accepts connections on a loopback port and serves each on
+// its own thread. Stops (and joins) on destruction.
+class TcpRpcServer {
+ public:
+  // port 0 picks an ephemeral port.
+  explicit TcpRpcServer(Server& server, std::uint16_t port = 0);
+  ~TcpRpcServer();
+
+  TcpRpcServer(const TcpRpcServer&) = delete;
+  TcpRpcServer& operator=(const TcpRpcServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+ private:
+  void AcceptLoop();
+
+  Server& server_;
+  net::TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex workers_mu_;
+};
+
+}  // namespace vizndp::rpc

@@ -1,0 +1,76 @@
+#include "sim/noise.h"
+
+#include <cmath>
+
+namespace vizndp::sim {
+
+std::uint64_t HashU64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double LatticeRandom(std::int64_t i, std::int64_t j, std::int64_t k,
+                     std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h = HashU64(h ^ static_cast<std::uint64_t>(i));
+  h = HashU64(h ^ static_cast<std::uint64_t>(j));
+  h = HashU64(h ^ static_cast<std::uint64_t>(k));
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+namespace {
+
+double Fade(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+double ValueNoise(double x, double y, double z, std::uint64_t seed) {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const double fz = std::floor(z);
+  const auto i = static_cast<std::int64_t>(fx);
+  const auto j = static_cast<std::int64_t>(fy);
+  const auto k = static_cast<std::int64_t>(fz);
+  const double tx = Fade(x - fx);
+  const double ty = Fade(y - fy);
+  const double tz = Fade(z - fz);
+
+  double corners[2][2][2];
+  for (int dk = 0; dk < 2; ++dk) {
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int di = 0; di < 2; ++di) {
+        corners[dk][dj][di] = LatticeRandom(i + di, j + dj, k + dk, seed);
+      }
+    }
+  }
+  const auto lerp = [](double a, double b, double t) { return a + t * (b - a); };
+  const double c00 = lerp(corners[0][0][0], corners[0][0][1], tx);
+  const double c01 = lerp(corners[0][1][0], corners[0][1][1], tx);
+  const double c10 = lerp(corners[1][0][0], corners[1][0][1], tx);
+  const double c11 = lerp(corners[1][1][0], corners[1][1][1], tx);
+  const double c0 = lerp(c00, c01, ty);
+  const double c1 = lerp(c10, c11, ty);
+  return lerp(c0, c1, tz);
+}
+
+double FractalNoise(double x, double y, double z, std::uint64_t seed,
+                    int octaves) {
+  double sum = 0.0;
+  double amplitude = 1.0;
+  double total = 0.0;
+  double frequency = 1.0;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amplitude *
+           ValueNoise(x * frequency, y * frequency, z * frequency,
+                      seed + static_cast<std::uint64_t>(o) * 0x51ED2701u);
+    total += amplitude;
+    amplitude *= 0.5;
+    frequency *= 2.0;
+  }
+  return sum / total;
+}
+
+}  // namespace vizndp::sim

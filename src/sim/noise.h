@@ -1,0 +1,33 @@
+// Deterministic procedural noise used by the dataset generators: integer
+// hashing, trilinearly interpolated value noise, and fractal (multi-
+// octave) noise. Everything is a pure function of coordinates and seed,
+// so regenerating a timestep always yields identical bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace vizndp::sim {
+
+// SplitMix64-style avalanche hash.
+std::uint64_t HashU64(std::uint64_t x);
+
+// Hash of a lattice point plus seed, as a uniform double in [0, 1).
+double LatticeRandom(std::int64_t i, std::int64_t j, std::int64_t k,
+                     std::uint64_t seed);
+
+// Smooth value noise in [0, 1): trilinear interpolation of lattice
+// randoms with a smoothstep fade, sampled at continuous (x, y, z).
+double ValueNoise(double x, double y, double z, std::uint64_t seed);
+
+// Sum of `octaves` value-noise octaves (frequency doubles, amplitude
+// halves), normalized to [0, 1).
+double FractalNoise(double x, double y, double z, std::uint64_t seed,
+                    int octaves);
+
+// Zero-mean variant in [-1, 1).
+inline double SignedFractalNoise(double x, double y, double z,
+                                 std::uint64_t seed, int octaves) {
+  return 2.0 * FractalNoise(x, y, z, seed, octaves) - 1.0;
+}
+
+}  // namespace vizndp::sim

@@ -1,0 +1,117 @@
+#include "sim/nyx.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/noise.h"
+
+namespace vizndp::sim {
+
+namespace {
+
+struct Halo {
+  double x, y, z;
+  double radius;
+  double peak;
+};
+
+std::vector<Halo> MakeHalos(const NyxConfig& cfg) {
+  std::vector<Halo> halos;
+  halos.reserve(static_cast<size_t>(cfg.halo_count));
+  for (int h = 0; h < cfg.halo_count; ++h) {
+    const double u = LatticeRandom(h, 11, 0, cfg.seed ^ 0xAA01);
+    const double v = LatticeRandom(h, 12, 0, cfg.seed ^ 0xAA01);
+    const double w = LatticeRandom(h, 13, 0, cfg.seed ^ 0xAA01);
+    const double s = LatticeRandom(h, 14, 0, cfg.seed ^ 0xAA01);
+    const double p = LatticeRandom(h, 15, 0, cfg.seed ^ 0xAA01);
+    halos.push_back({u, v, w,
+                     (0.003 + 0.007 * s),  // compact: ~1-2 cells at n=128
+                     cfg.halo_peak_density * (0.4 + 1.6 * p)});
+  }
+  return halos;
+}
+
+}  // namespace
+
+const std::vector<std::string>& NyxArrayNames() {
+  static const std::vector<std::string> names = {
+      "velocity_x", "velocity_y",          "velocity_z",
+      "temperature", "dark_matter_density", "baryon_density"};
+  return names;
+}
+
+grid::Dataset GenerateNyx(const NyxConfig& config) {
+  return GenerateNyx(config, NyxArrayNames());
+}
+
+grid::Dataset GenerateNyx(const NyxConfig& config,
+                          const std::vector<std::string>& arrays) {
+  const std::int64_t n = config.n;
+  VIZNDP_CHECK_MSG(n >= 4, "nyx grid must be at least 4^3");
+  const grid::Dims dims{n, n, n};
+  const double inv = 1.0 / static_cast<double>(n);
+  grid::UniformGeometry geo;
+  geo.spacing = {inv, inv, inv};
+  grid::Dataset dataset(dims, geo);
+
+  const std::vector<Halo> halos = MakeHalos(config);
+  const auto npoints = static_cast<size_t>(dims.PointCount());
+
+  for (const std::string& name : arrays) {
+    std::vector<float> a(npoints);
+    std::uint64_t seed = config.seed;
+    for (size_t c = 0; c < name.size(); ++c) {
+      seed = HashU64(seed ^ static_cast<std::uint64_t>(name[c]));
+    }
+    for (std::int64_t k = 0; k < n; ++k) {
+      const double z = (static_cast<double>(k) + 0.5) * inv;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double y = (static_cast<double>(j) + 0.5) * inv;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double x = (static_cast<double>(i) + 0.5) * inv;
+          const size_t id = static_cast<size_t>(dims.Index(i, j, k));
+          if (name == "baryon_density" || name == "dark_matter_density") {
+            // Log-normal background: exp of zero-mean fractal noise. The
+            // cosmic-web filaments come from squaring one octave.
+            const double g =
+                SignedFractalNoise(x * 8, y * 8, z * 8, seed, 4);
+            const double web =
+                FractalNoise(x * 4 + 31, y * 4 + 17, z * 4 + 5, seed ^ 0x77, 3);
+            double density =
+                config.mean_density * std::exp(1.8 * g + 2.4 * web * web);
+            for (const Halo& halo : halos) {
+              // Periodic minimum-image distance.
+              double dx = std::abs(x - halo.x);
+              double dy = std::abs(y - halo.y);
+              double dz = std::abs(z - halo.z);
+              dx = std::min(dx, 1.0 - dx);
+              dy = std::min(dy, 1.0 - dy);
+              dz = std::min(dz, 1.0 - dz);
+              const double d2 = dx * dx + dy * dy + dz * dz;
+              const double r2 = halo.radius * halo.radius;
+              if (d2 < 9.0 * r2) {
+                density += halo.peak * std::exp(-d2 / r2);
+              }
+            }
+            // Full-precision jitter: keeps the bytes incompressible like
+            // the real dataset.
+            density *= 1.0 + 1e-4 * (LatticeRandom(i, j, k, seed ^ 0x9) - 0.5);
+            a[id] = static_cast<float>(
+                density * (name == "dark_matter_density" ? 5.2 : 1.0));
+          } else if (name == "temperature") {
+            const double g = FractalNoise(x * 10, y * 10, z * 10, seed, 4);
+            a[id] = static_cast<float>(1.0e4 * std::exp(2.0 * g));
+          } else {  // velocity components
+            a[id] = static_cast<float>(
+                3.0e7 * SignedFractalNoise(x * 6, y * 6, z * 6, seed, 4));
+          }
+        }
+      }
+    }
+    dataset.AddArray(grid::DataArray::FromVector(name, std::move(a)));
+  }
+  return dataset;
+}
+
+}  // namespace vizndp::sim

@@ -1,0 +1,42 @@
+// Synthetic Nyx-like cosmology snapshot — the stand-in for the paper's
+// SDRBench Nyx dataset (Sec. VII). Six arrays: velocity_{x,y,z},
+// temperature, dark_matter_density, baryon_density. The contour target is
+// baryon_density at the halo-formation threshold 81.66, with target
+// selectivity around 0.06% (paper Fig. 12).
+//
+// Fidelity drivers reproduced:
+//  * baryon density is a log-normal-ish field (exp of fractal noise) with
+//    explicit halo peaks, so the 81.66 threshold carves rare compact
+//    regions -> very low contour selectivity;
+//  * every value is full-precision float noise -> GZip/LZ4 achieve almost
+//    nothing (the paper measured an 11% size reduction), which is what
+//    makes Fig. 14's "compression does not help here" story come out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/dataset.h"
+
+namespace vizndp::sim {
+
+struct NyxConfig {
+  std::int64_t n = 128;  // grid is n^3
+  std::uint64_t seed = 16170424;
+  int halo_count = 60;           // explicit density peaks
+  double halo_peak_density = 400.0;
+  double mean_density = 1.0;     // cosmic mean (threshold is 81.66x this)
+};
+
+inline constexpr double kHaloThreshold = 81.66;
+
+const std::vector<std::string>& NyxArrayNames();
+
+grid::Dataset GenerateNyx(const NyxConfig& config);
+
+// Generates only the named arrays.
+grid::Dataset GenerateNyx(const NyxConfig& config,
+                          const std::vector<std::string>& arrays);
+
+}  // namespace vizndp::sim

@@ -1,0 +1,17 @@
+#include "storage/file_gateway.h"
+
+namespace vizndp::storage {
+
+GatewayFile::GatewayFile(ObjectStore& store, std::string bucket,
+                         std::string key)
+    : store_(store), bucket_(std::move(bucket)), key_(std::move(key)) {
+  size_ = store_.Stat(bucket_, key_).size;
+}
+
+Bytes GatewayFile::ReadAt(std::uint64_t offset, std::uint64_t length) const {
+  return store_.GetRange(bucket_, key_, offset, length);
+}
+
+Bytes GatewayFile::ReadAll() const { return store_.Get(bucket_, key_); }
+
+}  // namespace vizndp::storage

@@ -1,0 +1,59 @@
+// s3fs stand-in: exposes objects through a file-style open/read/size
+// interface so the VTK-like reader can consume the object store without
+// knowing whether it is local (NDP setup) or remote (baseline setup).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/object_store.h"
+
+namespace vizndp::storage {
+
+// A read-only "open file" over one object.
+class GatewayFile {
+ public:
+  GatewayFile(ObjectStore& store, std::string bucket, std::string key);
+
+  std::uint64_t size() const { return size_; }
+
+  // Reads up to `length` bytes at `offset` (short read only at EOF).
+  Bytes ReadAt(std::uint64_t offset, std::uint64_t length) const;
+
+  // Reads the whole object.
+  Bytes ReadAll() const;
+
+ private:
+  ObjectStore& store_;
+  std::string bucket_;
+  std::string key_;
+  std::uint64_t size_ = 0;
+};
+
+class FileGateway {
+ public:
+  // `store` must outlive the gateway.
+  FileGateway(ObjectStore& store, std::string bucket)
+      : store_(store), bucket_(std::move(bucket)) {}
+
+  GatewayFile Open(const std::string& key) const {
+    return GatewayFile(store_, bucket_, key);
+  }
+
+  bool Exists(const std::string& key) const {
+    return store_.Exists(bucket_, key);
+  }
+
+  std::vector<ObjectInfo> List(const std::string& prefix = "") const {
+    return store_.List(bucket_, prefix);
+  }
+
+  ObjectStore& store() const { return store_; }
+  const std::string& bucket() const { return bucket_; }
+
+ private:
+  ObjectStore& store_;
+  std::string bucket_;
+};
+
+}  // namespace vizndp::storage

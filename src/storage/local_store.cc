@@ -1,0 +1,155 @@
+#include "storage/local_store.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace vizndp::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Bucket and key names must stay inside the root: no absolute paths, no
+// parent traversal, no empty segments.
+void ValidateName(const std::string& name, bool allow_slash) {
+  VIZNDP_CHECK_MSG(!name.empty(), "empty object-store name");
+  VIZNDP_CHECK_MSG(name.front() != '/', "name must be relative: " + name);
+  size_t start = 0;
+  while (start <= name.size()) {
+    const size_t end = name.find('/', start);
+    const std::string seg =
+        name.substr(start, end == std::string::npos ? std::string::npos
+                                                    : end - start);
+    VIZNDP_CHECK_MSG(!seg.empty(), "empty path segment in: " + name);
+    VIZNDP_CHECK_MSG(seg != "." && seg != "..",
+                     "path traversal in object name: " + name);
+    if (end == std::string::npos) break;
+    VIZNDP_CHECK_MSG(allow_slash, "'/' not allowed in bucket name: " + name);
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+LocalObjectStore::LocalObjectStore(fs::path root, SsdModel* ssd)
+    : root_(std::move(root)), ssd_(ssd) {
+  fs::create_directories(root_);
+}
+
+fs::path LocalObjectStore::BucketPath(const std::string& bucket) const {
+  ValidateName(bucket, /*allow_slash=*/false);
+  return root_ / bucket;
+}
+
+fs::path LocalObjectStore::ObjectPath(const std::string& bucket,
+                                      const std::string& key) const {
+  ValidateName(key, /*allow_slash=*/true);
+  return BucketPath(bucket) / key;
+}
+
+void LocalObjectStore::CreateBucket(const std::string& bucket) {
+  fs::create_directories(BucketPath(bucket));
+}
+
+bool LocalObjectStore::BucketExists(const std::string& bucket) const {
+  return fs::is_directory(BucketPath(bucket));
+}
+
+void LocalObjectStore::Put(const std::string& bucket, const std::string& key,
+                           ByteSpan data) {
+  const fs::path path = ObjectPath(bucket, key);
+  VIZNDP_CHECK_MSG(BucketExists(bucket), "no such bucket: " + bucket);
+  fs::create_directories(path.parent_path());
+  // Write-then-rename so concurrent readers never observe a torn object.
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    VIZNDP_CHECK_MSG(out.good(), "cannot open for write: " + tmp.string());
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    VIZNDP_CHECK_MSG(out.good(), "short write: " + tmp.string());
+  }
+  fs::rename(tmp, path);
+  if (ssd_ != nullptr) ssd_->ChargeWrite(data.size());
+}
+
+Bytes LocalObjectStore::Get(const std::string& bucket, const std::string& key) {
+  const fs::path path = ObjectPath(bucket, key);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) {
+    throw IoError("no such object: " + bucket + "/" + key);
+  }
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  Bytes data(size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  VIZNDP_CHECK_MSG(in.good() || size == 0, "short read: " + path.string());
+  if (ssd_ != nullptr) ssd_->ChargeRead(size);
+  return data;
+}
+
+Bytes LocalObjectStore::GetRange(const std::string& bucket,
+                                 const std::string& key, std::uint64_t offset,
+                                 std::uint64_t length) {
+  const fs::path path = ObjectPath(bucket, key);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) {
+    throw IoError("no such object: " + bucket + "/" + key);
+  }
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (offset >= size) return {};
+  const std::uint64_t take = std::min(length, size - offset);
+  in.seekg(static_cast<std::streamoff>(offset));
+  Bytes data(take);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(take));
+  VIZNDP_CHECK_MSG(in.good() || take == 0, "short read: " + path.string());
+  if (ssd_ != nullptr) ssd_->ChargeRead(take);
+  return data;
+}
+
+ObjectInfo LocalObjectStore::Stat(const std::string& bucket,
+                                  const std::string& key) {
+  const fs::path path = ObjectPath(bucket, key);
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) {
+    throw IoError("no such object: " + bucket + "/" + key);
+  }
+  return {key, size};
+}
+
+bool LocalObjectStore::Exists(const std::string& bucket,
+                              const std::string& key) {
+  return fs::is_regular_file(ObjectPath(bucket, key));
+}
+
+void LocalObjectStore::Delete(const std::string& bucket,
+                              const std::string& key) {
+  if (!fs::remove(ObjectPath(bucket, key))) {
+    throw IoError("no such object: " + bucket + "/" + key);
+  }
+}
+
+std::vector<ObjectInfo> LocalObjectStore::List(const std::string& bucket,
+                                               const std::string& prefix) {
+  const fs::path dir = BucketPath(bucket);
+  if (!fs::is_directory(dir)) {
+    throw IoError("no such bucket: " + bucket);
+  }
+  std::vector<ObjectInfo> out;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string key = fs::relative(entry.path(), dir).generic_string();
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back({key, entry.file_size()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectInfo& a, const ObjectInfo& b) { return a.key < b.key; });
+  return out;
+}
+
+}  // namespace vizndp::storage

@@ -1,0 +1,44 @@
+// Directory-backed object store: one directory per bucket, one file per
+// object (keys may contain '/' and map to subdirectories). Stands in for
+// the MinIO server in the paper's testbed; reads and writes are charged
+// to an optional SsdModel so benches account for the local data path.
+#pragma once
+
+#include <filesystem>
+
+#include "storage/object_store.h"
+#include "storage/ssd_model.h"
+
+namespace vizndp::storage {
+
+class LocalObjectStore final : public ObjectStore {
+ public:
+  // `root` is created if missing. `ssd` may be null (no cost accounting)
+  // and must outlive the store otherwise.
+  explicit LocalObjectStore(std::filesystem::path root, SsdModel* ssd = nullptr);
+
+  void CreateBucket(const std::string& bucket) override;
+  bool BucketExists(const std::string& bucket) const override;
+  void Put(const std::string& bucket, const std::string& key,
+           ByteSpan data) override;
+  Bytes Get(const std::string& bucket, const std::string& key) override;
+  Bytes GetRange(const std::string& bucket, const std::string& key,
+                 std::uint64_t offset, std::uint64_t length) override;
+  ObjectInfo Stat(const std::string& bucket, const std::string& key) override;
+  bool Exists(const std::string& bucket, const std::string& key) override;
+  void Delete(const std::string& bucket, const std::string& key) override;
+  std::vector<ObjectInfo> List(const std::string& bucket,
+                               const std::string& prefix) override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path BucketPath(const std::string& bucket) const;
+  std::filesystem::path ObjectPath(const std::string& bucket,
+                                   const std::string& key) const;
+
+  std::filesystem::path root_;
+  SsdModel* ssd_;
+};
+
+}  // namespace vizndp::storage

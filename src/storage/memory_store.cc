@@ -1,0 +1,99 @@
+#include "storage/memory_store.h"
+
+#include "common/error.h"
+
+namespace vizndp::storage {
+
+void MemoryObjectStore::CreateBucket(const std::string& bucket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.try_emplace(bucket);
+}
+
+bool MemoryObjectStore::BucketExists(const std::string& bucket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.count(bucket) > 0;
+}
+
+const Bytes& MemoryObjectStore::Lookup(const std::string& bucket,
+                                       const std::string& key) const {
+  const auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) {
+    throw IoError("no such bucket: " + bucket);
+  }
+  const auto oit = bit->second.find(key);
+  if (oit == bit->second.end()) {
+    throw IoError("no such object: " + bucket + "/" + key);
+  }
+  return oit->second;
+}
+
+void MemoryObjectStore::Put(const std::string& bucket, const std::string& key,
+                            ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) {
+    throw IoError("no such bucket: " + bucket);
+  }
+  bit->second[key] = Bytes(data.begin(), data.end());
+  if (ssd_ != nullptr) ssd_->ChargeWrite(data.size());
+}
+
+Bytes MemoryObjectStore::Get(const std::string& bucket,
+                             const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Bytes& data = Lookup(bucket, key);
+  if (ssd_ != nullptr) ssd_->ChargeRead(data.size());
+  return data;
+}
+
+Bytes MemoryObjectStore::GetRange(const std::string& bucket,
+                                  const std::string& key, std::uint64_t offset,
+                                  std::uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Bytes& data = Lookup(bucket, key);
+  if (offset >= data.size()) return {};
+  const std::uint64_t take = std::min<std::uint64_t>(length, data.size() - offset);
+  if (ssd_ != nullptr) ssd_->ChargeRead(take);
+  return Bytes(data.begin() + static_cast<std::ptrdiff_t>(offset),
+               data.begin() + static_cast<std::ptrdiff_t>(offset + take));
+}
+
+ObjectInfo MemoryObjectStore::Stat(const std::string& bucket,
+                                   const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {key, Lookup(bucket, key).size()};
+}
+
+bool MemoryObjectStore::Exists(const std::string& bucket,
+                               const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto bit = buckets_.find(bucket);
+  return bit != buckets_.end() && bit->second.count(key) > 0;
+}
+
+void MemoryObjectStore::Delete(const std::string& bucket,
+                               const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end() || bit->second.erase(key) == 0) {
+    throw IoError("no such object: " + bucket + "/" + key);
+  }
+}
+
+std::vector<ObjectInfo> MemoryObjectStore::List(const std::string& bucket,
+                                                const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) {
+    throw IoError("no such bucket: " + bucket);
+  }
+  std::vector<ObjectInfo> out;
+  for (const auto& [key, data] : bit->second) {
+    if (key.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back({key, data.size()});
+    }
+  }
+  return out;
+}
+
+}  // namespace vizndp::storage

@@ -1,0 +1,41 @@
+// In-memory object store for unit tests and fast benches where the
+// filesystem would only add noise. Optionally charged to an SsdModel so
+// timing-model tests can use it too.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "storage/object_store.h"
+#include "storage/ssd_model.h"
+
+namespace vizndp::storage {
+
+class MemoryObjectStore final : public ObjectStore {
+ public:
+  explicit MemoryObjectStore(SsdModel* ssd = nullptr) : ssd_(ssd) {}
+
+  void CreateBucket(const std::string& bucket) override;
+  bool BucketExists(const std::string& bucket) const override;
+  void Put(const std::string& bucket, const std::string& key,
+           ByteSpan data) override;
+  Bytes Get(const std::string& bucket, const std::string& key) override;
+  Bytes GetRange(const std::string& bucket, const std::string& key,
+                 std::uint64_t offset, std::uint64_t length) override;
+  ObjectInfo Stat(const std::string& bucket, const std::string& key) override;
+  bool Exists(const std::string& bucket, const std::string& key) override;
+  void Delete(const std::string& bucket, const std::string& key) override;
+  std::vector<ObjectInfo> List(const std::string& bucket,
+                               const std::string& prefix) override;
+
+ private:
+  using Bucket = std::map<std::string, Bytes>;
+
+  const Bytes& Lookup(const std::string& bucket, const std::string& key) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+  SsdModel* ssd_;
+};
+
+}  // namespace vizndp::storage

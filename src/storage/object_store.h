@@ -1,0 +1,54 @@
+// S3-style object store interface — the role MinIO plays in the paper's
+// testbed. Implementations: LocalObjectStore (directory-backed, with an
+// SSD cost model), MemoryObjectStore (tests), RemoteObjectStore (RPC
+// proxy, standing in for s3fs-talking-to-a-remote-MinIO).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace vizndp::storage {
+
+struct ObjectInfo {
+  std::string key;
+  std::uint64_t size = 0;
+};
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  virtual void CreateBucket(const std::string& bucket) = 0;
+  virtual bool BucketExists(const std::string& bucket) const = 0;
+
+  // Overwrites any existing object.
+  virtual void Put(const std::string& bucket, const std::string& key,
+                   ByteSpan data) = 0;
+
+  // Throws IoError when the object does not exist.
+  virtual Bytes Get(const std::string& bucket, const std::string& key) = 0;
+
+  // Ranged read, S3 GetObject-with-Range style. Reading past the end
+  // returns the available suffix (possibly empty).
+  virtual Bytes GetRange(const std::string& bucket, const std::string& key,
+                         std::uint64_t offset, std::uint64_t length) = 0;
+
+  virtual ObjectInfo Stat(const std::string& bucket,
+                          const std::string& key) = 0;
+
+  virtual bool Exists(const std::string& bucket, const std::string& key) = 0;
+
+  virtual void Delete(const std::string& bucket, const std::string& key) = 0;
+
+  // Keys under `prefix`, sorted.
+  virtual std::vector<ObjectInfo> List(const std::string& bucket,
+                                       const std::string& prefix) = 0;
+};
+
+using ObjectStorePtr = std::shared_ptr<ObjectStore>;
+
+}  // namespace vizndp::storage

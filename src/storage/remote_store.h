@@ -1,0 +1,35 @@
+// ObjectStore proxy over an RPC client — the client-node half of the
+// baseline setup (s3fs mounting a remote MinIO). All payload bytes flow
+// through the underlying transport, where the SimulatedLink charges them.
+#pragma once
+
+#include <memory>
+
+#include "rpc/client.h"
+#include "storage/object_store.h"
+
+namespace vizndp::storage {
+
+class RemoteObjectStore final : public ObjectStore {
+ public:
+  explicit RemoteObjectStore(std::shared_ptr<rpc::Client> client)
+      : client_(std::move(client)) {}
+
+  void CreateBucket(const std::string& bucket) override;
+  bool BucketExists(const std::string& bucket) const override;
+  void Put(const std::string& bucket, const std::string& key,
+           ByteSpan data) override;
+  Bytes Get(const std::string& bucket, const std::string& key) override;
+  Bytes GetRange(const std::string& bucket, const std::string& key,
+                 std::uint64_t offset, std::uint64_t length) override;
+  ObjectInfo Stat(const std::string& bucket, const std::string& key) override;
+  bool Exists(const std::string& bucket, const std::string& key) override;
+  void Delete(const std::string& bucket, const std::string& key) override;
+  std::vector<ObjectInfo> List(const std::string& bucket,
+                               const std::string& prefix) override;
+
+ private:
+  std::shared_ptr<rpc::Client> client_;
+};
+
+}  // namespace vizndp::storage

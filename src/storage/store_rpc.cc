@@ -1,0 +1,50 @@
+#include "storage/store_rpc.h"
+
+namespace vizndp::storage {
+
+using msgpack::Array;
+using msgpack::Value;
+
+void BindObjectStoreRpc(rpc::Server& server, ObjectStore& store) {
+  server.Bind(kRpcStoreGet, [&store](const Array& p) -> Value {
+    return Value(store.Get(p.at(0).As<std::string>(),
+                           p.at(1).As<std::string>()));
+  });
+  server.Bind(kRpcStoreGetRange, [&store](const Array& p) -> Value {
+    return Value(store.GetRange(p.at(0).As<std::string>(),
+                                p.at(1).As<std::string>(), p.at(2).AsUint(),
+                                p.at(3).AsUint()));
+  });
+  server.Bind(kRpcStorePut, [&store](const Array& p) -> Value {
+    store.Put(p.at(0).As<std::string>(), p.at(1).As<std::string>(),
+              p.at(2).As<Bytes>());
+    return Value();
+  });
+  server.Bind(kRpcStoreStat, [&store](const Array& p) -> Value {
+    const ObjectInfo info =
+        store.Stat(p.at(0).As<std::string>(), p.at(1).As<std::string>());
+    return Value(Array{Value(info.key), Value(std::uint64_t{info.size})});
+  });
+  server.Bind(kRpcStoreExists, [&store](const Array& p) -> Value {
+    return Value(store.Exists(p.at(0).As<std::string>(),
+                              p.at(1).As<std::string>()));
+  });
+  server.Bind(kRpcStoreList, [&store](const Array& p) -> Value {
+    Array out;
+    for (const ObjectInfo& info : store.List(p.at(0).As<std::string>(),
+                                             p.at(1).As<std::string>())) {
+      out.push_back(Value(Array{Value(info.key), Value(std::uint64_t{info.size})}));
+    }
+    return Value(std::move(out));
+  });
+  server.Bind(kRpcStoreDelete, [&store](const Array& p) -> Value {
+    store.Delete(p.at(0).As<std::string>(), p.at(1).As<std::string>());
+    return Value();
+  });
+  server.Bind(kRpcStoreCreateBucket, [&store](const Array& p) -> Value {
+    store.CreateBucket(p.at(0).As<std::string>());
+    return Value();
+  });
+}
+
+}  // namespace vizndp::storage

@@ -1,0 +1,25 @@
+// RPC surface of an object store. Binding a store into an rpc::Server
+// plus a RemoteObjectStore on the other end of the transport gives the
+// paper's baseline data path: an s3fs-style client accessing a remote
+// MinIO, with every object byte crossing the (modeled) network.
+#pragma once
+
+#include "rpc/server.h"
+#include "storage/object_store.h"
+
+namespace vizndp::storage {
+
+// Method names registered by BindObjectStoreRpc.
+inline constexpr const char* kRpcStoreGet = "store.get";
+inline constexpr const char* kRpcStoreGetRange = "store.get_range";
+inline constexpr const char* kRpcStorePut = "store.put";
+inline constexpr const char* kRpcStoreStat = "store.stat";
+inline constexpr const char* kRpcStoreExists = "store.exists";
+inline constexpr const char* kRpcStoreList = "store.list";
+inline constexpr const char* kRpcStoreDelete = "store.delete";
+inline constexpr const char* kRpcStoreCreateBucket = "store.create_bucket";
+
+// Registers handlers for all store methods. `store` must outlive `server`.
+void BindObjectStoreRpc(rpc::Server& server, ObjectStore& store);
+
+}  // namespace vizndp::storage

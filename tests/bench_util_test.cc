@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util/stats.h"
+#include "bench_util/table.h"
+#include "bench_util/testbed.h"
+
+namespace vizndp::bench_util {
+namespace {
+
+TEST(Stats, SummarizeBasics) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, SummarizeDegenerateInputs) {
+  EXPECT_EQ(Summarize({}).count, 0u);
+  const Summary one = Summarize({7.0});
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  // Defeat constant folding without the deprecated volatile compound op.
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GT(sw.Seconds(), 0.0);
+}
+
+TEST(LoadTimer, CombinesRealAndVirtualTime) {
+  net::SimulatedLink link({.bandwidth_bytes_per_sec = 1000.0,
+                           .latency_sec = 0.0,
+                           .overhead_factor = 1.0});
+  storage::SsdModel ssd({.read_bandwidth_bytes_per_sec = 1000.0,
+                         .write_bandwidth_bytes_per_sec = 1000.0,
+                         .access_latency_sec = 0.0});
+  LoadTimer timer(link, ssd);
+  link.ChargeTransfer(500);   // 0.5 virtual s
+  ssd.ChargeRead(250);        // 0.25 virtual s
+  const LoadTimer::Result r = timer.Stop();
+  EXPECT_NEAR(r.network_s, 0.5, 1e-9);
+  EXPECT_NEAR(r.storage_s, 0.25, 1e-9);
+  EXPECT_EQ(r.network_bytes, 500u);
+  EXPECT_GE(r.total_s, r.network_s + r.storage_s);
+  EXPECT_NEAR(r.total_s, r.real_s + 0.75, 1e-9);
+}
+
+TEST(LoadTimer, IgnoresChargesBeforeConstruction) {
+  net::SimulatedLink link;
+  storage::SsdModel ssd;
+  link.ChargeTransfer(1000000);
+  LoadTimer timer(link, ssd);
+  const auto r = timer.Stop();
+  EXPECT_EQ(r.network_bytes, 0u);
+  EXPECT_NEAR(r.network_s, 0.0, 1e-12);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+}
+
+TEST(Table, CsvEscaping) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "vizndp_table_test.csv";
+  Table t({"k", "v"});
+  t.AddRow({"plain", "has,comma"});
+  t.AddRow({"quote\"d", "line"});
+  t.WriteCsv(path.string());
+  std::ifstream in(path);
+  std::string l0, l1, l2;
+  std::getline(in, l0);
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l0, "k,v");
+  EXPECT_EQ(l1, "plain,\"has,comma\"");
+  EXPECT_EQ(l2, "\"quote\"\"d\",line");
+  std::filesystem::remove(path);
+}
+
+TEST(Format, HumanReadableUnits) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0.5us");
+  EXPECT_EQ(FormatSeconds(0.002), "2.00ms");
+  EXPECT_EQ(FormatSeconds(3.5), "3.50s");
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.0KiB");
+  EXPECT_EQ(FormatBytes(3u << 20), "3.0MiB");
+  EXPECT_EQ(FormatRatio(2.5), "2.50x");
+  EXPECT_EQ(FormatRatio(250.0), "250x");
+}
+
+TEST(Testbed, BaselineVsNdpTrafficAccounting) {
+  Testbed testbed;
+  const Bytes blob(100000, 0x42);
+  testbed.store().Put(testbed.bucket(), "obj", blob);
+
+  testbed.link().Reset();
+  auto gateway = testbed.RemoteGateway();
+  EXPECT_EQ(gateway.Open("obj").ReadAll(), blob);
+  // Remote read crossed the link.
+  EXPECT_GT(testbed.link().bytes_transferred(), blob.size());
+
+  testbed.link().Reset();
+  auto local = testbed.LocalGateway();
+  EXPECT_EQ(local.Open("obj").ReadAll(), blob);
+  // Local read did not.
+  EXPECT_EQ(testbed.link().bytes_transferred(), 0u);
+}
+
+TEST(Testbed, SsdChargedOnBothPaths) {
+  Testbed testbed;
+  testbed.store().Put(testbed.bucket(), "obj", Bytes(5000));
+  testbed.ssd().Reset();
+  (void)testbed.RemoteGateway().Open("obj").ReadAll();
+  const std::uint64_t remote_read = testbed.ssd().bytes_read();
+  testbed.ssd().Reset();
+  (void)testbed.LocalGateway().Open("obj").ReadAll();
+  EXPECT_EQ(testbed.ssd().bytes_read(), remote_read);
+}
+
+TEST(Testbed, DiskBackedStoreWorks) {
+  const auto root =
+      std::filesystem::temp_directory_path() / "vizndp_testbed_disk";
+  {
+    TestbedConfig cfg;
+    cfg.disk_root = root;
+    Testbed testbed(cfg);
+    testbed.store().Put(testbed.bucket(), "k", ToBytes("on disk"));
+    EXPECT_EQ(testbed.RemoteGateway().Open("k").ReadAll(), ToBytes("on disk"));
+  }
+  EXPECT_TRUE(std::filesystem::exists(root));
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace vizndp::bench_util

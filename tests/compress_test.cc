@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compress/checksum.h"
+#include "compress/codec.h"
+#include "compress/deflate.h"
+#include "compress/gzip.h"
+#include "compress/lz4.h"
+#include "compress/rle.h"
+#include "compress/zlib_stream.h"
+
+#ifdef VIZNDP_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace vizndp::compress {
+namespace {
+
+// Input families with distinct statistics; each codec must round-trip all
+// of them at every size.
+enum class InputKind { kRandom, kRuns, kLowEntropy, kText, kFloatLike };
+
+Bytes MakeInput(InputKind kind, size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  Bytes out(n);
+  switch (kind) {
+    case InputKind::kRandom:
+      for (auto& b : out) b = static_cast<Byte>(rng());
+      break;
+    case InputKind::kRuns:
+      for (size_t i = 0; i < n; ++i) out[i] = static_cast<Byte>((i / 97) % 7);
+      break;
+    case InputKind::kLowEntropy:
+      for (auto& b : out) b = static_cast<Byte>((rng() % 4) * 63);
+      break;
+    case InputKind::kText: {
+      const std::string words = "the quick brown fox jumps over the lazy dog ";
+      for (size_t i = 0; i < n; ++i) out[i] = static_cast<Byte>(words[i % words.size()]);
+      break;
+    }
+    case InputKind::kFloatLike: {
+      // Smooth field bytes: small mantissa deltas like quantized science
+      // data.
+      float v = 1.0f;
+      for (size_t i = 0; i + 4 <= n; i += 4) {
+        v += static_cast<float>(static_cast<int>(rng() % 5) - 2) / 256.0f;
+        std::memcpy(out.data() + i, &v, 4);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+struct RoundTripCase {
+  std::string codec;
+  InputKind kind;
+  size_t size;
+};
+
+class CodecRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int, size_t>> {};
+
+TEST_P(CodecRoundTripTest, DecodeRecoversInput) {
+  const auto& [codec_name, kind, size] = GetParam();
+  const CodecPtr codec = MakeCodec(codec_name);
+  const Bytes input =
+      MakeInput(static_cast<InputKind>(kind), size,
+                static_cast<unsigned>(size * 7919 + kind));
+  const Bytes compressed = codec->Compress(input);
+  const Bytes output = codec->Decompress(compressed, input.size());
+  EXPECT_EQ(output, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecRoundTripTest,
+    ::testing::Combine(::testing::Values("none", "gzip", "lz4", "rle", "zlib"),
+                       ::testing::Range(0, 5),
+                       ::testing::Values<size_t>(0, 1, 2, 13, 255, 4096,
+                                                 65535, 65536, 300000)));
+
+TEST(Checksum, Crc32KnownVectors) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32(AsBytes(std::string_view("123456789"))), 0xCBF43926u);
+  EXPECT_EQ(Crc32(ByteSpan{}), 0u);
+}
+
+TEST(Checksum, Crc32Incremental) {
+  const Bytes data = ToBytes("hello world, this is a checksum");
+  const std::uint32_t whole = Crc32(data);
+  const std::uint32_t part1 = Crc32(ByteSpan(data).first(10));
+  const std::uint32_t part2 = Crc32(ByteSpan(data).subspan(10), part1);
+  EXPECT_EQ(whole, part2);
+}
+
+TEST(Checksum, Adler32KnownVector) {
+  // Adler32("Wikipedia") = 0x11E60398.
+  EXPECT_EQ(Adler32(AsBytes(std::string_view("Wikipedia"))), 0x11E60398u);
+  EXPECT_EQ(Adler32(ByteSpan{}), 1u);
+}
+
+TEST(Gzip, ProducesValidMemberHeader) {
+  const GzipCodec codec;
+  const Bytes out = codec.Compress(ToBytes("payload"));
+  ASSERT_GE(out.size(), 20u);
+  EXPECT_EQ(out[0], 0x1F);
+  EXPECT_EQ(out[1], 0x8B);
+  EXPECT_EQ(out[2], 8);  // deflate
+}
+
+TEST(Gzip, DetectsCorruptBody) {
+  const GzipCodec codec;
+  const Bytes input = MakeInput(InputKind::kText, 5000, 1);
+  Bytes compressed = codec.Compress(input);
+  // Flip a byte in the middle of the deflate body.
+  compressed[compressed.size() / 2] ^= 0xFF;
+  EXPECT_THROW(codec.Decompress(compressed, input.size()), DecodeError);
+}
+
+TEST(Gzip, DetectsBadMagicAndTruncation) {
+  const GzipCodec codec;
+  Bytes compressed = codec.Compress(ToBytes("data data data"));
+  Bytes bad_magic = compressed;
+  bad_magic[0] = 0x00;
+  EXPECT_THROW(codec.Decompress(bad_magic), DecodeError);
+  const Bytes truncated(compressed.begin(), compressed.begin() + 12);
+  EXPECT_THROW(codec.Decompress(truncated), DecodeError);
+}
+
+TEST(Gzip, SkipsOptionalHeaderFields) {
+  // Hand-build a member with FNAME set.
+  const GzipCodec codec;
+  const Bytes input = ToBytes("named content");
+  const Bytes plain = codec.Compress(input);
+  Bytes named;
+  named.insert(named.end(), plain.begin(), plain.begin() + 3);
+  named.push_back(0x08);  // FLG: FNAME
+  named.insert(named.end(), plain.begin() + 4, plain.begin() + 10);
+  const std::string fname = "file.vnd";
+  named.insert(named.end(), fname.begin(), fname.end());
+  named.push_back(0);
+  named.insert(named.end(), plain.begin() + 10, plain.end());
+  EXPECT_EQ(codec.Decompress(named, input.size()), input);
+}
+
+TEST(Deflate, StoredBlocksForIncompressibleData) {
+  // Random data must not blow up: stored blocks cap expansion at ~5 B per
+  // 64 KiB block plus the block headers.
+  const Bytes input = MakeInput(InputKind::kRandom, 200000, 2);
+  const Bytes compressed = DeflateCompress(input);
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 100 + 64);
+  EXPECT_EQ(InflateRaw(compressed, input.size()), input);
+}
+
+TEST(Deflate, CompressesStructuredDataWell) {
+  const Bytes input = MakeInput(InputKind::kRuns, 100000, 3);
+  const Bytes compressed = DeflateCompress(input);
+  EXPECT_LT(compressed.size(), input.size() / 20);
+}
+
+TEST(Deflate, LevelsTradeRatioForEffort) {
+  const Bytes input = MakeInput(InputKind::kText, 200000, 4);
+  const Bytes fast = DeflateCompress(input, {.level = 1});
+  const Bytes best = DeflateCompress(input, {.level = 9});
+  EXPECT_EQ(InflateRaw(fast, input.size()), input);
+  EXPECT_EQ(InflateRaw(best, input.size()), input);
+  EXPECT_LE(best.size(), fast.size());
+}
+
+TEST(Deflate, RejectsReservedBlockType) {
+  Bytes bad = {0x07};  // BFINAL=1, BTYPE=3 (reserved)
+  EXPECT_THROW(InflateRaw(bad), DecodeError);
+}
+
+TEST(Deflate, RejectsTruncatedStream) {
+  const Bytes input = MakeInput(InputKind::kText, 10000, 5);
+  Bytes compressed = DeflateCompress(input);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW(InflateRaw(compressed, input.size()), DecodeError);
+}
+
+TEST(Deflate, ConsumedReportsStreamEnd) {
+  const Bytes input = MakeInput(InputKind::kText, 5000, 6);
+  Bytes compressed = DeflateCompress(input);
+  const size_t stream_size = compressed.size();
+  // Append trailer-like garbage; inflate must stop at the stream end.
+  compressed.insert(compressed.end(), {1, 2, 3, 4, 5, 6, 7, 8});
+  size_t consumed = 0;
+  EXPECT_EQ(InflateRaw(compressed, input.size(), &consumed), input);
+  EXPECT_EQ(consumed, stream_size);
+}
+
+#ifdef VIZNDP_HAVE_ZLIB
+TEST(Deflate, ZlibCanInflateOurOutput) {
+  for (const InputKind kind :
+       {InputKind::kRandom, InputKind::kRuns, InputKind::kText,
+        InputKind::kFloatLike}) {
+    const Bytes input = MakeInput(kind, 150000, 7);
+    const Bytes compressed = DeflateCompress(input);
+    Bytes out(input.size() + 64);
+    z_stream zs{};
+    ASSERT_EQ(inflateInit2(&zs, -15), Z_OK);
+    zs.next_in = const_cast<Bytef*>(compressed.data());
+    zs.avail_in = static_cast<uInt>(compressed.size());
+    zs.next_out = out.data();
+    zs.avail_out = static_cast<uInt>(out.size());
+    const int rc = inflate(&zs, Z_FINISH);
+    EXPECT_EQ(rc, Z_STREAM_END);
+    out.resize(zs.total_out);
+    inflateEnd(&zs);
+    EXPECT_EQ(out, input);
+  }
+}
+
+TEST(Deflate, WeCanInflateZlibOutput) {
+  for (const int level : {1, 6, 9}) {
+    const Bytes input = MakeInput(InputKind::kFloatLike, 150000,
+                                  static_cast<unsigned>(level));
+    Bytes compressed(compressBound(static_cast<uLong>(input.size())) + 16);
+    z_stream zs{};
+    ASSERT_EQ(deflateInit2(&zs, level, Z_DEFLATED, -15, 8, Z_DEFAULT_STRATEGY),
+              Z_OK);
+    zs.next_in = const_cast<Bytef*>(input.data());
+    zs.avail_in = static_cast<uInt>(input.size());
+    zs.next_out = compressed.data();
+    zs.avail_out = static_cast<uInt>(compressed.size());
+    ASSERT_EQ(deflate(&zs, Z_FINISH), Z_STREAM_END);
+    compressed.resize(zs.total_out);
+    deflateEnd(&zs);
+    EXPECT_EQ(InflateRaw(compressed, input.size()), input);
+  }
+}
+#endif  // VIZNDP_HAVE_ZLIB
+
+TEST(Lz4, BlockFormatEssentials) {
+  // "aaaaaaaaaaaaaaaaaaaaaaaa" compresses to one short match sequence.
+  const Bytes input(24, 'a');
+  const Bytes block = Lz4CompressBlock(input);
+  EXPECT_LT(block.size(), input.size());
+  EXPECT_EQ(Lz4DecompressBlock(block, input.size()), input);
+}
+
+TEST(Lz4, RejectsBadOffset) {
+  // token: 0 literals, match len 4; offset 5 with empty history.
+  const Bytes bad = {0x00, 0x05, 0x00};
+  EXPECT_THROW(Lz4DecompressBlock(bad, 4), DecodeError);
+}
+
+TEST(Lz4, RejectsZeroOffset) {
+  const Bytes bad = {0x00, 0x00, 0x00};
+  EXPECT_THROW(Lz4DecompressBlock(bad, 4), DecodeError);
+}
+
+TEST(Lz4, RejectsSizeMismatch) {
+  const Bytes input(100, 'x');
+  const Bytes block = Lz4CompressBlock(input);
+  EXPECT_THROW(Lz4DecompressBlock(block, 99), DecodeError);
+  EXPECT_THROW(Lz4DecompressBlock(block, 101), DecodeError);
+}
+
+TEST(Lz4, OverlappingMatchesDecodeCorrectly) {
+  // Offset 1 with long match = classic RLE-via-overlap.
+  Bytes input;
+  input.push_back('z');
+  input.insert(input.end(), 300, 'q');
+  input.insert(input.end(), {'e', 'n', 'd', '!', '!', '?', '.', ',', ';',
+                             ':', 'a', 'b', 'c'});
+  const Bytes block = Lz4CompressBlock(input);
+  EXPECT_EQ(Lz4DecompressBlock(block, input.size()), input);
+}
+
+TEST(Lz4, FrameCarriesDecompressedSize) {
+  const Lz4Codec codec;
+  const Bytes input = MakeInput(InputKind::kLowEntropy, 50000, 8);
+  const Bytes frame = codec.Compress(input);
+  EXPECT_EQ(LoadLE<std::uint64_t>(frame.data()), input.size());
+  EXPECT_THROW(codec.Decompress(Bytes{1, 2, 3}), DecodeError);
+}
+
+TEST(Lz4, AccelerationTradesRatioForSpeed) {
+  const Bytes input = MakeInput(InputKind::kText, 300000, 9);
+  const Lz4Codec normal(1);
+  const Lz4Codec fast(32);
+  const Bytes a = normal.Compress(input);
+  const Bytes b = fast.Compress(input);
+  EXPECT_EQ(normal.Decompress(a), input);
+  EXPECT_EQ(fast.Decompress(b), input);
+  EXPECT_LE(a.size(), b.size());
+}
+
+TEST(Rle, CompressesRunsHard) {
+  const RleCodec codec;
+  const Bytes input(10000, 0x55);
+  const Bytes compressed = codec.Compress(input);
+  EXPECT_LT(compressed.size(), 200u);
+  EXPECT_EQ(codec.Decompress(compressed, input.size()), input);
+}
+
+TEST(Rle, LiteralRunBoundaries) {
+  const RleCodec codec;
+  // 129 distinct bytes forces a literal-run split at 128.
+  Bytes input;
+  for (int i = 0; i < 129; ++i) input.push_back(static_cast<Byte>(i));
+  const Bytes compressed = codec.Compress(input);
+  EXPECT_EQ(codec.Decompress(compressed, input.size()), input);
+}
+
+TEST(Rle, TruncatedInputThrows) {
+  const RleCodec codec;
+  EXPECT_THROW(codec.Decompress(Bytes{0x05, 'a'}, 0), DecodeError);  // wants 6
+  EXPECT_THROW(codec.Decompress(Bytes{0x80}, 0), DecodeError);  // repeat, no byte
+}
+
+TEST(Zlib, HeaderCheckBytes) {
+  const ZlibCodec codec;
+  const Bytes out = codec.Compress(ToBytes("zlib framed"));
+  ASSERT_GE(out.size(), 7u);
+  EXPECT_EQ(out[0] & 0x0F, 8);                      // deflate
+  EXPECT_EQ((out[0] * 256 + out[1]) % 31, 0);       // FCHECK
+}
+
+TEST(Zlib, DetectsCorruption) {
+  const ZlibCodec codec;
+  const Bytes input = MakeInput(InputKind::kText, 4000, 21);
+  Bytes compressed = codec.Compress(input);
+  compressed[1] ^= 0x01;  // break FCHECK
+  EXPECT_THROW(codec.Decompress(compressed, input.size()), DecodeError);
+  Bytes bad_body = codec.Compress(input);
+  bad_body[bad_body.size() / 2] ^= 0xFF;
+  EXPECT_THROW(codec.Decompress(bad_body, input.size()), DecodeError);
+}
+
+#ifdef VIZNDP_HAVE_ZLIB
+TEST(Zlib, InteroperatesWithLibz) {
+  const Bytes input = MakeInput(InputKind::kFloatLike, 120000, 22);
+  // Ours -> libz.
+  const ZlibCodec codec;
+  const Bytes ours = codec.Compress(input);
+  uLongf dest_len = static_cast<uLongf>(input.size() + 64);
+  Bytes dest(dest_len);
+  ASSERT_EQ(uncompress(dest.data(), &dest_len, ours.data(),
+                       static_cast<uLong>(ours.size())),
+            Z_OK);
+  dest.resize(dest_len);
+  EXPECT_EQ(dest, input);
+  // libz -> ours.
+  uLongf comp_len = compressBound(static_cast<uLong>(input.size()));
+  Bytes libz_out(comp_len);
+  ASSERT_EQ(compress2(libz_out.data(), &comp_len, input.data(),
+                      static_cast<uLong>(input.size()), 6),
+            Z_OK);
+  libz_out.resize(comp_len);
+  EXPECT_EQ(codec.Decompress(libz_out, input.size()), input);
+}
+#endif  // VIZNDP_HAVE_ZLIB
+
+TEST(CodecRegistry, KnowsAllCodecs) {
+  for (const std::string& name : RegisteredCodecNames()) {
+    const CodecPtr codec = MakeCodec(name);
+    EXPECT_EQ(codec->name(), name);
+  }
+  EXPECT_THROW(MakeCodec("zstd"), Error);
+}
+
+TEST(CodecRatios, OrderingMatchesPaperExpectations) {
+  // On low-entropy quantized data (like volume fractions) GZip should
+  // out-compress LZ4, and both should beat RLE on mixed content.
+  const Bytes input = MakeInput(InputKind::kLowEntropy, 500000, 10);
+  const size_t gz = MakeCodec("gzip")->Compress(input).size();
+  const size_t lz = MakeCodec("lz4")->Compress(input).size();
+  EXPECT_LT(gz, lz);
+}
+
+}  // namespace
+}  // namespace vizndp::compress

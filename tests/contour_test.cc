@@ -1,0 +1,693 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "contour/components.h"
+#include "contour/contour_filter.h"
+#include "contour/marching_cubes.h"
+#include "contour/marching_squares.h"
+#include "contour/mc_tables.h"
+#include "contour/ms_core.h"
+#include "contour/select.h"
+#include "contour/sparse_field.h"
+
+namespace vizndp::contour {
+namespace {
+
+std::vector<float> SphereField(const grid::Dims& d, double cx, double cy,
+                               double cz) {
+  std::vector<float> f(static_cast<size_t>(d.PointCount()));
+  for (std::int64_t k = 0; k < d.nz; ++k) {
+    for (std::int64_t j = 0; j < d.ny; ++j) {
+      for (std::int64_t i = 0; i < d.nx; ++i) {
+        const double dx = i - cx, dy = j - cy, dz = k - cz;
+        f[static_cast<size_t>(d.Index(i, j, k))] =
+            static_cast<float>(std::sqrt(dx * dx + dy * dy + dz * dz));
+      }
+    }
+  }
+  return f;
+}
+
+// Random field with a guard band of `border_value` so contours stay
+// interior (watertightness then holds exactly).
+std::vector<float> RandomInteriorField(const grid::Dims& d, unsigned seed,
+                                       float border_value = 0.0f) {
+  std::mt19937 rng(seed);
+  std::vector<float> f(static_cast<size_t>(d.PointCount()), border_value);
+  for (std::int64_t k = 1; k + 1 < d.nz; ++k) {
+    for (std::int64_t j = 1; j + 1 < d.ny; ++j) {
+      for (std::int64_t i = 1; i + 1 < d.nx; ++i) {
+        f[static_cast<size_t>(d.Index(i, j, k))] =
+            static_cast<float>(rng() % 1000) / 999.0f;
+      }
+    }
+  }
+  return f;
+}
+
+TEST(McTables, EdgeTableSymmetry) {
+  // Complement cases use the same crossed edges.
+  for (int c = 0; c < 256; ++c) {
+    EXPECT_EQ(kMcEdgeTable[static_cast<size_t>(c)],
+              kMcEdgeTable[static_cast<size_t>(255 - c)])
+        << "case " << c;
+  }
+  EXPECT_EQ(kMcEdgeTable[0], 0);
+  EXPECT_EQ(kMcEdgeTable[255], 0);
+}
+
+TEST(McTables, TriTableUsesExactlyTheFlaggedEdges) {
+  for (int c = 0; c < 256; ++c) {
+    std::uint16_t used = 0;
+    const auto& tris = kMcTriTable[static_cast<size_t>(c)];
+    for (int t = 0; t < 16 && tris[static_cast<size_t>(t)] != -1; ++t) {
+      ASSERT_GE(tris[static_cast<size_t>(t)], 0);
+      ASSERT_LT(tris[static_cast<size_t>(t)], 12);
+      used |= static_cast<std::uint16_t>(1u << tris[static_cast<size_t>(t)]);
+    }
+    EXPECT_EQ(used, kMcEdgeTable[static_cast<size_t>(c)]) << "case " << c;
+  }
+}
+
+TEST(McTables, TriangleCountsTerminateAndAreMultiplesOfThree) {
+  for (int c = 0; c < 256; ++c) {
+    int count = 0;
+    const auto& tris = kMcTriTable[static_cast<size_t>(c)];
+    while (count < 16 && tris[static_cast<size_t>(count)] != -1) ++count;
+    EXPECT_EQ(count % 3, 0) << "case " << c;
+    EXPECT_LE(count, 15);
+  }
+}
+
+TEST(McTables, EdgeTableMatchesCrossingDefinition) {
+  // Recompute the edge mask from first principles: edge e is crossed iff
+  // its two corners lie on opposite sides of the case's inside set.
+  for (int c = 0; c < 256; ++c) {
+    std::uint16_t mask = 0;
+    for (int e = 0; e < 12; ++e) {
+      const bool a = (c >> kEdgeCorners[static_cast<size_t>(e)][0]) & 1;
+      const bool b = (c >> kEdgeCorners[static_cast<size_t>(e)][1]) & 1;
+      if (a != b) mask |= static_cast<std::uint16_t>(1u << e);
+    }
+    EXPECT_EQ(mask, kMcEdgeTable[static_cast<size_t>(c)]) << "case " << c;
+  }
+}
+
+TEST(MarchingCubes, SingleInsideCornerMakesOneTriangle) {
+  const grid::Dims d{2, 2, 2};
+  std::vector<float> f(8, 0.0f);
+  f[static_cast<size_t>(d.Index(0, 0, 0))] = 1.0f;
+  const double iso[] = {0.5};
+  const PolyData poly =
+      MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(f), iso);
+  ASSERT_EQ(poly.TriangleCount(), 1u);
+  ASSERT_EQ(poly.PointCount(), 3u);
+  // Vertices sit at the midpoints of the three edges leaving corner 0.
+  std::set<std::array<double, 3>> got;
+  for (const Vec3& p : poly.points()) got.insert({p.x, p.y, p.z});
+  const std::set<std::array<double, 3>> want = {
+      {0.5, 0, 0}, {0, 0.5, 0}, {0, 0, 0.5}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(MarchingCubes, InterpolationPositionsAreExact) {
+  const grid::Dims d{2, 2, 2};
+  std::vector<float> f(8, 0.0f);
+  f[static_cast<size_t>(d.Index(0, 0, 0))] = 4.0f;  // iso 1 => t = 0.25
+  const double iso[] = {1.0};
+  const PolyData poly =
+      MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(f), iso);
+  ASSERT_EQ(poly.PointCount(), 3u);
+  for (const Vec3& p : poly.points()) {
+    EXPECT_NEAR(p.x + p.y + p.z, 0.75, 1e-12);  // one axis at 0.75
+  }
+}
+
+TEST(MarchingCubes, SphereAreaAndWatertightness) {
+  const grid::Dims d{40, 40, 40};
+  const auto f = SphereField(d, 19.5, 19.5, 19.5);
+  const double iso[] = {12.0};
+  const PolyData poly =
+      MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(f), iso);
+  EXPECT_GT(poly.TriangleCount(), 1000u);
+  EXPECT_EQ(poly.BoundaryEdgeCount(), 0u);
+  const double expected = 4.0 * 3.14159265358979 * 12.0 * 12.0;
+  EXPECT_NEAR(poly.SurfaceArea(), expected, 0.01 * expected);
+  // Closed genus-0 surface: V - E + F = 2.
+  const auto v = static_cast<std::int64_t>(poly.PointCount());
+  const auto faces = static_cast<std::int64_t>(poly.TriangleCount());
+  const std::int64_t edges = 3 * faces / 2;
+  EXPECT_EQ(v - edges + faces, 2);
+}
+
+TEST(MarchingCubes, RespectsGeometry) {
+  const grid::Dims d{2, 2, 2};
+  grid::UniformGeometry geo{{10.0, 20.0, 30.0}, {2.0, 2.0, 2.0}};
+  std::vector<float> f(8, 0.0f);
+  f[static_cast<size_t>(d.Index(0, 0, 0))] = 1.0f;
+  const double iso[] = {0.5};
+  const PolyData poly = MarchingCubes(d, geo, std::span<const float>(f), iso);
+  for (const Vec3& p : poly.points()) {
+    EXPECT_GE(p.x, 10.0);
+    EXPECT_LE(p.x, 12.0);
+    EXPECT_GE(p.y, 20.0);
+    EXPECT_GE(p.z, 30.0);
+  }
+}
+
+TEST(MarchingCubes, MultiIsovalueEqualsConcatenation) {
+  const grid::Dims d{12, 12, 12};
+  const auto f = RandomInteriorField(d, 99);
+  const double both[] = {0.3, 0.7};
+  const double first[] = {0.3};
+  const double second[] = {0.7};
+  const PolyData combined =
+      MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(f), both);
+  PolyData sequential = MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(f), first);
+  sequential.Append(MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(f), second));
+  EXPECT_EQ(combined.TriangleCount(), sequential.TriangleCount());
+  EXPECT_TRUE(combined.GeometricallyEquals(sequential, 0.0));
+}
+
+TEST(MarchingCubes, EmptyAndFullFieldsProduceNothing) {
+  const grid::Dims d{6, 6, 6};
+  const double iso[] = {0.5};
+  std::vector<float> zeros(216, 0.0f);
+  std::vector<float> ones(216, 1.0f);
+  EXPECT_EQ(
+      MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(zeros), iso).TriangleCount(),
+      0u);
+  EXPECT_EQ(
+      MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(ones), iso).TriangleCount(),
+      0u);
+}
+
+TEST(MarchingCubes, DoubleFieldsWork) {
+  const grid::Dims d{8, 8, 8};
+  std::vector<double> f(512);
+  for (std::int64_t k = 0; k < 8; ++k)
+    for (std::int64_t j = 0; j < 8; ++j)
+      for (std::int64_t i = 0; i < 8; ++i)
+        f[static_cast<size_t>(d.Index(i, j, k))] = static_cast<double>(k);
+  const double iso[] = {3.5};
+  const PolyData poly = MarchingCubes(d, grid::UniformGeometry{}, std::span<const double>(f), iso);
+  // A flat z = 3.5 plane: 7x7 cells x 2 triangles.
+  EXPECT_EQ(poly.TriangleCount(), 98u);
+  for (const Vec3& p : poly.points()) EXPECT_DOUBLE_EQ(p.z, 3.5);
+}
+
+TEST(MarchingCubes, RejectsBadInputs) {
+  const grid::Dims d{4, 4, 4};
+  std::vector<float> wrong_size(63);
+  const double iso[] = {0.5};
+  EXPECT_THROW(
+      MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(wrong_size), iso), Error);
+  const grid::Dims flat{4, 4, 1};
+  std::vector<float> f(16);
+  EXPECT_THROW(MarchingCubes(flat, grid::UniformGeometry{}, std::span<const float>(f), iso), Error);
+}
+
+class WatertightTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WatertightTest, RandomFieldsYieldClosedSurfaces) {
+  const grid::Dims d{14, 14, 14};
+  const auto f = RandomInteriorField(d, GetParam());
+  const double isos[] = {0.25, 0.5, 0.75};
+  for (const double iso : isos) {
+    const double one[] = {iso};
+    const PolyData poly =
+        MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(f), one);
+    EXPECT_GT(poly.TriangleCount(), 0u);
+    EXPECT_EQ(poly.BoundaryEdgeCount(), 0u) << "iso " << iso;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WatertightTest,
+                         ::testing::Range(1000u, 1012u));
+
+TEST(MarchingSquares, SegmentTableUsesOnlyCrossedEdges) {
+  // Mirror of McTables.TriTableUsesExactlyTheFlaggedEdges for 2D: every
+  // segment endpoint must sit on an edge whose corners straddle the case.
+  for (unsigned c = 0; c < 16; ++c) {
+    std::uint8_t crossed = 0;
+    for (int e = 0; e < 4; ++e) {
+      const bool a = (c >> detail::kSqEdgeCorners[static_cast<size_t>(e)][0]) & 1;
+      const bool b = (c >> detail::kSqEdgeCorners[static_cast<size_t>(e)][1]) & 1;
+      if (a != b) crossed |= static_cast<std::uint8_t>(1u << e);
+    }
+    std::uint8_t used = 0;
+    const auto& segs = detail::kSqSegments[c];
+    for (int s = 0; s < 5 && segs[static_cast<size_t>(s)] != -1; ++s) {
+      used |= static_cast<std::uint8_t>(1u << segs[static_cast<size_t>(s)]);
+    }
+    if (c == 5 || c == 10) {
+      EXPECT_EQ(used, 0) << "saddles are handled at run time, case " << c;
+      EXPECT_EQ(crossed, 0b1111) << "case " << c;
+    } else {
+      EXPECT_EQ(used, crossed) << "case " << c;
+    }
+  }
+}
+
+TEST(MarchingSquares, AllVerticesAreFiniteOnRandomFields) {
+  for (unsigned seed = 100; seed < 110; ++seed) {
+    const grid::Dims d{15, 11, 1};
+    std::mt19937 rng(seed);
+    std::vector<float> f(static_cast<size_t>(d.PointCount()));
+    for (auto& v : f) v = static_cast<float>(rng() % 1000) / 999.0f;
+    const double isos[] = {0.2, 0.5, 0.8};
+    const PolyData poly =
+        MarchingSquares(d, grid::UniformGeometry{}, std::span<const float>(f), isos);
+    for (const Vec3& p : poly.points()) {
+      ASSERT_TRUE(std::isfinite(p.x) && std::isfinite(p.y)) << "seed " << seed;
+      // On an edge: within the grid and on a lattice line.
+      ASSERT_GE(p.x, 0.0);
+      ASSERT_LE(p.x, static_cast<double>(d.nx - 1));
+      ASSERT_GE(p.y, 0.0);
+      ASSERT_LE(p.y, static_cast<double>(d.ny - 1));
+    }
+  }
+}
+
+TEST(MarchingSquares, Fig3StyleGrid) {
+  // The paper's Fig. 3: an 8x6 mesh of values 0..9 contoured at 5.
+  const grid::Dims d{8, 6, 1};
+  std::mt19937 rng(5);
+  std::vector<float> f(48);
+  for (auto& v : f) v = static_cast<float>(rng() % 10);
+  const double iso[] = {5.0};
+  const PolyData poly =
+      MarchingSquares(d, grid::UniformGeometry{}, std::span<const float>(f), iso);
+  EXPECT_GT(poly.LineCount(), 0u);
+  EXPECT_EQ(poly.TriangleCount(), 0u);
+  // Every contour vertex lies on a grid edge: one coordinate is integral
+  // and linear interpolation along the other recovers the isovalue.
+  for (const Vec3& p : poly.points()) {
+    EXPECT_DOUBLE_EQ(p.z, 0.0);
+    const bool on_x_edge = std::abs(p.y - std::round(p.y)) < 1e-12;
+    const bool on_y_edge = std::abs(p.x - std::round(p.x)) < 1e-12;
+    ASSERT_TRUE(on_x_edge || on_y_edge);
+    if (on_x_edge && !on_y_edge) {
+      const auto j = static_cast<std::int64_t>(std::round(p.y));
+      const auto i0 = static_cast<std::int64_t>(std::floor(p.x));
+      const double va = f[static_cast<size_t>(d.Index(i0, j))];
+      const double vb = f[static_cast<size_t>(d.Index(i0 + 1, j))];
+      EXPECT_NEAR(va + (p.x - i0) * (vb - va), 5.0, 1e-9);
+    }
+  }
+}
+
+TEST(MarchingSquares, SingleInsideCorner) {
+  const grid::Dims d{2, 2, 1};
+  std::vector<float> f = {1.0f, 0.0f, 0.0f, 0.0f};
+  const double iso[] = {0.5};
+  const PolyData poly =
+      MarchingSquares(d, grid::UniformGeometry{}, std::span<const float>(f), iso);
+  ASSERT_EQ(poly.LineCount(), 1u);
+  ASSERT_EQ(poly.PointCount(), 2u);
+}
+
+TEST(MarchingSquares, SaddleCasesProduceTwoSegments) {
+  const grid::Dims d{2, 2, 1};
+  // Corners (0,0) and (1,1) inside (case 5 in cell-corner order); the
+  // cell average 0.5 < iso resolves the saddle into two separate arcs.
+  std::vector<float> low_center = {1.0f, 0.0f, 0.0f, 1.0f};
+  const double iso[] = {0.6};
+  const PolyData poly =
+      MarchingSquares(d, grid::UniformGeometry{}, std::span<const float>(low_center), iso);
+  EXPECT_EQ(poly.LineCount(), 2u);
+}
+
+TEST(MarchingSquares, ClosedLoopForIsland) {
+  const grid::Dims d{5, 5, 1};
+  std::vector<float> f(25, 0.0f);
+  f[static_cast<size_t>(d.Index(2, 2))] = 1.0f;
+  const double iso[] = {0.5};
+  const PolyData poly =
+      MarchingSquares(d, grid::UniformGeometry{}, std::span<const float>(f), iso);
+  // A single interior peak yields a small closed loop: 4 segments.
+  EXPECT_EQ(poly.LineCount(), 4u);
+}
+
+TEST(ContourFilter, DispatchesOnDimensionality) {
+  ContourFilter filter({0.5});
+  grid::Dataset flat(grid::Dims{4, 4, 1});
+  flat.AddArray(grid::DataArray::FromVector(
+      "f", std::vector<float>{0, 0, 0, 0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0}));
+  const PolyData lines = filter.Execute(flat, "f");
+  EXPECT_GT(lines.LineCount(), 0u);
+  EXPECT_EQ(lines.TriangleCount(), 0u);
+
+  grid::Dataset volume(grid::Dims{3, 3, 3});
+  std::vector<float> f3(27, 0.0f);
+  f3[static_cast<size_t>(volume.dims().Index(1, 1, 1))] = 1.0f;
+  volume.AddArray(grid::DataArray::FromVector("f", f3));
+  const PolyData tris = filter.Execute(volume, "f");
+  EXPECT_GT(tris.TriangleCount(), 0u);
+  EXPECT_EQ(tris.BoundaryEdgeCount(), 0u);
+}
+
+TEST(ContourFilter, RequiresIsovalues) {
+  ContourFilter filter;
+  grid::Dataset ds(grid::Dims{2, 2, 2});
+  ds.AddArray(grid::DataArray::FromVector("f", std::vector<float>(8)));
+  EXPECT_THROW(filter.Execute(ds, "f"), Error);
+}
+
+TEST(Selection, ConstantFieldSelectsNothing) {
+  const grid::Dims d{8, 8, 8};
+  const auto a =
+      grid::DataArray::FromVector("c", std::vector<float>(512, 0.42f));
+  const double isos[] = {0.1, 0.42, 0.9};
+  const Selection sel = SelectInterestingPoints(d, a, isos);
+  // inside(x) = x >= iso means a field exactly at an isovalue is uniformly
+  // inside — no crossings anywhere.
+  EXPECT_TRUE(sel.ids.empty());
+  EXPECT_EQ(sel.Selectivity(), 0.0);
+}
+
+TEST(Selection, CompletenessEveryMixedCellCornerIsSelected) {
+  const grid::Dims d{10, 10, 10};
+  const auto f = RandomInteriorField(d, 4242);
+  const auto a = grid::DataArray::FromVector("f", f);
+  const double isos[] = {0.4};
+  const Selection sel = SelectInterestingPoints(d, a, isos);
+  std::set<grid::PointId> selected(sel.ids.begin(), sel.ids.end());
+
+  for (std::int64_t k = 0; k + 1 < d.nz; ++k) {
+    for (std::int64_t j = 0; j + 1 < d.ny; ++j) {
+      for (std::int64_t i = 0; i + 1 < d.nx; ++i) {
+        bool any_inside = false, any_outside = false;
+        for (const auto& off : kCornerOffsets) {
+          const float v =
+              f[static_cast<size_t>(d.Index(i + off[0], j + off[1], k + off[2]))];
+          (v >= 0.4 ? any_inside : any_outside) = true;
+        }
+        if (any_inside && any_outside) {
+          for (const auto& off : kCornerOffsets) {
+            EXPECT_TRUE(selected.count(d.Index(i + off[0], j + off[1], k + off[2])))
+                << "cell " << i << "," << j << "," << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Selection, TightnessEverySelectedPointTouchesAMixedCell) {
+  const grid::Dims d{10, 10, 10};
+  const auto f = RandomInteriorField(d, 777);
+  const auto a = grid::DataArray::FromVector("f", f);
+  const double isos[] = {0.6};
+  const Selection sel = SelectInterestingPoints(d, a, isos);
+  const auto cell_mixed = [&](std::int64_t ci, std::int64_t cj,
+                              std::int64_t ck) {
+    bool in = false, out = false;
+    for (const auto& off : kCornerOffsets) {
+      const float v = f[static_cast<size_t>(
+          d.Index(ci + off[0], cj + off[1], ck + off[2]))];
+      (v >= 0.6 ? in : out) = true;
+    }
+    return in && out;
+  };
+  for (const grid::PointId id : sel.ids) {
+    const auto [i, j, k] = d.Coords(id);
+    bool touches = false;
+    for (int dk = -1; dk <= 0 && !touches; ++dk) {
+      for (int dj = -1; dj <= 0 && !touches; ++dj) {
+        for (int di = -1; di <= 0 && !touches; ++di) {
+          const std::int64_t ci = i + di, cj = j + dj, ck = k + dk;
+          if (ci >= 0 && ci + 1 < d.nx && cj >= 0 && cj + 1 < d.ny &&
+              ck >= 0 && ck + 1 < d.nz) {
+            touches = cell_mixed(ci, cj, ck);
+          }
+        }
+      }
+    }
+    EXPECT_TRUE(touches) << "point " << id;
+  }
+}
+
+TEST(Selection, CountMatchesMaterialization) {
+  const grid::Dims d{12, 12, 12};
+  const auto a = grid::DataArray::FromVector("f", RandomInteriorField(d, 31));
+  const double isos[] = {0.2, 0.8};
+  EXPECT_EQ(CountInterestingPoints(d, a, isos),
+            static_cast<std::int64_t>(
+                SelectInterestingPoints(d, a, isos).ids.size()));
+}
+
+TEST(Selection, MultiIsoIsUnionOfSingles) {
+  const grid::Dims d{10, 10, 10};
+  const auto a = grid::DataArray::FromVector("f", RandomInteriorField(d, 55));
+  const double both[] = {0.3, 0.7};
+  const double lo[] = {0.3};
+  const double hi[] = {0.7};
+  const Selection s_both = SelectInterestingPoints(d, a, both);
+  const Selection s_lo = SelectInterestingPoints(d, a, lo);
+  const Selection s_hi = SelectInterestingPoints(d, a, hi);
+  std::set<grid::PointId> unioned(s_lo.ids.begin(), s_lo.ids.end());
+  unioned.insert(s_hi.ids.begin(), s_hi.ids.end());
+  EXPECT_EQ(std::set<grid::PointId>(s_both.ids.begin(), s_both.ids.end()),
+            unioned);
+}
+
+TEST(Selection, Works2D) {
+  const grid::Dims d{6, 6, 1};
+  std::vector<float> f(36, 0.0f);
+  f[static_cast<size_t>(d.Index(3, 3))] = 1.0f;
+  const auto a = grid::DataArray::FromVector("f", f);
+  const double iso[] = {0.5};
+  const Selection sel = SelectInterestingPoints(d, a, iso);
+  // The 4 cells around (3,3) are mixed: a 3x3 block of points.
+  EXPECT_EQ(sel.ids.size(), 9u);
+}
+
+class ParallelSelectTest : public ::testing::TestWithParam<int> {};
+
+// The slab-parallel scan must agree exactly with the serial one for any
+// thread count (including counts exceeding the slab count).
+TEST_P(ParallelSelectTest, MatchesSerialSelection) {
+  const grid::Dims d{15, 13, 21};
+  const auto a = grid::DataArray::FromVector("f", RandomInteriorField(d, 808));
+  const double isos[] = {0.25, 0.6, 0.9};
+  const Selection serial = SelectInterestingPoints(d, a, isos);
+  const Selection parallel =
+      SelectInterestingPointsParallel(d, a, isos, GetParam());
+  EXPECT_EQ(parallel.ids, serial.ids);
+  EXPECT_EQ(parallel.values, serial.values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelSelectTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 64));
+
+TEST(ParallelSelect, FallsBackFor2DAndTinyGrids) {
+  const grid::Dims flat{8, 8, 1};
+  std::vector<float> f(64, 0.0f);
+  f[static_cast<size_t>(flat.Index(4, 4))] = 1.0f;
+  const auto a = grid::DataArray::FromVector("f", f);
+  const double iso[] = {0.5};
+  const Selection serial = SelectInterestingPoints(flat, a, iso);
+  const Selection parallel = SelectInterestingPointsParallel(flat, a, iso, 8);
+  EXPECT_EQ(parallel.ids, serial.ids);
+}
+
+class SparseEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+// THE key invariant of the paper's split filter: the contour produced
+// from the pre-filtered subset is identical to the full-data contour.
+TEST_P(SparseEquivalenceTest, NdpContourIsBitIdenticalToFull) {
+  const grid::Dims d{13, 11, 9};
+  const auto f = RandomInteriorField(d, GetParam());
+  const auto a = grid::DataArray::FromVector("f", f);
+  const std::vector<double> isos = {0.15, 0.5, 0.85};
+
+  const PolyData full = MarchingCubes(d, grid::UniformGeometry{}, std::span<const float>(f), isos);
+  const Selection sel = SelectInterestingPoints(d, a, isos);
+  const SparseField sparse =
+      SparseField::FromSelection(sel, grid::DataType::Float32);
+  const PolyData ndp = sparse.Contour(grid::UniformGeometry{}, isos);
+
+  ASSERT_EQ(ndp.TriangleCount(), full.TriangleCount());
+  ASSERT_EQ(ndp.PointCount(), full.PointCount());
+  EXPECT_TRUE(ndp.GeometricallyEquals(full, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseEquivalenceTest,
+                         ::testing::Range(2000u, 2016u));
+
+class SparseEquivalence2DTest : public ::testing::TestWithParam<unsigned> {};
+
+// The same exactness guarantee on 2D grids (marching squares path).
+TEST_P(SparseEquivalence2DTest, NdpContourMatchesDense2D) {
+  const grid::Dims d{17, 13, 1};
+  std::mt19937 rng(GetParam());
+  std::vector<float> f(static_cast<size_t>(d.PointCount()));
+  for (auto& v : f) v = static_cast<float>(rng() % 1000) / 999.0f;
+  const auto a = grid::DataArray::FromVector("f", f);
+  const std::vector<double> isos = {0.25, 0.5, 0.75};
+
+  const PolyData dense = MarchingSquares(d, grid::UniformGeometry{}, std::span<const float>(f), isos);
+  const Selection sel = SelectInterestingPoints(d, a, isos);
+  const SparseField sparse =
+      SparseField::FromSelection(sel, grid::DataType::Float32);
+  const PolyData ndp = sparse.Contour(grid::UniformGeometry{}, isos);
+
+  ASSERT_EQ(ndp.LineCount(), dense.LineCount());
+  ASSERT_EQ(ndp.PointCount(), dense.PointCount());
+  EXPECT_TRUE(ndp.GeometricallyEquals(dense, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseEquivalence2DTest,
+                         ::testing::Range(3000u, 3010u));
+
+TEST(SparseField, ScatterAndValidity) {
+  SparseField field(grid::Dims{4, 4, 4}, grid::DataType::Float32);
+  EXPECT_EQ(field.ValidCount(), 0);
+  const std::vector<grid::PointId> ids = {0, 5, 63};
+  const auto values =
+      grid::DataArray::FromVector("v", std::vector<float>{1.0f, 2.0f, 3.0f});
+  field.Scatter(ids, values);
+  EXPECT_EQ(field.ValidCount(), 3);
+  EXPECT_TRUE(field.IsValid(5));
+  EXPECT_FALSE(field.IsValid(6));
+  // Re-scattering the same id does not double count.
+  field.Scatter(ids, values);
+  EXPECT_EQ(field.ValidCount(), 3);
+}
+
+TEST(SparseField, RejectsBadScatter) {
+  SparseField field(grid::Dims{2, 2, 2}, grid::DataType::Float32);
+  const std::vector<grid::PointId> out_of_range = {99};
+  const auto one = grid::DataArray::FromVector("v", std::vector<float>{1.0f});
+  EXPECT_THROW(field.Scatter(out_of_range, one), Error);
+  const std::vector<grid::PointId> ok = {0};
+  const auto wrong_type =
+      grid::DataArray::FromVector("v", std::vector<double>{1.0});
+  EXPECT_THROW(field.Scatter(ok, wrong_type), Error);
+}
+
+TEST(SparseField, PartialCellsProduceNoGeometry) {
+  // A cell with 7 of 8 corners must be skipped, not guessed.
+  const grid::Dims d{2, 2, 2};
+  SparseField field(d, grid::DataType::Float32);
+  std::vector<grid::PointId> ids;
+  std::vector<float> vals;
+  for (grid::PointId id = 0; id < 7; ++id) {
+    ids.push_back(id);
+    vals.push_back(id == 0 ? 1.0f : 0.0f);
+  }
+  field.Scatter(ids, grid::DataArray::FromVector("v", vals));
+  const double iso[] = {0.5};
+  EXPECT_EQ(field.Contour(grid::UniformGeometry{}, iso).TriangleCount(), 0u);
+}
+
+TEST(Components, TwoSpheresGiveTwoComponents) {
+  const grid::Dims d{30, 16, 16};
+  std::vector<float> f(static_cast<size_t>(d.PointCount()), 10.0f);
+  const auto dist = [](double x, double y, double z, double cx, double cy,
+                       double cz) {
+    return std::sqrt((x - cx) * (x - cx) + (y - cy) * (y - cy) +
+                     (z - cz) * (z - cz));
+  };
+  for (std::int64_t k = 0; k < 16; ++k)
+    for (std::int64_t j = 0; j < 16; ++j)
+      for (std::int64_t i = 0; i < 30; ++i) {
+        f[static_cast<size_t>(d.Index(i, j, k))] = static_cast<float>(
+            std::min(dist(i, j, k, 7.5, 7.5, 7.5), dist(i, j, k, 22.5, 7.5, 7.5)));
+      }
+  const double iso[] = {4.0};
+  const PolyData poly = MarchingCubes(d, grid::UniformGeometry{},
+                                      std::span<const float>(f), iso);
+  const std::vector<Component> comps = ConnectedComponents(poly);
+  ASSERT_EQ(comps.size(), 2u);
+  // Two equal spheres: roughly equal areas, each near 4*pi*r^2.
+  const double expected = 4.0 * 3.14159265358979 * 16.0;
+  EXPECT_NEAR(comps[0].area, expected, 0.15 * expected);
+  EXPECT_NEAR(comps[1].area, expected, 0.15 * expected);
+  // Bounding boxes are disjoint along x.
+  EXPECT_LT(comps[0].bbox_min.x > comps[1].bbox_min.x ? comps[1].bbox_max.x
+                                                      : comps[0].bbox_max.x,
+            comps[0].bbox_min.x > comps[1].bbox_min.x ? comps[0].bbox_min.x
+                                                      : comps[1].bbox_min.x);
+}
+
+TEST(Components, Sorted2DLoops) {
+  // One big island and one small island: two loops, larger first.
+  const grid::Dims d{24, 24, 1};
+  std::vector<float> f(static_cast<size_t>(d.PointCount()), 0.0f);
+  for (std::int64_t j = 4; j <= 12; ++j)
+    for (std::int64_t i = 4; i <= 12; ++i)
+      f[static_cast<size_t>(d.Index(i, j))] = 1.0f;
+  f[static_cast<size_t>(d.Index(20, 20))] = 1.0f;
+  const double iso[] = {0.5};
+  const PolyData poly = MarchingSquares(d, grid::UniformGeometry{},
+                                        std::span<const float>(f), iso);
+  const std::vector<Component> comps = ConnectedComponents(poly);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_GT(comps[0].length, comps[1].length);
+  EXPECT_GT(comps[0].lines, comps[1].lines);
+}
+
+TEST(Components, EmptyAndSingle) {
+  EXPECT_TRUE(ConnectedComponents(PolyData{}).empty());
+  PolyData one;
+  one.AddTriangle(one.AddPoint({0, 0, 0}), one.AddPoint({1, 0, 0}),
+                  one.AddPoint({0, 1, 0}));
+  const auto comps = ConnectedComponents(one);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].triangles, 1u);
+  EXPECT_EQ(comps[0].points, 3u);
+  EXPECT_DOUBLE_EQ(comps[0].area, 0.5);
+}
+
+TEST(Components, TotalsMatchWholePolyData) {
+  const grid::Dims d{14, 14, 14};
+  const auto f = RandomInteriorField(d, 99177);
+  const double iso[] = {0.5};
+  const PolyData poly = MarchingCubes(d, grid::UniformGeometry{},
+                                      std::span<const float>(f), iso);
+  const auto comps = ConnectedComponents(poly);
+  size_t triangles = 0;
+  double area = 0;
+  for (const Component& c : comps) {
+    triangles += c.triangles;
+    area += c.area;
+  }
+  EXPECT_EQ(triangles, poly.TriangleCount());
+  EXPECT_NEAR(area, poly.SurfaceArea(), 1e-9);
+}
+
+TEST(PolyData, BoundaryEdgesOfOpenStrip) {
+  PolyData poly;
+  const auto a = poly.AddPoint({0, 0, 0});
+  const auto b = poly.AddPoint({1, 0, 0});
+  const auto c = poly.AddPoint({0, 1, 0});
+  const auto e = poly.AddPoint({1, 1, 0});
+  poly.AddTriangle(a, b, c);
+  poly.AddTriangle(b, e, c);
+  // Quad from two triangles: 4 boundary edges, 1 shared.
+  EXPECT_EQ(poly.BoundaryEdgeCount(), 4u);
+  EXPECT_DOUBLE_EQ(poly.SurfaceArea(), 1.0);
+}
+
+TEST(PolyData, AppendRebasesIndices) {
+  PolyData a;
+  a.AddPoint({0, 0, 0});
+  a.AddPoint({1, 0, 0});
+  a.AddLine(0, 1);
+  PolyData b;
+  b.AddPoint({5, 0, 0});
+  b.AddPoint({6, 0, 0});
+  b.AddLine(0, 1);
+  a.Append(b);
+  ASSERT_EQ(a.LineCount(), 2u);
+  EXPECT_EQ(a.lines()[1][0], 2u);
+  EXPECT_DOUBLE_EQ(a.TotalLineLength(), 2.0);
+}
+
+}  // namespace
+}  // namespace vizndp::contour

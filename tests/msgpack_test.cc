@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "msgpack/pack.h"
+#include "msgpack/unpack.h"
+
+namespace vizndp::msgpack {
+namespace {
+
+Value RoundTrip(const Value& v) { return Decode(Encode(v)); }
+
+TEST(Msgpack, ScalarRoundTrips) {
+  EXPECT_EQ(RoundTrip(Value()), Value());
+  EXPECT_EQ(RoundTrip(Value(true)), Value(true));
+  EXPECT_EQ(RoundTrip(Value(false)), Value(false));
+  EXPECT_EQ(RoundTrip(Value(0)), Value(0));
+  EXPECT_EQ(RoundTrip(Value(-1)), Value(-1));
+  EXPECT_EQ(RoundTrip(Value(3.25)), Value(3.25));
+  EXPECT_EQ(RoundTrip(Value("hello")), Value("hello"));
+}
+
+TEST(Msgpack, IntegerBoundaries) {
+  // Every fix/8/16/32/64 boundary, both signs.
+  const std::int64_t cases[] = {0,      127,     128,    255,    256,
+                                65535,  65536,   -31,    -32,    -33,
+                                -128,   -129,    -32768, -32769, 2147483647,
+                                -2147483648LL,   4294967295LL,   4294967296LL,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t v : cases) {
+    const Value back = RoundTrip(Value(v));
+    EXPECT_EQ(back.AsInt(), v) << v;
+  }
+  const Value umax = RoundTrip(Value(std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_EQ(umax.AsUint(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_THROW(umax.AsInt(), Error);
+}
+
+TEST(Msgpack, KnownWireBytes) {
+  // From the msgpack spec homepage: {"compact":true,"schema":0} is 18 B.
+  Map m;
+  m.emplace_back(Value("compact"), Value(true));
+  m.emplace_back(Value("schema"), Value(0));
+  const Bytes wire = Encode(Value(std::move(m)));
+  const Bytes expected = {0x82, 0xA7, 'c', 'o', 'm', 'p', 'a', 'c', 't',
+                          0xC3, 0xA6, 's', 'c', 'h', 'e', 'm', 'a', 0x00};
+  EXPECT_EQ(wire, expected);
+}
+
+TEST(Msgpack, MinimalWidthSelection) {
+  EXPECT_EQ(Encode(Value(5)).size(), 1u);              // positive fixint
+  EXPECT_EQ(Encode(Value(-5)).size(), 1u);             // negative fixint
+  EXPECT_EQ(Encode(Value(200)).size(), 2u);            // uint8
+  EXPECT_EQ(Encode(Value(70000)).size(), 5u);          // uint32
+  EXPECT_EQ(Encode(Value("short")).size(), 6u);        // fixstr
+  EXPECT_EQ(Encode(Value(std::string(40, 'x'))).size(), 42u);  // str8
+}
+
+TEST(Msgpack, StringLengthTiers) {
+  for (const size_t n : {0u, 31u, 32u, 255u, 256u, 70000u}) {
+    const std::string s(n, 'q');
+    const Value back = RoundTrip(Value(s));
+    EXPECT_EQ(back.As<std::string>(), s);
+  }
+}
+
+TEST(Msgpack, BinaryTiers) {
+  for (const size_t n : {0u, 255u, 256u, 65535u, 65536u}) {
+    Bytes data(n);
+    for (size_t i = 0; i < n; ++i) data[i] = static_cast<Byte>(i * 31);
+    const Value back = RoundTrip(Value(data));
+    EXPECT_EQ(back.As<Bytes>(), data);
+  }
+}
+
+TEST(Msgpack, FloatFormats) {
+  Bytes buf;
+  Packer p(buf);
+  p.PackFloat(1.5f);
+  p.PackDouble(-2.5);
+  Unpacker u(buf);
+  EXPECT_DOUBLE_EQ(u.NextDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(u.NextDouble(), -2.5);
+  EXPECT_EQ(buf[0], 0xCA);
+  EXPECT_EQ(buf[5], 0xCB);
+}
+
+TEST(Msgpack, NestedContainers) {
+  Map inner;
+  inner.emplace_back(Value("xs"), Value(Array{Value(1), Value(2), Value(3)}));
+  Array outer;
+  outer.push_back(Value(std::move(inner)));
+  outer.push_back(Value(Bytes{1, 2, 3}));
+  outer.push_back(Value("tail"));
+  const Value v(std::move(outer));
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+TEST(Msgpack, LargeArrayTiers) {
+  for (const size_t n : {15u, 16u, 65535u, 65536u}) {
+    Array a;
+    a.reserve(n);
+    for (size_t i = 0; i < n; ++i) a.emplace_back(static_cast<std::int64_t>(i & 63));
+    const Value v(std::move(a));
+    const Value back = RoundTrip(v);
+    EXPECT_EQ(back.As<Array>().size(), n);
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Msgpack, ExtTypes) {
+  for (const size_t n : {1u, 2u, 4u, 8u, 16u, 5u, 300u}) {
+    Ext e{42, Bytes(n, 0xEE)};
+    const Value back = RoundTrip(Value(e));
+    EXPECT_EQ(back.As<Ext>().type, 42);
+    EXPECT_EQ(back.As<Ext>().data.size(), n);
+  }
+}
+
+TEST(Msgpack, MapLookupHelpers) {
+  Map m;
+  m.emplace_back(Value("name"), Value("v02"));
+  m.emplace_back(Value("count"), Value(12));
+  const Value v(std::move(m));
+  EXPECT_EQ(v.At("name").As<std::string>(), "v02");
+  EXPECT_EQ(v.At("count").AsInt(), 12);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_THROW(v.At("missing"), Error);
+}
+
+TEST(Msgpack, TypedUnpackerHelpers) {
+  Bytes buf;
+  Packer p(buf);
+  p.PackArrayHeader(4);
+  p.PackUint(7);
+  p.PackStr("method");
+  p.PackBin(Bytes{9, 8, 7});
+  p.PackBool(true);
+  Unpacker u(buf);
+  EXPECT_EQ(u.NextArrayHeader(), 4u);
+  EXPECT_EQ(u.NextUint(), 7u);
+  EXPECT_EQ(u.NextStr(), "method");
+  EXPECT_EQ(u.NextBin(), (Bytes{9, 8, 7}));
+  EXPECT_TRUE(u.NextBool());
+  EXPECT_TRUE(u.AtEnd());
+}
+
+TEST(Msgpack, BinViewIsZeroCopy) {
+  Bytes buf;
+  Packer p(buf);
+  p.PackBin(Bytes{1, 2, 3, 4});
+  Unpacker u(buf);
+  const ByteSpan view = u.NextBinView();
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_GE(view.data(), buf.data());
+  EXPECT_LT(view.data(), buf.data() + buf.size());
+}
+
+TEST(Msgpack, MalformedInputsThrow) {
+  EXPECT_THROW(Decode(Bytes{}), DecodeError);
+  EXPECT_THROW(Decode(Bytes{0xC1}), DecodeError);          // never-used tag
+  EXPECT_THROW(Decode(Bytes{0xD9}), DecodeError);          // str8, no length
+  EXPECT_THROW(Decode(Bytes{0xA5, 'a', 'b'}), DecodeError);  // short fixstr
+  EXPECT_THROW(Decode(Bytes{0x92, 0x01}), DecodeError);    // short fixarray
+  EXPECT_THROW(Decode(Bytes{0x01, 0x02}), DecodeError);    // trailing bytes
+}
+
+TEST(Msgpack, WrongTypeAccessThrows) {
+  const Value v(42);
+  EXPECT_THROW(v.As<std::string>(), Error);
+  EXPECT_THROW(Value("s").AsInt(), Error);
+  EXPECT_THROW(Value(-1).AsUint(), Error);
+  Bytes buf;
+  Packer p(buf);
+  p.PackStr("not-bin");
+  Unpacker u(buf);
+  EXPECT_THROW(u.NextBinView(), DecodeError);
+}
+
+TEST(Msgpack, IntegerEqualityAcrossSignedness) {
+  // Non-negative values packed as int64 decode as uint64 and must still
+  // compare equal at the Value level (the wire has one representation).
+  EXPECT_EQ(Value(std::int64_t{200}), Value(std::uint64_t{200}));
+  EXPECT_EQ(Value(std::uint64_t{200}), Value(std::int64_t{200}));
+  EXPECT_NE(Value(std::int64_t{-1}),
+            Value(std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_NE(Value(std::int64_t{5}), Value(std::uint64_t{6}));
+  // Inside containers too.
+  Array a1{Value(std::int64_t{300})};
+  Array a2{Value(std::uint64_t{300})};
+  EXPECT_EQ(Value(a1), Value(a2));
+}
+
+TEST(Msgpack, UnpackerPositionTracksConsumption) {
+  Bytes buf;
+  Packer p(buf);
+  p.PackInt(5);
+  p.PackStr("abc");
+  Unpacker u(buf);
+  EXPECT_EQ(u.position(), 0u);
+  (void)u.NextInt();
+  EXPECT_EQ(u.position(), 1u);  // positive fixint is one byte
+  (void)u.NextStr();
+  EXPECT_EQ(u.position(), buf.size());
+  EXPECT_TRUE(u.AtEnd());
+}
+
+class MsgpackFuzzTest : public ::testing::TestWithParam<int> {};
+
+// Random value trees must round-trip exactly.
+TEST_P(MsgpackFuzzTest, RandomTreeRoundTrip) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 2654435761u + 17);
+  std::function<Value(int)> make = [&](int depth) -> Value {
+    const int pick = static_cast<int>(rng() % (depth > 3 ? 6 : 8));
+    switch (pick) {
+      case 0: return Value();
+      case 1: return Value(static_cast<bool>(rng() & 1));
+      case 2: return Value(static_cast<std::int64_t>(rng()) -
+                           static_cast<std::int64_t>(rng()));
+      case 3: return Value(static_cast<double>(rng()) / 1000.0);
+      case 4: return Value(std::string(rng() % 40, 'a' + rng() % 26));
+      case 5: return Value(Bytes(rng() % 64, static_cast<Byte>(rng())));
+      case 6: {
+        Array a;
+        const size_t n = rng() % 8;
+        for (size_t i = 0; i < n; ++i) a.push_back(make(depth + 1));
+        return Value(std::move(a));
+      }
+      default: {
+        Map m;
+        const size_t n = rng() % 6;
+        for (size_t i = 0; i < n; ++i) {
+          m.emplace_back(make(depth + 2), make(depth + 1));
+        }
+        return Value(std::move(m));
+      }
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    const Value v = make(0);
+    EXPECT_EQ(RoundTrip(v), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsgpackFuzzTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace vizndp::msgpack

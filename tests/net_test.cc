@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "net/inproc.h"
+#include "net/link_model.h"
+#include "net/tcp.h"
+
+namespace vizndp::net {
+namespace {
+
+TEST(SimulatedLink, TransferTimeMath) {
+  LinkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1000.0;
+  cfg.latency_sec = 0.5;
+  cfg.overhead_factor = 1.0;
+  SimulatedLink link(cfg);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(1000), 1.5);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(0), 0.5);
+}
+
+TEST(SimulatedLink, ChargeAccumulates) {
+  SimulatedLink link({.bandwidth_bytes_per_sec = 100.0,
+                      .latency_sec = 0.0,
+                      .overhead_factor = 1.0});
+  link.ChargeTransfer(50);
+  link.ChargeTransfer(150);
+  EXPECT_EQ(link.bytes_transferred(), 200u);
+  EXPECT_EQ(link.messages(), 2u);
+  EXPECT_NEAR(link.virtual_seconds(), 2.0, 1e-12);
+  link.Reset();
+  EXPECT_EQ(link.bytes_transferred(), 0u);
+  EXPECT_EQ(link.virtual_seconds(), 0.0);
+}
+
+TEST(SimulatedLink, OverheadFactorAppliesToPayloadOnly) {
+  SimulatedLink link({.bandwidth_bytes_per_sec = 100.0,
+                      .latency_sec = 1.0,
+                      .overhead_factor = 2.0});
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(100), 1.0 + 2.0);
+}
+
+TEST(InProc, PairDeliversFramesInOrder) {
+  TransportPair pair = CreateInProcPair();
+  pair.a->Send(ToBytes("one"));
+  pair.a->Send(ToBytes("two"));
+  EXPECT_EQ(pair.b->Receive(), ToBytes("one"));
+  EXPECT_EQ(pair.b->Receive(), ToBytes("two"));
+}
+
+TEST(InProc, FullDuplex) {
+  TransportPair pair = CreateInProcPair();
+  pair.a->Send(ToBytes("ping"));
+  pair.b->Send(ToBytes("pong"));
+  EXPECT_EQ(pair.b->Receive(), ToBytes("ping"));
+  EXPECT_EQ(pair.a->Receive(), ToBytes("pong"));
+}
+
+TEST(InProc, CrossThreadBlockingReceive) {
+  TransportPair pair = CreateInProcPair();
+  std::thread producer([t = std::move(pair.a)] {
+    for (int i = 0; i < 100; ++i) {
+      Bytes frame(3, static_cast<Byte>(i));
+      t->Send(frame);
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    const Bytes frame = pair.b->Receive();
+    ASSERT_EQ(frame, Bytes(3, static_cast<Byte>(i)));
+  }
+  producer.join();
+}
+
+TEST(InProc, CloseUnblocksAndThrows) {
+  TransportPair pair = CreateInProcPair();
+  pair.a->Close();
+  EXPECT_THROW(pair.b->Receive(), Error);
+}
+
+TEST(InProc, ChargesLinkPerSend) {
+  SimulatedLink link({.bandwidth_bytes_per_sec = 1e6,
+                      .latency_sec = 0.0,
+                      .overhead_factor = 1.0});
+  TransportPair pair = CreateInProcPair(&link);
+  pair.a->Send(Bytes(1000));
+  pair.b->Send(Bytes(500));
+  (void)pair.b->Receive();
+  (void)pair.a->Receive();
+  EXPECT_EQ(link.bytes_transferred(), 1500u);
+  EXPECT_NEAR(link.virtual_seconds(), 0.0015, 1e-9);
+}
+
+TEST(Tcp, LoopbackFrameRoundTrip) {
+  TcpListener listener(0);
+  TransportPtr server;
+  std::thread accepter([&] { server = listener.Accept(); });
+  TransportPtr client = TcpConnect("127.0.0.1", listener.port());
+  accepter.join();
+
+  client->Send(ToBytes("hello tcp"));
+  EXPECT_EQ(server->Receive(), ToBytes("hello tcp"));
+  server->Send(ToBytes("reply"));
+  EXPECT_EQ(client->Receive(), ToBytes("reply"));
+}
+
+TEST(Tcp, LargeFrame) {
+  TcpListener listener(0);
+  TransportPtr server;
+  std::thread accepter([&] { server = listener.Accept(); });
+  TransportPtr client = TcpConnect("127.0.0.1", listener.port());
+  accepter.join();
+
+  Bytes big(5 * 1024 * 1024);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<Byte>(i * 2654435761u);
+  std::thread sender([&] { client->Send(big); });
+  EXPECT_EQ(server->Receive(), big);
+  sender.join();
+}
+
+TEST(Tcp, EmptyFrame) {
+  TcpListener listener(0);
+  TransportPtr server;
+  std::thread accepter([&] { server = listener.Accept(); });
+  TransportPtr client = TcpConnect("127.0.0.1", listener.port());
+  accepter.join();
+  client->Send(ByteSpan{});
+  EXPECT_EQ(server->Receive(), Bytes{});
+}
+
+TEST(Tcp, PeerCloseThrowsOnReceive) {
+  TcpListener listener(0);
+  TransportPtr server;
+  std::thread accepter([&] { server = listener.Accept(); });
+  TransportPtr client = TcpConnect("127.0.0.1", listener.port());
+  accepter.join();
+  client->Close();
+  EXPECT_THROW(server->Receive(), IoError);
+}
+
+TEST(Tcp, ConnectFailureThrows) {
+  // Port 1 on loopback is essentially never listening.
+  EXPECT_THROW(TcpConnect("127.0.0.1", 1), IoError);
+}
+
+}  // namespace
+}  // namespace vizndp::net

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/vnd_format.h"
+#include "pipeline/elements.h"
+#include "sim/impact.h"
+#include "storage/memory_store.h"
+
+namespace vizndp::pipeline {
+namespace {
+
+struct Fixture {
+  storage::MemoryObjectStore store;
+
+  Fixture() {
+    store.CreateBucket("data");
+    sim::ImpactConfig cfg;
+    cfg.n = 16;
+    for (const std::int64_t t : {0LL, 24006LL}) {
+      const grid::Dataset ds =
+          sim::GenerateImpactTimestep(cfg, t, {"v02", "v03", "rho"});
+      io::VndWriter(ds).WriteToStore(store, "data",
+                                     "ts" + std::to_string(t) + ".vnd");
+    }
+  }
+
+  storage::FileGateway gateway() { return {store, "data"}; }
+};
+
+TEST(Pipeline, SourceFilterSinkExecutes) {
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  ContourStage contour("v02", {0.5});
+  PolyStatsSink sink;
+  contour.SetInputConnection(0, &source);
+  sink.SetInputConnection(0, &contour);
+
+  sink.Update();
+  EXPECT_GT(sink.stats().triangles, 0u);
+  EXPECT_EQ(source.execution_count(), 1u);
+  EXPECT_EQ(contour.execution_count(), 1u);
+  EXPECT_EQ(sink.execution_count(), 1u);
+}
+
+TEST(Pipeline, RepeatedUpdateDoesNotReexecute) {
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  ContourStage contour("v02", {0.5});
+  contour.SetInputConnection(0, &source);
+  contour.Update();
+  contour.Update();
+  contour.Update();
+  EXPECT_EQ(source.execution_count(), 1u);
+  EXPECT_EQ(contour.execution_count(), 1u);
+}
+
+TEST(Pipeline, DownstreamParameterChangeOnlyReexecutesDownstream) {
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  ContourStage contour("v02", {0.5});
+  PolyStatsSink sink;
+  contour.SetInputConnection(0, &source);
+  sink.SetInputConnection(0, &contour);
+  sink.Update();
+
+  contour.SetIsovalues({0.1, 0.9});  // the paper's interactive knob
+  sink.Update();
+  EXPECT_EQ(source.execution_count(), 1u);  // reader untouched
+  EXPECT_EQ(contour.execution_count(), 2u);
+  EXPECT_EQ(sink.execution_count(), 2u);
+}
+
+TEST(Pipeline, UpstreamChangePropagatesToEverything) {
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  ContourStage contour("v02", {0.5});
+  PolyStatsSink sink;
+  contour.SetInputConnection(0, &source);
+  sink.SetInputConnection(0, &contour);
+  sink.Update();
+
+  source.SetKey("ts24006.vnd");  // advance the movie
+  sink.Update();
+  EXPECT_EQ(source.execution_count(), 2u);
+  EXPECT_EQ(contour.execution_count(), 2u);
+  EXPECT_EQ(sink.execution_count(), 2u);
+}
+
+TEST(Pipeline, ArraySelectionLimitsWhatTheReaderLoads) {
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  source.SetArraySelection({"v02"});
+  const DataObjectPtr out = source.UpdateAndGetOutput();
+  EXPECT_EQ(out->AsDataset().ArrayCount(), 1u);
+  EXPECT_NE(out->AsDataset().FindArray("v02"), nullptr);
+}
+
+TEST(Pipeline, UnconnectedInputThrows) {
+  ContourStage contour("v02", {0.5});
+  EXPECT_THROW(contour.Update(), Error);
+}
+
+TEST(Pipeline, PortRangeChecked) {
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  ContourStage contour("v02", {0.5});
+  EXPECT_THROW(contour.SetInputConnection(1, &source), Error);
+  EXPECT_THROW(contour.SetInputConnection(-1, &source), Error);
+}
+
+TEST(Pipeline, WrongDataObjectTypeThrows) {
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  PolyStatsSink sink;  // expects PolyData, gets a Dataset
+  sink.SetInputConnection(0, &source);
+  EXPECT_THROW(sink.Update(), Error);
+}
+
+TEST(Pipeline, FanOutSharesOneSourceExecution) {
+  // The paper's setup: one reader feeding a v02 contour filter and a v03
+  // contour filter. The reader must execute once, not per consumer.
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  ContourStage water("v02", {0.1});
+  ContourStage asteroid("v03", {0.1});
+  PolyStatsSink water_sink;
+  PolyStatsSink asteroid_sink;
+  water.SetInputConnection(0, &source);
+  asteroid.SetInputConnection(0, &source);
+  water_sink.SetInputConnection(0, &water);
+  asteroid_sink.SetInputConnection(0, &asteroid);
+
+  water_sink.Update();
+  asteroid_sink.Update();
+  EXPECT_EQ(source.execution_count(), 1u);
+  EXPECT_GT(water_sink.stats().triangles, 0u);
+
+  // Changing one branch's parameter re-runs only that branch.
+  water.SetIsovalues({0.5});
+  water_sink.Update();
+  asteroid_sink.Update();
+  EXPECT_EQ(source.execution_count(), 1u);
+  EXPECT_EQ(water.execution_count(), 2u);
+  EXPECT_EQ(asteroid.execution_count(), 1u);
+}
+
+TEST(Pipeline, DiamondTopology) {
+  // Source -> two contour stages -> both consumed; then the source key
+  // changes and everything downstream re-executes exactly once.
+  Fixture fx;
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  ContourStage a("v02", {0.1});
+  ContourStage b("v02", {0.9});
+  PolyStatsSink sink_a;
+  PolyStatsSink sink_b;
+  a.SetInputConnection(0, &source);
+  b.SetInputConnection(0, &source);
+  sink_a.SetInputConnection(0, &a);
+  sink_b.SetInputConnection(0, &b);
+  sink_a.Update();
+  sink_b.Update();
+
+  source.SetKey("ts24006.vnd");
+  sink_a.Update();
+  sink_b.Update();
+  EXPECT_EQ(source.execution_count(), 2u);
+  EXPECT_EQ(a.execution_count(), 2u);
+  EXPECT_EQ(b.execution_count(), 2u);
+  EXPECT_EQ(sink_a.execution_count(), 2u);
+  EXPECT_EQ(sink_b.execution_count(), 2u);
+}
+
+TEST(Pipeline, ObjWriterProducesFile) {
+  Fixture fx;
+  const auto path = std::filesystem::temp_directory_path() /
+                    "vizndp_pipeline_test.obj";
+  VndReaderSource source(fx.gateway(), "ts0.vnd");
+  ContourStage contour("v02", {0.5});
+  ObjWriterSink writer(path.string());
+  contour.SetInputConnection(0, &source);
+  writer.SetInputConnection(0, &contour);
+  writer.Update();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "# vizndp contour output");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vizndp::pipeline

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "render/camera.h"
+#include "render/rasterizer.h"
+#include "render/render_sink.h"
+
+namespace vizndp::render {
+namespace {
+
+TEST(Framebuffer, ClearAndPixelOps) {
+  Framebuffer fb(8, 4, {1, 2, 3});
+  EXPECT_EQ(fb.width(), 8);
+  EXPECT_EQ(fb.height(), 4);
+  EXPECT_EQ(fb.GetPixel(0, 0).g, 2);
+  fb.SetPixel(3, 2, 1.0, {255, 0, 0});
+  EXPECT_EQ(fb.GetPixel(3, 2).r, 255);
+  EXPECT_NEAR(fb.CoverageFraction(), 1.0 / 32.0, 1e-12);
+}
+
+TEST(Framebuffer, DepthTestKeepsNearest) {
+  Framebuffer fb(2, 2);
+  fb.SetPixel(0, 0, 5.0, {10, 0, 0});
+  fb.SetPixel(0, 0, 2.0, {20, 0, 0});  // nearer: wins
+  fb.SetPixel(0, 0, 9.0, {30, 0, 0});  // farther: loses
+  EXPECT_EQ(fb.GetPixel(0, 0).r, 20);
+}
+
+TEST(Framebuffer, OutOfBoundsWritesIgnored) {
+  Framebuffer fb(2, 2);
+  fb.SetPixel(-1, 0, 1.0, {9, 9, 9});
+  fb.SetPixel(5, 5, 1.0, {9, 9, 9});
+  EXPECT_DOUBLE_EQ(fb.CoverageFraction(), 0.0);
+}
+
+TEST(Framebuffer, PpmOutput) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "vizndp_render_test.ppm";
+  Framebuffer fb(16, 9);
+  fb.SetPixel(0, 0, 1.0, {255, 255, 255});
+  fb.WritePpm(path.string());
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic, dims1, dims2, maxval;
+  in >> magic >> dims1 >> dims2 >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(dims1, "16");
+  EXPECT_EQ(dims2, "9");
+  EXPECT_EQ(maxval, "255");
+  in.seekg(0, std::ios::end);
+  // Header "P6\n16 9\n255\n" is 12 bytes, then 16*9 RGB triples.
+  EXPECT_EQ(static_cast<size_t>(in.tellg()), 12u + 16u * 9u * 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(Camera, ProjectCenterAndDepth) {
+  // Looking down -z from (0,0,10) at the origin.
+  Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  const auto center = cam.Project({0, 0, 0});
+  EXPECT_NEAR(center.x, 0.0, 1e-12);
+  EXPECT_NEAR(center.y, 0.0, 1e-12);
+  EXPECT_NEAR(center.z, 10.0, 1e-12);
+  // Behind the camera: non-positive depth.
+  EXPECT_LE(cam.Project({0, 0, 20}).z, 0.0);
+}
+
+TEST(Camera, NearerObjectsProjectLarger) {
+  Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  const auto near = cam.Project({1, 0, 5});
+  const auto far = cam.Project({1, 0, -5});
+  EXPECT_GT(std::abs(near.x), std::abs(far.x));
+}
+
+TEST(Rasterizer, TriangleCoversExpectedRegion) {
+  Framebuffer fb(64, 64);
+  Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  contour::PolyData poly;
+  const auto a = poly.AddPoint({-1, -1, 0});
+  const auto b = poly.AddPoint({1, -1, 0});
+  const auto c = poly.AddPoint({0, 1, 0});
+  poly.AddTriangle(a, b, c);
+  RenderPolyData(poly, cam, {}, fb);
+  const double coverage = fb.CoverageFraction();
+  EXPECT_GT(coverage, 0.02);
+  EXPECT_LT(coverage, 0.5);
+  // The centroid pixel is covered.
+  EXPECT_NE(fb.GetPixel(32, 40).r, 16);
+}
+
+TEST(Rasterizer, NearTriangleOccludesFar) {
+  Framebuffer fb(32, 32);
+  Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  contour::PolyData far_poly;
+  far_poly.AddTriangle(far_poly.AddPoint({-2, -2, -3}),
+                       far_poly.AddPoint({2, -2, -3}),
+                       far_poly.AddPoint({0, 2, -3}));
+  contour::PolyData near_poly;
+  near_poly.AddTriangle(near_poly.AddPoint({-2, -2, 3}),
+                        near_poly.AddPoint({2, -2, 3}),
+                        near_poly.AddPoint({0, 2, 3}));
+  Material red;
+  red.base = {200, 0, 0};
+  red.ambient = 1.0;  // flat color
+  Material blue;
+  blue.base = {0, 0, 200};
+  blue.ambient = 1.0;
+  // Draw far (blue) second: depth test must still keep near (red).
+  RenderPolyData(near_poly, cam, red, fb);
+  RenderPolyData(far_poly, cam, blue, fb);
+  EXPECT_EQ(fb.GetPixel(16, 16).r, 200);
+  EXPECT_EQ(fb.GetPixel(16, 16).b, 0);
+}
+
+TEST(Rasterizer, LinesRender) {
+  Framebuffer fb(32, 32);
+  Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  contour::PolyData poly;
+  poly.AddLine(poly.AddPoint({-2, 0, 0}), poly.AddPoint({2, 0, 0}));
+  RenderPolyData(poly, cam, {}, fb);
+  EXPECT_GT(fb.CoverageFraction(), 0.0);
+}
+
+TEST(Rasterizer, BehindCameraGeometryCulled) {
+  Framebuffer fb(32, 32);
+  Camera cam({0, 0, 10}, {0, 0, 0}, {0, 1, 0}, 60.0, 1.0);
+  contour::PolyData poly;
+  poly.AddTriangle(poly.AddPoint({-1, -1, 20}), poly.AddPoint({1, -1, 20}),
+                   poly.AddPoint({0, 1, 20}));
+  RenderPolyData(poly, cam, {}, fb);
+  EXPECT_DOUBLE_EQ(fb.CoverageFraction(), 0.0);
+}
+
+TEST(RenderSink, WritesImageFromPipeline) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "vizndp_sink_test.ppm";
+
+  // A tiny one-triangle "pipeline": feed PolyData through a pass-through
+  // source algorithm.
+  class PolySource final : public pipeline::Algorithm {
+   public:
+    explicit PolySource(contour::PolyData poly) : poly_(std::move(poly)) {}
+    std::string Name() const override { return "PolySource"; }
+    int InputPortCount() const override { return 0; }
+
+   protected:
+    pipeline::DataObjectPtr Execute(
+        const std::vector<pipeline::DataObjectPtr>&) override {
+      return std::make_shared<pipeline::DataObject>(poly_);
+    }
+
+   private:
+    contour::PolyData poly_;
+  };
+
+  contour::PolyData poly;
+  poly.AddTriangle(poly.AddPoint({-1, -1, 0}), poly.AddPoint({1, -1, 0}),
+                   poly.AddPoint({0, 1, 0}));
+  PolySource source(std::move(poly));
+  RenderSink sink(path.string(), Camera({0, 0, 5}, {0, 0, 0}, {0, 1, 0},
+                                        60.0, 4.0 / 3.0),
+                  160, 120);
+  sink.SetInputConnection(0, &source);
+  sink.Update();
+  EXPECT_GT(sink.last_coverage(), 0.0);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vizndp::render

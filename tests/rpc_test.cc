@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+
+namespace vizndp::rpc {
+namespace {
+
+using msgpack::Array;
+using msgpack::Value;
+
+struct ServedPair {
+  Server server;
+  std::unique_ptr<Client> client;
+  std::thread server_thread;
+
+  explicit ServedPair(net::SimulatedLink* link = nullptr) {
+    net::TransportPair pair = net::CreateInProcPair(link);
+    server_thread = std::thread(
+        [this, t = std::shared_ptr<net::Transport>(std::move(pair.a))] {
+          server.ServeTransport(*t);
+        });
+    client = std::make_unique<Client>(std::move(pair.b));
+  }
+
+  ~ServedPair() {
+    client.reset();  // closes the channel; the serve loop exits
+    server_thread.join();
+  }
+};
+
+TEST(Rpc, BasicCall) {
+  ServedPair sp;
+  sp.server.Bind("add", [](const Array& p) {
+    return Value(p.at(0).AsInt() + p.at(1).AsInt());
+  });
+  const Value result = sp.client->Call("add", Array{Value(2), Value(40)});
+  EXPECT_EQ(result.AsInt(), 42);
+}
+
+TEST(Rpc, MultipleSequentialCalls) {
+  ServedPair sp;
+  sp.server.Bind("echo", [](const Array& p) { return p.at(0); });
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sp.client->Call("echo", Array{Value(i)}).AsInt(), i);
+  }
+  EXPECT_EQ(sp.server.requests_served(), 50u);
+}
+
+TEST(Rpc, UnknownMethodReturnsError) {
+  ServedPair sp;
+  EXPECT_THROW(sp.client->Call("nope"), RpcError);
+}
+
+TEST(Rpc, HandlerExceptionPropagatesAsRpcError) {
+  ServedPair sp;
+  sp.server.Bind("boom", [](const Array&) -> Value {
+    throw std::runtime_error("kaboom");
+  });
+  try {
+    sp.client->Call("boom");
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("kaboom"), std::string::npos);
+  }
+  // The server survives a handler failure.
+  sp.server.Bind("ok", [](const Array&) { return Value(1); });
+  EXPECT_EQ(sp.client->Call("ok").AsInt(), 1);
+}
+
+TEST(Rpc, BinaryPayloadRoundTrip) {
+  ServedPair sp;
+  sp.server.Bind("reverse", [](const Array& p) {
+    Bytes b = p.at(0).As<Bytes>();
+    std::reverse(b.begin(), b.end());
+    return Value(std::move(b));
+  });
+  Bytes big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<Byte>(i);
+  Bytes expected = big;
+  std::reverse(expected.begin(), expected.end());
+  const Value result = sp.client->Call("reverse", Array{Value(std::move(big))});
+  EXPECT_EQ(result.As<Bytes>(), expected);
+}
+
+TEST(Rpc, DuplicateBindThrows) {
+  Server server;
+  server.Bind("m", [](const Array&) { return Value(); });
+  EXPECT_THROW(server.Bind("m", [](const Array&) { return Value(); }), Error);
+}
+
+TEST(Rpc, DispatchRejectsGarbage) {
+  Server server;
+  EXPECT_THROW(server.Dispatch(ToBytes("not msgpack at all")), Error);
+}
+
+TEST(Rpc, CallsChargeTheLink) {
+  net::SimulatedLink link({.bandwidth_bytes_per_sec = 1e9,
+                           .latency_sec = 0.0,
+                           .overhead_factor = 1.0});
+  {
+    ServedPair sp(&link);
+    sp.server.Bind("blob", [](const Array& p) {
+      return Value(Bytes(p.at(0).AsUint(), 0x7F));
+    });
+    sp.client->Call("blob", Array{Value(std::uint64_t{100000})});
+  }
+  // Reply carries ~100 KB across the link; request is small.
+  EXPECT_GT(link.bytes_transferred(), 100000u);
+  EXPECT_LT(link.bytes_transferred(), 101000u);
+  EXPECT_EQ(link.messages(), 2u);
+}
+
+TEST(TcpRpc, EndToEndOverSockets) {
+  Server server;
+  server.Bind("mul", [](const Array& p) {
+    return Value(p.at(0).AsInt() * p.at(1).AsInt());
+  });
+  TcpRpcServer tcp_server(server, 0);
+  Client client(net::TcpConnect("127.0.0.1", tcp_server.port()));
+  EXPECT_EQ(client.Call("mul", Array{Value(6), Value(7)}).AsInt(), 42);
+}
+
+TEST(TcpRpc, MultipleClients) {
+  Server server;
+  server.Bind("id", [](const Array& p) { return p.at(0); });
+  TcpRpcServer tcp_server(server, 0);
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(net::TcpConnect("127.0.0.1", tcp_server.port()));
+      for (int i = 0; i < 20; ++i) {
+        if (client.Call("id", Array{Value(c * 100 + i)}).AsInt() !=
+            c * 100 + i) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 80u);
+}
+
+}  // namespace
+}  // namespace vizndp::rpc

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "compress/codec.h"
+#include "contour/select.h"
+#include "sim/impact.h"
+#include "sim/noise.h"
+#include "sim/nyx.h"
+
+namespace vizndp::sim {
+namespace {
+
+TEST(Noise, LatticeRandomIsDeterministicAndUniformish) {
+  EXPECT_EQ(LatticeRandom(1, 2, 3, 42), LatticeRandom(1, 2, 3, 42));
+  EXPECT_NE(LatticeRandom(1, 2, 3, 42), LatticeRandom(1, 2, 4, 42));
+  EXPECT_NE(LatticeRandom(1, 2, 3, 42), LatticeRandom(1, 2, 3, 43));
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = LatticeRandom(i, -i, i * 7, 9);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Noise, ValueNoiseInterpolatesLatticeValues) {
+  // At integer coordinates the noise equals the lattice random.
+  EXPECT_DOUBLE_EQ(ValueNoise(3.0, 4.0, 5.0, 7), LatticeRandom(3, 4, 5, 7));
+  // Between lattice points it stays within the hull of nearby values.
+  const double v = ValueNoise(3.5, 4.5, 5.5, 7);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+TEST(Noise, ValueNoiseIsContinuous) {
+  const double a = ValueNoise(1.0, 2.0, 3.0, 11);
+  const double b = ValueNoise(1.0 + 1e-7, 2.0, 3.0, 11);
+  EXPECT_NEAR(a, b, 1e-5);
+}
+
+TEST(Impact, ArrayNamesMatchPaperTableI) {
+  const auto& names = ImpactArrayNames();
+  ASSERT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.front(), "rho");
+  EXPECT_EQ(names[9], "v02");
+  EXPECT_EQ(names[10], "v03");
+}
+
+TEST(Impact, TimestepLabelsSpanTheRun) {
+  ImpactConfig cfg;
+  const auto labels = ImpactTimestepLabels(cfg, 9);
+  ASSERT_EQ(labels.size(), 9u);
+  EXPECT_EQ(labels.front(), 0);
+  EXPECT_EQ(labels.back(), 48013);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    EXPECT_GT(labels[i], labels[i - 1]);
+  }
+}
+
+TEST(Impact, DeterministicForSameSeed) {
+  ImpactConfig cfg;
+  cfg.n = 12;
+  const grid::Dataset a = GenerateImpactTimestep(cfg, 24006, {"v02", "v03"});
+  const grid::Dataset b = GenerateImpactTimestep(cfg, 24006, {"v02", "v03"});
+  EXPECT_EQ(a, b);
+  cfg.seed += 1;
+  const grid::Dataset c = GenerateImpactTimestep(cfg, 24006, {"v02", "v03"});
+  EXPECT_NE(a, c);
+}
+
+TEST(Impact, VolumeFractionsStayInRange) {
+  ImpactConfig cfg;
+  cfg.n = 20;
+  for (const std::int64_t t : {0LL, 24006LL, 48013LL}) {
+    const grid::Dataset ds = GenerateImpactTimestep(cfg, t, {"v02", "v03"});
+    for (const char* name : {"v02", "v03"}) {
+      const auto [lo, hi] = ds.GetArray(name).Range();
+      EXPECT_GE(lo, 0.0) << name << " t=" << t;
+      EXPECT_LE(hi, 1.0) << name << " t=" << t;
+    }
+  }
+}
+
+TEST(Impact, OceanExistsAndAsteroidIsSmall) {
+  ImpactConfig cfg;
+  cfg.n = 24;
+  const grid::Dataset ds = GenerateImpactTimestep(cfg, 0, {"v02", "v03"});
+  double water = 0, asteroid = 0;
+  const auto v02 = ds.GetArray("v02").View<float>();
+  const auto v03 = ds.GetArray("v03").View<float>();
+  for (size_t i = 0; i < v02.size(); ++i) {
+    water += v02[i];
+    asteroid += v03[i];
+  }
+  // Ocean fills roughly a third of the domain; the asteroid is tiny.
+  EXPECT_GT(water / static_cast<double>(v02.size()), 0.2);
+  EXPECT_LT(asteroid / static_cast<double>(v03.size()), 0.01);
+  EXPECT_GT(asteroid, 0.0);
+}
+
+TEST(Impact, AsteroidFallsThenImpacts) {
+  ImpactConfig cfg;
+  cfg.n = 24;
+  // Weighted mean asteroid height must decrease over pre-impact steps.
+  double prev_height = 2.0;
+  for (const std::int64_t t : {0LL, 10000LL, 20000LL}) {
+    const grid::Dataset ds = GenerateImpactTimestep(cfg, t, {"v03"});
+    const auto v03 = ds.GetArray("v03").View<float>();
+    double mass = 0, moment = 0;
+    for (std::int64_t k = 0; k < cfg.n; ++k) {
+      for (std::int64_t j = 0; j < cfg.n; ++j) {
+        for (std::int64_t i = 0; i < cfg.n; ++i) {
+          const double v = v03[static_cast<size_t>(
+              ds.dims().Index(i, j, k))];
+          mass += v;
+          moment += v * static_cast<double>(k);
+        }
+      }
+    }
+    ASSERT_GT(mass, 0.0) << "no asteroid at t=" << t;
+    const double height = moment / mass / static_cast<double>(cfg.n);
+    EXPECT_LT(height, prev_height) << "t=" << t;
+    prev_height = height;
+  }
+}
+
+TEST(Impact, CompressionRatioDecaysOverTime) {
+  ImpactConfig cfg;
+  cfg.n = 48;
+  const auto gzip = compress::MakeCodec("gzip");
+  double first_ratio = 0, last_ratio = 0;
+  for (const std::int64_t t : {0LL, 48013LL}) {
+    const grid::Dataset ds = GenerateImpactTimestep(cfg, t, {"v02"});
+    const auto& a = ds.GetArray("v02");
+    const double ratio = static_cast<double>(a.byte_size()) /
+                         static_cast<double>(gzip->Compress(a.raw()).size());
+    (t == 0 ? first_ratio : last_ratio) = ratio;
+  }
+  // Paper Fig. 5a: ratio is far higher at t=0 and decays substantially.
+  EXPECT_GT(first_ratio, 5.0 * last_ratio);
+  EXPECT_GT(last_ratio, 2.0);
+}
+
+TEST(Impact, V03MoreSelectiveThanV02) {
+  ImpactConfig cfg;
+  cfg.n = 48;
+  const grid::Dataset ds = GenerateImpactTimestep(cfg, 24006, {"v02", "v03"});
+  const double isos[] = {0.1};
+  const auto v02_count =
+      contour::CountInterestingPoints(ds.dims(), ds.GetArray("v02"), isos);
+  const auto v03_count =
+      contour::CountInterestingPoints(ds.dims(), ds.GetArray("v03"), isos);
+  // Paper Fig. 6: the asteroid spans far less mesh than the ocean.
+  EXPECT_LT(v03_count * 4, v02_count);
+  EXPECT_GT(v03_count, 0);
+}
+
+TEST(Impact, HigherContourValuesAreMoreSelective) {
+  ImpactConfig cfg;
+  cfg.n = 48;
+  const grid::Dataset ds = GenerateImpactTimestep(cfg, 36009, {"v02"});
+  const double lo[] = {0.1};
+  const double hi[] = {0.9};
+  const auto count_lo =
+      contour::CountInterestingPoints(ds.dims(), ds.GetArray("v02"), lo);
+  const auto count_hi =
+      contour::CountInterestingPoints(ds.dims(), ds.GetArray("v02"), hi);
+  EXPECT_LT(count_hi, count_lo);
+}
+
+TEST(Impact, SelectedSubsetsOnly) {
+  ImpactConfig cfg;
+  cfg.n = 8;
+  const grid::Dataset two = GenerateImpactTimestep(cfg, 0, {"v02", "v03"});
+  EXPECT_EQ(two.ArrayCount(), 2u);
+  const grid::Dataset all = GenerateImpactTimestep(cfg, 0);
+  EXPECT_EQ(all.ArrayCount(), 11u);
+  // The shared arrays agree between the two invocations.
+  EXPECT_EQ(all.GetArray("v02"), two.GetArray("v02"));
+  EXPECT_THROW(GenerateImpactTimestep(cfg, 0, {"bogus"}), Error);
+}
+
+TEST(Impact, RejectsBadTimestep) {
+  ImpactConfig cfg;
+  cfg.n = 8;
+  EXPECT_THROW(GenerateImpactTimestep(cfg, -1), Error);
+  EXPECT_THROW(GenerateImpactTimestep(cfg, cfg.final_timestep + 1), Error);
+}
+
+TEST(Nyx, ArraysAndDeterminism) {
+  NyxConfig cfg;
+  cfg.n = 12;
+  const grid::Dataset a = GenerateNyx(cfg);
+  EXPECT_EQ(a.ArrayCount(), 6u);
+  EXPECT_NE(a.FindArray("baryon_density"), nullptr);
+  const grid::Dataset b = GenerateNyx(cfg);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Nyx, BaryonDensityCrossesHaloThreshold) {
+  NyxConfig cfg;
+  cfg.n = 48;
+  const grid::Dataset ds = GenerateNyx(cfg, {"baryon_density"});
+  const auto [lo, hi] = ds.GetArray("baryon_density").Range();
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi, kHaloThreshold);  // halos exist
+  EXPECT_LT(lo, kHaloThreshold);  // voids exist
+}
+
+TEST(Nyx, HaloContourSelectivityIsVeryLow) {
+  NyxConfig cfg;
+  cfg.n = 64;
+  const grid::Dataset ds = GenerateNyx(cfg, {"baryon_density"});
+  const double iso[] = {kHaloThreshold};
+  const auto count = contour::CountInterestingPoints(
+      ds.dims(), ds.GetArray("baryon_density"), iso);
+  const double selectivity =
+      static_cast<double>(count) / static_cast<double>(ds.dims().PointCount());
+  // Paper Fig. 12 reports 0.06%; at our resolution anything below 1% and
+  // above zero preserves the story.
+  EXPECT_GT(count, 0);
+  EXPECT_LT(selectivity, 0.01);
+}
+
+TEST(Nyx, EffectivelyIncompressible) {
+  NyxConfig cfg;
+  cfg.n = 48;
+  const grid::Dataset ds = GenerateNyx(cfg, {"baryon_density"});
+  const auto& a = ds.GetArray("baryon_density");
+  const auto gzip_size = compress::MakeCodec("gzip")->Compress(a.raw()).size();
+  const auto lz4_size = compress::MakeCodec("lz4")->Compress(a.raw()).size();
+  // Paper Sec. VII: GZip managed only ~11%; LZ4 essentially nothing.
+  EXPECT_GT(static_cast<double>(gzip_size),
+            0.8 * static_cast<double>(a.byte_size()));
+  EXPECT_GT(static_cast<double>(lz4_size),
+            0.95 * static_cast<double>(a.byte_size()));
+}
+
+}  // namespace
+}  // namespace vizndp::sim

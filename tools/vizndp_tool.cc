@@ -1,0 +1,303 @@
+// vizndp_tool — command-line front end for the library.
+//
+//   vizndp_tool gen     --kind impact|nyx --out FILE [--n N] [--timestep T]
+//                       [--codec none|gzip|lz4|rle|zlib] [--arrays a,b,...]
+//   vizndp_tool info    --in FILE
+//   vizndp_tool contour --in FILE --array NAME --iso V[,V...]
+//                       [--obj FILE] [--ppm FILE]
+//   vizndp_tool select  --in FILE --array NAME --iso V[,V...]
+//                       [--encoding id+value|delta-varint|bitmap|run-length]
+//   vizndp_tool serve   --dir DIR [--port P]         (storage node)
+//   vizndp_tool fetch   --host H --port P --key K --array NAME --iso V[,V...]
+//                       [--obj FILE]                 (client node)
+//
+// `serve` exposes both the baseline object-read RPCs and the NDP
+// pre-filter over TCP for every .vnd object under DIR/data/.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "bench_util/table.h"
+#include "contour/contour_filter.h"
+#include "contour/select.h"
+#include "io/vnd_format.h"
+#include "ndp/ndp_client.h"
+#include "ndp/ndp_server.h"
+#include "net/tcp.h"
+#include "render/render_sink.h"
+#include "rpc/server.h"
+#include "sim/impact.h"
+#include "sim/nyx.h"
+#include "storage/local_store.h"
+#include "storage/memory_store.h"
+#include "storage/store_rpc.h"
+
+using namespace vizndp;
+
+namespace {
+
+[[noreturn]] void Usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, "%s",
+               "usage: vizndp_tool <command> [options]\n"
+               "\n"
+               "commands:\n"
+               "  gen     --kind impact|nyx --out FILE [--n N] [--timestep T]\n"
+               "          [--codec NAME] [--arrays a,b,...] [--bricks EDGE]\n"
+               "  info    --in FILE\n"
+               "  contour --in FILE --array NAME --iso V[,V...] [--obj FILE]\n"
+               "          [--ppm FILE]\n"
+               "  select  --in FILE --array NAME --iso V[,V...] [--encoding E]\n"
+               "  serve   --dir DIR [--port P]\n"
+               "  fetch   --host H --port P --key K --array NAME --iso V[,V...]\n"
+               "          [--obj FILE]\n");
+  std::exit(2);
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) Usage(("unexpected argument: " + key).c_str());
+      key = key.substr(2);
+      if (i + 1 >= argc) Usage(("missing value for --" + key).c_str());
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+
+  std::string Require(const std::string& key) const {
+    const auto v = Get(key);
+    if (!v) Usage(("missing required option --" + key).c_str());
+    return *v;
+  }
+
+  long GetLong(const std::string& key, long fallback) const {
+    const auto v = Get(key);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<double> ParseIsovalues(const std::string& spec) {
+  std::vector<double> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(std::atof(item.c_str()));
+  }
+  if (out.empty()) Usage("--iso needs at least one value");
+  return out;
+}
+
+std::vector<std::string> ParseList(const std::string& spec) {
+  std::vector<std::string> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+// Opens a .vnd file from the local filesystem as a reader.
+io::VndReader OpenVnd(storage::MemoryObjectStore& store,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw IoError("cannot open " + path);
+  }
+  Bytes image((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  store.CreateBucket("local");
+  store.Put("local", "file", image);
+  return io::VndReader(storage::FileGateway(store, "local").Open("file"));
+}
+
+int CmdGen(const Args& args) {
+  const std::string kind = args.Require("kind");
+  const std::string out_path = args.Require("out");
+  const long n = args.GetLong("n", 64);
+  grid::Dataset ds;
+  if (kind == "impact") {
+    sim::ImpactConfig cfg;
+    cfg.n = n;
+    const long t = args.GetLong("timestep", 24006);
+    const auto arrays = args.Get("arrays");
+    ds = arrays ? sim::GenerateImpactTimestep(cfg, t, ParseList(*arrays))
+                : sim::GenerateImpactTimestep(cfg, t);
+  } else if (kind == "nyx") {
+    sim::NyxConfig cfg;
+    cfg.n = n;
+    const auto arrays = args.Get("arrays");
+    ds = arrays ? sim::GenerateNyx(cfg, ParseList(*arrays))
+                : sim::GenerateNyx(cfg);
+  } else {
+    Usage("--kind must be impact or nyx");
+  }
+  io::VndWriter writer(ds);
+  writer.SetCodec(compress::MakeCodec(args.Get("codec").value_or("none")));
+  writer.SetBrickSize(static_cast<std::int32_t>(args.GetLong("bricks", 0)));
+  const Bytes image = writer.Serialize();
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out.good()) throw IoError("cannot open " + out_path);
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  std::printf("wrote %s (%zu bytes, %zu arrays, %ld^3)\n", out_path.c_str(),
+              image.size(), ds.ArrayCount(), n);
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  storage::MemoryObjectStore store;
+  const io::VndReader reader = OpenVnd(store, args.Require("in"));
+  const io::VndHeader& h = reader.header();
+  std::printf("dims: %s   origin: (%g, %g, %g)   spacing: (%g, %g, %g)\n",
+              h.dims.ToString().c_str(), h.geometry.origin[0],
+              h.geometry.origin[1], h.geometry.origin[2],
+              h.geometry.spacing[0], h.geometry.spacing[1],
+              h.geometry.spacing[2]);
+  bench_util::Table table({"array", "type", "codec", "raw", "stored", "ratio"});
+  for (const io::ArrayMeta& m : h.arrays) {
+    table.AddRow({m.name, grid::DataTypeName(m.type), m.codec,
+                  bench_util::FormatBytes(m.raw_size),
+                  bench_util::FormatBytes(m.stored_size),
+                  bench_util::FormatRatio(static_cast<double>(m.raw_size) /
+                                          static_cast<double>(m.stored_size))});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdContour(const Args& args) {
+  storage::MemoryObjectStore store;
+  const io::VndReader reader = OpenVnd(store, args.Require("in"));
+  const std::string array = args.Require("array");
+  const std::vector<double> isos = ParseIsovalues(args.Require("iso"));
+  const contour::ContourFilter filter(isos);
+  const contour::PolyData poly =
+      filter.Execute(reader.header().dims, reader.header().geometry,
+                     reader.ReadArray(array));
+  std::printf("contour of %s at %zu isovalue(s): %zu points, %zu triangles, "
+              "%zu lines\n",
+              array.c_str(), isos.size(), poly.PointCount(),
+              poly.TriangleCount(), poly.LineCount());
+  if (const auto obj = args.Get("obj")) {
+    poly.WriteObj(*obj);
+    std::printf("wrote %s\n", obj->c_str());
+  }
+  if (const auto ppm = args.Get("ppm")) {
+    render::Framebuffer fb(800, 600);
+    const render::Camera camera({0.5, -1.3, 1.1}, {0.5, 0.5, 0.4}, {0, 0, 1},
+                                55.0, 800.0 / 600.0);
+    RenderPolyData(poly, camera, {}, fb);
+    fb.WritePpm(*ppm);
+    std::printf("wrote %s\n", ppm->c_str());
+  }
+  return 0;
+}
+
+int CmdSelect(const Args& args) {
+  storage::MemoryObjectStore store;
+  const io::VndReader reader = OpenVnd(store, args.Require("in"));
+  const std::string array = args.Require("array");
+  const std::vector<double> isos = ParseIsovalues(args.Require("iso"));
+  const grid::DataArray data = reader.ReadArray(array);
+  const contour::Selection sel =
+      contour::SelectInterestingPoints(reader.header().dims, data, isos);
+
+  const std::map<std::string, ndp::SelectionEncoding> encodings = {
+      {"id+value", ndp::SelectionEncoding::kIdValue},
+      {"delta-varint", ndp::SelectionEncoding::kDeltaVarint},
+      {"bitmap", ndp::SelectionEncoding::kBitmap},
+      {"run-length", ndp::SelectionEncoding::kRunLength},
+  };
+  const std::string enc_name = args.Get("encoding").value_or("run-length");
+  const auto it = encodings.find(enc_name);
+  if (it == encodings.end()) Usage("unknown --encoding");
+  const Bytes payload = ndp::EncodeSelection(sel, it->second);
+
+  std::printf("array %s: %zu of %lld points selected (%.4f%%)\n",
+              array.c_str(), sel.ids.size(),
+              static_cast<long long>(sel.total_points),
+              100.0 * sel.Selectivity());
+  std::printf("payload (%s): %zu bytes = %.1fx reduction vs raw array\n",
+              enc_name.c_str(), payload.size(),
+              static_cast<double>(data.byte_size()) /
+                  static_cast<double>(std::max<size_t>(1, payload.size())));
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  const std::string dir = args.Require("dir");
+  const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
+  storage::LocalObjectStore store(dir);
+  store.CreateBucket("data");
+  rpc::Server rpc_server;
+  storage::BindObjectStoreRpc(rpc_server, store);
+  ndp::NdpServer ndp_server(storage::FileGateway(store, "data"));
+  ndp_server.Bind(rpc_server);
+  rpc::TcpRpcServer tcp(rpc_server, port);
+  std::printf("serving %s/data on 127.0.0.1:%u (baseline reads + NDP "
+              "pre-filter); Ctrl-C to stop\n",
+              dir.c_str(), tcp.port());
+  ::pause();
+  return 0;
+}
+
+int CmdFetch(const Args& args) {
+  const std::string host = args.Get("host").value_or("127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
+  ndp::NdpClient client(
+      std::make_shared<rpc::Client>(net::TcpConnect(host, port)), "data");
+  ndp::NdpLoadStats stats;
+  const contour::PolyData poly =
+      client.Contour(args.Require("key"), args.Require("array"),
+                     ParseIsovalues(args.Require("iso")), &stats);
+  std::printf("NDP contour: %zu triangles; %llu of %llu points (%.4f%%), "
+              "payload %llu bytes\n",
+              poly.TriangleCount(),
+              static_cast<unsigned long long>(stats.selected_points),
+              static_cast<unsigned long long>(stats.total_points),
+              100.0 * stats.Selectivity(),
+              static_cast<unsigned long long>(stats.payload_bytes));
+  if (const auto obj = args.Get("obj")) {
+    poly.WriteObj(*obj);
+    std::printf("wrote %s\n", obj->c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "gen") return CmdGen(args);
+    if (command == "info") return CmdInfo(args);
+    if (command == "contour") return CmdContour(args);
+    if (command == "select") return CmdSelect(args);
+    if (command == "serve") return CmdServe(args);
+    if (command == "fetch") return CmdFetch(args);
+    Usage(("unknown command: " + command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
