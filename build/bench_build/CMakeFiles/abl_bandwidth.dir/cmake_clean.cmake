@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bandwidth"
+  "../bench/abl_bandwidth.pdb"
+  "CMakeFiles/abl_bandwidth.dir/abl_bandwidth.cc.o"
+  "CMakeFiles/abl_bandwidth.dir/abl_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bricks"
+  "../bench/abl_bricks.pdb"
+  "CMakeFiles/abl_bricks.dir/abl_bricks.cc.o"
+  "CMakeFiles/abl_bricks.dir/abl_bricks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bricks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

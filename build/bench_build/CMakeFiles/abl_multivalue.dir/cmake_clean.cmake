@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_multivalue"
+  "../bench/abl_multivalue.pdb"
+  "CMakeFiles/abl_multivalue.dir/abl_multivalue.cc.o"
+  "CMakeFiles/abl_multivalue.dir/abl_multivalue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multivalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

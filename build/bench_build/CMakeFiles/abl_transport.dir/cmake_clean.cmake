@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_transport"
+  "../bench/abl_transport.pdb"
+  "CMakeFiles/abl_transport.dir/abl_transport.cc.o"
+  "CMakeFiles/abl_transport.dir/abl_transport.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_reduction_ratio"
+  "../bench/fig01_reduction_ratio.pdb"
+  "CMakeFiles/fig01_reduction_ratio.dir/fig01_reduction_ratio.cc.o"
+  "CMakeFiles/fig01_reduction_ratio.dir/fig01_reduction_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_reduction_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

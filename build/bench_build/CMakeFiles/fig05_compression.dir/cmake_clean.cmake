@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_compression"
+  "../bench/fig05_compression.pdb"
+  "CMakeFiles/fig05_compression.dir/fig05_compression.cc.o"
+  "CMakeFiles/fig05_compression.dir/fig05_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_selectivity.cc" "bench_build/CMakeFiles/fig06_selectivity.dir/fig06_selectivity.cc.o" "gcc" "bench_build/CMakeFiles/fig06_selectivity.dir/fig06_selectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/vizndp_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vizndp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/vizndp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/vizndp_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/vizndp_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/vizndp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/vizndp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vizndp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/vizndp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpack/CMakeFiles/vizndp_msgpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vizndp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/contour/CMakeFiles/vizndp_contour.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vizndp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vizndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

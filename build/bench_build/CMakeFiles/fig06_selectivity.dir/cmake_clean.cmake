@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_selectivity"
+  "../bench/fig06_selectivity.pdb"
+  "CMakeFiles/fig06_selectivity.dir/fig06_selectivity.cc.o"
+  "CMakeFiles/fig06_selectivity.dir/fig06_selectivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ndp_loadtime"
+  "../bench/fig13_ndp_loadtime.pdb"
+  "CMakeFiles/fig13_ndp_loadtime.dir/fig13_ndp_loadtime.cc.o"
+  "CMakeFiles/fig13_ndp_loadtime.dir/fig13_ndp_loadtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ndp_loadtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_ndp_loadtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_nyx"
+  "../bench/fig14_nyx.pdb"
+  "CMakeFiles/fig14_nyx.dir/fig14_nyx.cc.o"
+  "CMakeFiles/fig14_nyx.dir/fig14_nyx.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nyx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_speedups"
+  "../bench/table2_speedups.pdb"
+  "CMakeFiles/table2_speedups.dir/table2_speedups.cc.o"
+  "CMakeFiles/table2_speedups.dir/table2_speedups.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asteroid_movie.dir/asteroid_movie.cpp.o"
+  "CMakeFiles/asteroid_movie.dir/asteroid_movie.cpp.o.d"
+  "asteroid_movie"
+  "asteroid_movie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asteroid_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asteroid_movie.
+# This may be replaced when dependencies are built.

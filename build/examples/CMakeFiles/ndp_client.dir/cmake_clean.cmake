@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_client.dir/ndp_client.cpp.o"
+  "CMakeFiles/ndp_client.dir/ndp_client.cpp.o.d"
+  "ndp_client"
+  "ndp_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

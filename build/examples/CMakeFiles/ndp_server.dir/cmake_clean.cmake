@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_server.dir/ndp_server.cpp.o"
+  "CMakeFiles/ndp_server.dir/ndp_server.cpp.o.d"
+  "ndp_server"
+  "ndp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

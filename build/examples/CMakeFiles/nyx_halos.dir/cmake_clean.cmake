@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nyx_halos.dir/nyx_halos.cpp.o"
+  "CMakeFiles/nyx_halos.dir/nyx_halos.cpp.o.d"
+  "nyx_halos"
+  "nyx_halos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nyx_halos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

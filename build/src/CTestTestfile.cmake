@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("grid")
+subdirs("compress")
+subdirs("msgpack")
+subdirs("net")
+subdirs("rpc")
+subdirs("storage")
+subdirs("io")
+subdirs("pipeline")
+subdirs("contour")
+subdirs("sim")
+subdirs("render")
+subdirs("ndp")
+subdirs("bench_util")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_bench_util.dir/stats.cc.o"
+  "CMakeFiles/vizndp_bench_util.dir/stats.cc.o.d"
+  "CMakeFiles/vizndp_bench_util.dir/table.cc.o"
+  "CMakeFiles/vizndp_bench_util.dir/table.cc.o.d"
+  "CMakeFiles/vizndp_bench_util.dir/testbed.cc.o"
+  "CMakeFiles/vizndp_bench_util.dir/testbed.cc.o.d"
+  "libvizndp_bench_util.a"
+  "libvizndp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_common.dir/error.cc.o"
+  "CMakeFiles/vizndp_common.dir/error.cc.o.d"
+  "CMakeFiles/vizndp_common.dir/hexdump.cc.o"
+  "CMakeFiles/vizndp_common.dir/hexdump.cc.o.d"
+  "libvizndp_common.a"
+  "libvizndp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/checksum.cc" "src/compress/CMakeFiles/vizndp_compress.dir/checksum.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/checksum.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/compress/CMakeFiles/vizndp_compress.dir/codec.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/codec.cc.o.d"
+  "/root/repo/src/compress/deflate.cc" "src/compress/CMakeFiles/vizndp_compress.dir/deflate.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/deflate.cc.o.d"
+  "/root/repo/src/compress/gzip.cc" "src/compress/CMakeFiles/vizndp_compress.dir/gzip.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/gzip.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/vizndp_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/inflate.cc" "src/compress/CMakeFiles/vizndp_compress.dir/inflate.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/inflate.cc.o.d"
+  "/root/repo/src/compress/lz4.cc" "src/compress/CMakeFiles/vizndp_compress.dir/lz4.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/lz4.cc.o.d"
+  "/root/repo/src/compress/rle.cc" "src/compress/CMakeFiles/vizndp_compress.dir/rle.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/rle.cc.o.d"
+  "/root/repo/src/compress/zlib_stream.cc" "src/compress/CMakeFiles/vizndp_compress.dir/zlib_stream.cc.o" "gcc" "src/compress/CMakeFiles/vizndp_compress.dir/zlib_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vizndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_compress.dir/checksum.cc.o"
+  "CMakeFiles/vizndp_compress.dir/checksum.cc.o.d"
+  "CMakeFiles/vizndp_compress.dir/codec.cc.o"
+  "CMakeFiles/vizndp_compress.dir/codec.cc.o.d"
+  "CMakeFiles/vizndp_compress.dir/deflate.cc.o"
+  "CMakeFiles/vizndp_compress.dir/deflate.cc.o.d"
+  "CMakeFiles/vizndp_compress.dir/gzip.cc.o"
+  "CMakeFiles/vizndp_compress.dir/gzip.cc.o.d"
+  "CMakeFiles/vizndp_compress.dir/huffman.cc.o"
+  "CMakeFiles/vizndp_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/vizndp_compress.dir/inflate.cc.o"
+  "CMakeFiles/vizndp_compress.dir/inflate.cc.o.d"
+  "CMakeFiles/vizndp_compress.dir/lz4.cc.o"
+  "CMakeFiles/vizndp_compress.dir/lz4.cc.o.d"
+  "CMakeFiles/vizndp_compress.dir/rle.cc.o"
+  "CMakeFiles/vizndp_compress.dir/rle.cc.o.d"
+  "CMakeFiles/vizndp_compress.dir/zlib_stream.cc.o"
+  "CMakeFiles/vizndp_compress.dir/zlib_stream.cc.o.d"
+  "libvizndp_compress.a"
+  "libvizndp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contour/components.cc" "src/contour/CMakeFiles/vizndp_contour.dir/components.cc.o" "gcc" "src/contour/CMakeFiles/vizndp_contour.dir/components.cc.o.d"
+  "/root/repo/src/contour/contour_filter.cc" "src/contour/CMakeFiles/vizndp_contour.dir/contour_filter.cc.o" "gcc" "src/contour/CMakeFiles/vizndp_contour.dir/contour_filter.cc.o.d"
+  "/root/repo/src/contour/marching_cubes.cc" "src/contour/CMakeFiles/vizndp_contour.dir/marching_cubes.cc.o" "gcc" "src/contour/CMakeFiles/vizndp_contour.dir/marching_cubes.cc.o.d"
+  "/root/repo/src/contour/marching_squares.cc" "src/contour/CMakeFiles/vizndp_contour.dir/marching_squares.cc.o" "gcc" "src/contour/CMakeFiles/vizndp_contour.dir/marching_squares.cc.o.d"
+  "/root/repo/src/contour/mc_tables.cc" "src/contour/CMakeFiles/vizndp_contour.dir/mc_tables.cc.o" "gcc" "src/contour/CMakeFiles/vizndp_contour.dir/mc_tables.cc.o.d"
+  "/root/repo/src/contour/polydata.cc" "src/contour/CMakeFiles/vizndp_contour.dir/polydata.cc.o" "gcc" "src/contour/CMakeFiles/vizndp_contour.dir/polydata.cc.o.d"
+  "/root/repo/src/contour/select.cc" "src/contour/CMakeFiles/vizndp_contour.dir/select.cc.o" "gcc" "src/contour/CMakeFiles/vizndp_contour.dir/select.cc.o.d"
+  "/root/repo/src/contour/sparse_field.cc" "src/contour/CMakeFiles/vizndp_contour.dir/sparse_field.cc.o" "gcc" "src/contour/CMakeFiles/vizndp_contour.dir/sparse_field.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/vizndp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vizndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

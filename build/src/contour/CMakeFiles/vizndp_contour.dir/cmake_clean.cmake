@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_contour.dir/components.cc.o"
+  "CMakeFiles/vizndp_contour.dir/components.cc.o.d"
+  "CMakeFiles/vizndp_contour.dir/contour_filter.cc.o"
+  "CMakeFiles/vizndp_contour.dir/contour_filter.cc.o.d"
+  "CMakeFiles/vizndp_contour.dir/marching_cubes.cc.o"
+  "CMakeFiles/vizndp_contour.dir/marching_cubes.cc.o.d"
+  "CMakeFiles/vizndp_contour.dir/marching_squares.cc.o"
+  "CMakeFiles/vizndp_contour.dir/marching_squares.cc.o.d"
+  "CMakeFiles/vizndp_contour.dir/mc_tables.cc.o"
+  "CMakeFiles/vizndp_contour.dir/mc_tables.cc.o.d"
+  "CMakeFiles/vizndp_contour.dir/polydata.cc.o"
+  "CMakeFiles/vizndp_contour.dir/polydata.cc.o.d"
+  "CMakeFiles/vizndp_contour.dir/select.cc.o"
+  "CMakeFiles/vizndp_contour.dir/select.cc.o.d"
+  "CMakeFiles/vizndp_contour.dir/sparse_field.cc.o"
+  "CMakeFiles/vizndp_contour.dir/sparse_field.cc.o.d"
+  "libvizndp_contour.a"
+  "libvizndp_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/data_array.cc" "src/grid/CMakeFiles/vizndp_grid.dir/data_array.cc.o" "gcc" "src/grid/CMakeFiles/vizndp_grid.dir/data_array.cc.o.d"
+  "/root/repo/src/grid/dataset.cc" "src/grid/CMakeFiles/vizndp_grid.dir/dataset.cc.o" "gcc" "src/grid/CMakeFiles/vizndp_grid.dir/dataset.cc.o.d"
+  "/root/repo/src/grid/dims.cc" "src/grid/CMakeFiles/vizndp_grid.dir/dims.cc.o" "gcc" "src/grid/CMakeFiles/vizndp_grid.dir/dims.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vizndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_grid.dir/data_array.cc.o"
+  "CMakeFiles/vizndp_grid.dir/data_array.cc.o.d"
+  "CMakeFiles/vizndp_grid.dir/dataset.cc.o"
+  "CMakeFiles/vizndp_grid.dir/dataset.cc.o.d"
+  "CMakeFiles/vizndp_grid.dir/dims.cc.o"
+  "CMakeFiles/vizndp_grid.dir/dims.cc.o.d"
+  "libvizndp_grid.a"
+  "libvizndp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_io.dir/vnd_format.cc.o"
+  "CMakeFiles/vizndp_io.dir/vnd_format.cc.o.d"
+  "CMakeFiles/vizndp_io.dir/vtk_ascii.cc.o"
+  "CMakeFiles/vizndp_io.dir/vtk_ascii.cc.o.d"
+  "libvizndp_io.a"
+  "libvizndp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msgpack/pack.cc" "src/msgpack/CMakeFiles/vizndp_msgpack.dir/pack.cc.o" "gcc" "src/msgpack/CMakeFiles/vizndp_msgpack.dir/pack.cc.o.d"
+  "/root/repo/src/msgpack/unpack.cc" "src/msgpack/CMakeFiles/vizndp_msgpack.dir/unpack.cc.o" "gcc" "src/msgpack/CMakeFiles/vizndp_msgpack.dir/unpack.cc.o.d"
+  "/root/repo/src/msgpack/value.cc" "src/msgpack/CMakeFiles/vizndp_msgpack.dir/value.cc.o" "gcc" "src/msgpack/CMakeFiles/vizndp_msgpack.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vizndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

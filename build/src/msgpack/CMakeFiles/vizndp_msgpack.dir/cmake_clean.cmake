@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_msgpack.dir/pack.cc.o"
+  "CMakeFiles/vizndp_msgpack.dir/pack.cc.o.d"
+  "CMakeFiles/vizndp_msgpack.dir/unpack.cc.o"
+  "CMakeFiles/vizndp_msgpack.dir/unpack.cc.o.d"
+  "CMakeFiles/vizndp_msgpack.dir/value.cc.o"
+  "CMakeFiles/vizndp_msgpack.dir/value.cc.o.d"
+  "libvizndp_msgpack.a"
+  "libvizndp_msgpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_msgpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndp/bricked_select.cc" "src/ndp/CMakeFiles/vizndp_ndp.dir/bricked_select.cc.o" "gcc" "src/ndp/CMakeFiles/vizndp_ndp.dir/bricked_select.cc.o.d"
+  "/root/repo/src/ndp/catalog.cc" "src/ndp/CMakeFiles/vizndp_ndp.dir/catalog.cc.o" "gcc" "src/ndp/CMakeFiles/vizndp_ndp.dir/catalog.cc.o.d"
+  "/root/repo/src/ndp/ndp_client.cc" "src/ndp/CMakeFiles/vizndp_ndp.dir/ndp_client.cc.o" "gcc" "src/ndp/CMakeFiles/vizndp_ndp.dir/ndp_client.cc.o.d"
+  "/root/repo/src/ndp/ndp_server.cc" "src/ndp/CMakeFiles/vizndp_ndp.dir/ndp_server.cc.o" "gcc" "src/ndp/CMakeFiles/vizndp_ndp.dir/ndp_server.cc.o.d"
+  "/root/repo/src/ndp/protocol.cc" "src/ndp/CMakeFiles/vizndp_ndp.dir/protocol.cc.o" "gcc" "src/ndp/CMakeFiles/vizndp_ndp.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/contour/CMakeFiles/vizndp_contour.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/vizndp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/vizndp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/vizndp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vizndp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vizndp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/vizndp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpack/CMakeFiles/vizndp_msgpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/vizndp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vizndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

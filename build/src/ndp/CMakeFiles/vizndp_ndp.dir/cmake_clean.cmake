@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_ndp.dir/bricked_select.cc.o"
+  "CMakeFiles/vizndp_ndp.dir/bricked_select.cc.o.d"
+  "CMakeFiles/vizndp_ndp.dir/catalog.cc.o"
+  "CMakeFiles/vizndp_ndp.dir/catalog.cc.o.d"
+  "CMakeFiles/vizndp_ndp.dir/ndp_client.cc.o"
+  "CMakeFiles/vizndp_ndp.dir/ndp_client.cc.o.d"
+  "CMakeFiles/vizndp_ndp.dir/ndp_server.cc.o"
+  "CMakeFiles/vizndp_ndp.dir/ndp_server.cc.o.d"
+  "CMakeFiles/vizndp_ndp.dir/protocol.cc.o"
+  "CMakeFiles/vizndp_ndp.dir/protocol.cc.o.d"
+  "libvizndp_ndp.a"
+  "libvizndp_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvizndp_ndp.a"
+)

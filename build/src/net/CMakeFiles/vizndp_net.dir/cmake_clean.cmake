@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_net.dir/inproc.cc.o"
+  "CMakeFiles/vizndp_net.dir/inproc.cc.o.d"
+  "CMakeFiles/vizndp_net.dir/link_model.cc.o"
+  "CMakeFiles/vizndp_net.dir/link_model.cc.o.d"
+  "CMakeFiles/vizndp_net.dir/tcp.cc.o"
+  "CMakeFiles/vizndp_net.dir/tcp.cc.o.d"
+  "libvizndp_net.a"
+  "libvizndp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/algorithm.cc" "src/pipeline/CMakeFiles/vizndp_pipeline.dir/algorithm.cc.o" "gcc" "src/pipeline/CMakeFiles/vizndp_pipeline.dir/algorithm.cc.o.d"
+  "/root/repo/src/pipeline/elements.cc" "src/pipeline/CMakeFiles/vizndp_pipeline.dir/elements.cc.o" "gcc" "src/pipeline/CMakeFiles/vizndp_pipeline.dir/elements.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/vizndp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/contour/CMakeFiles/vizndp_contour.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/vizndp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/vizndp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vizndp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/vizndp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpack/CMakeFiles/vizndp_msgpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vizndp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vizndp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

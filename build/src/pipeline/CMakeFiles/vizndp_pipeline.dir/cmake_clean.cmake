@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_pipeline.dir/algorithm.cc.o"
+  "CMakeFiles/vizndp_pipeline.dir/algorithm.cc.o.d"
+  "CMakeFiles/vizndp_pipeline.dir/elements.cc.o"
+  "CMakeFiles/vizndp_pipeline.dir/elements.cc.o.d"
+  "libvizndp_pipeline.a"
+  "libvizndp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_render.dir/camera.cc.o"
+  "CMakeFiles/vizndp_render.dir/camera.cc.o.d"
+  "CMakeFiles/vizndp_render.dir/framebuffer.cc.o"
+  "CMakeFiles/vizndp_render.dir/framebuffer.cc.o.d"
+  "CMakeFiles/vizndp_render.dir/rasterizer.cc.o"
+  "CMakeFiles/vizndp_render.dir/rasterizer.cc.o.d"
+  "CMakeFiles/vizndp_render.dir/render_sink.cc.o"
+  "CMakeFiles/vizndp_render.dir/render_sink.cc.o.d"
+  "libvizndp_render.a"
+  "libvizndp_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

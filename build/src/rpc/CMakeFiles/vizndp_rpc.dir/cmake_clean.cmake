@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_rpc.dir/client.cc.o"
+  "CMakeFiles/vizndp_rpc.dir/client.cc.o.d"
+  "CMakeFiles/vizndp_rpc.dir/server.cc.o"
+  "CMakeFiles/vizndp_rpc.dir/server.cc.o.d"
+  "libvizndp_rpc.a"
+  "libvizndp_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_sim.dir/impact.cc.o"
+  "CMakeFiles/vizndp_sim.dir/impact.cc.o.d"
+  "CMakeFiles/vizndp_sim.dir/noise.cc.o"
+  "CMakeFiles/vizndp_sim.dir/noise.cc.o.d"
+  "CMakeFiles/vizndp_sim.dir/nyx.cc.o"
+  "CMakeFiles/vizndp_sim.dir/nyx.cc.o.d"
+  "libvizndp_sim.a"
+  "libvizndp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/file_gateway.cc" "src/storage/CMakeFiles/vizndp_storage.dir/file_gateway.cc.o" "gcc" "src/storage/CMakeFiles/vizndp_storage.dir/file_gateway.cc.o.d"
+  "/root/repo/src/storage/local_store.cc" "src/storage/CMakeFiles/vizndp_storage.dir/local_store.cc.o" "gcc" "src/storage/CMakeFiles/vizndp_storage.dir/local_store.cc.o.d"
+  "/root/repo/src/storage/memory_store.cc" "src/storage/CMakeFiles/vizndp_storage.dir/memory_store.cc.o" "gcc" "src/storage/CMakeFiles/vizndp_storage.dir/memory_store.cc.o.d"
+  "/root/repo/src/storage/remote_store.cc" "src/storage/CMakeFiles/vizndp_storage.dir/remote_store.cc.o" "gcc" "src/storage/CMakeFiles/vizndp_storage.dir/remote_store.cc.o.d"
+  "/root/repo/src/storage/store_rpc.cc" "src/storage/CMakeFiles/vizndp_storage.dir/store_rpc.cc.o" "gcc" "src/storage/CMakeFiles/vizndp_storage.dir/store_rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vizndp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/vizndp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpack/CMakeFiles/vizndp_msgpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vizndp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

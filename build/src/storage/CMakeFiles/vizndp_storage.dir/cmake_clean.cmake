@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_storage.dir/file_gateway.cc.o"
+  "CMakeFiles/vizndp_storage.dir/file_gateway.cc.o.d"
+  "CMakeFiles/vizndp_storage.dir/local_store.cc.o"
+  "CMakeFiles/vizndp_storage.dir/local_store.cc.o.d"
+  "CMakeFiles/vizndp_storage.dir/memory_store.cc.o"
+  "CMakeFiles/vizndp_storage.dir/memory_store.cc.o.d"
+  "CMakeFiles/vizndp_storage.dir/remote_store.cc.o"
+  "CMakeFiles/vizndp_storage.dir/remote_store.cc.o.d"
+  "CMakeFiles/vizndp_storage.dir/store_rpc.cc.o"
+  "CMakeFiles/vizndp_storage.dir/store_rpc.cc.o.d"
+  "libvizndp_storage.a"
+  "libvizndp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brick_test.dir/brick_test.cc.o"
+  "CMakeFiles/brick_test.dir/brick_test.cc.o.d"
+  "brick_test"
+  "brick_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

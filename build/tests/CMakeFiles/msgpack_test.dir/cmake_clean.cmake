@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgpack_test.dir/msgpack_test.cc.o"
+  "CMakeFiles/msgpack_test.dir/msgpack_test.cc.o.d"
+  "msgpack_test"
+  "msgpack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rectilinear_test.dir/rectilinear_test.cc.o"
+  "CMakeFiles/rectilinear_test.dir/rectilinear_test.cc.o.d"
+  "rectilinear_test"
+  "rectilinear_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rectilinear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

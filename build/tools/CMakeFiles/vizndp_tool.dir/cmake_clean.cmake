@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vizndp_tool.dir/vizndp_tool.cc.o"
+  "CMakeFiles/vizndp_tool.dir/vizndp_tool.cc.o.d"
+  "vizndp_tool"
+  "vizndp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vizndp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
