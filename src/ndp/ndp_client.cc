@@ -1,8 +1,10 @@
 #include "ndp/ndp_client.h"
 
-#include <chrono>
+#include <algorithm>
+#include <limits>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace vizndp::ndp {
 
@@ -13,7 +15,7 @@ contour::SparseField NdpClient::FetchSparseField(
     const std::string& key, const std::string& array,
     const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
     NdpLoadStats* stats) {
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span total_span("ndp.fetch");
 
   Array isos;
   for (const double v : isovalues) isos.emplace_back(v);
@@ -37,9 +39,13 @@ contour::SparseField NdpClient::FetchSparseField(
       grid::DataTypeFromName(reply.At("dtype").As<std::string>());
   const Bytes& payload = reply.At("payload").As<Bytes>();
 
+  obs::Span decode_span("ndp.decode");
   DecodedSelection decoded = DecodeSelection(payload, dims);
+  decode_span.End();
   contour::SparseField field(dims, type);
+  obs::Span scatter_span("ndp.scatter");
   field.Scatter(decoded.ids, decoded.values);
+  scatter_span.End();
 
   if (stats != nullptr) {
     stats->stored_bytes = reply.At("stored_bytes").AsUint();
@@ -53,9 +59,10 @@ contour::SparseField NdpClient::FetchSparseField(
     stats->bricks_read = reply.At("bricks_read").AsInt();
     stats->server_read_s = reply.At("read_s").AsDouble();
     stats->server_select_s = reply.At("select_s").AsDouble();
-    stats->client_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    stats->client_decode_s = decode_span.ElapsedSeconds();
+    stats->client_scatter_s = scatter_span.ElapsedSeconds();
+    total_span.End();
+    stats->client_s = total_span.ElapsedSeconds();
   }
   return field;
 }
@@ -83,6 +90,58 @@ NdpClient::ArrayStats NdpClient::Stats(const std::string& key,
     stats.histogram.push_back(c.AsUint());
   }
   return stats;
+}
+
+std::vector<obs::MetricSnapshot> NdpClient::ScrapeMetrics() {
+  const Value reply = client_->Call(kRpcNdpMetrics, Array{});
+  std::vector<obs::MetricSnapshot> out;
+  for (const Value& v : reply.As<Array>()) {
+    obs::MetricSnapshot s;
+    s.name = v.At("name").As<std::string>();
+    s.kind = obs::MetricKindFromName(v.At("kind").As<std::string>());
+    s.value = v.At("value").AsDouble();
+    if (const Value* count = v.Find("count")) s.count = count->AsUint();
+    if (const Value* bounds = v.Find("bounds")) {
+      for (const Value& b : bounds->As<Array>()) {
+        s.bounds.push_back(b.AsDouble());
+      }
+    }
+    if (const Value* buckets = v.Find("buckets")) {
+      for (const Value& b : buckets->As<Array>()) {
+        s.buckets.push_back(b.AsUint());
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+size_t NdpClient::ScrapeTrace() {
+  const Value reply = client_->Call(kRpcNdpTrace, Array{});
+  const Array& events = reply.As<Array>();
+  if (events.empty()) return 0;
+
+  // The server clock is a foreign steady_clock domain. Shift its events
+  // so the newest one ends at the local "now": the scrape happens right
+  // after the traced work, so nesting and relative timing stay readable.
+  std::uint64_t min_start = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_end = 0;
+  for (const Value& v : events) {
+    const std::uint64_t ts = v.At("ts").AsUint();
+    min_start = std::min(min_start, ts);
+    max_end = std::max(max_end, ts + v.At("dur").AsUint());
+  }
+  obs::Tracer& tracer = obs::GlobalTracer();
+  const std::uint64_t span_len = max_end - min_start;
+  const std::uint64_t now = tracer.NowMicros();
+  const std::uint64_t base = now > span_len ? now - span_len : 0;
+  for (const Value& v : events) {
+    tracer.Inject(v.At("track").As<std::string>(),
+                  v.At("name").As<std::string>(),
+                  base + (v.At("ts").AsUint() - min_start),
+                  v.At("dur").AsUint());
+  }
+  return events.size();
 }
 
 // Picks `k` contour values at evenly spaced quantiles of the value

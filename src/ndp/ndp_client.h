@@ -9,6 +9,7 @@
 #include "contour/polydata.h"
 #include "contour/sparse_field.h"
 #include "ndp/protocol.h"
+#include "obs/metrics.h"
 #include "pipeline/algorithm.h"
 #include "rpc/client.h"
 
@@ -26,9 +27,13 @@ struct NdpLoadStats {
   // Brick-indexed arrays only: how much of the array the server touched.
   std::int64_t bricks_total = 0;
   std::int64_t bricks_read = 0;
+  // Client-side phase timings, populated from obs::Span measurements
+  // (the same spans that feed the trace buffer when tracing is on).
   double server_read_s = 0;    // measured on the server (incl. decompress)
   double server_select_s = 0;  // measured on the server
-  double client_s = 0;         // measured: RPC round trip + decode + scatter
+  double client_s = 0;         // RPC round trip + decode + scatter
+  double client_decode_s = 0;  // payload decode ("ndp.decode" span)
+  double client_scatter_s = 0; // sparse-field scatter ("ndp.scatter" span)
 
   double Selectivity() const {
     return total_points == 0 ? 0.0
@@ -75,6 +80,18 @@ class NdpClient {
 
   ArrayStats Stats(const std::string& key, const std::string& array,
                    int bins = 64);
+
+  // Scrapes the storage node's metric registries over the ndp.metrics
+  // RPC. Use obs::FindMetric to pick out individual samples.
+  std::vector<obs::MetricSnapshot> ScrapeMetrics();
+
+  // Drains the storage node's span buffer over the ndp.trace RPC and
+  // merges the events into the local process tracer (for two-process
+  // setups; the in-proc testbed shares one tracer and needs no scrape).
+  // Server timestamps live in a foreign clock domain, so they are
+  // shifted to end at the local "now" — good enough to read a fetch's
+  // phase nesting, not a cross-node clock sync. Returns the event count.
+  size_t ScrapeTrace();
 
  private:
   std::shared_ptr<rpc::Client> client_;

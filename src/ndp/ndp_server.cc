@@ -1,10 +1,12 @@
 #include "ndp/ndp_server.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "contour/select.h"
 #include "io/vnd_format.h"
 #include "ndp/bricked_select.h"
+#include "obs/trace.h"
 
 namespace vizndp::ndp {
 
@@ -14,13 +16,33 @@ using msgpack::Value;
 
 namespace {
 
-double SecondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
 Value Triple(const std::array<double, 3>& v) {
   return Value(Array{Value(v[0]), Value(v[1]), Value(v[2])});
+}
+
+Value SnapshotsToValue(const std::vector<obs::MetricSnapshot>& snapshot) {
+  Array out;
+  out.reserve(snapshot.size());
+  for (const obs::MetricSnapshot& s : snapshot) {
+    Map m;
+    m.emplace_back(Value("name"), Value(s.name));
+    m.emplace_back(Value("kind"),
+                   Value(std::string(obs::MetricKindName(s.kind))));
+    m.emplace_back(Value("value"), Value(s.value));
+    if (s.kind == obs::MetricSnapshot::Kind::kHistogram) {
+      m.emplace_back(Value("count"), Value(s.count));
+      Array bounds;
+      bounds.reserve(s.bounds.size());
+      for (const double b : s.bounds) bounds.emplace_back(b);
+      m.emplace_back(Value("bounds"), Value(std::move(bounds)));
+      Array buckets;
+      buckets.reserve(s.buckets.size());
+      for (const std::uint64_t b : s.buckets) buckets.emplace_back(b);
+      m.emplace_back(Value("buckets"), Value(std::move(buckets)));
+    }
+    out.push_back(Value(std::move(m)));
+  }
+  return Value(std::move(out));
 }
 
 }  // namespace
@@ -29,7 +51,7 @@ msgpack::Value NdpServer::Select(const std::string& key,
                                  const std::string& array,
                                  const std::vector<double>& isovalues,
                                  SelectionEncoding encoding) {
-  auto t0 = std::chrono::steady_clock::now();
+  obs::Span total_span("ndp.select");
   const io::VndReader reader(gateway_.Open(key));
   const io::ArrayMeta* meta = reader.header().Find(array);
   VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
@@ -43,9 +65,11 @@ msgpack::Value NdpServer::Select(const std::string& key,
   if (meta->bricks.has_value()) {
     // Brick-indexed fast path: only straddling bricks are fetched and
     // decompressed.
+    obs::Span read_span("ndp.read");
     BrickedSelectStats bstats;
     selection =
         SelectInterestingPointsBricked(reader, array, isovalues, &bstats);
+    read_span.End();
     stored_bytes = bstats.bytes_read;
     bricks_total = bstats.bricks_total;
     bricks_read = bstats.bricks_read;
@@ -54,18 +78,33 @@ msgpack::Value NdpServer::Select(const std::string& key,
   } else {
     // Source: ranged-read the full array blob, then scan it.
     stored_bytes = meta->stored_size;
+    obs::Span read_span("ndp.read");
     const grid::DataArray data = reader.ReadArray(array);
-    read_s = SecondsSince(t0);
-    t0 = std::chrono::steady_clock::now();
+    read_span.End();
+    read_s = read_span.ElapsedSeconds();
+    obs::Span scan_span("ndp.select.scan");
     selection = prefilter_threads_ == 1
                     ? contour::SelectInterestingPoints(reader.header().dims,
                                                        data, isovalues)
                     : contour::SelectInterestingPointsParallel(
                           reader.header().dims, data, isovalues,
                           prefilter_threads_);
-    select_s = SecondsSince(t0);
+    scan_span.End();
+    select_s = scan_span.ElapsedSeconds();
   }
+  obs::Span pack_span("ndp.pack");
   Bytes payload = EncodeSelection(selection, encoding);
+  pack_span.End();
+
+  metrics_.GetCounter("ndp_select_requests_total").Increment();
+  metrics_.GetCounter("ndp_bytes_in_total").Increment(stored_bytes);
+  metrics_.GetCounter("ndp_bytes_out_total").Increment(payload.size());
+  metrics_.GetCounter("ndp_selected_points_total")
+      .Increment(selection.ids.size());
+  if (bricks_total > bricks_read) {
+    metrics_.GetCounter("ndp_bricks_skipped_total")
+        .Increment(static_cast<std::uint64_t>(bricks_total - bricks_read));
+  }
 
   const auto& h = reader.header();
   Map reply;
@@ -87,10 +126,14 @@ msgpack::Value NdpServer::Select(const std::string& key,
                      Value(static_cast<std::uint64_t>(selection.total_points)));
   reply.emplace_back(Value("read_s"), Value(read_s));
   reply.emplace_back(Value("select_s"), Value(select_s));
+  total_span.End();
+  metrics_.GetHistogram("ndp_select_seconds", obs::LatencyBounds())
+      .Observe(total_span.ElapsedSeconds());
   return Value(std::move(reply));
 }
 
 msgpack::Value NdpServer::Info(const std::string& key) {
+  metrics_.GetCounter("ndp_info_requests_total").Increment();
   const io::VndReader reader(gateway_.Open(key));
   const auto& h = reader.header();
   Array arrays;
@@ -115,9 +158,32 @@ msgpack::Value NdpServer::Info(const std::string& key) {
 msgpack::Value NdpServer::Stats(const std::string& key,
                                 const std::string& array, int bins) {
   VIZNDP_CHECK_MSG(bins >= 1 && bins <= 4096, "bins must be in [1, 4096]");
+  metrics_.GetCounter("ndp_stats_requests_total").Increment();
+  obs::Span total_span("ndp.stats");
   const io::VndReader reader(gateway_.Open(key));
+  const io::ArrayMeta* meta = reader.header().Find(array);
+  VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
+
+  // Brick-indexed fast path: the header already carries per-brick
+  // min/max, so the global range needs no data pass at all.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  bool range_from_index = false;
+  if (meta->bricks.has_value() && !meta->bricks->entries.empty()) {
+    for (const io::BrickEntry& e : meta->bricks->entries) {
+      lo = std::min(lo, e.min);
+      hi = std::max(hi, e.max);
+    }
+    range_from_index = true;
+    metrics_.GetCounter("ndp_stats_index_fastpath_total").Increment();
+  }
+
   const grid::DataArray data = reader.ReadArray(array);
-  const auto [lo, hi] = data.Range();
+  if (!range_from_index) {
+    const auto [dlo, dhi] = data.Range();
+    lo = dlo;
+    hi = dhi;
+  }
 
   std::vector<std::uint64_t> histogram(static_cast<size_t>(bins), 0);
   const double width = hi > lo ? (hi - lo) / bins : 1.0;
@@ -165,6 +231,33 @@ void NdpServer::Bind(rpc::Server& server) {
   server.Bind(kRpcNdpStats, [this](const Array& p) -> Value {
     return Stats(p.at(1).As<std::string>(), p.at(2).As<std::string>(),
                  static_cast<int>(p.at(3).AsInt()));
+  });
+  // Telemetry scrape: this server's pre-filter registry, the rpc
+  // dispatcher's per-method registry, and the process-wide substrate
+  // registry (gateway + codec metrics). Names are disjoint by
+  // construction, so a flat concatenation is unambiguous. The handler
+  // lives inside `server`, so capturing it by reference is safe.
+  server.Bind(kRpcNdpMetrics, [this, &server](const Array&) -> Value {
+    std::vector<obs::MetricSnapshot> all = metrics_.Snapshot();
+    for (auto& s : server.metrics().Snapshot()) all.push_back(std::move(s));
+    for (auto& s : obs::DefaultRegistry().Snapshot()) {
+      all.push_back(std::move(s));
+    }
+    return SnapshotsToValue(all);
+  });
+  // Trace drain: ships (and clears) the storage node's span buffer so
+  // the client can merge the server half of a split-pipeline trace.
+  server.Bind(kRpcNdpTrace, [](const Array&) -> Value {
+    Array out;
+    for (const obs::DrainedEvent& e : obs::GlobalTracer().Drain()) {
+      Map m;
+      m.emplace_back(Value("name"), Value(e.name));
+      m.emplace_back(Value("track"), Value(e.track));
+      m.emplace_back(Value("ts"), Value(e.start_us));
+      m.emplace_back(Value("dur"), Value(e.dur_us));
+      out.push_back(Value(std::move(m)));
+    }
+    return Value(std::move(out));
   });
 }
 

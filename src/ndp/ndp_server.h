@@ -2,11 +2,17 @@
 // pipeline — source (VND reader over the *local* gateway) plus pre-filter
 // (interesting-point selection) — exposed over RPC. The client-side
 // post-filter talks to this via NdpClient.
+//
+// Observability: every request emits phase spans (ndp.read /
+// ndp.select.scan / ndp.pack, with codec.decompress:* nested inside the
+// read) into the process tracer, and maintains counters for bytes in/out,
+// selected points, and bricks skipped in metrics(). Bind() additionally
+// exposes the node's telemetry over the wire: ndp.metrics scrapes the
+// metric registries and ndp.trace drains the span buffer.
 #pragma once
 
-#include <chrono>
-
 #include "ndp/protocol.h"
+#include "obs/metrics.h"
 #include "rpc/server.h"
 #include "storage/file_gateway.h"
 
@@ -23,7 +29,8 @@ class NdpServer {
   // (default); 0 = one thread per hardware core.
   void SetPreFilterThreads(int threads) { prefilter_threads_ = threads; }
 
-  // Registers ndp.select and ndp.info on `server`.
+  // Registers ndp.select, ndp.info, ndp.stats, ndp.metrics, and
+  // ndp.trace on `server`.
   void Bind(rpc::Server& server);
 
   // Handler core, exposed for tests: reads `key`, selects interesting
@@ -41,9 +48,16 @@ class NdpServer {
   msgpack::Value Stats(const std::string& key, const std::string& array,
                        int bins);
 
+  // Pre-filter metrics: ndp_select_requests_total, ndp_bytes_in_total,
+  // ndp_bytes_out_total, ndp_selected_points_total,
+  // ndp_bricks_skipped_total, ndp_stats_index_fastpath_total, ...
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
  private:
   storage::FileGateway gateway_;
   int prefilter_threads_ = 1;
+  obs::Registry metrics_;
 };
 
 }  // namespace vizndp::ndp

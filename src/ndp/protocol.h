@@ -52,5 +52,10 @@ std::uint64_t ReadVarint(ByteSpan data, size_t& pos);
 inline constexpr const char* kRpcNdpSelect = "ndp.select";
 inline constexpr const char* kRpcNdpInfo = "ndp.info";
 inline constexpr const char* kRpcNdpStats = "ndp.stats";
+// Observability scrapes: ndp.metrics returns the storage node's metric
+// registries (NDP + RPC + process substrate); ndp.trace drains its span
+// buffer so a client can merge the server half of a trace into its own.
+inline constexpr const char* kRpcNdpMetrics = "ndp.metrics";
+inline constexpr const char* kRpcNdpTrace = "ndp.trace";
 
 }  // namespace vizndp::ndp

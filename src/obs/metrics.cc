@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vizndp::obs {
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  VIZNDP_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be ascending");
+}
+
+void Histogram::Observe(double v) {
+  // lower_bound keeps the upper bound *inclusive*: v == bounds_[i] lands
+  // in bucket i, matching the "le" convention snapshots advertise.
+  const auto i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket(size_t i) const {
+  VIZNDP_CHECK_MSG(i < buckets_.size(), "histogram bucket out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+const char* MetricKindName(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter: return "counter";
+    case MetricSnapshot::Kind::kGauge: return "gauge";
+    case MetricSnapshot::Kind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+MetricSnapshot::Kind MetricKindFromName(std::string_view name) {
+  if (name == "gauge") return MetricSnapshot::Kind::kGauge;
+  if (name == "histogram") return MetricSnapshot::Kind::kHistogram;
+  return MetricSnapshot::Kind::kCounter;
+}
+
+const MetricSnapshot* FindMetric(const std::vector<MetricSnapshot>& snapshot,
+                                 const std::string& name) {
+  for (const MetricSnapshot& s : snapshot) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string Registry::CanonicalName(const std::string& name,
+                                    const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].first + "=" + sorted[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+Counter& Registry::GetCounter(const std::string& name, const Labels& labels) {
+  const std::string key = CanonicalName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const Labels& labels) {
+  const std::string key = CanonicalName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds,
+                                  const Labels& labels) {
+  const std::string key = CanonicalName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[key];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.value = static_cast<double>(counter->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.value = gauge->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.value = hist->sum();
+    s.count = hist->count();
+    s.bounds = hist->bounds();
+    s.buckets.reserve(s.bounds.size() + 1);
+    for (size_t i = 0; i <= s.bounds.size(); ++i) {
+      s.buckets.push_back(hist->bucket(i));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string SnapshotToText(const std::vector<MetricSnapshot>& snapshot) {
+  std::ostringstream os;
+  for (const MetricSnapshot& s : snapshot) {
+    os << s.name << " ";
+    if (s.kind == MetricSnapshot::Kind::kHistogram) {
+      os << "count=" << s.count << " sum=" << s.value;
+    } else {
+      os << s.value;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string SnapshotToJson(const std::vector<MetricSnapshot>& snapshot) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const MetricSnapshot& s = snapshot[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << JsonEscape(s.name) << "\",\"kind\":\""
+       << MetricKindName(s.kind) << "\",\"value\":" << s.value;
+    if (s.kind == MetricSnapshot::Kind::kHistogram) {
+      os << ",\"count\":" << s.count << ",\"bounds\":[";
+      for (size_t b = 0; b < s.bounds.size(); ++b) {
+        if (b > 0) os << ",";
+        os << s.bounds[b];
+      }
+      os << "],\"buckets\":[";
+      for (size_t b = 0; b < s.buckets.size(); ++b) {
+        if (b > 0) os << ",";
+        os << s.buckets[b];
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+Registry& DefaultRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+std::vector<double> ExponentialBounds(double start, double factor, int count) {
+  VIZNDP_CHECK_MSG(start > 0 && factor > 1 && count >= 1,
+                   "invalid exponential bucket spec");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LatencyBounds() { return ExponentialBounds(1e-6, 4, 13); }
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace vizndp::obs

@@ -1,0 +1,137 @@
+// Process observability, half one: a metrics registry of lock-cheap named
+// counters, gauges, and fixed-bucket histograms. The paper's headline
+// numbers are per-phase timings of the split pipeline; this registry is
+// how every layer (rpc dispatch, NDP pre-filter, storage gateway, codecs)
+// publishes those phases as first-class, scrape-able telemetry instead of
+// hand-carried doubles.
+//
+// Concurrency model: metric handles returned by Registry::Get* are stable
+// for the registry's lifetime and every update on them is a relaxed
+// atomic, so the hot path (Counter::Increment, Histogram::Observe) takes
+// no lock. Only handle lookup/creation and snapshotting lock the
+// registry mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vizndp::obs {
+
+// Label set rendered into the canonical metric name, sorted by key:
+// "rpc_requests_total{method=ndp.select}".
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+// (and > bounds[i-1]); one extra overflow bucket holds v > bounds.back().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucket(size_t i) const;
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// One exported metric, decoupled from live storage so snapshots can cross
+// process boundaries (the ndp.metrics RPC ships these).
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;  // canonical name, labels folded in
+  Kind kind = Kind::kCounter;
+  double value = 0;       // counter/gauge value; histogram: sum
+  std::uint64_t count = 0;             // histogram observations
+  std::vector<double> bounds;          // histogram upper bounds
+  std::vector<std::uint64_t> buckets;  // histogram counts, bounds.size()+1
+};
+
+const char* MetricKindName(MetricSnapshot::Kind kind);
+MetricSnapshot::Kind MetricKindFromName(std::string_view name);
+
+// Lookup by canonical name; nullptr when absent.
+const MetricSnapshot* FindMetric(const std::vector<MetricSnapshot>& snapshot,
+                                 const std::string& name);
+
+std::string SnapshotToText(const std::vector<MetricSnapshot>& snapshot);
+std::string SnapshotToJson(const std::vector<MetricSnapshot>& snapshot);
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Find-or-create. Returned references stay valid for the registry's
+  // lifetime. A histogram's bounds are fixed by the first caller.
+  Counter& GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const Labels& labels = {});
+
+  std::vector<MetricSnapshot> Snapshot() const;
+  std::string TextSnapshot() const { return SnapshotToText(Snapshot()); }
+  std::string JsonSnapshot() const { return SnapshotToJson(Snapshot()); }
+
+  static std::string CanonicalName(const std::string& name,
+                                   const Labels& labels);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Process-wide registry used by substrate layers that have no natural
+// owner (storage gateway, codecs). Servers own their own registries so
+// per-server counts stay attributable.
+Registry& DefaultRegistry();
+
+// `count` upper bounds: start, start*factor, start*factor^2, ...
+std::vector<double> ExponentialBounds(double start, double factor, int count);
+
+// Default latency buckets: 1 µs .. ~16.8 s, factor 4.
+std::vector<double> LatencyBounds();
+
+// Minimal JSON string escaping shared by the snapshot and trace exports.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace vizndp::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace vizndp::obs {
+
+namespace {
+
+std::uint64_t MicrosBetween(std::chrono::steady_clock::time_point a,
+                            std::chrono::steady_clock::time_point b) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity > 0 ? capacity : 1) {}
+
+std::uint32_t Tracer::TrackIdLocked(const std::string& name) {
+  for (size_t i = 0; i < track_names_.size(); ++i) {
+    if (track_names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  track_names_.push_back(name);
+  return static_cast<std::uint32_t>(track_names_.size() - 1);
+}
+
+std::uint32_t Tracer::ThreadTrackLocked() {
+  const auto id = std::this_thread::get_id();
+  const auto it = thread_tracks_.find(id);
+  if (it != thread_tracks_.end()) return it->second;
+  const std::uint32_t track =
+      TrackIdLocked("thread-" + std::to_string(thread_tracks_.size()));
+  thread_tracks_.emplace(id, track);
+  return track;
+}
+
+void Tracer::SetThreadTrack(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_tracks_[std::this_thread::get_id()] = TrackIdLocked(name);
+}
+
+void Tracer::Record(std::string name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.start_us = MicrosBetween(epoch_, start);
+  event.dur_us = MicrosBetween(start, end);
+  std::lock_guard<std::mutex> lock(mu_);
+  event.track = ThreadTrackLocked();
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[ring_next_] = std::move(event);
+    ring_next_ = (ring_next_ + 1) % capacity_;
+  }
+}
+
+void Tracer::Inject(const std::string& track, std::string name,
+                    std::uint64_t start_us, std::uint64_t dur_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  event.track = TrackIdLocked(track);
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[ring_next_] = std::move(event);
+    ring_next_ = (ring_next_ + 1) % capacity_;
+  }
+}
+
+std::vector<DrainedEvent> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DrainedEvent> out;
+  out.reserve(events_.size());
+  // Oldest first: once the ring wrapped, ring_next_ points at the oldest.
+  const size_t n = events_.size();
+  const size_t first = n < capacity_ ? 0 : ring_next_;
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[(first + i) % n];
+    DrainedEvent d;
+    d.name = e.name;
+    d.track = e.track < track_names_.size() ? track_names_[e.track]
+                                            : "thread-?";
+    d.start_us = e.start_us;
+    d.dur_us = e.dur_us;
+    out.push_back(std::move(d));
+  }
+  events_.clear();
+  ring_next_ = 0;
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  ring_next_ = 0;
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t Tracer::NowMicros() const {
+  return MicrosBetween(epoch_, std::chrono::steady_clock::now());
+}
+
+void Tracer::WriteChromeJson(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  std::vector<std::string> tracks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    tracks = track_names_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+       << ",\"args\":{\"name\":\"" << JsonEscape(tracks[i]) << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(e.name)
+       << "\",\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
+       << ",\"pid\":1,\"tid\":" << e.track << "}";
+  }
+  os << "]}";
+}
+
+std::string Tracer::ChromeJson() const {
+  std::ostringstream os;
+  WriteChromeJson(os);
+  return os.str();
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all users
+  return *tracer;
+}
+
+}  // namespace vizndp::obs

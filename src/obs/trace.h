@@ -1,0 +1,132 @@
+// Process observability, half two: a tracing layer. RAII Span objects
+// feed a per-process ring buffer of complete ("ph":"X") events that
+// exports chrome://tracing / Perfetto-compatible JSON, so one NDP fetch
+// renders as nested read → decompress → select → pack → transfer →
+// decode → scatter spans across "server" and "client" tracks.
+//
+// Cost model: a Span always reads the monotonic clock (so phase timings
+// like NdpLoadStats can be populated from spans even when tracing is
+// off), but it only touches the buffer — one mutex'd push — when the
+// tracer is enabled. Disabled tracing is therefore two clock reads per
+// span, a few tens of nanoseconds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vizndp::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t track = 0;    // index into the tracer's track table
+  std::uint64_t start_us = 0; // microseconds since the tracer's epoch
+  std::uint64_t dur_us = 0;
+};
+
+// A drained event carries its track *name* so it can cross a process
+// boundary (the ndp.trace RPC ships these from storage node to client).
+struct DrainedEvent {
+  std::string name;
+  std::string track;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 1 << 16);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable(bool on = true) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Names the calling thread's track ("server", "client"); events
+  // recorded from this thread land on it. Unnamed threads get an
+  // auto-assigned "thread-N" track at first record.
+  void SetThreadTrack(const std::string& name);
+
+  // Records one complete span; oldest events are overwritten once the
+  // ring is full. No-op while disabled.
+  void Record(std::string name, std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  // Records a foreign event verbatim on the named track — used to merge
+  // a scraped storage-node trace into the client's buffer. Ignores the
+  // enabled flag (the caller already decided to collect).
+  void Inject(const std::string& track, std::string name,
+              std::uint64_t start_us, std::uint64_t dur_us);
+
+  // Returns the buffered events (oldest first) and clears the buffer.
+  std::vector<DrainedEvent> Drain();
+
+  void Clear();
+  size_t event_count() const;
+  std::uint64_t NowMicros() const;
+
+  // {"traceEvents":[...]} with thread_name metadata per named track and
+  // events sorted by timestamp. Load in chrome://tracing or Perfetto.
+  void WriteChromeJson(std::ostream& os) const;
+  std::string ChromeJson() const;
+
+ private:
+  std::uint32_t ThreadTrackLocked();
+  std::uint32_t TrackIdLocked(const std::string& name);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t ring_next_ = 0;  // overwrite cursor once events_ hits capacity_
+  std::vector<std::string> track_names_;
+  std::map<std::thread::id, std::uint32_t> thread_tracks_;
+};
+
+// The process tracer every instrumented layer records into.
+Tracer& GlobalTracer();
+
+// RAII span: captures the clock at construction, records on End() (or
+// destruction) when the tracer is enabled. ElapsedSeconds() works either
+// way, which is how NdpLoadStats is populated from spans.
+class Span {
+ public:
+  explicit Span(std::string name, Tracer& tracer = GlobalTracer())
+      : tracer_(tracer),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { End(); }
+
+  // Idempotent; later calls keep the first end time.
+  void End() {
+    if (ended_) return;
+    ended_ = true;
+    end_ = std::chrono::steady_clock::now();
+    tracer_.Record(std::move(name_), start_, end_);
+  }
+
+  double ElapsedSeconds() const {
+    const auto end = ended_ ? end_ : std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start_).count();
+  }
+
+ private:
+  Tracer& tracer_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point end_;
+  bool ended_ = false;
+};
+
+}  // namespace vizndp::obs

@@ -3,12 +3,19 @@
 #include "common/error.h"
 #include "msgpack/pack.h"
 #include "msgpack/unpack.h"
+#include "obs/trace.h"
 #include "rpc/protocol.h"
 
 namespace vizndp::rpc {
 
 msgpack::Value Client::Call(const std::string& method, msgpack::Array params) {
   std::lock_guard<std::mutex> lock(mu_);
+  // One span per round trip on the "client" trace track; the matching
+  // server-side "rpc.dispatch:" span nests inside it, so the gap between
+  // the two is the transfer + queueing cost.
+  obs::Tracer& tracer = obs::GlobalTracer();
+  if (tracer.enabled()) tracer.SetThreadTrack("client");
+  obs::Span span("rpc.call:" + method, tracer);
   const std::uint64_t msgid = next_msgid_++;
 
   msgpack::Array request;

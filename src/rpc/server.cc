@@ -3,12 +3,20 @@
 #include "common/error.h"
 #include "msgpack/pack.h"
 #include "msgpack/unpack.h"
+#include "obs/trace.h"
 #include "rpc/protocol.h"
 
 namespace vizndp::rpc {
 
 void Server::Bind(const std::string& method, Handler handler) {
-  VIZNDP_CHECK_MSG(handlers_.emplace(method, std::move(handler)).second,
+  Bound bound;
+  bound.handler = std::move(handler);
+  const obs::Labels labels = {{"method", method}};
+  bound.requests = &metrics_.GetCounter("rpc_requests_total", labels);
+  bound.errors = &metrics_.GetCounter("rpc_errors_total", labels);
+  bound.latency = &metrics_.GetHistogram("rpc_dispatch_seconds",
+                                         obs::LatencyBounds(), labels);
+  VIZNDP_CHECK_MSG(handlers_.emplace(method, std::move(bound)).second,
                    "duplicate RPC method '" + method + "'");
 }
 
@@ -22,19 +30,29 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
   const std::string& method = fields[2].As<std::string>();
   const auto& params = fields[3].As<msgpack::Array>();
 
+  obs::Span span("rpc.dispatch:" + method);
+  // Counted before the handler runs so a scrape taken *inside* a handler
+  // (ndp.metrics observing itself) sees consistent totals.
+  requests_total_->Increment();
   msgpack::Value result;
   std::string error;
   const auto it = handlers_.find(method);
   if (it == handlers_.end()) {
     error = "unknown method '" + method + "'";
+    metrics_.GetCounter("rpc_unknown_method_total").Increment();
   } else {
+    it->second.requests->Increment();
     try {
-      result = it->second(params);
+      result = it->second.handler(params);
     } catch (const std::exception& e) {
       error = std::string("handler failed: ") + e.what();
+      it->second.errors->Increment();
     }
   }
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  span.End();
+  if (it != handlers_.end()) {
+    it->second.latency->Observe(span.ElapsedSeconds());
+  }
 
   msgpack::Array response;
   response.emplace_back(kResponseType);
@@ -46,6 +64,8 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
 }
 
 void Server::ServeTransport(net::Transport& transport) {
+  // Dispatch spans from this thread render on the "server" trace track.
+  obs::GlobalTracer().SetThreadTrack("server");
   for (;;) {
     Bytes request;
     try {

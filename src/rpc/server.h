@@ -1,6 +1,11 @@
 // RPC server: named handlers dispatched over any Transport. Mirrors
 // rpclib's `server.bind(name, fn)` model. Handler exceptions are caught
 // and returned to the caller as RPC errors rather than killing the server.
+//
+// Every server owns an obs::Registry: Dispatch maintains a per-method
+// request count, error count, and latency histogram (plus the unlabeled
+// rpc_requests_total behind requests_served()), and emits one
+// "rpc.dispatch:<method>" span per request on the "server" trace track.
 #pragma once
 
 #include <atomic>
@@ -13,6 +18,7 @@
 #include "msgpack/value.h"
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace vizndp::rpc {
 
@@ -30,13 +36,28 @@ class Server {
   // the encoded response frame. Exposed for tests.
   Bytes Dispatch(ByteSpan request_frame);
 
-  std::uint64_t requests_served() const {
-    return requests_served_.load(std::memory_order_relaxed);
-  }
+  // Total dispatches, successful or not (kept from the pre-obs API; now
+  // backed by the rpc_requests_total counter in metrics()).
+  std::uint64_t requests_served() const { return requests_total_->value(); }
+
+  // Per-server metrics: rpc_requests_total, rpc_errors_total and
+  // rpc_dispatch_seconds{method=...}, rpc_unknown_method_total.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
 
  private:
-  std::map<std::string, Handler> handlers_;
-  std::atomic<std::uint64_t> requests_served_{0};
+  // Handler plus its metric handles, resolved once at Bind so Dispatch
+  // stays lock-free on the metrics path.
+  struct Bound {
+    Handler handler;
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
+  std::map<std::string, Bound> handlers_;
+  obs::Registry metrics_;
+  obs::Counter* requests_total_ = &metrics_.GetCounter("rpc_requests_total");
 };
 
 // TCP front end: accepts connections on a loopback port and serves each on

@@ -1,6 +1,28 @@
 #include "storage/file_gateway.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vizndp::storage {
+
+namespace {
+
+// Gateway traffic metrics live in the process-default registry: the
+// gateway is substrate shared by whatever servers run in this process,
+// so there is no obvious per-instance owner to hang a registry off.
+obs::Counter& ReadsCounter() {
+  static obs::Counter& c =
+      obs::DefaultRegistry().GetCounter("gateway_reads_total");
+  return c;
+}
+
+obs::Counter& BytesCounter() {
+  static obs::Counter& c =
+      obs::DefaultRegistry().GetCounter("gateway_bytes_read_total");
+  return c;
+}
+
+}  // namespace
 
 GatewayFile::GatewayFile(ObjectStore& store, std::string bucket,
                          std::string key)
@@ -9,9 +31,19 @@ GatewayFile::GatewayFile(ObjectStore& store, std::string bucket,
 }
 
 Bytes GatewayFile::ReadAt(std::uint64_t offset, std::uint64_t length) const {
-  return store_.GetRange(bucket_, key_, offset, length);
+  obs::Span span("gateway.read");
+  Bytes out = store_.GetRange(bucket_, key_, offset, length);
+  ReadsCounter().Increment();
+  BytesCounter().Increment(out.size());
+  return out;
 }
 
-Bytes GatewayFile::ReadAll() const { return store_.Get(bucket_, key_); }
+Bytes GatewayFile::ReadAll() const {
+  obs::Span span("gateway.read");
+  Bytes out = store_.Get(bucket_, key_);
+  ReadsCounter().Increment();
+  BytesCounter().Increment(out.size());
+  return out;
+}
 
 }  // namespace vizndp::storage

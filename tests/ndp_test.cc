@@ -7,6 +7,8 @@
 #include "io/vnd_format.h"
 #include "ndp/catalog.h"
 #include "ndp/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/elements.h"
 #include "sim/impact.h"
 
@@ -302,6 +304,55 @@ TEST(NdpStats, SuggestIsovaluesSpansTheDistribution) {
   EXPECT_GT(poly.TriangleCount(), 0u);
 }
 
+TEST(NdpStats, BinCountsMatchKnownSyntheticArray) {
+  // 4^3 points with values 0..63: four bins over [0, 63] must each hold
+  // exactly 16 values (bin width 15.75; value 63 clamps into the last).
+  Testbed testbed;
+  grid::Dataset ds(grid::Dims{4, 4, 4});
+  std::vector<float> values(64);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i);
+  }
+  ds.AddArray(grid::DataArray::FromVector("ramp", values));
+  io::VndWriter writer(ds);
+  writer.WriteToStore(testbed.store(), testbed.bucket(), "ramp.vnd");
+
+  NdpServer server(testbed.LocalGateway());
+  const msgpack::Value reply = server.Stats("ramp.vnd", "ramp", 4);
+  EXPECT_DOUBLE_EQ(reply.At("min").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(reply.At("max").AsDouble(), 63.0);
+  EXPECT_EQ(reply.At("count").AsUint(), 64u);
+  const auto& histogram = reply.At("histogram").As<msgpack::Array>();
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const msgpack::Value& bin : histogram) {
+    EXPECT_EQ(bin.AsUint(), 16u);
+  }
+  // No brick index on this file, so the range came from a data pass.
+  EXPECT_EQ(obs::FindMetric(server.metrics().Snapshot(),
+                            "ndp_stats_index_fastpath_total"),
+            nullptr);
+}
+
+TEST(NdpStats, BrickIndexedFileUsesHeaderRangeFastPath) {
+  Testbed testbed;
+  grid::Dataset ds = PopulatedTestbed::MakeImpact();
+  io::VndWriter writer(ds);
+  writer.SetBrickSize(8);
+  writer.WriteToStore(testbed.store(), testbed.bucket(), "bricked.vnd");
+
+  NdpServer server(testbed.LocalGateway());
+  const msgpack::Value reply = server.Stats("bricked.vnd", "v02", 16);
+
+  // Same range the data itself gives — but served from the header index.
+  const auto [lo, hi] = ds.GetArray("v02").Range();
+  EXPECT_DOUBLE_EQ(reply.At("min").AsDouble(), lo);
+  EXPECT_DOUBLE_EQ(reply.At("max").AsDouble(), hi);
+  const obs::MetricSnapshot* fastpath = obs::FindMetric(
+      server.metrics().Snapshot(), "ndp_stats_index_fastpath_total");
+  ASSERT_NE(fastpath, nullptr);
+  EXPECT_DOUBLE_EQ(fastpath->value, 1.0);
+}
+
 TEST(NdpStats, RejectsBadBinCounts) {
   PopulatedTestbed fx;
   EXPECT_THROW(fx.testbed.ndp_client().Stats(PopulatedTestbed::kKey, "v02", 0),
@@ -309,6 +360,69 @@ TEST(NdpStats, RejectsBadBinCounts) {
   EXPECT_THROW(
       fx.testbed.ndp_client().Stats(PopulatedTestbed::kKey, "v02", 100000),
       RpcError);
+}
+
+TEST(NdpObservability, MetricsScrapeAgreesWithLoadStats) {
+  PopulatedTestbed fx;
+  NdpLoadStats stats;
+  (void)fx.testbed.ndp_client().Contour(PopulatedTestbed::kKey, "v02", {0.1},
+                                        &stats);
+
+  const std::vector<obs::MetricSnapshot> scraped =
+      fx.testbed.ndp_client().ScrapeMetrics();
+
+  const obs::MetricSnapshot* bytes_out =
+      obs::FindMetric(scraped, "ndp_bytes_out_total");
+  ASSERT_NE(bytes_out, nullptr);
+  EXPECT_DOUBLE_EQ(bytes_out->value,
+                   static_cast<double>(stats.payload_bytes));
+
+  const obs::MetricSnapshot* selected =
+      obs::FindMetric(scraped, "ndp_selected_points_total");
+  ASSERT_NE(selected, nullptr);
+  EXPECT_DOUBLE_EQ(selected->value,
+                   static_cast<double>(stats.selected_points));
+
+  // The rpc dispatcher's per-method view of the same single fetch.
+  const obs::MetricSnapshot* select_requests =
+      obs::FindMetric(scraped, "rpc_requests_total{method=ndp.select}");
+  ASSERT_NE(select_requests, nullptr);
+  EXPECT_DOUBLE_EQ(select_requests->value, 1.0);
+  const obs::MetricSnapshot* select_latency =
+      obs::FindMetric(scraped, "rpc_dispatch_seconds{method=ndp.select}");
+  ASSERT_NE(select_latency, nullptr);
+  EXPECT_EQ(select_latency->count, 1u);
+
+  // Span-derived client phase timings are consistent with the total.
+  EXPECT_GT(stats.client_s, 0.0);
+  EXPECT_LE(stats.client_decode_s + stats.client_scatter_s, stats.client_s);
+}
+
+TEST(NdpObservability, TraceCapturesSplitPipelinePhases) {
+  obs::Tracer& tracer = obs::GlobalTracer();
+  tracer.Clear();
+  tracer.Enable();
+  {
+    PopulatedTestbed fx("lz4");
+    (void)fx.testbed.ndp_client().Contour(PopulatedTestbed::kKey, "v02",
+                                          {0.1});
+  }
+  tracer.Enable(false);
+  const std::string json = tracer.ChromeJson();
+  tracer.Clear();
+
+  // Server half: read (with the codec nested inside), scan, pack.
+  for (const char* span :
+       {"ndp.read", "codec.decompress:lz4", "ndp.select.scan", "ndp.pack",
+        "rpc.dispatch:ndp.select",
+        // Client half: round trip, decode, scatter.
+        "rpc.call:ndp.select", "ndp.fetch", "ndp.decode", "ndp.scatter"}) {
+    EXPECT_NE(json.find(std::string("\"") + span + "\""), std::string::npos)
+        << "missing span: " << span;
+  }
+  // Both halves render on their own named tracks.
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"client\""), std::string::npos);
 }
 
 TEST(Catalog, PutListOpenRoundTrip) {

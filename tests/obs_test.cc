@@ -1,0 +1,315 @@
+// Tests for the observability subsystem: metric registry concurrency and
+// bucket semantics, snapshot export, and the span/tracer pipeline down to
+// well-formed Chrome-tracing JSON.
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vizndp::obs {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kPerThread = 25000;
+
+TEST(Metrics, ConcurrentCounterSumsExactly) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("test_total");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, CounterIncrementByN) {
+  Counter counter;
+  counter.Increment(10);
+  counter.Increment(32);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge gauge;
+  gauge.Set(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.Add(2.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.75);
+  gauge.Add(-4.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -0.25);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0);  // == bounds[0] -> bucket 0
+  h.Observe(1.5);  // (1, 2]      -> bucket 1
+  h.Observe(2.0);  // == bounds[1] -> bucket 1
+  h.Observe(4.0);  // == bounds[2] -> bucket 2
+  h.Observe(5.0);  // > bounds.back() -> overflow bucket
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+}
+
+TEST(Metrics, ConcurrentHistogramObservationsSumExactly) {
+  // 1.0 is exactly representable, so the atomic double sum must be exact.
+  Histogram h({0.5, 2.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto n = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.count(), n);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(n));
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.bucket(1), n);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Metrics, LabelsCanonicalizeOrderIndependently) {
+  EXPECT_EQ(Registry::CanonicalName("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=1,b=2}");
+  EXPECT_EQ(Registry::CanonicalName("m", {}), "m");
+  Registry registry;
+  Counter& c1 = registry.GetCounter("m", {{"x", "1"}, {"y", "2"}});
+  Counter& c2 = registry.GetCounter("m", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&c1, &c2);
+  Counter& c3 = registry.GetCounter("m", {{"x", "1"}, {"y", "3"}});
+  EXPECT_NE(&c1, &c3);
+}
+
+TEST(Metrics, HandlesAreStableAcrossLookups) {
+  Registry registry;
+  Counter& c = registry.GetCounter("c");
+  c.Increment(7);
+  EXPECT_EQ(&registry.GetCounter("c"), &c);
+  Histogram& h = registry.GetHistogram("h", {1.0, 2.0});
+  EXPECT_EQ(&registry.GetHistogram("h", {9.0}), &h);  // bounds fixed by first
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+TEST(Metrics, SnapshotCarriesAllKinds) {
+  Registry registry;
+  registry.GetCounter("requests_total", {{"method", "x"}}).Increment(3);
+  registry.GetGauge("queue_depth").Set(2.5);
+  Histogram& h = registry.GetHistogram("latency_seconds", {0.1, 1.0});
+  h.Observe(0.05);
+  h.Observe(10.0);
+
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+
+  const MetricSnapshot* c = FindMetric(snapshot, "requests_total{method=x}");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(c->value, 3.0);
+
+  const MetricSnapshot* g = FindMetric(snapshot, "queue_depth");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(g->value, 2.5);
+
+  const MetricSnapshot* hs = FindMetric(snapshot, "latency_seconds");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(hs->count, 2u);
+  ASSERT_EQ(hs->buckets.size(), 3u);
+  EXPECT_EQ(hs->buckets[0], 1u);
+  EXPECT_EQ(hs->buckets[1], 0u);
+  EXPECT_EQ(hs->buckets[2], 1u);
+
+  EXPECT_EQ(FindMetric(snapshot, "no_such_metric"), nullptr);
+}
+
+TEST(Metrics, KindNamesRoundTrip) {
+  for (const auto kind :
+       {MetricSnapshot::Kind::kCounter, MetricSnapshot::Kind::kGauge,
+        MetricSnapshot::Kind::kHistogram}) {
+    EXPECT_EQ(MetricKindFromName(MetricKindName(kind)), kind);
+  }
+}
+
+TEST(Metrics, ExponentialBoundsAscend) {
+  const std::vector<double> bounds = ExponentialBounds(1e-6, 4.0, 13);
+  ASSERT_EQ(bounds.size(), 13u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-6);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_EQ(LatencyBounds(), bounds);
+}
+
+// Minimal JSON well-formedness check: balanced {} / [] outside strings,
+// legal escapes, nothing trailing. Enough to catch broken emitters
+// without dragging in a parser dependency.
+void ExpectWellFormedJson(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ASSERT_LT(i + 1, s.size()) << "dangling escape";
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      } else {
+        ASSERT_GE(static_cast<unsigned char>(c), 0x20u)
+            << "raw control character in string at offset " << i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '{');
+        stack.pop_back();
+        break;
+      case ']':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '[');
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  EXPECT_FALSE(in_string) << "unterminated string";
+  EXPECT_TRUE(stack.empty()) << "unbalanced brackets";
+}
+
+TEST(Metrics, JsonSnapshotIsWellFormed) {
+  Registry registry;
+  registry.GetCounter("c", {{"quote", "a\"b\\c"}}).Increment();
+  registry.GetHistogram("h", {1.0}).Observe(0.5);
+  const std::string json = registry.JsonSnapshot();
+  ExpectWellFormedJson(json);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+}
+
+TEST(Metrics, TextSnapshotListsEveryMetric) {
+  Registry registry;
+  registry.GetCounter("c_total").Increment(5);
+  registry.GetHistogram("h_seconds", {1.0}).Observe(0.5);
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("c_total 5"), std::string::npos);
+  EXPECT_NE(text.find("h_seconds count=1"), std::string::npos);
+}
+
+TEST(Trace, DisabledTracerRecordsNothingButSpansStillTime) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    Span span("work", tracer);
+    span.End();
+    EXPECT_GE(span.ElapsedSeconds(), 0.0);
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Trace, NestedSpansProduceWellFormedChromeJson) {
+  Tracer tracer;
+  tracer.Enable();
+  tracer.SetThreadTrack("server");
+  {
+    Span outer("ndp.select", tracer);
+    {
+      Span inner("ndp.read", tracer);
+    }
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+
+  const std::string json = tracer.ChromeJson();
+  ExpectWellFormedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ndp.select\""), std::string::npos);
+  EXPECT_NE(json.find("\"ndp.read\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+
+  // The inner span must nest inside the outer one on the timeline.
+  const std::vector<DrainedEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  const auto& inner = events[0];  // oldest first: inner ends first
+  const auto& outer = events[1];
+  EXPECT_EQ(inner.name, "ndp.read");
+  EXPECT_EQ(outer.name, "ndp.select");
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.dur_us, outer.start_us + outer.dur_us);
+  EXPECT_EQ(inner.track, "server");
+}
+
+TEST(Trace, DrainClearsAndInjectMerges) {
+  Tracer tracer;
+  tracer.Enable();
+  tracer.SetThreadTrack("client");
+  { Span span("local", tracer); }
+  ASSERT_EQ(tracer.event_count(), 1u);
+
+  // Inject works even while disabled — the drain already decided to keep.
+  tracer.Enable(false);
+  tracer.Inject("server", "remote", 100, 50);
+  EXPECT_EQ(tracer.event_count(), 2u);
+
+  const std::vector<DrainedEvent> events = tracer.Drain();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "local");
+  EXPECT_EQ(events[0].track, "client");
+  EXPECT_EQ(events[1].name, "remote");
+  EXPECT_EQ(events[1].track, "server");
+  EXPECT_EQ(events[1].start_us, 100u);
+  EXPECT_EQ(events[1].dur_us, 50u);
+}
+
+TEST(Trace, RingBufferKeepsNewestEvents) {
+  Tracer tracer(4);
+  tracer.Enable();
+  for (int i = 0; i < 7; ++i) {
+    tracer.Inject("t", "e" + std::to_string(i), static_cast<std::uint64_t>(i),
+                  1);
+  }
+  EXPECT_EQ(tracer.event_count(), 4u);
+  const std::vector<DrainedEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest three were overwritten; survivors come back oldest-first.
+  EXPECT_EQ(events[0].name, "e3");
+  EXPECT_EQ(events[3].name, "e6");
+}
+
+TEST(Trace, ConcurrentSpansAllRecorded) {
+  Tracer tracer;
+  tracer.Enable();
+  std::vector<std::thread> threads;
+  constexpr int kSpansPerThread = 200;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      tracer.SetThreadTrack("worker-" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("op", tracer);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracer.event_count(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  ExpectWellFormedJson(tracer.ChromeJson());
+}
+
+}  // namespace
+}  // namespace vizndp::obs

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "net/inproc.h"
+#include "obs/metrics.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
 
@@ -112,6 +113,42 @@ TEST(Rpc, CallsChargeTheLink) {
   EXPECT_GT(link.bytes_transferred(), 100000u);
   EXPECT_LT(link.bytes_transferred(), 101000u);
   EXPECT_EQ(link.messages(), 2u);
+}
+
+TEST(Rpc, PerMethodMetricsTrackDispatches) {
+  ServedPair sp;
+  sp.server.Bind("ok", [](const Array&) { return Value(1); });
+  sp.server.Bind("boom", [](const Array&) -> Value {
+    throw std::runtime_error("kaboom");
+  });
+  for (int i = 0; i < 3; ++i) sp.client->Call("ok");
+  EXPECT_THROW(sp.client->Call("boom"), RpcError);
+  EXPECT_THROW(sp.client->Call("no_such_method"), RpcError);
+
+  const auto snapshot = sp.server.metrics().Snapshot();
+  const obs::MetricSnapshot* ok_requests =
+      obs::FindMetric(snapshot, "rpc_requests_total{method=ok}");
+  ASSERT_NE(ok_requests, nullptr);
+  EXPECT_DOUBLE_EQ(ok_requests->value, 3.0);
+  const obs::MetricSnapshot* ok_errors =
+      obs::FindMetric(snapshot, "rpc_errors_total{method=ok}");
+  ASSERT_NE(ok_errors, nullptr);
+  EXPECT_DOUBLE_EQ(ok_errors->value, 0.0);
+  const obs::MetricSnapshot* boom_errors =
+      obs::FindMetric(snapshot, "rpc_errors_total{method=boom}");
+  ASSERT_NE(boom_errors, nullptr);
+  EXPECT_DOUBLE_EQ(boom_errors->value, 1.0);
+  const obs::MetricSnapshot* unknown =
+      obs::FindMetric(snapshot, "rpc_unknown_method_total");
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_DOUBLE_EQ(unknown->value, 1.0);
+  const obs::MetricSnapshot* ok_latency =
+      obs::FindMetric(snapshot, "rpc_dispatch_seconds{method=ok}");
+  ASSERT_NE(ok_latency, nullptr);
+  EXPECT_EQ(ok_latency->count, 3u);
+
+  // The aggregate accessor counts every dispatch, including failures.
+  EXPECT_EQ(sp.server.requests_served(), 5u);
 }
 
 TEST(TcpRpc, EndToEndOverSockets) {

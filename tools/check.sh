@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 verify (full build + ctest), then an
+# address/UB-sanitizer build of the concurrency-heavy tests.
+#
+#   tools/check.sh            # everything
+#   SKIP_ASAN=1 tools/check.sh  # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== asan/ubsan: obs_test + rpc_test =="
+  cmake --preset asan > /dev/null
+  cmake --build build-asan -j"$(nproc)" --target obs_test rpc_test
+  ./build-asan/tests/obs_test
+  ./build-asan/tests/rpc_test
+fi
+
+echo "== all checks passed =="

@@ -10,6 +10,13 @@
 //   vizndp_tool serve   --dir DIR [--port P]         (storage node)
 //   vizndp_tool fetch   --host H --port P --key K --array NAME --iso V[,V...]
 //                       [--obj FILE]                 (client node)
+//   vizndp_tool metrics --host H --port P [--json]   (scrape storage node)
+//
+// Every command also accepts the global `--trace FILE` option, which
+// records obs spans during the run and writes a Chrome-tracing JSON
+// file on exit (open in chrome://tracing or ui.perfetto.dev). `fetch
+// --trace` additionally drains the storage node's span buffer so the
+// file shows both halves of the split pipeline.
 //
 // `serve` exposes both the baseline object-read RPCs and the NDP
 // pre-filter over TCP for every .vnd object under DIR/data/.
@@ -21,7 +28,11 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include "bench_util/table.h"
 #include "contour/contour_filter.h"
@@ -56,21 +67,33 @@ namespace {
                "  select  --in FILE --array NAME --iso V[,V...] [--encoding E]\n"
                "  serve   --dir DIR [--port P]\n"
                "  fetch   --host H --port P --key K --array NAME --iso V[,V...]\n"
-               "          [--obj FILE]\n");
+               "          [--obj FILE]\n"
+               "  metrics --host H --port P [--json]\n"
+               "\n"
+               "global options:\n"
+               "  --trace FILE   record spans, write Chrome-tracing JSON\n");
   std::exit(2);
 }
 
 class Args {
  public:
-  Args(int argc, char** argv, int first) {
+  // Keys listed in `flags` are valueless booleans (stored as "1");
+  // every other --key consumes the next argument as its value.
+  Args(int argc, char** argv, int first, std::set<std::string> flags = {}) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) Usage(("unexpected argument: " + key).c_str());
       key = key.substr(2);
+      if (flags.count(key) != 0) {
+        values_[key] = "1";
+        continue;
+      }
       if (i + 1 >= argc) Usage(("missing value for --" + key).c_str());
       values_[key] = argv[++i];
     }
   }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
 
   std::optional<std::string> Get(const std::string& key) const {
     const auto it = values_.find(key);
@@ -245,6 +268,9 @@ int CmdSelect(const Args& args) {
 int CmdServe(const Args& args) {
   const std::string dir = args.Require("dir");
   const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
+  // The serve process always records spans: the ring buffer caps memory,
+  // and clients drain it over ndp.trace for their --trace output.
+  obs::GlobalTracer().Enable();
   storage::LocalObjectStore store(dir);
   store.CreateBucket("data");
   rpc::Server rpc_server;
@@ -279,7 +305,34 @@ int CmdFetch(const Args& args) {
     poly.WriteObj(*obj);
     std::printf("wrote %s\n", obj->c_str());
   }
+  if (obs::GlobalTracer().enabled()) {
+    // Pull the server half of the trace into the local buffer so the
+    // --trace file shows read/decompress/select next to decode/scatter.
+    const size_t merged = client.ScrapeTrace();
+    std::printf("merged %zu server trace event(s)\n", merged);
+  }
   return 0;
+}
+
+int CmdMetrics(const Args& args) {
+  const std::string host = args.Get("host").value_or("127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
+  ndp::NdpClient client(
+      std::make_shared<rpc::Client>(net::TcpConnect(host, port)), "data");
+  const std::vector<obs::MetricSnapshot> snapshot = client.ScrapeMetrics();
+  if (args.Has("json")) {
+    std::cout << obs::SnapshotToJson(snapshot) << "\n";
+    return 0;
+  }
+  std::cout << obs::SnapshotToText(snapshot);
+  return 0;
+}
+
+// Valueless boolean flags accepted by each command (everything else
+// takes a value).
+std::set<std::string> BoolFlags(const std::string& command) {
+  if (command == "metrics") return {"json"};
+  return {};
 }
 
 }  // namespace
@@ -287,15 +340,27 @@ int CmdFetch(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) Usage();
   const std::string command = argv[1];
-  const Args args(argc, argv, 2);
+  const Args args(argc, argv, 2, BoolFlags(command));
+  const auto trace_path = args.Get("trace");
+  if (trace_path) obs::GlobalTracer().Enable();
   try {
-    if (command == "gen") return CmdGen(args);
-    if (command == "info") return CmdInfo(args);
-    if (command == "contour") return CmdContour(args);
-    if (command == "select") return CmdSelect(args);
-    if (command == "serve") return CmdServe(args);
-    if (command == "fetch") return CmdFetch(args);
-    Usage(("unknown command: " + command).c_str());
+    int rc = 2;
+    if (command == "gen") rc = CmdGen(args);
+    else if (command == "info") rc = CmdInfo(args);
+    else if (command == "contour") rc = CmdContour(args);
+    else if (command == "select") rc = CmdSelect(args);
+    else if (command == "serve") rc = CmdServe(args);
+    else if (command == "fetch") rc = CmdFetch(args);
+    else if (command == "metrics") rc = CmdMetrics(args);
+    else Usage(("unknown command: " + command).c_str());
+    if (trace_path) {
+      std::ofstream out(*trace_path, std::ios::binary);
+      if (!out.good()) throw IoError("cannot open " + *trace_path);
+      obs::GlobalTracer().WriteChromeJson(out);
+      std::printf("wrote %s (%zu trace events)\n", trace_path->c_str(),
+                  obs::GlobalTracer().event_count());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
