@@ -37,6 +37,16 @@ Testbed::Testbed(TestbedConfig config)
       std::make_shared<ndp::NdpClient>(ndp_rpc_client_, config_.bucket);
 }
 
+net::TransportPtr Testbed::ConnectToServer() {
+  net::TransportPair pair = net::CreateInProcPair(&link_);
+  server_threads_.emplace_back(
+      [this, server_end = std::shared_ptr<net::Transport>(
+                 std::move(pair.a))]() mutable {
+        rpc_server_.ServeTransport(*server_end);
+      });
+  return std::move(pair.b);
+}
+
 Testbed::~Testbed() {
   // Dropping the clients closes their transports; the server loops see
   // the close and exit.

@@ -60,6 +60,12 @@ class Testbed {
   ndp::NdpClient& ndp_client() { return *ndp_client_; }
   std::shared_ptr<ndp::NdpClient> ndp_client_ptr() { return ndp_client_; }
 
+  // Opens one more in-proc connection to the storage node's RPC server
+  // and serves it on its own thread. Fault tests wrap the returned
+  // client-side transport in decorators (FaultInjectingTransport) before
+  // handing it to an rpc::Client.
+  net::TransportPtr ConnectToServer();
+
   net::SimulatedLink& link() { return link_; }
   storage::SsdModel& ssd() { return ssd_; }
 

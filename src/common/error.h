@@ -33,6 +33,21 @@ class RpcError : public Error {
   using Error::Error;
 };
 
+// A blocking operation (transport receive, RPC call) ran past its
+// deadline. Distinct from PeerClosedError: the peer may still be alive,
+// just slow — callers decide whether to retry, reconnect, or fall back.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+// The remote endpoint closed the connection (clean shutdown, EPIPE, or
+// ECONNRESET). Subtypes IoError so pre-existing catch sites keep working.
+class PeerClosedError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 [[noreturn]] void ThrowError(const char* file, int line, const char* expr,
                              const std::string& message);
 

@@ -1,8 +1,39 @@
 #include "msgpack/unpack.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace vizndp::msgpack {
+
+namespace {
+
+// RAII depth bump so every early throw unwinds the count correctly.
+class DepthGuard {
+ public:
+  DepthGuard(int& depth, int max) : depth_(depth) {
+    if (++depth_ > max) {
+      throw DecodeError("msgpack nesting deeper than " + std::to_string(max));
+    }
+  }
+  ~DepthGuard() { --depth_; }
+
+ private:
+  int& depth_;
+};
+
+}  // namespace
+
+size_t Unpacker::CheckedContainerLength(size_t n, size_t min_bytes,
+                                        const char* what) {
+  // Every element needs at least `min_bytes` of input, so a length claim
+  // larger than remaining/min_bytes can never be satisfied.
+  if (min_bytes != 0 && n > Remaining() / min_bytes) {
+    throw DecodeError("msgpack " + std::string(what) + " claims " +
+                      std::to_string(n) + " elements but only " +
+                      std::to_string(Remaining()) + " bytes remain");
+  }
+  return n;
+}
 
 Byte Unpacker::PeekByte() const {
   if (pos_ >= data_.size()) throw DecodeError("msgpack input truncated");
@@ -29,7 +60,13 @@ T Unpacker::TakeBE() {
 }
 
 ByteSpan Unpacker::TakeBytes(size_t n) {
-  if (pos_ + n > data_.size()) throw DecodeError("msgpack input truncated");
+  // `n > Remaining()` (not `pos_ + n > size`) so a 4 GB str/bin length
+  // claim can't wrap the addition; nothing is allocated either way.
+  if (n > Remaining()) {
+    throw DecodeError("msgpack payload claims " + std::to_string(n) +
+                      " bytes but only " + std::to_string(Remaining()) +
+                      " remain");
+  }
   const ByteSpan s = data_.subspan(pos_, n);
   pos_ += n;
   return s;
@@ -80,18 +117,24 @@ ByteSpan Unpacker::NextBinView() {
 
 std::uint32_t Unpacker::NextArrayHeader() {
   const Byte tag = TakeByte();
-  if ((tag & 0xF0) == 0x90) return tag & 0x0F;
-  if (tag == 0xDC) return TakeBE<std::uint16_t>();
-  if (tag == 0xDD) return TakeBE<std::uint32_t>();
-  throw DecodeError("expected msgpack array, got tag " + std::to_string(tag));
+  std::uint32_t n;
+  if ((tag & 0xF0) == 0x90) n = tag & 0x0F;
+  else if (tag == 0xDC) n = TakeBE<std::uint16_t>();
+  else if (tag == 0xDD) n = TakeBE<std::uint32_t>();
+  else throw DecodeError("expected msgpack array, got tag " +
+                         std::to_string(tag));
+  return static_cast<std::uint32_t>(CheckedContainerLength(n, 1, "array"));
 }
 
 std::uint32_t Unpacker::NextMapHeader() {
   const Byte tag = TakeByte();
-  if ((tag & 0xF0) == 0x80) return tag & 0x0F;
-  if (tag == 0xDE) return TakeBE<std::uint16_t>();
-  if (tag == 0xDF) return TakeBE<std::uint32_t>();
-  throw DecodeError("expected msgpack map, got tag " + std::to_string(tag));
+  std::uint32_t n;
+  if ((tag & 0xF0) == 0x80) n = tag & 0x0F;
+  else if (tag == 0xDE) n = TakeBE<std::uint16_t>();
+  else if (tag == 0xDF) n = TakeBE<std::uint32_t>();
+  else throw DecodeError("expected msgpack map, got tag " +
+                         std::to_string(tag));
+  return static_cast<std::uint32_t>(CheckedContainerLength(n, 2, "map"));
 }
 
 Value Unpacker::Next() {
@@ -101,7 +144,8 @@ Value Unpacker::Next() {
   if (tag <= 0x7F) return Value(static_cast<std::int64_t>(tag));
   if (tag >= 0xE0) return Value(static_cast<std::int64_t>(static_cast<std::int8_t>(tag)));
   if ((tag & 0xF0) == 0x80) {  // fixmap
-    const size_t n = tag & 0x0F;
+    const DepthGuard guard(depth_, kMaxDepth);
+    const size_t n = CheckedContainerLength(tag & 0x0F, 2, "map");
     Map m;
     m.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -112,7 +156,8 @@ Value Unpacker::Next() {
     return Value(std::move(m));
   }
   if ((tag & 0xF0) == 0x90) {  // fixarray
-    const size_t n = tag & 0x0F;
+    const DepthGuard guard(depth_, kMaxDepth);
+    const size_t n = CheckedContainerLength(tag & 0x0F, 1, "array");
     Array a;
     a.reserve(n);
     for (size_t i = 0; i < n; ++i) a.push_back(Next());
@@ -173,18 +218,22 @@ Value Unpacker::Next() {
       return Value(std::string(AsStringView(s)));
     }
     case 0xDC: case 0xDD: {
-      const size_t n = (tag == 0xDC) ? TakeBE<std::uint16_t>()
-                                     : TakeBE<std::uint32_t>();
+      const DepthGuard guard(depth_, kMaxDepth);
+      const size_t raw = (tag == 0xDC) ? TakeBE<std::uint16_t>()
+                                       : TakeBE<std::uint32_t>();
+      const size_t n = CheckedContainerLength(raw, 1, "array");
       Array a;
-      a.reserve(std::min<size_t>(n, 1 << 20));
+      a.reserve(n);  // safe: n is bounded by the input size now
       for (size_t i = 0; i < n; ++i) a.push_back(Next());
       return Value(std::move(a));
     }
     case 0xDE: case 0xDF: {
-      const size_t n = (tag == 0xDE) ? TakeBE<std::uint16_t>()
-                                     : TakeBE<std::uint32_t>();
+      const DepthGuard guard(depth_, kMaxDepth);
+      const size_t raw = (tag == 0xDE) ? TakeBE<std::uint16_t>()
+                                       : TakeBE<std::uint32_t>();
+      const size_t n = CheckedContainerLength(raw, 2, "map");
       Map m;
-      m.reserve(std::min<size_t>(n, 1 << 20));
+      m.reserve(n);
       for (size_t i = 0; i < n; ++i) {
         Value k = Next();
         Value v = Next();

@@ -31,15 +31,26 @@ class Unpacker {
   bool AtEnd() const { return pos_ >= data_.size(); }
   size_t position() const { return pos_; }
 
+  // Nesting depth cap: deeper input is rejected as malformed rather than
+  // recursing toward a stack overflow. Generous — real frames nest ~4.
+  static constexpr int kMaxDepth = 64;
+
  private:
   Byte PeekByte() const;
   Byte TakeByte();
   template <typename T>
   T TakeBE();
   ByteSpan TakeBytes(size_t n);
+  size_t Remaining() const { return data_.size() - pos_; }
+  // Rejects a container whose declared element count cannot fit in the
+  // remaining input (each element is at least `min_bytes` long). This is
+  // the allocation guard: a crafted "4-billion-element" header is caught
+  // here, before any reserve, instead of demanding gigabytes up front.
+  size_t CheckedContainerLength(size_t n, size_t min_bytes, const char* what);
 
   ByteSpan data_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 // Decodes exactly one value; trailing bytes are an error.

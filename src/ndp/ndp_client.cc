@@ -1,15 +1,28 @@
 #include "ndp/ndp_client.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "common/error.h"
+#include "contour/contour_filter.h"
+#include "io/vnd_format.h"
 #include "obs/trace.h"
 
 namespace vizndp::ndp {
 
 using msgpack::Array;
 using msgpack::Value;
+
+NdpClient::NdpClient(std::shared_ptr<rpc::Client> client, std::string bucket,
+                     const NdpClientOptions& options)
+    : client_(std::move(client)),
+      bucket_(std::move(bucket)),
+      options_(options) {
+  if (options_.retry.enabled()) {
+    client_->SetRetryPolicy(options_.retry);
+  }
+}
 
 contour::SparseField NdpClient::FetchSparseField(
     const std::string& key, const std::string& array,
@@ -22,7 +35,8 @@ contour::SparseField NdpClient::FetchSparseField(
   Value reply = client_->Call(
       kRpcNdpSelect,
       Array{Value(bucket_), Value(key), Value(array), Value(std::move(isos)),
-            Value(static_cast<std::uint64_t>(encoding_))});
+            Value(static_cast<std::uint64_t>(encoding_))},
+      CallOpts());
 
   const auto& dims_v = reply.At("dims").As<Array>();
   const grid::Dims dims{dims_v.at(0).AsInt(), dims_v.at(1).AsInt(),
@@ -81,7 +95,8 @@ NdpClient::ArrayStats NdpClient::Stats(const std::string& key,
                                        const std::string& array, int bins) {
   const Value reply =
       client_->Call(kRpcNdpStats, Array{Value(bucket_), Value(key),
-                                        Value(array), Value(bins)});
+                                        Value(array), Value(bins)},
+                    CallOpts());
   ArrayStats stats;
   stats.min = reply.At("min").AsDouble();
   stats.max = reply.At("max").AsDouble();
@@ -93,7 +108,7 @@ NdpClient::ArrayStats NdpClient::Stats(const std::string& key,
 }
 
 std::vector<obs::MetricSnapshot> NdpClient::ScrapeMetrics() {
-  const Value reply = client_->Call(kRpcNdpMetrics, Array{});
+  const Value reply = client_->Call(kRpcNdpMetrics, Array{}, CallOpts());
   std::vector<obs::MetricSnapshot> out;
   for (const Value& v : reply.As<Array>()) {
     obs::MetricSnapshot s;
@@ -117,7 +132,7 @@ std::vector<obs::MetricSnapshot> NdpClient::ScrapeMetrics() {
 }
 
 size_t NdpClient::ScrapeTrace() {
-  const Value reply = client_->Call(kRpcNdpTrace, Array{});
+  const Value reply = client_->Call(kRpcNdpTrace, Array{}, CallOpts());
   const Array& events = reply.As<Array>();
   if (events.empty()) return 0;
 
@@ -170,8 +185,49 @@ std::vector<double> SuggestIsovalues(const NdpClient::ArrayStats& stats,
 
 pipeline::DataObjectPtr NdpContourSource::Execute(
     const std::vector<pipeline::DataObjectPtr>&) {
-  return std::make_shared<pipeline::DataObject>(
-      client_->Contour(key_, array_, isovalues_, &stats_));
+  try {
+    return std::make_shared<pipeline::DataObject>(
+        client_->Contour(key_, array_, isovalues_, &stats_));
+  } catch (const RpcError&) {
+    // The server answered: this is an application error (bad key, CRC
+    // mismatch, ...) that the baseline read would hit too. Don't mask it.
+    throw;
+  } catch (const Error& e) {
+    // Timeout / peer gone / corrupt frame after the client's retries:
+    // the smart path is unreachable, so degrade to the full read.
+    if (!fallback_.has_value()) throw;
+    obs::DefaultRegistry().GetCounter("ndp_fallback_total").Increment();
+    std::fprintf(stderr,
+                 "[vizndp] warning: NDP path for '%s' unavailable (%s); "
+                 "falling back to baseline full-array read\n",
+                 key_.c_str(), e.what());
+    return std::make_shared<pipeline::DataObject>(BaselineContour());
+  }
+}
+
+// The traditional pipeline in miniature: fetch the whole array through
+// the gateway, contour locally. Geometry matches the NDP path exactly —
+// both ultimately run the same marching-cubes tables over the same
+// values (tests/fault_test.cc holds this bit-identical).
+contour::PolyData NdpContourSource::BaselineContour() {
+  obs::Span span("ndp.fallback:" + key_);
+  io::VndReader reader(fallback_->Open(key_));
+  const grid::DataArray data = reader.ReadArray(array_);
+
+  stats_ = NdpLoadStats{};
+  stats_.used_fallback = true;
+  stats_.stored_bytes = reader.StoredSize(array_);
+  stats_.raw_bytes = static_cast<std::uint64_t>(data.byte_size());
+  stats_.total_points = static_cast<std::uint64_t>(
+      reader.header().dims.PointCount());
+  stats_.selected_points = stats_.total_points;  // full read: everything
+
+  contour::ContourFilter filter(isovalues_);
+  contour::PolyData poly =
+      filter.Execute(reader.header().dims, reader.header().geometry, data);
+  span.End();
+  stats_.client_s = span.ElapsedSeconds();
+  return poly;
 }
 
 }  // namespace vizndp::ndp

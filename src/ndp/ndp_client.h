@@ -4,16 +4,33 @@
 // full-read pipeline — see tests/ndp_test.cc for the proof-by-test.
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <optional>
 
 #include "contour/polydata.h"
 #include "contour/sparse_field.h"
 #include "ndp/protocol.h"
+#include "net/retry.h"
 #include "obs/metrics.h"
 #include "pipeline/algorithm.h"
 #include "rpc/client.h"
+#include "storage/file_gateway.h"
 
 namespace vizndp::ndp {
+
+// Fault-tolerance knobs for the NDP client path. All NDP RPCs are pure
+// reads, so every call is marked idempotent and retried per `retry`.
+struct NdpClientOptions {
+  // Per-RPC deadline; 0 blocks forever (the pre-fault-tolerance default).
+  std::chrono::milliseconds call_timeout{0};
+  // TCP dial budget. Consumed by whoever dials (net::TcpOptions /
+  // vizndp_tool), not by NdpClient itself, but kept here so one struct
+  // configures the whole client path.
+  std::chrono::milliseconds connect_timeout{0};
+  // Retry schedule applied to the underlying rpc::Client at construction.
+  net::RetryPolicy retry{};
+};
 
 // Per-phase accounting of one NDP data load (the paper's "data load
 // time" for NDP runs = read + decompress + filter + transfer).
@@ -34,6 +51,9 @@ struct NdpLoadStats {
   double client_s = 0;         // RPC round trip + decode + scatter
   double client_decode_s = 0;  // payload decode ("ndp.decode" span)
   double client_scatter_s = 0; // sparse-field scatter ("ndp.scatter" span)
+  // True when the NDP path was unreachable and NdpContourSource served
+  // this load through the baseline full-array read instead.
+  bool used_fallback = false;
 
   double Selectivity() const {
     return total_points == 0 ? 0.0
@@ -45,8 +65,8 @@ struct NdpLoadStats {
 class NdpClient {
  public:
   explicit NdpClient(std::shared_ptr<rpc::Client> client,
-                     std::string bucket = "data")
-      : client_(std::move(client)), bucket_(std::move(bucket)) {}
+                     std::string bucket = "data",
+                     const NdpClientOptions& options = {});
 
   void SetEncoding(SelectionEncoding encoding) { encoding_ = encoding; }
   SelectionEncoding encoding() const { return encoding_; }
@@ -94,8 +114,13 @@ class NdpClient {
   size_t ScrapeTrace();
 
  private:
+  rpc::CallOptions CallOpts() const {
+    return rpc::CallOptions{options_.call_timeout, /*idempotent=*/true};
+  }
+
   std::shared_ptr<rpc::Client> client_;
   std::string bucket_;
+  NdpClientOptions options_;
   SelectionEncoding encoding_ = SelectionEncoding::kRunLength;
 };
 
@@ -105,6 +130,14 @@ std::vector<double> SuggestIsovalues(const NdpClient::ArrayStats& stats,
 
 // Pipeline source producing the NDP contour as PolyData, so split
 // pipelines compose with ordinary sinks (Fig. 10's client half).
+//
+// With SetFallback, the source degrades gracefully: when the NDP path is
+// unreachable after the client's retries (timeout, peer gone, corrupt
+// frames — anything but a server-reported application error), it reads
+// the full array through the given gateway and contours it locally,
+// producing geometry identical to the NDP path. Each degradation
+// increments ndp_fallback_total in obs::DefaultRegistry() and sets
+// NdpLoadStats::used_fallback.
 class NdpContourSource final : public pipeline::Algorithm {
  public:
   NdpContourSource(std::shared_ptr<NdpClient> client, std::string key,
@@ -123,6 +156,13 @@ class NdpContourSource final : public pipeline::Algorithm {
     Modified();
   }
 
+  // Enables the baseline full-read fallback. The gateway's underlying
+  // ObjectStore must outlive this source.
+  void SetFallback(storage::FileGateway gateway) {
+    fallback_.emplace(std::move(gateway));
+    Modified();
+  }
+
   const NdpLoadStats& last_stats() const { return stats_; }
 
   std::string Name() const override { return "NdpContourSource(" + key_ + ")"; }
@@ -133,10 +173,13 @@ class NdpContourSource final : public pipeline::Algorithm {
       const std::vector<pipeline::DataObjectPtr>& inputs) override;
 
  private:
+  contour::PolyData BaselineContour();
+
   std::shared_ptr<NdpClient> client_;
   std::string key_;
   std::string array_;
   std::vector<double> isovalues_;
+  std::optional<storage::FileGateway> fallback_;
   NdpLoadStats stats_;
 };
 

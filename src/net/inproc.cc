@@ -20,17 +20,24 @@ struct FrameQueue {
   void Push(Bytes frame) {
     {
       std::lock_guard<std::mutex> lock(mu);
-      VIZNDP_CHECK_MSG(!closed, "send on closed in-proc channel");
+      if (closed) {
+        throw PeerClosedError("send on closed in-proc channel");
+      }
       frames.push_back(std::move(frame));
     }
     cv.notify_one();
   }
 
-  Bytes Pop() {
+  Bytes Pop(Deadline deadline) {
     std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return !frames.empty() || closed; });
+    const auto ready = [this] { return !frames.empty() || closed; };
+    if (deadline == kNoDeadline) {
+      cv.wait(lock, ready);
+    } else if (!cv.wait_until(lock, deadline, ready)) {
+      throw TimeoutError("in-proc receive deadline exceeded");
+    }
     if (frames.empty()) {
-      throw Error("in-proc channel closed by peer");
+      throw PeerClosedError("in-proc channel closed by peer");
     }
     Bytes frame = std::move(frames.front());
     frames.pop_front();
@@ -66,9 +73,17 @@ class InProcEndpoint final : public Transport {
     SendQueue().Push(Bytes(frame.begin(), frame.end()));
   }
 
-  Bytes Receive() override { return ReceiveQueue().Pop(); }
+  Bytes Receive(Deadline deadline) override {
+    return ReceiveQueue().Pop(deadline);
+  }
 
-  void Close() override { SendQueue().Close(); }
+  // Full-duplex teardown, matching TCP close(): after either side
+  // closes, the peer's sends fail with PeerClosedError (EPIPE-alike)
+  // and its receives drain queued frames before reporting closure.
+  void Close() override {
+    SendQueue().Close();
+    ReceiveQueue().Close();
+  }
 
  private:
   FrameQueue& SendQueue() {

@@ -1,0 +1,65 @@
+#include "net/reconnect.h"
+
+#include "common/error.h"
+
+namespace vizndp::net {
+
+ReconnectingTransport::ReconnectingTransport(TransportFactory factory,
+                                             RetryPolicy dial_policy)
+    : factory_(std::move(factory)), policy_(dial_policy) {}
+
+// Dials (or re-dials) with backoff. Throws the last dial error once
+// policy_.max_attempts factory calls have failed.
+void ReconnectingTransport::EnsureConnected() {
+  if (closed_) throw PeerClosedError("reconnecting transport is closed");
+  if (inner_ != nullptr) return;
+  const int attempts = std::max(policy_.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      inner_ = factory_();
+      if (was_connected_) ++stats_.reconnects;
+      was_connected_ = true;
+      return;
+    } catch (const Error&) {
+      ++stats_.dial_failures;
+      if (attempt >= attempts) throw;
+      BackoffSleep(policy_, attempt);
+    }
+  }
+}
+
+void ReconnectingTransport::Send(ByteSpan frame) {
+  const int attempts = std::max(policy_.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    EnsureConnected();
+    try {
+      inner_->Send(frame);
+      return;
+    } catch (const PeerClosedError&) {
+      // The peer died under us: drop the connection; the next loop round
+      // re-dials and re-sends this frame.
+      inner_.reset();
+      if (attempt >= attempts) throw;
+      BackoffSleep(policy_, attempt);
+    }
+  }
+}
+
+Bytes ReconnectingTransport::Receive(Deadline deadline) {
+  EnsureConnected();
+  try {
+    return inner_->Receive(deadline);
+  } catch (const PeerClosedError&) {
+    // The pending reply is unrecoverable; the caller must re-issue its
+    // request, which will arrive on a fresh connection.
+    inner_.reset();
+    throw;
+  }
+}
+
+void ReconnectingTransport::Close() {
+  closed_ = true;
+  if (inner_ != nullptr) inner_->Close();
+}
+
+}  // namespace vizndp::net

@@ -1,0 +1,49 @@
+// ReconnectingTransport: a Transport decorator that re-dials through a
+// transport factory when the peer is lost. Send-side peer loss is
+// retried transparently (the frame is re-sent on a fresh connection);
+// receive-side loss propagates, because a frame-oriented caller must
+// re-issue its request — the reply it was waiting for died with the old
+// connection. rpc::Client's retry loop composes with this: the re-issued
+// call lands on the re-dialed connection.
+#pragma once
+
+#include <functional>
+
+#include "net/retry.h"
+#include "net/transport.h"
+
+namespace vizndp::net {
+
+using TransportFactory = std::function<TransportPtr()>;
+
+struct ReconnectStats {
+  std::uint64_t reconnects = 0;     // successful re-dials after peer loss
+  std::uint64_t dial_failures = 0;  // factory attempts that threw
+};
+
+class ReconnectingTransport final : public Transport {
+ public:
+  // `dial_policy.max_attempts` bounds the tries per (re)connection;
+  // backoff applies between failed dials.
+  explicit ReconnectingTransport(TransportFactory factory,
+                                 RetryPolicy dial_policy = {});
+
+  const ReconnectStats& stats() const { return stats_; }
+
+  void Send(ByteSpan frame) override;
+  using Transport::Receive;
+  Bytes Receive(Deadline deadline) override;
+  void Close() override;
+
+ private:
+  void EnsureConnected();
+
+  TransportFactory factory_;
+  RetryPolicy policy_;
+  TransportPtr inner_;
+  bool closed_ = false;
+  bool was_connected_ = false;
+  ReconnectStats stats_;
+};
+
+}  // namespace vizndp::net

@@ -2,8 +2,15 @@
 // framing. Lets the NDP server and client actually run as two processes
 // (examples/ndp_server + examples/ndp_client), validating that the
 // emulated setup and the real one speak the same protocol.
+//
+// Fault behaviour: Receive honours an absolute deadline via poll() and
+// throws TimeoutError; EPIPE/ECONNRESET on either direction map to
+// PeerClosedError (sends use MSG_NOSIGNAL, so a dead peer never raises
+// SIGPIPE); a length header above max_frame_bytes throws DecodeError
+// before any allocation, so a poisoned peer cannot demand gigabytes.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -11,19 +18,30 @@
 
 namespace vizndp::net {
 
-// Connects to host:port; throws IoError on failure.
-TransportPtr TcpConnect(const std::string& host, std::uint16_t port);
+struct TcpOptions {
+  // 0 = the OS connect timeout (minutes); anything else bounds the dial.
+  std::chrono::milliseconds connect_timeout{0};
+  // Largest frame Receive will accept. Oversized headers throw
+  // DecodeError and poison the connection (the stream is untrustworthy).
+  std::uint64_t max_frame_bytes = 1ull << 30;
+};
+
+// Connects to host:port; throws IoError on failure and TimeoutError when
+// options.connect_timeout elapses first.
+TransportPtr TcpConnect(const std::string& host, std::uint16_t port,
+                        const TcpOptions& options = {});
 
 class TcpListener {
  public:
   // Binds to 127.0.0.1:`port`; port 0 picks an ephemeral port (see port()).
-  explicit TcpListener(std::uint16_t port);
+  explicit TcpListener(std::uint16_t port, const TcpOptions& options = {});
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  // Blocks for one inbound connection.
+  // Blocks for one inbound connection (served with this listener's
+  // TcpOptions).
   TransportPtr Accept();
 
   std::uint16_t port() const { return port_; }
@@ -31,6 +49,7 @@ class TcpListener {
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  TcpOptions options_;
 };
 
 }  // namespace vizndp::net

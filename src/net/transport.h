@@ -2,24 +2,45 @@
 // (RPC, the file gateway) exchanges discrete frames; the two concrete
 // transports are an in-process channel with a modeled link (to emulate the
 // paper's 2-node/1GbE testbed on one machine) and real TCP sockets.
+// Decorators (FaultInjectingTransport, ReconnectingTransport) wrap any
+// transport to add failure injection or automatic re-dialing.
 #pragma once
 
+#include <chrono>
 #include <memory>
 
 #include "common/bytes.h"
 
 namespace vizndp::net {
 
+// Absolute receive deadline on the monotonic clock. kNoDeadline blocks
+// forever (the pre-fault-tolerance behaviour).
+using Deadline = std::chrono::steady_clock::time_point;
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+// Deadline `timeout` from now; a zero or negative timeout means "no
+// deadline" so configs can use 0 as the off switch.
+inline Deadline DeadlineAfter(std::chrono::nanoseconds timeout) {
+  if (timeout.count() <= 0) return kNoDeadline;
+  return std::chrono::steady_clock::now() + timeout;
+}
+
 class Transport {
  public:
   virtual ~Transport() = default;
 
   // Sends one frame. Thread-safe with respect to Receive on the same
-  // endpoint (full-duplex), not with concurrent Send calls.
+  // endpoint (full-duplex), not with concurrent Send calls. Throws
+  // PeerClosedError when the peer is gone.
   virtual void Send(ByteSpan frame) = 0;
 
-  // Blocks until a frame arrives. Throws Error when the peer closed.
-  virtual Bytes Receive() = 0;
+  // Blocks until a frame arrives or `deadline` passes. Throws
+  // TimeoutError on deadline expiry and PeerClosedError when the peer
+  // closed.
+  virtual Bytes Receive(Deadline deadline) = 0;
+
+  // Blocks until a frame arrives (no deadline).
+  Bytes Receive() { return Receive(kNoDeadline); }
 
   // Signals the peer that no more frames will come; subsequent Receive on
   // the peer throws once its queue drains.

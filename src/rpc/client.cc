@@ -1,5 +1,7 @@
 #include "rpc/client.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "msgpack/pack.h"
 #include "msgpack/unpack.h"
@@ -8,7 +10,59 @@
 
 namespace vizndp::rpc {
 
-msgpack::Value Client::Call(const std::string& method, msgpack::Array params) {
+namespace {
+
+std::uint64_t MethodSalt(const std::string& method) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : method) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+// One attempt: send the request, then receive until *our* reply arrives.
+// Responses with an older msgid are stale leftovers — a duplicated frame
+// or a reply that outlived its timed-out attempt — and are discarded
+// rather than treated as a protocol violation.
+msgpack::Value Client::CallOnce(const std::string& method,
+                                const msgpack::Array& params,
+                                net::Deadline deadline) {
+  const std::uint64_t msgid = next_msgid_++;
+
+  msgpack::Array request;
+  request.emplace_back(kRequestType);
+  request.emplace_back(msgid);
+  request.emplace_back(method);
+  request.push_back(msgpack::Value(msgpack::Array(params)));
+  transport_->Send(msgpack::Encode(msgpack::Value(std::move(request))));
+
+  for (;;) {
+    const Bytes reply = transport_->Receive(deadline);
+    msgpack::Value response = msgpack::Decode(reply);
+    auto& fields = response.AsMutable<msgpack::Array>();
+    if (fields.size() != 4 || fields[0].AsInt() != kResponseType) {
+      throw RpcError("malformed RPC response");
+    }
+    const std::uint64_t got = fields[1].AsUint();
+    if (got != msgid) {
+      if (got < msgid) {
+        metrics().GetCounter("rpc_stale_replies_total").Increment();
+        continue;  // stale reply from an earlier attempt; keep waiting
+      }
+      throw RpcError("RPC response msgid mismatch");
+    }
+    if (!fields[2].IsNil()) {
+      throw RpcError("remote error calling '" + method +
+                     "': " + fields[2].As<std::string>());
+    }
+    return std::move(fields[3]);
+  }
+}
+
+msgpack::Value Client::Call(const std::string& method, msgpack::Array params,
+                            const CallOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
   // One span per round trip on the "client" trace track; the matching
   // server-side "rpc.dispatch:" span nests inside it, so the gap between
@@ -16,29 +70,36 @@ msgpack::Value Client::Call(const std::string& method, msgpack::Array params) {
   obs::Tracer& tracer = obs::GlobalTracer();
   if (tracer.enabled()) tracer.SetThreadTrack("client");
   obs::Span span("rpc.call:" + method, tracer);
-  const std::uint64_t msgid = next_msgid_++;
 
-  msgpack::Array request;
-  request.emplace_back(kRequestType);
-  request.emplace_back(msgid);
-  request.emplace_back(method);
-  request.push_back(msgpack::Value(std::move(params)));
-  transport_->Send(msgpack::Encode(msgpack::Value(std::move(request))));
+  const auto timeout =
+      options.timeout.count() > 0 ? options.timeout : default_timeout_;
+  const int attempts =
+      options.idempotent ? std::max(retry_.max_attempts, 1) : 1;
+  const std::uint64_t salt = MethodSalt(method);
 
-  const Bytes reply = transport_->Receive();
-  msgpack::Value response = msgpack::Decode(reply);
-  auto& fields = response.AsMutable<msgpack::Array>();
-  if (fields.size() != 4 || fields[0].AsInt() != kResponseType) {
-    throw RpcError("malformed RPC response");
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return CallOnce(method, params, net::DeadlineAfter(timeout));
+    } catch (const TimeoutError&) {
+      metrics().GetCounter("rpc_timeouts_total", {{"method", method}})
+          .Increment();
+      if (attempt >= attempts) {
+        throw TimeoutError("rpc call '" + method + "' timed out after " +
+                           std::to_string(attempt) + " attempt(s)");
+      }
+    } catch (const RpcError&) {
+      // The server is alive and reported an application error (or sent a
+      // malformed reply): retrying would repeat the same failure.
+      throw;
+    } catch (const Error&) {
+      // Transport-level loss (peer closed, corrupt frame): retryable for
+      // idempotent calls. A ReconnectingTransport re-dials underneath.
+      if (attempt >= attempts) throw;
+    }
+    metrics().GetCounter("rpc_retries_total", {{"method", method}})
+        .Increment();
+    net::BackoffSleep(retry_, attempt, salt);
   }
-  if (fields[1].AsUint() != msgid) {
-    throw RpcError("RPC response msgid mismatch");
-  }
-  if (!fields[2].IsNil()) {
-    throw RpcError("remote error calling '" + method +
-                   "': " + fields[2].As<std::string>());
-  }
-  return std::move(fields[3]);
 }
 
 }  // namespace vizndp::rpc

@@ -52,6 +52,18 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
   span.End();
   if (it != handlers_.end()) {
     it->second.latency->Observe(span.ElapsedSeconds());
+    // A handler cannot be preempted mid-run, but one that blew its
+    // budget must not masquerade as a success: the caller gets a typed
+    // error and the overrun is visible in metrics.
+    const double deadline_s =
+        std::chrono::duration<double>(options_.request_deadline).count();
+    if (deadline_s > 0 && error.empty() &&
+        span.ElapsedSeconds() > deadline_s) {
+      error = "deadline exceeded in '" + method + "'";
+      result = msgpack::Value();
+      metrics_.GetCounter("rpc_deadline_exceeded_total", {{"method", method}})
+          .Increment();
+    }
   }
 
   msgpack::Array response;
@@ -73,8 +85,28 @@ void Server::ServeTransport(net::Transport& transport) {
     } catch (const Error&) {
       return;  // peer closed
     }
-    const Bytes response = Dispatch(request);
-    transport.Send(response);
+    if (request.size() > options_.max_frame_bytes) {
+      // An in-proc peer can bypass the TCP-level frame cap, so enforce it
+      // here too; the connection is poisoned, not the server.
+      metrics_.GetCounter("rpc_oversize_frames_total").Increment();
+      transport.Close();
+      return;
+    }
+    Bytes response;
+    try {
+      response = Dispatch(request);
+    } catch (const Error&) {
+      // Undecodable/malformed frame: drop the connection, keep serving
+      // others. Before this guard, one garbage frame killed the thread.
+      metrics_.GetCounter("rpc_malformed_frames_total").Increment();
+      transport.Close();
+      return;
+    }
+    try {
+      transport.Send(response);
+    } catch (const Error&) {
+      return;  // peer vanished between request and reply
+    }
   }
 }
 

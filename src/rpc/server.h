@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <string>
@@ -22,9 +23,26 @@
 
 namespace vizndp::rpc {
 
+// Per-server robustness knobs: one poisoned request (oversized frame,
+// undecodable garbage, or a handler that blows its deadline) is counted,
+// the connection is dropped, and the dispatch thread survives to serve
+// the next connection.
+struct ServerOptions {
+  // Largest request frame Dispatch will touch; larger frames close the
+  // connection (rpc_oversize_frames_total).
+  std::uint64_t max_frame_bytes = 1ull << 30;
+  // Budget for one handler run; 0 disables. A handler cannot be
+  // preempted, but an overrun is reported to the caller as an RPC error
+  // instead of a silently slow reply (rpc_deadline_exceeded_total).
+  std::chrono::milliseconds request_deadline{0};
+};
+
 class Server {
  public:
   using Handler = std::function<msgpack::Value(const msgpack::Array& params)>;
+
+  void SetOptions(const ServerOptions& options) { options_ = options; }
+  const ServerOptions& options() const { return options_; }
 
   void Bind(const std::string& method, Handler handler);
 
@@ -56,6 +74,7 @@ class Server {
   };
 
   std::map<std::string, Bound> handlers_;
+  ServerOptions options_;
   obs::Registry metrics_;
   obs::Counter* requests_total_ = &metrics_.GetCounter("rpc_requests_total");
 };

@@ -3,17 +3,23 @@
 // serving after per-request failures, and never return wrong geometry.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
 #include <thread>
 
 #include "bench_util/testbed.h"
+#include "contour/contour_filter.h"
 #include "io/vnd_format.h"
 #include "ndp/protocol.h"
+#include "net/fault.h"
+#include "obs/metrics.h"
+#include "rpc/client.h"
 #include "sim/impact.h"
 
 namespace vizndp {
 namespace {
 
+using namespace std::chrono_literals;
 using bench_util::Testbed;
 
 Bytes MakeVndImage(int n = 16, const std::string& codec = "gzip") {
@@ -232,6 +238,131 @@ TEST(Fault, ConcurrentNdpClientsOnOneTestbed) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation (the PR's acceptance scenario): black-hole the NDP
+// connection and require the pipeline to produce the dense baseline's
+// exact geometry through the fallback path, with counters telling the
+// story.
+// ---------------------------------------------------------------------------
+
+// Builds an NdpClient over a fault-injected connection to the testbed's
+// server, with short deadlines and a fixed retry budget.
+struct DegradedClient {
+  net::FaultInjectingTransport* faults = nullptr;  // owned by rpc_client
+  std::shared_ptr<rpc::Client> rpc_client;
+  obs::Registry metrics;
+  std::shared_ptr<ndp::NdpClient> ndp_client;
+
+  explicit DegradedClient(Testbed& testbed) {
+    auto faulty = std::make_unique<net::FaultInjectingTransport>(
+        testbed.ConnectToServer());
+    faults = faulty.get();
+    rpc_client = std::make_shared<rpc::Client>(std::move(faulty));
+    rpc_client->SetMetrics(&metrics);
+    ndp::NdpClientOptions options;
+    options.call_timeout = 50ms;
+    options.retry.max_attempts = 3;
+    options.retry.base_delay = 200us;
+    options.retry.jitter = 0.0;
+    ndp_client = std::make_shared<ndp::NdpClient>(rpc_client, "data", options);
+  }
+
+  double Counter(const std::string& name) {
+    const auto snapshot = metrics.Snapshot();
+    const obs::MetricSnapshot* m = obs::FindMetric(snapshot, name);
+    return m == nullptr ? 0.0 : m->value;
+  }
+};
+
+TEST(Fault, GracefulDegradationProducesBaselineGeometry) {
+  Testbed testbed;
+  testbed.store().Put(testbed.bucket(), "t.vnd", MakeVndImage());
+
+  // The dense baseline: full array read + classic contour filter.
+  io::VndReader reader(testbed.LocalGateway().Open("t.vnd"));
+  const contour::ContourFilter filter(std::vector<double>{0.1});
+  const contour::PolyData baseline =
+      filter.Execute(reader.header().dims, reader.header().geometry,
+                     reader.ReadArray("v02"));
+  ASSERT_GT(baseline.TriangleCount(), 0u);
+
+  DegradedClient degraded(testbed);
+  // Every request into the NDP connection silently vanishes.
+  degraded.faults->ScriptSend({net::FaultAction::Drop()}, /*loop_last=*/true);
+
+  const double fallbacks_before =
+      obs::DefaultRegistry().GetCounter("ndp_fallback_total").value();
+
+  ndp::NdpContourSource source(degraded.ndp_client, "t.vnd", "v02", {0.1});
+  source.SetFallback(testbed.LocalGateway());
+  const contour::PolyData& poly = source.UpdateAndGetOutput()->AsPolyData();
+
+  // Bit-identical geometry: the fallback runs the same filter over the
+  // same values, so zero tolerance.
+  EXPECT_TRUE(poly.GeometricallyEquals(baseline, 0.0));
+  EXPECT_TRUE(source.last_stats().used_fallback);
+
+  // The counters reflect the event: every attempt timed out, the retries
+  // were burned, and exactly one fallback happened.
+  EXPECT_DOUBLE_EQ(degraded.Counter("rpc_timeouts_total{method=ndp.select}"),
+                   3.0);
+  EXPECT_DOUBLE_EQ(degraded.Counter("rpc_retries_total{method=ndp.select}"),
+                   2.0);
+  EXPECT_DOUBLE_EQ(
+      obs::DefaultRegistry().GetCounter("ndp_fallback_total").value(),
+      fallbacks_before + 1.0);
+}
+
+TEST(Fault, ServerDeathMidRunFallsBackOnNextExecute) {
+  Testbed testbed;
+  testbed.store().Put(testbed.bucket(), "t.vnd", MakeVndImage());
+
+  DegradedClient degraded(testbed);
+  // First select passes; the connection then hard-fails forever.
+  degraded.faults->ScriptSend(
+      {net::FaultAction::Pass(), net::FaultAction::Disconnect()});
+
+  ndp::NdpContourSource source(degraded.ndp_client, "t.vnd", "v02", {0.1});
+  source.SetFallback(testbed.LocalGateway());
+
+  const contour::PolyData first = source.UpdateAndGetOutput()->AsPolyData();
+  EXPECT_FALSE(source.last_stats().used_fallback);
+
+  source.Modified();  // force a re-execute against the now-dead server
+  const contour::PolyData second = source.UpdateAndGetOutput()->AsPolyData();
+  EXPECT_TRUE(source.last_stats().used_fallback);
+  EXPECT_TRUE(second.GeometricallyEquals(first, 0.0));
+}
+
+TEST(Fault, HealthyServerNeverTriggersFallback) {
+  Testbed testbed;
+  testbed.store().Put(testbed.bucket(), "t.vnd", MakeVndImage());
+
+  DegradedClient healthy(testbed);  // no faults scripted = clean path
+  ndp::NdpContourSource source(healthy.ndp_client, "t.vnd", "v02", {0.1});
+  source.SetFallback(testbed.LocalGateway());
+  const contour::PolyData& poly = source.UpdateAndGetOutput()->AsPolyData();
+  EXPECT_GT(poly.TriangleCount(), 0u);
+  EXPECT_FALSE(source.last_stats().used_fallback);
+  EXPECT_DOUBLE_EQ(healthy.Counter("rpc_timeouts_total{method=ndp.select}"),
+                   0.0);
+}
+
+TEST(Fault, ApplicationErrorsDoNotFallBack) {
+  // An RpcError means the server is alive and rejected the request (here:
+  // CRC mismatch on a corrupt blob). Falling back would hide real data
+  // damage behind a quietly different read path.
+  Testbed testbed;
+  Bytes image = MakeVndImage();
+  image[image.size() - 10] ^= 0xFF;
+  testbed.store().Put(testbed.bucket(), "bad.vnd", image);
+
+  DegradedClient degraded(testbed);
+  ndp::NdpContourSource source(degraded.ndp_client, "bad.vnd", "v02", {0.1});
+  source.SetFallback(testbed.LocalGateway());
+  EXPECT_THROW(source.UpdateAndGetOutput(), RpcError);
 }
 
 TEST(Fault, OverwriteDuringUseGivesEitherOldOrNewObject) {

@@ -246,5 +246,73 @@ TEST_P(MsgpackFuzzTest, RandomTreeRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MsgpackFuzzTest, ::testing::Range(0, 10));
 
+// ---------------------------------------------------------------------------
+// Malformed-input hardening: a crafted length header must be rejected
+// before any allocation happens, with a typed DecodeError.
+// ---------------------------------------------------------------------------
+
+TEST(MsgpackHardening, FourGigabyteArrayClaimRejected) {
+  // array32 claiming 0xFFFFFFFF elements, followed by a single byte.
+  // Decoding this used to reserve ~50 MB and then spin on 4 billion
+  // element decodes; now the impossible length is rejected up front.
+  const Bytes crafted = {0xDD, 0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  EXPECT_THROW(Decode(crafted), DecodeError);
+}
+
+TEST(MsgpackHardening, FourGigabyteBinClaimRejected) {
+  // bin32 claiming 0xFFFFFFFF payload bytes with none attached.
+  const Bytes crafted = {0xC6, 0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(Decode(crafted), DecodeError);
+}
+
+TEST(MsgpackHardening, FourGigabyteStrClaimRejected) {
+  const Bytes crafted = {0xDB, 0xFF, 0xFF, 0xFF, 0xFF, 'h', 'i'};
+  EXPECT_THROW(Decode(crafted), DecodeError);
+}
+
+TEST(MsgpackHardening, MapClaimLargerThanInputRejected) {
+  // map16 claiming 0xFFFF entries (each needs >= 2 bytes) in a 4-byte
+  // input.
+  const Bytes crafted = {0xDE, 0xFF, 0xFF, 0xC0};
+  EXPECT_THROW(Decode(crafted), DecodeError);
+}
+
+TEST(MsgpackHardening, StreamingHeadersValidateLengths) {
+  const Bytes array_claim = {0xDD, 0xFF, 0xFF, 0xFF, 0xFF};
+  Unpacker array_unpacker(array_claim);
+  EXPECT_THROW(array_unpacker.NextArrayHeader(), DecodeError);
+
+  const Bytes map_claim = {0xDE, 0xFF, 0xFF};
+  Unpacker map_unpacker(map_claim);
+  EXPECT_THROW(map_unpacker.NextMapHeader(), DecodeError);
+}
+
+TEST(MsgpackHardening, DeepNestingRejectedNotStackOverflow) {
+  // 4096 nested single-element arrays: [[[[...0...]]]]. Each level is a
+  // fixarray of one element, so the length check passes at every level
+  // and only the depth limit can stop the recursion.
+  Bytes crafted(4096, 0x91);
+  crafted.push_back(0x00);
+  EXPECT_THROW(Decode(crafted), DecodeError);
+}
+
+TEST(MsgpackHardening, ReasonableNestingStillDecodes) {
+  Bytes nested(32, 0x91);  // depth 32 < kMaxDepth
+  nested.push_back(0x07);
+  const Value v = Decode(nested);
+  const Value* inner = &v;
+  for (int i = 0; i < 32; ++i) inner = &inner->As<Array>().at(0);
+  EXPECT_EQ(inner->AsInt(), 7);
+}
+
+TEST(MsgpackHardening, ExactFitStillDecodes) {
+  // The clamp must not reject legitimate payloads that use every byte.
+  Array a;
+  for (int i = 0; i < 100; ++i) a.emplace_back(static_cast<std::int64_t>(i));
+  const Bytes encoded = Encode(Value(std::move(a)));
+  const Value decoded = Decode(encoded);
+  EXPECT_EQ(decoded.As<Array>().size(), 100u);
+}
+
 }  // namespace
 }  // namespace vizndp::msgpack

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "net/fault.h"
 #include "net/inproc.h"
+#include "net/retry.h"
 #include "obs/metrics.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
@@ -10,6 +14,7 @@
 namespace vizndp::rpc {
 namespace {
 
+using namespace std::chrono_literals;
 using msgpack::Array;
 using msgpack::Value;
 
@@ -149,6 +154,215 @@ TEST(Rpc, PerMethodMetricsTrackDispatches) {
 
   // The aggregate accessor counts every dispatch, including failures.
   EXPECT_EQ(sp.server.requests_served(), 5u);
+}
+
+// Like ServedPair, but the client talks through a fault injector, and
+// client-side fault metrics land in a test-local registry.
+struct FaultedServedPair {
+  Server server;
+  net::FaultInjectingTransport* faults = nullptr;  // owned by client
+  std::unique_ptr<Client> client;
+  obs::Registry metrics;
+  std::thread server_thread;
+
+  FaultedServedPair() {
+    net::TransportPair pair = net::CreateInProcPair();
+    server_thread = std::thread(
+        [this, t = std::shared_ptr<net::Transport>(std::move(pair.a))] {
+          server.ServeTransport(*t);
+        });
+    auto faulty =
+        std::make_unique<net::FaultInjectingTransport>(std::move(pair.b));
+    faults = faulty.get();
+    client = std::make_unique<Client>(std::move(faulty));
+    client->SetMetrics(&metrics);
+    client->SetDefaultTimeout(200ms);
+    net::RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.base_delay = 200us;
+    policy.jitter = 0.0;
+    client->SetRetryPolicy(policy);
+  }
+
+  ~FaultedServedPair() {
+    client.reset();
+    server_thread.join();
+  }
+
+  double Counter(const std::string& name) {
+    const auto snapshot = metrics.Snapshot();
+    const obs::MetricSnapshot* m = obs::FindMetric(snapshot, name);
+    return m == nullptr ? 0.0 : m->value;
+  }
+};
+
+TEST(RpcRetry, FirstRequestsDroppedThenSucceeds) {
+  FaultedServedPair sp;
+  sp.server.Bind("echo", [](const Array& p) { return p.at(0); });
+  // The first two requests vanish in flight; attempts 1 and 2 time out,
+  // attempt 3 gets through.
+  sp.faults->ScriptSend(
+      {net::FaultAction::Drop(), net::FaultAction::Drop()});
+  const Value result = sp.client->Call("echo", Array{Value(7)},
+                                       {.timeout = 50ms, .idempotent = true});
+  EXPECT_EQ(result.AsInt(), 7);
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_retries_total{method=echo}"), 2.0);
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_timeouts_total{method=echo}"), 2.0);
+}
+
+TEST(RpcRetry, AllDroppedExhaustsAttemptsWithTimeout) {
+  FaultedServedPair sp;
+  sp.server.Bind("echo", [](const Array& p) { return p.at(0); });
+  sp.faults->ScriptSend({net::FaultAction::Drop()}, /*loop_last=*/true);
+  EXPECT_THROW(sp.client->Call("echo", Array{Value(1)},
+                               {.timeout = 30ms, .idempotent = true}),
+               TimeoutError);
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_timeouts_total{method=echo}"), 4.0);
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_retries_total{method=echo}"), 3.0);
+}
+
+TEST(RpcRetry, DuplicatedReplyIsDiscardedNotMismatched) {
+  FaultedServedPair sp;
+  sp.server.Bind("echo", [](const Array& p) { return p.at(0); });
+  sp.faults->ScriptReceive({net::FaultAction::Duplicate()});
+  // Call 1's reply arrives twice. Call 2 must skip the stale duplicate
+  // (older msgid) and still find its own reply.
+  EXPECT_EQ(sp.client->Call("echo", Array{Value(1)}).AsInt(), 1);
+  EXPECT_EQ(sp.client->Call("echo", Array{Value(2)}).AsInt(), 2);
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_stale_replies_total"), 1.0);
+}
+
+TEST(RpcRetry, LateReplyAfterTimeoutIsDiscarded) {
+  FaultedServedPair sp;
+  std::atomic<int> runs{0};
+  sp.server.Bind("echo", [&runs](const Array& p) {
+    // Only the first run is slow: attempt 1 times out at 45 ms while the
+    // handler is still sleeping, so its reply arrives *during* attempt 2
+    // and must be discarded by msgid, not mistaken for attempt 2's reply.
+    if (runs.fetch_add(1) == 0) std::this_thread::sleep_for(60ms);
+    return p.at(0);
+  });
+  const Value retried = sp.client->Call("echo", Array{Value(11)},
+                                        {.timeout = 45ms, .idempotent = true});
+  EXPECT_EQ(retried.AsInt(), 11);
+  EXPECT_EQ(runs.load(), 2);
+  EXPECT_GE(sp.Counter("rpc_stale_replies_total"), 1.0);
+}
+
+TEST(RpcRetry, NonIdempotentCallsAreNotRetried) {
+  FaultedServedPair sp;
+  sp.server.Bind("echo", [](const Array& p) { return p.at(0); });
+  sp.faults->ScriptSend({net::FaultAction::Drop()}, /*loop_last=*/true);
+  EXPECT_THROW(sp.client->Call("echo", Array{Value(1)},
+                               {.timeout = 30ms, .idempotent = false}),
+               TimeoutError);
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_retries_total{method=echo}"), 0.0);
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_timeouts_total{method=echo}"), 1.0);
+}
+
+TEST(RpcRetry, ServerErrorsAreNeverRetried) {
+  FaultedServedPair sp;
+  int runs = 0;
+  sp.server.Bind("boom", [&runs](const Array&) -> Value {
+    ++runs;
+    throw std::runtime_error("kaboom");
+  });
+  EXPECT_THROW(sp.client->Call("boom", {}, {.idempotent = true}), RpcError);
+  // The server is alive and answered: retrying would re-run the failing
+  // handler for nothing.
+  EXPECT_EQ(runs, 1);
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_retries_total{method=boom}"), 0.0);
+}
+
+TEST(RpcRetry, HardDisconnectExhaustsRetriesWithPeerClosed) {
+  FaultedServedPair sp;
+  sp.server.Bind("echo", [](const Array& p) { return p.at(0); });
+  sp.faults->ScriptSend({net::FaultAction::Disconnect()});
+  EXPECT_THROW(sp.client->Call("echo", Array{Value(1)},
+                               {.timeout = 30ms, .idempotent = true}),
+               PeerClosedError);
+  // Peer loss is retryable (a ReconnectingTransport could recover), so
+  // all attempts were burned before giving up.
+  EXPECT_DOUBLE_EQ(sp.Counter("rpc_retries_total{method=echo}"), 3.0);
+}
+
+TEST(RpcServer, OversizeFrameClosesConnectionNotServer) {
+  Server server;
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  server.SetOptions(options);
+  server.Bind("ok", [](const Array&) { return Value(1); });
+
+  net::TransportPair pair = net::CreateInProcPair();
+  std::thread serve_thread(
+      [&server, t = std::shared_ptr<net::Transport>(std::move(pair.a))] {
+        server.ServeTransport(*t);
+      });
+  pair.b->Send(Bytes(4096, Byte{0x00}));  // over the cap
+  EXPECT_THROW(pair.b->Receive(net::DeadlineAfter(1000ms)), Error);
+  serve_thread.join();
+  const auto snapshot = server.metrics().Snapshot();
+  const obs::MetricSnapshot* oversize =
+      obs::FindMetric(snapshot, "rpc_oversize_frames_total");
+  ASSERT_NE(oversize, nullptr);
+  EXPECT_DOUBLE_EQ(oversize->value, 1.0);
+}
+
+TEST(RpcServer, GarbageFrameClosesConnectionNotServer) {
+  Server server;
+  server.Bind("ok", [](const Array&) { return Value(1); });
+
+  // Connection 1 sends garbage: its serve loop must exit cleanly (no
+  // propagating exception) and count the malformed frame.
+  net::TransportPair bad = net::CreateInProcPair();
+  std::thread bad_thread(
+      [&server, t = std::shared_ptr<net::Transport>(std::move(bad.a))] {
+        server.ServeTransport(*t);
+      });
+  bad.b->Send(ToBytes("definitely not msgpack"));
+  EXPECT_THROW(bad.b->Receive(net::DeadlineAfter(1000ms)), Error);
+  bad_thread.join();
+
+  // Connection 2 still works: the server object survived.
+  net::TransportPair good = net::CreateInProcPair();
+  std::thread good_thread(
+      [&server, t = std::shared_ptr<net::Transport>(std::move(good.a))] {
+        server.ServeTransport(*t);
+      });
+  auto client = std::make_unique<Client>(std::move(good.b));
+  EXPECT_EQ(client->Call("ok").AsInt(), 1);
+  const auto snapshot = server.metrics().Snapshot();
+  const obs::MetricSnapshot* malformed =
+      obs::FindMetric(snapshot, "rpc_malformed_frames_total");
+  ASSERT_NE(malformed, nullptr);
+  EXPECT_DOUBLE_EQ(malformed->value, 1.0);
+  client.reset();  // closes the channel so the serve loop exits
+  good_thread.join();
+}
+
+TEST(RpcServer, RequestDeadlineOverrunReportedAsError) {
+  ServedPair sp;
+  ServerOptions options;
+  options.request_deadline = 10ms;
+  sp.server.SetOptions(options);
+  sp.server.Bind("slow", [](const Array&) {
+    std::this_thread::sleep_for(50ms);
+    return Value(1);
+  });
+  sp.server.Bind("fast", [](const Array&) { return Value(2); });
+  try {
+    sp.client->Call("slow");
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline exceeded"),
+              std::string::npos);
+  }
+  EXPECT_EQ(sp.client->Call("fast").AsInt(), 2);
+  const auto snapshot = sp.server.metrics().Snapshot();
+  const obs::MetricSnapshot* exceeded = obs::FindMetric(
+      snapshot, "rpc_deadline_exceeded_total{method=slow}");
+  ASSERT_NE(exceeded, nullptr);
+  EXPECT_DOUBLE_EQ(exceeded->value, 1.0);
 }
 
 TEST(TcpRpc, EndToEndOverSockets) {

@@ -13,11 +13,14 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== asan/ubsan: obs_test + rpc_test =="
+  echo "== asan/ubsan: obs_test + net_test + rpc_test + fault_test =="
   cmake --preset asan > /dev/null
-  cmake --build build-asan -j"$(nproc)" --target obs_test rpc_test
+  cmake --build build-asan -j"$(nproc)" --target obs_test net_test rpc_test \
+    fault_test
   ./build-asan/tests/obs_test
+  ./build-asan/tests/net_test
   ./build-asan/tests/rpc_test
+  ./build-asan/tests/fault_test
 fi
 
 echo "== all checks passed =="

@@ -20,6 +20,8 @@
 //
 // `serve` exposes both the baseline object-read RPCs and the NDP
 // pre-filter over TCP for every .vnd object under DIR/data/.
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +29,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -40,7 +43,9 @@
 #include "io/vnd_format.h"
 #include "ndp/ndp_client.h"
 #include "ndp/ndp_server.h"
+#include "net/fault.h"
 #include "net/tcp.h"
+#include "storage/remote_store.h"
 #include "render/render_sink.h"
 #include "rpc/server.h"
 #include "sim/impact.h"
@@ -65,10 +70,19 @@ namespace {
                "  contour --in FILE --array NAME --iso V[,V...] [--obj FILE]\n"
                "          [--ppm FILE]\n"
                "  select  --in FILE --array NAME --iso V[,V...] [--encoding E]\n"
-               "  serve   --dir DIR [--port P]\n"
+               "  serve   --dir DIR [--port P] [--timeout-ms N]\n"
                "  fetch   --host H --port P --key K --array NAME --iso V[,V...]\n"
-               "          [--obj FILE]\n"
+               "          [--obj FILE] [--timeout-ms N] [--retries N]\n"
+               "          [--fault SPEC] [--fallback]\n"
                "  metrics --host H --port P [--json]\n"
+               "\n"
+               "fetch fault tolerance:\n"
+               "  --timeout-ms N   per-RPC deadline (and TCP connect budget)\n"
+               "  --retries N      extra attempts for timed-out/lost calls\n"
+               "  --fault SPEC     inject faults, e.g. send.drop*2 or\n"
+               "                   recv.delay=2000*3 (testing)\n"
+               "  --fallback       degrade to the baseline full-array read\n"
+               "                   when the NDP path stays unreachable\n"
                "\n"
                "global options:\n"
                "  --trace FILE   record spans, write Chrome-tracing JSON\n");
@@ -274,6 +288,10 @@ int CmdServe(const Args& args) {
   storage::LocalObjectStore store(dir);
   store.CreateBucket("data");
   rpc::Server rpc_server;
+  rpc::ServerOptions server_options;
+  server_options.request_deadline =
+      std::chrono::milliseconds(args.GetLong("timeout-ms", 0));
+  rpc_server.SetOptions(server_options);
   storage::BindObjectStoreRpc(rpc_server, store);
   ndp::NdpServer ndp_server(storage::FileGateway(store, "data"));
   ndp_server.Bind(rpc_server);
@@ -288,27 +306,61 @@ int CmdServe(const Args& args) {
 int CmdFetch(const Args& args) {
   const std::string host = args.Get("host").value_or("127.0.0.1");
   const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
-  ndp::NdpClient client(
-      std::make_shared<rpc::Client>(net::TcpConnect(host, port)), "data");
-  ndp::NdpLoadStats stats;
-  const contour::PolyData poly =
-      client.Contour(args.Require("key"), args.Require("array"),
-                     ParseIsovalues(args.Require("iso")), &stats);
-  std::printf("NDP contour: %zu triangles; %llu of %llu points (%.4f%%), "
-              "payload %llu bytes\n",
-              poly.TriangleCount(),
-              static_cast<unsigned long long>(stats.selected_points),
-              static_cast<unsigned long long>(stats.total_points),
-              100.0 * stats.Selectivity(),
-              static_cast<unsigned long long>(stats.payload_bytes));
+
+  ndp::NdpClientOptions options;
+  options.call_timeout =
+      std::chrono::milliseconds(args.GetLong("timeout-ms", 0));
+  options.connect_timeout = options.call_timeout;
+  options.retry.max_attempts =
+      1 + static_cast<int>(std::max(0L, args.GetLong("retries", 0)));
+
+  net::TcpOptions tcp_options;
+  tcp_options.connect_timeout = options.connect_timeout;
+  net::TransportPtr transport = net::TcpConnect(host, port, tcp_options);
+  if (const auto fault = args.Get("fault")) {
+    // Inject faults into the NDP connection only; a --fallback read uses
+    // a second, clean connection (standing in for the baseline path).
+    transport = net::WrapWithFaults(std::move(transport), *fault);
+  }
+  auto client = std::make_shared<ndp::NdpClient>(
+      std::make_shared<rpc::Client>(std::move(transport)), "data", options);
+
+  ndp::NdpContourSource source(client, args.Require("key"),
+                               args.Require("array"),
+                               ParseIsovalues(args.Require("iso")));
+  std::shared_ptr<rpc::Client> fallback_rpc;
+  std::unique_ptr<storage::RemoteObjectStore> fallback_store;
+  if (args.Has("fallback")) {
+    fallback_rpc = std::make_shared<rpc::Client>(
+        net::TcpConnect(host, port, tcp_options));
+    fallback_store = std::make_unique<storage::RemoteObjectStore>(fallback_rpc);
+    source.SetFallback(storage::FileGateway(*fallback_store, "data"));
+  }
+
+  const contour::PolyData& poly = source.UpdateAndGetOutput()->AsPolyData();
+  const ndp::NdpLoadStats& stats = source.last_stats();
+  if (stats.used_fallback) {
+    std::printf("baseline contour (NDP path unavailable, fell back): "
+                "%zu triangles; read %llu raw bytes\n",
+                poly.TriangleCount(),
+                static_cast<unsigned long long>(stats.raw_bytes));
+  } else {
+    std::printf("NDP contour: %zu triangles; %llu of %llu points (%.4f%%), "
+                "payload %llu bytes\n",
+                poly.TriangleCount(),
+                static_cast<unsigned long long>(stats.selected_points),
+                static_cast<unsigned long long>(stats.total_points),
+                100.0 * stats.Selectivity(),
+                static_cast<unsigned long long>(stats.payload_bytes));
+  }
   if (const auto obj = args.Get("obj")) {
     poly.WriteObj(*obj);
     std::printf("wrote %s\n", obj->c_str());
   }
-  if (obs::GlobalTracer().enabled()) {
+  if (obs::GlobalTracer().enabled() && !stats.used_fallback) {
     // Pull the server half of the trace into the local buffer so the
     // --trace file shows read/decompress/select next to decode/scatter.
-    const size_t merged = client.ScrapeTrace();
+    const size_t merged = client->ScrapeTrace();
     std::printf("merged %zu server trace event(s)\n", merged);
   }
   return 0;
@@ -332,6 +384,7 @@ int CmdMetrics(const Args& args) {
 // takes a value).
 std::set<std::string> BoolFlags(const std::string& command) {
   if (command == "metrics") return {"json"};
+  if (command == "fetch") return {"fallback"};
   return {};
 }
 
