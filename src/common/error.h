@@ -21,6 +21,16 @@ class DecodeError : public Error {
   using Error::Error;
 };
 
+// Stored data failed an integrity check (per-brick or whole-blob CRC,
+// size cross-check). Subtypes DecodeError so generic corrupt-input catch
+// sites keep working, but stays distinguishable: corruption is
+// *recoverable* (re-read the brick, fall back to the whole blob, fall
+// back to the baseline path) where ordinary decode failures are not.
+class CorruptDataError : public DecodeError {
+ public:
+  using DecodeError::DecodeError;
+};
+
 // I/O failures from the object store / filesystem layer.
 class IoError : public Error {
  public:
@@ -31,6 +41,16 @@ class IoError : public Error {
 class RpcError : public Error {
  public:
   using Error::Error;
+};
+
+// The server shed the request before executing it (admission control:
+// too many in-flight requests or the memory budget is exhausted).
+// Subtypes RpcError — it *is* a server-reported condition — but unlike
+// other RpcErrors it is always safe to retry, even for non-idempotent
+// calls, because the handler never ran.
+class BusyError : public RpcError {
+ public:
+  using RpcError::RpcError;
 };
 
 // A blocking operation (transport receive, RPC call) ran past its

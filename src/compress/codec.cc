@@ -44,9 +44,10 @@ class InstrumentedCodec final : public Codec {
     return out;
   }
 
-  Bytes Decompress(ByteSpan input, size_t size_hint) const override {
+  Bytes Decompress(ByteSpan input, size_t size_hint,
+                   size_t max_output) const override {
     obs::Span span("codec.decompress:" + inner_->name());
-    Bytes out = inner_->Decompress(input, size_hint);
+    Bytes out = inner_->Decompress(input, size_hint, max_output);
     span.End();
     decompress_bytes_.Increment(out.size());
     decompress_seconds_.Observe(span.ElapsedSeconds());

@@ -12,6 +12,15 @@
 
 namespace vizndp::compress {
 
+// Ceiling applied when a caller passes max_output = 0: decoders run on
+// hostile input (a VND blob is whatever the store returned), so "no cap"
+// really means "the largest output any legitimate array produces here".
+inline constexpr size_t kDefaultDecompressBudget = size_t{1} << 30;  // 1 GiB
+
+inline size_t ResolveOutputBudget(size_t max_output) {
+  return max_output != 0 ? max_output : kDefaultDecompressBudget;
+}
+
 class Codec {
  public:
   virtual ~Codec() = default;
@@ -22,8 +31,13 @@ class Codec {
   virtual Bytes Compress(ByteSpan input) const = 0;
 
   // `size_hint`, when nonzero, is the expected decompressed size; codecs
-  // may use it to reserve output. Throws DecodeError on corrupt input.
-  virtual Bytes Decompress(ByteSpan input, size_t size_hint = 0) const = 0;
+  // may use it to reserve output. `max_output` is a hard ceiling on the
+  // decompressed size (0 = kDefaultDecompressBudget): input claiming or
+  // producing more is rejected with DecodeError *before* the allocation,
+  // so a hostile length field cannot OOM the process. Throws DecodeError
+  // on corrupt input.
+  virtual Bytes Decompress(ByteSpan input, size_t size_hint = 0,
+                           size_t max_output = 0) const = 0;
 };
 
 using CodecPtr = std::shared_ptr<const Codec>;
@@ -35,7 +49,11 @@ class NullCodec final : public Codec {
   Bytes Compress(ByteSpan input) const override {
     return Bytes(input.begin(), input.end());
   }
-  Bytes Decompress(ByteSpan input, size_t) const override {
+  Bytes Decompress(ByteSpan input, size_t,
+                   size_t max_output = 0) const override {
+    if (input.size() > ResolveOutputBudget(max_output)) {
+      throw DecodeError("stored data exceeds output budget");
+    }
     return Bytes(input.begin(), input.end());
   }
 };

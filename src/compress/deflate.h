@@ -19,7 +19,10 @@ Bytes DeflateCompress(ByteSpan input, const DeflateOptions& options = {});
 // the output buffer. Throws DecodeError on malformed input. When
 // `consumed` is non-null it receives the number of input bytes the stream
 // occupied (gzip members need this to locate their trailer).
+// `max_output` is a hard ceiling on the inflated size (0 = the codec
+// default budget): a hostile stream that tries to inflate past it is
+// rejected with DecodeError instead of exhausting memory.
 Bytes InflateRaw(ByteSpan input, size_t size_hint = 0,
-                 size_t* consumed = nullptr);
+                 size_t* consumed = nullptr, size_t max_output = 0);
 
 }  // namespace vizndp::compress

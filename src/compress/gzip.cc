@@ -38,7 +38,8 @@ Bytes GzipCodec::Compress(ByteSpan input) const {
   return out;
 }
 
-Bytes GzipCodec::Decompress(ByteSpan input, size_t size_hint) const {
+Bytes GzipCodec::Decompress(ByteSpan input, size_t size_hint,
+                            size_t max_output) const {
   // Minimum member: 10-byte header + nonempty deflate body + 8-byte trailer.
   if (input.size() < 19) {
     throw DecodeError("gzip member too short");
@@ -66,7 +67,8 @@ Bytes GzipCodec::Decompress(ByteSpan input, size_t size_hint) const {
   if (pos >= input.size()) throw DecodeError("truncated gzip header");
 
   size_t body_consumed = 0;
-  Bytes out = InflateRaw(input.subspan(pos), size_hint, &body_consumed);
+  Bytes out =
+      InflateRaw(input.subspan(pos), size_hint, &body_consumed, max_output);
   const size_t trailer = pos + body_consumed;
   if (trailer + 8 > input.size()) {
     throw DecodeError("truncated gzip trailer");

@@ -1,10 +1,12 @@
 // DEFLATE decompressor (RFC 1951): stored, fixed-Huffman, and
 // dynamic-Huffman blocks, with table-driven canonical decoding.
+#include <algorithm>
 #include <array>
 #include <cstring>
 
 #include "common/error.h"
 #include "compress/bitio.h"
+#include "compress/codec.h"
 #include "compress/deflate.h"
 #include "compress/deflate_tables.h"
 #include "compress/huffman.h"
@@ -87,10 +89,14 @@ void ReadDynamicTables(BitReader& r, HuffmanDecoder& litlen,
 }
 
 void InflateBlockBody(BitReader& r, const HuffmanDecoder& litlen,
-                      const HuffmanDecoder& dist, Bytes& out) {
+                      const HuffmanDecoder& dist, Bytes& out,
+                      size_t max_output) {
   for (;;) {
     const int sym = litlen.Decode(r);
     if (sym < 256) {
+      if (out.size() >= max_output) {
+        throw DecodeError("inflate output exceeds budget");
+      }
       out.push_back(static_cast<Byte>(sym));
       continue;
     }
@@ -116,6 +122,9 @@ void InflateBlockBody(BitReader& r, const HuffmanDecoder& litlen,
     // (the RLE idiom) still need the byte loop.
     const size_t from = out.size() - static_cast<size_t>(distance);
     const size_t old = out.size();
+    if (static_cast<size_t>(length) > max_output - old) {
+      throw DecodeError("inflate output exceeds budget");
+    }
     out.resize(old + static_cast<size_t>(length));
     Byte* dst = out.data() + old;
     const Byte* src = out.data() + from;
@@ -131,9 +140,11 @@ void InflateBlockBody(BitReader& r, const HuffmanDecoder& litlen,
 
 }  // namespace
 
-Bytes InflateRaw(ByteSpan input, size_t size_hint, size_t* consumed) {
+Bytes InflateRaw(ByteSpan input, size_t size_hint, size_t* consumed,
+                 size_t max_output) {
+  const size_t budget = ResolveOutputBudget(max_output);
   Bytes out;
-  if (size_hint > 0) out.reserve(size_hint);
+  if (size_hint > 0) out.reserve(std::min(size_hint, budget));
   BitReader r(input);
   bool final_block = false;
   while (!final_block) {
@@ -150,18 +161,22 @@ Bytes InflateRaw(ByteSpan input, size_t size_hint, size_t* consumed) {
           throw DecodeError("stored block LEN/NLEN mismatch");
         }
         const size_t old = out.size();
+        if (len > budget - old) {
+          throw DecodeError("inflate output exceeds budget");
+        }
         out.resize(old + len);
         r.ReadAlignedBytes(MutableByteSpan(out.data() + old, len));
         break;
       }
       case 1:
-        InflateBlockBody(r, FixedLitLenDecoder(), FixedDistDecoder(), out);
+        InflateBlockBody(r, FixedLitLenDecoder(), FixedDistDecoder(), out,
+                         budget);
         break;
       case 2: {
         HuffmanDecoder litlen;
         HuffmanDecoder dist;
         ReadDynamicTables(r, litlen, dist);
-        InflateBlockBody(r, litlen, dist, out);
+        InflateBlockBody(r, litlen, dist, out, budget);
         break;
       }
       default:

@@ -155,6 +155,9 @@ Bytes Lz4DecompressBlock(ByteSpan block, size_t decompressed_size) {
     const Byte token = read_byte();
     const size_t lit_len = read_length(token >> 4);
     if (pos + lit_len > n) throw DecodeError("lz4 literal run overruns block");
+    if (lit_len > decompressed_size - out.size()) {
+      throw DecodeError("lz4 output exceeds declared size");
+    }
     out.insert(out.end(), block.begin() + static_cast<std::ptrdiff_t>(pos),
                block.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
     pos += lit_len;
@@ -165,6 +168,9 @@ Bytes Lz4DecompressBlock(ByteSpan block, size_t decompressed_size) {
       throw DecodeError("lz4 match offset out of range");
     }
     const size_t match_len = read_length(token & 0x0F) + kMinMatch;
+    if (match_len > decompressed_size - out.size()) {
+      throw DecodeError("lz4 output exceeds declared size");
+    }
     size_t from = out.size() - offset;
     for (size_t i = 0; i < match_len; ++i) {
       out.push_back(out[from++]);
@@ -186,10 +192,17 @@ Bytes Lz4Codec::Compress(ByteSpan input) const {
   return out;
 }
 
-Bytes Lz4Codec::Decompress(ByteSpan input, size_t) const {
+Bytes Lz4Codec::Decompress(ByteSpan input, size_t,
+                           size_t max_output) const {
   if (input.size() < 8) throw DecodeError("lz4 frame too short");
+  // The size prefix is untrusted: check it against the budget *before*
+  // Lz4DecompressBlock reserves that many bytes (a length-lie here was a
+  // one-frame OOM).
   const std::uint64_t size = LoadLE<std::uint64_t>(input.data());
-  return Lz4DecompressBlock(input.subspan(8), size);
+  if (size > ResolveOutputBudget(max_output)) {
+    throw DecodeError("lz4 declared size exceeds output budget");
+  }
+  return Lz4DecompressBlock(input.subspan(8), static_cast<size_t>(size));
 }
 
 }  // namespace vizndp::compress

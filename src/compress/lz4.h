@@ -19,13 +19,17 @@ class Lz4Codec final : public Codec {
 
   std::string name() const override { return "lz4"; }
   Bytes Compress(ByteSpan input) const override;
-  Bytes Decompress(ByteSpan input, size_t size_hint = 0) const override;
+  Bytes Decompress(ByteSpan input, size_t size_hint = 0,
+                   size_t max_output = 0) const override;
 
  private:
   int acceleration_;
 };
 
-// Raw block routines (no size prefix), exposed for tests.
+// Raw block routines (no size prefix), exposed for tests. The decoder
+// never produces more than `decompressed_size` bytes — a stream that
+// tries is rejected mid-decode, so the size doubles as the allocation
+// bound (the codec checks it against the output budget before calling).
 Bytes Lz4CompressBlock(ByteSpan input, int acceleration = 1);
 Bytes Lz4DecompressBlock(ByteSpan block, size_t decompressed_size);
 

@@ -1,5 +1,7 @@
 #include "compress/rle.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace vizndp::compress {
@@ -45,9 +47,11 @@ Bytes RleCodec::Compress(ByteSpan input) const {
   return out;
 }
 
-Bytes RleCodec::Decompress(ByteSpan input, size_t size_hint) const {
+Bytes RleCodec::Decompress(ByteSpan input, size_t size_hint,
+                           size_t max_output) const {
+  const size_t budget = ResolveOutputBudget(max_output);
   Bytes out;
-  if (size_hint > 0) out.reserve(size_hint);
+  if (size_hint > 0) out.reserve(std::min(size_hint, budget));
   size_t pos = 0;
   while (pos < input.size()) {
     const Byte control = input[pos++];
@@ -56,12 +60,18 @@ Bytes RleCodec::Decompress(ByteSpan input, size_t size_hint) const {
       if (pos + count > input.size()) {
         throw DecodeError("rle literal run truncated");
       }
+      if (count > budget - out.size()) {
+        throw DecodeError("rle output exceeds budget");
+      }
       out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
                  input.begin() + static_cast<std::ptrdiff_t>(pos + count));
       pos += count;
     } else {
       if (pos >= input.size()) throw DecodeError("rle repeat truncated");
       const size_t count = static_cast<size_t>(control) - 128 + kMinRun;
+      if (count > budget - out.size()) {
+        throw DecodeError("rle output exceeds budget");
+      }
       out.insert(out.end(), count, input[pos++]);
     }
   }

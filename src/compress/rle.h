@@ -15,7 +15,8 @@ class RleCodec final : public Codec {
  public:
   std::string name() const override { return "rle"; }
   Bytes Compress(ByteSpan input) const override;
-  Bytes Decompress(ByteSpan input, size_t size_hint = 0) const override;
+  Bytes Decompress(ByteSpan input, size_t size_hint = 0,
+                   size_t max_output = 0) const override;
 };
 
 }  // namespace vizndp::compress

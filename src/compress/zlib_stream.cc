@@ -37,7 +37,8 @@ Bytes ZlibCodec::Compress(ByteSpan input) const {
   return out;
 }
 
-Bytes ZlibCodec::Decompress(ByteSpan input, size_t size_hint) const {
+Bytes ZlibCodec::Decompress(ByteSpan input, size_t size_hint,
+                            size_t max_output) const {
   if (input.size() < 7) throw DecodeError("zlib stream too short");
   const Byte cmf = input[0];
   const Byte flg = input[1];
@@ -51,7 +52,7 @@ Bytes ZlibCodec::Decompress(ByteSpan input, size_t size_hint) const {
     throw DecodeError("preset dictionaries are not supported");
   }
   size_t consumed = 0;
-  Bytes out = InflateRaw(input.subspan(2), size_hint, &consumed);
+  Bytes out = InflateRaw(input.subspan(2), size_hint, &consumed, max_output);
   const size_t trailer = 2 + consumed;
   if (trailer + 4 > input.size()) {
     throw DecodeError("zlib trailer truncated");

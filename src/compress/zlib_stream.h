@@ -15,7 +15,8 @@ class ZlibCodec final : public Codec {
 
   std::string name() const override { return "zlib"; }
   Bytes Compress(ByteSpan input) const override;
-  Bytes Decompress(ByteSpan input, size_t size_hint = 0) const override;
+  Bytes Decompress(ByteSpan input, size_t size_hint = 0,
+                   size_t max_output = 0) const override;
 
  private:
   DeflateOptions options_;

@@ -1,6 +1,7 @@
 #include "io/vnd_format.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 #include "compress/checksum.h"
@@ -12,7 +13,8 @@ namespace vizndp::io {
 namespace {
 
 constexpr Byte kMagic[4] = {'V', 'N', 'D', 'F'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionLatest = 2;  // adds per-brick crc32
 constexpr size_t kPreambleSize = 12;  // magic + version + header size
 
 msgpack::Array DoubleTriple(const std::array<double, 3>& v) {
@@ -114,6 +116,12 @@ void VndWriter::SetArrayCodec(const std::string& array,
   overrides_.emplace_back(array, std::move(codec));
 }
 
+void VndWriter::SetFormatVersion(std::uint32_t version) {
+  VIZNDP_CHECK_MSG(version == kVersionV1 || version == kVersionLatest,
+                   "unsupported VND format version " + std::to_string(version));
+  version_ = version;
+}
+
 Bytes VndWriter::Serialize() const {
   // Compress every array first so offsets and sizes are known.
   struct Blob {
@@ -130,10 +138,15 @@ Bytes VndWriter::Serialize() const {
     }
     Blob blob;
     std::optional<BrickIndex> bricks;
+    // The whole-blob CRC accumulates incrementally as bricks are
+    // appended — the writer never needs a second pass over a blob that
+    // may be most of the file.
+    compress::Crc32Stream blob_crc;
     if (brick_edge_ > 0) {
       const BrickGrid bgrid(dataset_.dims(), brick_edge_);
       BrickIndex index;
       index.edge = brick_edge_;
+      index.has_crc = version_ >= 2;
       index.entries.reserve(static_cast<size_t>(bgrid.BrickCount()));
       const size_t elem = grid::DataTypeSize(array.type());
       std::uint64_t brick_offset = 0;
@@ -143,14 +156,18 @@ Bytes VndWriter::Serialize() const {
         const grid::DataArray slab_array("", array.type(), slab);
         const auto [lo, hi] = slab_array.Range();
         const Bytes stored = codec->Compress(slab);
+        const std::uint32_t brick_crc =
+            index.has_crc ? compress::Crc32(stored) : 0;
         index.entries.push_back(
-            {brick_offset, stored.size(), lo, hi});
+            {brick_offset, stored.size(), lo, hi, brick_crc});
         brick_offset += stored.size();
+        blob_crc.Update(stored);
         blob.stored.insert(blob.stored.end(), stored.begin(), stored.end());
       }
       bricks = std::move(index);
     } else {
       blob.stored = codec->Compress(array.raw());
+      blob_crc.Update(blob.stored);
     }
     blob.meta = ArrayMeta{
         .name = array.name(),
@@ -159,7 +176,7 @@ Bytes VndWriter::Serialize() const {
         .raw_size = static_cast<std::uint64_t>(array.byte_size()),
         .stored_size = blob.stored.size(),
         .offset = offset,
-        .crc32 = compress::Crc32(blob.stored),
+        .crc32 = blob_crc.value(),
         .bricks = std::move(bricks),
     };
     offset += blob.stored.size();
@@ -197,9 +214,13 @@ Bytes VndWriter::Serialize() const {
       msgpack::Array entries;
       entries.reserve(blob.meta.bricks->entries.size());
       for (const BrickEntry& entry : blob.meta.bricks->entries) {
-        entries.push_back(msgpack::Value(msgpack::Array{
+        msgpack::Array fields{
             msgpack::Value(entry.offset), msgpack::Value(entry.stored_size),
-            msgpack::Value(entry.min), msgpack::Value(entry.max)}));
+            msgpack::Value(entry.min), msgpack::Value(entry.max)};
+        if (blob.meta.bricks->has_crc) {
+          fields.push_back(msgpack::Value(std::uint64_t{entry.crc32}));
+        }
+        entries.push_back(msgpack::Value(std::move(fields)));
       }
       m.emplace_back(msgpack::Value("bricks"),
                      msgpack::Value(std::move(entries)));
@@ -214,7 +235,7 @@ Bytes VndWriter::Serialize() const {
   Bytes out;
   out.reserve(kPreambleSize + header_bytes.size() + offset);
   out.insert(out.end(), kMagic, kMagic + 4);
-  AppendLE<std::uint32_t>(kVersion, out);
+  AppendLE<std::uint32_t>(version_, out);
   AppendLE<std::uint32_t>(static_cast<std::uint32_t>(header_bytes.size()), out);
   out.insert(out.end(), header_bytes.begin(), header_bytes.end());
   for (const Blob& blob : blobs) {
@@ -231,20 +252,92 @@ void VndWriter::WriteToStore(storage::ObjectStore& store,
 
 namespace {
 
-VndHeader ParseHeaderBytes(ByteSpan preamble, ByteSpan header_bytes) {
+[[noreturn]] void FailHeader(const std::string& what) {
+  throw DecodeError("invalid VND header: " + what);
+}
+
+std::uint64_t CheckedMul(std::uint64_t a, std::uint64_t b,
+                         const char* what) {
+  if (b != 0 && a > std::numeric_limits<std::uint64_t>::max() / b) {
+    FailHeader(what);
+  }
+  return a * b;
+}
+
+// Cross-checks every header field against the physical file size, so a
+// hostile header can neither drive out-of-range ranged reads nor claim
+// sizes whose allocation alone would take the process down. Called on
+// every open; a header that passes here is safe to hand to the reader's
+// arithmetic (offsets sum without overflow, bricks stay inside their
+// array, raw sizes match the grid).
+void ValidateHeader(const VndHeader& h, std::uint64_t file_size) {
+  if (h.dims.nx < 1 || h.dims.ny < 1 || h.dims.nz < 1) {
+    FailHeader("non-positive dims");
+  }
+  const std::uint64_t points =
+      CheckedMul(CheckedMul(static_cast<std::uint64_t>(h.dims.nx),
+                            static_cast<std::uint64_t>(h.dims.ny),
+                            "dims overflow"),
+                 static_cast<std::uint64_t>(h.dims.nz), "dims overflow");
+
+  const std::uint64_t blob_bytes = file_size - h.blob_base;
+  std::uint64_t prev_end = 0;
+  for (const ArrayMeta& m : h.arrays) {
+    const std::uint64_t expected_raw =
+        CheckedMul(points, grid::DataTypeSize(m.type),
+                   ("raw size overflow: " + m.name).c_str());
+    if (m.raw_size != expected_raw) {
+      FailHeader("raw_size disagrees with dims: " + m.name);
+    }
+    if (m.raw_size > compress::kDefaultDecompressBudget) {
+      FailHeader("array exceeds decompress budget: " + m.name);
+    }
+    if (m.offset < prev_end) {
+      FailHeader("array blobs overlap or are out of order: " + m.name);
+    }
+    if (m.stored_size > blob_bytes || m.offset > blob_bytes - m.stored_size) {
+      FailHeader("array blob overruns file: " + m.name);
+    }
+    prev_end = m.offset + m.stored_size;
+
+    if (m.bricks.has_value()) {
+      if (m.bricks->edge < 1) FailHeader("non-positive brick edge: " + m.name);
+      const BrickGrid bgrid(h.dims, m.bricks->edge);
+      if (static_cast<std::int64_t>(m.bricks->entries.size()) !=
+          bgrid.BrickCount()) {
+        FailHeader("brick index size disagrees with dims: " + m.name);
+      }
+      std::uint64_t prev_brick_end = 0;
+      for (const BrickEntry& entry : m.bricks->entries) {
+        if (entry.offset < prev_brick_end) {
+          FailHeader("bricks overlap or are out of order: " + m.name);
+        }
+        if (entry.stored_size > m.stored_size ||
+            entry.offset > m.stored_size - entry.stored_size) {
+          FailHeader("brick overruns array blob: " + m.name);
+        }
+        prev_brick_end = entry.offset + entry.stored_size;
+      }
+    }
+  }
+}
+
+VndHeader ParseHeaderBytes(ByteSpan preamble, ByteSpan header_bytes,
+                           std::uint64_t file_size) {
   if (preamble.size() < kPreambleSize ||
       std::memcmp(preamble.data(), kMagic, 4) != 0) {
     throw DecodeError("not a VND file (bad magic)");
   }
   const std::uint32_t version = LoadLE<std::uint32_t>(preamble.data() + 4);
-  if (version != kVersion) {
+  if (version != kVersionV1 && version != kVersionLatest) {
     throw DecodeError("unsupported VND version " + std::to_string(version));
   }
 
   const msgpack::Value root = msgpack::Decode(header_bytes);
   VndHeader h;
+  h.version = version;
   const auto& dims = root.At("dims").As<msgpack::Array>();
-  VIZNDP_CHECK(dims.size() == 3);
+  if (dims.size() != 3) FailHeader("dims must have three axes");
   h.dims = {dims[0].AsInt(), dims[1].AsInt(), dims[2].AsInt()};
   h.geometry.origin = TripleFromValue(root.At("origin"));
   h.geometry.spacing = TripleFromValue(root.At("spacing"));
@@ -260,17 +353,26 @@ VndHeader ParseHeaderBytes(ByteSpan preamble, ByteSpan header_bytes) {
     if (const msgpack::Value* edge = item.Find("brick_edge")) {
       BrickIndex index;
       index.edge = static_cast<std::int32_t>(edge->AsInt());
+      index.has_crc = version >= 2;
+      const size_t entry_fields = version >= 2 ? 5 : 4;
       for (const msgpack::Value& entry : item.At("bricks").As<msgpack::Array>()) {
         const auto& fields = entry.As<msgpack::Array>();
-        VIZNDP_CHECK(fields.size() == 4);
-        index.entries.push_back({fields[0].AsUint(), fields[1].AsUint(),
-                                 fields[2].AsDouble(), fields[3].AsDouble()});
+        if (fields.size() != entry_fields) {
+          FailHeader("malformed brick entry: " + m.name);
+        }
+        BrickEntry e{fields[0].AsUint(), fields[1].AsUint(),
+                     fields[2].AsDouble(), fields[3].AsDouble(), 0};
+        if (index.has_crc) {
+          e.crc32 = static_cast<std::uint32_t>(fields[4].AsUint());
+        }
+        index.entries.push_back(e);
       }
       m.bricks = std::move(index);
     }
     h.arrays.push_back(std::move(m));
   }
   h.blob_base = kPreambleSize + header_bytes.size();
+  ValidateHeader(h, file_size);
   return h;
 }
 
@@ -286,7 +388,8 @@ VndHeader ParseVndHeader(ByteSpan file_image) {
     throw DecodeError("VND header overruns file");
   }
   return ParseHeaderBytes(file_image.first(kPreambleSize),
-                          file_image.subspan(kPreambleSize, header_size));
+                          file_image.subspan(kPreambleSize, header_size),
+                          file_image.size());
 }
 
 VndReader::VndReader(storage::GatewayFile file) : file_(std::move(file)) {
@@ -295,11 +398,14 @@ VndReader::VndReader(storage::GatewayFile file) : file_(std::move(file)) {
     throw DecodeError("VND file too short");
   }
   const std::uint32_t header_size = LoadLE<std::uint32_t>(preamble.data() + 8);
+  if (kPreambleSize + header_size > file_.size()) {
+    throw DecodeError("VND header overruns file");
+  }
   const Bytes header_bytes = file_.ReadAt(kPreambleSize, header_size);
   if (header_bytes.size() < header_size) {
     throw DecodeError("VND header truncated");
   }
-  header_ = ParseHeaderBytes(preamble, header_bytes);
+  header_ = ParseHeaderBytes(preamble, header_bytes, file_.size());
 }
 
 std::vector<std::string> VndReader::ArrayNames() const {
@@ -321,22 +427,23 @@ grid::DataArray VndReader::ReadArray(const std::string& name) const {
   const Bytes stored =
       file_.ReadAt(header_.blob_base + meta->offset, meta->stored_size);
   if (stored.size() != meta->stored_size) {
-    throw DecodeError("array blob truncated: " + name);
+    throw CorruptDataError("array blob truncated: " + name);
   }
   if (compress::Crc32(stored) != meta->crc32) {
-    throw DecodeError("array blob CRC mismatch: " + name);
+    throw CorruptDataError("array blob CRC mismatch: " + name);
   }
   const compress::CodecPtr codec = compress::MakeCodec(meta->codec);
   if (!meta->bricks) {
-    Bytes raw = codec->Decompress(stored, meta->raw_size);
+    Bytes raw = codec->Decompress(stored, meta->raw_size, meta->raw_size);
     if (raw.size() != meta->raw_size) {
-      throw DecodeError("array decompressed to wrong size: " + name);
+      throw CorruptDataError("array decompressed to wrong size: " + name);
     }
     return grid::DataArray(name, meta->type, std::move(raw));
   }
 
   // Bricked: decompress every brick and deposit its slab (ghost layers
-  // overlap with identical values, so order does not matter).
+  // overlap with identical values, so order does not matter). The
+  // whole-blob CRC above already covers every brick.
   const BrickGrid bgrid(header_.dims, meta->bricks->edge);
   const size_t elem = grid::DataTypeSize(meta->type);
   Bytes dense(meta->raw_size);
@@ -353,9 +460,10 @@ grid::DataArray VndReader::ReadArray(const std::string& name) const {
     const BrickGrid::Extent e = bgrid.BrickExtent(b);
     const size_t slab_bytes = static_cast<size_t>(e.PointCount()) * elem;
     const Bytes slab = codec->Decompress(
-        ByteSpan(stored).subspan(entry.offset, entry.stored_size), slab_bytes);
+        ByteSpan(stored).subspan(entry.offset, entry.stored_size), slab_bytes,
+        slab_bytes);
     if (slab.size() != slab_bytes) {
-      throw DecodeError("brick decompressed to wrong size: " + name);
+      throw CorruptDataError("brick decompressed to wrong size: " + name);
     }
     DepositSlab(header_.dims, e, elem, slab, dense);
   }
@@ -395,15 +503,20 @@ grid::DataArray VndReader::ReadBrick(const std::string& name,
   const Bytes stored = file_.ReadAt(
       header_.blob_base + meta->offset + entry.offset, entry.stored_size);
   if (stored.size() != entry.stored_size) {
-    throw DecodeError("brick blob truncated: " + name);
+    throw CorruptDataError("brick blob truncated: " + name);
+  }
+  // Verify *before* decompressing: the decoder never sees corrupt bytes.
+  if (meta->bricks->has_crc && compress::Crc32(stored) != entry.crc32) {
+    throw CorruptDataError("brick CRC mismatch: " + name + " brick " +
+                           std::to_string(brick));
   }
   const BrickGrid::Extent e = bgrid.BrickExtent(brick);
   const size_t slab_bytes =
       static_cast<size_t>(e.PointCount()) * grid::DataTypeSize(meta->type);
   const compress::CodecPtr codec = compress::MakeCodec(meta->codec);
-  Bytes slab = codec->Decompress(stored, slab_bytes);
+  Bytes slab = codec->Decompress(stored, slab_bytes, slab_bytes);
   if (slab.size() != slab_bytes) {
-    throw DecodeError("brick decompressed to wrong size: " + name);
+    throw CorruptDataError("brick decompressed to wrong size: " + name);
   }
   return grid::DataArray(name, meta->type, std::move(slab));
 }

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "compress/checksum.h"
+#include "obs/metrics.h"
 
 namespace vizndp::ndp {
 
@@ -75,13 +77,40 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
       const size_t slab_bytes =
           static_cast<size_t>(e.PointCount()) * sizeof(T);
 
+      // Verify-then-decompress, with one recovery re-read. The brick CRC
+      // (format v2) is checked *before* the decoder touches the bytes;
+      // on mismatch the brick alone is fetched again — a transient flip
+      // heals, persistent corruption throws CorruptDataError and the
+      // caller falls back to the whole-blob path.
       const auto t_decompress = std::chrono::steady_clock::now();
-      Bytes raw = codec->Decompress(
-          ByteSpan(run).subspan(entry.offset - first.offset,
-                                entry.stored_size),
-          slab_bytes);
+      ByteSpan brick_bytes = ByteSpan(run).subspan(
+          entry.offset - first.offset, entry.stored_size);
+      Bytes reread;
+      const bool has_crc = meta.bricks->has_crc;
+      if (has_crc && compress::Crc32(brick_bytes) != entry.crc32) {
+        ++local.corrupt_bricks;
+        obs::DefaultRegistry().GetCounter("corrupt_brick_total").Increment();
+        ++local.brick_rereads;
+        obs::DefaultRegistry().GetCounter("brick_reread_total").Increment();
+        reread = reader.ReadArrayRange(array, entry.offset, entry.stored_size);
+        local.bytes_read += reread.size();
+        if (compress::Crc32(reread) != entry.crc32) {
+          throw CorruptDataError("brick CRC mismatch after re-read: " + array +
+                                 " brick " + std::to_string(b));
+        }
+        brick_bytes = ByteSpan(reread);
+      }
+      Bytes raw;
+      try {
+        raw = codec->Decompress(brick_bytes, slab_bytes, slab_bytes);
+      } catch (const DecodeError& err) {
+        // v1 files carry no brick CRC, so corruption surfaces here
+        // instead; route it into the same recovery ladder.
+        throw CorruptDataError(std::string("brick decode failed: ") +
+                               err.what());
+      }
       if (raw.size() != slab_bytes) {
-        throw DecodeError("brick decompressed to wrong size: " + array);
+        throw CorruptDataError("brick decompressed to wrong size: " + array);
       }
       const grid::DataArray slab(array, meta.type, std::move(raw));
       local.read_seconds += SecondsSince(t_decompress);

@@ -22,10 +22,19 @@ struct BrickedSelectStats {
   std::int64_t bricks_total = 0;
   std::int64_t bricks_read = 0;
   std::uint64_t bytes_read = 0;  // compressed brick bytes fetched
+  std::int64_t corrupt_bricks = 0;  // bricks that failed their CRC
+  std::int64_t brick_rereads = 0;   // recovery re-reads issued
   double read_seconds = 0;       // fetch + decompress (measured)
   double scan_seconds = 0;       // per-brick selection scans (measured)
 };
 
+// Integrity: each brick is CRC-verified before decompression (format v2
+// files). A failing brick is re-read from the store once — transient
+// corruption (a flipped bit on the wire or in a cache) heals here — and
+// a brick that fails twice throws CorruptDataError, at which point the
+// caller (NdpServer) falls back to the whole-blob read for the array.
+// Both events are counted in the stats and in obs::DefaultRegistry()
+// (corrupt_brick_total / brick_reread_total).
 contour::Selection SelectInterestingPointsBricked(
     const io::VndReader& reader, const std::string& array,
     std::span<const double> isovalues, BrickedSelectStats* stats = nullptr);

@@ -189,12 +189,16 @@ pipeline::DataObjectPtr NdpContourSource::Execute(
     return std::make_shared<pipeline::DataObject>(
         client_->Contour(key_, array_, isovalues_, &stats_));
   } catch (const RpcError&) {
-    // The server answered: this is an application error (bad key, CRC
-    // mismatch, ...) that the baseline read would hit too. Don't mask it.
+    // The server answered: this is an application error (bad key, bad
+    // array name, exhausted busy retries) that the baseline read would
+    // hit too. Don't mask it. (BusyError lands here by design: a
+    // saturated server does not mean the *store* is bad.)
     throw;
   } catch (const Error& e) {
-    // Timeout / peer gone / corrupt frame after the client's retries:
-    // the smart path is unreachable, so degrade to the full read.
+    // Timeout / peer gone / corrupt frame after the client's retries —
+    // or CorruptDataError, meaning the store itself failed every
+    // server-side recovery step: the smart path is unreachable, so
+    // degrade to the full read (possibly against a different replica).
     if (!fallback_.has_value()) throw;
     obs::DefaultRegistry().GetCounter("ndp_fallback_total").Increment();
     std::fprintf(stderr,

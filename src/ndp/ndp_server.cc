@@ -1,8 +1,10 @@
 #include "ndp/ndp_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
+#include "common/error.h"
 #include "contour/select.h"
 #include "io/vnd_format.h"
 #include "ndp/bricked_select.h"
@@ -56,26 +58,49 @@ msgpack::Value NdpServer::Select(const std::string& key,
   const io::ArrayMeta* meta = reader.header().Find(array);
   VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
 
+  // Admission by working-set size: the decompressed array bounds this
+  // request's memory high-water mark. Throws BusyError (always
+  // retryable — nothing has been read yet) when the node is saturated.
+  rpc::MemoryBudget::Reservation reservation;
+  if (mem_budget_ != nullptr) {
+    reservation = rpc::MemoryBudget::Reservation(*mem_budget_, meta->raw_size);
+  }
+
   contour::Selection selection;
   std::uint64_t stored_bytes = 0;
   std::int64_t bricks_total = 0;
   std::int64_t bricks_read = 0;
   double read_s = 0;
   double select_s = 0;
-  if (meta->bricks.has_value()) {
+  bool use_bricked = meta->bricks.has_value();
+  if (use_bricked) {
     // Brick-indexed fast path: only straddling bricks are fetched and
     // decompressed.
     obs::Span read_span("ndp.read");
     BrickedSelectStats bstats;
-    selection =
-        SelectInterestingPointsBricked(reader, array, isovalues, &bstats);
+    try {
+      selection =
+          SelectInterestingPointsBricked(reader, array, isovalues, &bstats);
+    } catch (const CorruptDataError& e) {
+      // A brick failed its CRC twice (or decoded to garbage). The
+      // whole-blob path below re-reads the entire array and checks the
+      // blob-level CRC, so a brick-local flip may still yield a correct
+      // answer from the same store.
+      metrics_.GetCounter("ndp_wholeblob_fallback_total").Increment();
+      std::fprintf(stderr, "[vizndp] brick integrity failure (%s); %s\n",
+                   e.what(), "falling back to whole-blob read");
+      use_bricked = false;
+    }
     read_span.End();
-    stored_bytes = bstats.bytes_read;
-    bricks_total = bstats.bricks_total;
-    bricks_read = bstats.bricks_read;
-    read_s = bstats.read_seconds;
-    select_s = bstats.scan_seconds;
-  } else {
+    if (use_bricked) {
+      stored_bytes = bstats.bytes_read;
+      bricks_total = bstats.bricks_total;
+      bricks_read = bstats.bricks_read;
+      read_s = bstats.read_seconds;
+      select_s = bstats.scan_seconds;
+    }
+  }
+  if (!use_bricked) {
     // Source: ranged-read the full array blob, then scan it.
     stored_bytes = meta->stored_size;
     obs::Span read_span("ndp.read");

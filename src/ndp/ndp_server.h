@@ -9,6 +9,13 @@
 // selected points, and bricks skipped in metrics(). Bind() additionally
 // exposes the node's telemetry over the wire: ndp.metrics scrapes the
 // metric registries and ndp.trace drains the span buffer.
+//
+// Integrity: the bricked fast path verifies per-brick CRCs and re-reads a
+// failing brick once (see bricked_select.h). If a brick stays corrupt,
+// Select falls back to the whole-blob read for that array — still
+// CRC-checked end to end — before giving up; only when the whole blob is
+// bad too does the request fail with CorruptDataError, which crosses the
+// wire typed so the client can degrade to its baseline pipeline.
 #pragma once
 
 #include "ndp/protocol.h"
@@ -28,6 +35,12 @@ class NdpServer {
   // Pre-filter scan parallelism on the storage node. 1 = serial
   // (default); 0 = one thread per hardware core.
   void SetPreFilterThreads(int threads) { prefilter_threads_ = threads; }
+
+  // Optional decompressed-memory budget (usually the owning
+  // rpc::Server's). When set, Select reserves the array's raw size for
+  // the duration of the request; an exhausted budget sheds the request
+  // with BusyError before any read happens. Must outlive the server.
+  void SetMemoryBudget(rpc::MemoryBudget* budget) { mem_budget_ = budget; }
 
   // Registers ndp.select, ndp.info, ndp.stats, ndp.metrics, and
   // ndp.trace on `server`.
@@ -57,6 +70,7 @@ class NdpServer {
  private:
   storage::FileGateway gateway_;
   int prefilter_threads_ = 1;
+  rpc::MemoryBudget* mem_budget_ = nullptr;
   obs::Registry metrics_;
 };
 

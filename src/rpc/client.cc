@@ -54,8 +54,19 @@ msgpack::Value Client::CallOnce(const std::string& method,
       throw RpcError("RPC response msgid mismatch");
     }
     if (!fields[2].IsNil()) {
-      throw RpcError("remote error calling '" + method +
-                     "': " + fields[2].As<std::string>());
+      // Well-known prefixes carry typed errors across the string-only
+      // error slot (see rpc/protocol.h).
+      const std::string& remote = fields[2].As<std::string>();
+      if (remote.starts_with(kBusyErrorPrefix)) {
+        throw BusyError("server busy calling '" + method +
+                        "': " + remote.substr(kBusyErrorPrefix.size()));
+      }
+      if (remote.starts_with(kCorruptErrorPrefix)) {
+        throw CorruptDataError("remote data corruption calling '" + method +
+                               "': " +
+                               remote.substr(kCorruptErrorPrefix.size()));
+      }
+      throw RpcError("remote error calling '" + method + "': " + remote);
     }
     return std::move(fields[3]);
   }
@@ -87,9 +98,20 @@ msgpack::Value Client::Call(const std::string& method, msgpack::Array params,
         throw TimeoutError("rpc call '" + method + "' timed out after " +
                            std::to_string(attempt) + " attempt(s)");
       }
+    } catch (const BusyError&) {
+      // The server shed the request *before* running the handler, so a
+      // retry is safe even for non-idempotent calls; back off and let the
+      // overload clear.
+      metrics().GetCounter("rpc_busy_total", {{"method", method}}).Increment();
+      if (attempt >= std::max(retry_.max_attempts, 1)) throw;
     } catch (const RpcError&) {
       // The server is alive and reported an application error (or sent a
       // malformed reply): retrying would repeat the same failure.
+      throw;
+    } catch (const CorruptDataError&) {
+      // The server already exhausted its own recovery ladder (re-read,
+      // whole-blob fallback); retrying reads the same bad bytes. Let the
+      // caller decide (NdpContourSource falls back to the baseline path).
       throw;
     } catch (const Error&) {
       // Transport-level loss (peer closed, corrupt frame): retryable for

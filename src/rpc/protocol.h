@@ -2,13 +2,24 @@
 //   request:  [0, msgid, method(str), params(array)]
 //   response: [1, msgid, error(nil|str), result]
 // Each message is one transport frame.
+//
+// The error slot is a plain string, so typed errors that must survive
+// the wire travel as well-known prefixes: the server prepends one, the
+// client strips it and rethrows the matching exception type. Only the
+// conditions a caller *acts on differently* get a prefix — busy (always
+// retryable: the handler never ran) and corrupt data (never retryable
+// against the same store, but eligible for the baseline fallback).
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace vizndp::rpc {
 
 inline constexpr std::int64_t kRequestType = 0;
 inline constexpr std::int64_t kResponseType = 1;
+
+inline constexpr std::string_view kBusyErrorPrefix = "!busy: ";
+inline constexpr std::string_view kCorruptErrorPrefix = "!corrupt: ";
 
 }  // namespace vizndp::rpc

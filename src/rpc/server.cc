@@ -8,6 +8,74 @@
 
 namespace vizndp::rpc {
 
+namespace {
+
+// How often a serving loop wakes up to notice Server::Stop(). Without a
+// tick, a worker blocked in Receive() on an idle connection would pin
+// TcpRpcServer::Stop() forever.
+constexpr std::chrono::milliseconds kServeTick{50};
+
+}  // namespace
+
+bool MemoryBudget::TryReserve(std::uint64_t bytes) {
+  const std::uint64_t limit = limit_.load(std::memory_order_relaxed);
+  std::uint64_t used = in_use_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (limit > 0 && (bytes > limit || used > limit - bytes)) return false;
+    if (in_use_.compare_exchange_weak(used, used + bytes,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      if (gauge_ != nullptr) gauge_->Set(static_cast<double>(used + bytes));
+      return true;
+    }
+  }
+}
+
+void MemoryBudget::Release(std::uint64_t bytes) {
+  const std::uint64_t before =
+      in_use_.fetch_sub(bytes, std::memory_order_acq_rel);
+  if (gauge_ != nullptr) gauge_->Set(static_cast<double>(before - bytes));
+}
+
+MemoryBudget::Reservation::Reservation(MemoryBudget& budget,
+                                       std::uint64_t bytes)
+    : budget_(&budget), bytes_(bytes) {
+  if (!budget.TryReserve(bytes)) {
+    budget_ = nullptr;
+    throw BusyError("memory budget exhausted (" + std::to_string(bytes) +
+                    " bytes requested, " + std::to_string(budget.in_use()) +
+                    "/" + std::to_string(budget.limit()) + " in use)");
+  }
+}
+
+MemoryBudget::Reservation::~Reservation() {
+  if (budget_ != nullptr) budget_->Release(bytes_);
+}
+
+MemoryBudget::Reservation::Reservation(Reservation&& other) noexcept
+    : budget_(other.budget_), bytes_(other.bytes_) {
+  other.budget_ = nullptr;
+  other.bytes_ = 0;
+}
+
+MemoryBudget::Reservation& MemoryBudget::Reservation::operator=(
+    Reservation&& other) noexcept {
+  if (this != &other) {
+    if (budget_ != nullptr) budget_->Release(bytes_);
+    budget_ = other.budget_;
+    bytes_ = other.bytes_;
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void Server::SetOptions(const ServerOptions& options) {
+  options_ = options;
+  mem_budget_.SetLimit(options.mem_budget_bytes);
+  mem_budget_.SetGauge(&metrics_.GetGauge("rpc_mem_budget_used_bytes"));
+}
+
 void Server::Bind(const std::string& method, Handler handler) {
   Bound bound;
   bound.handler = std::move(handler);
@@ -37,20 +105,54 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
   msgpack::Value result;
   std::string error;
   const auto it = handlers_.find(method);
-  if (it == handlers_.end()) {
+  bool ran_handler = false;
+  if (draining_.load(std::memory_order_acquire)) {
+    // Shed before the handler runs: the caller can safely retry against
+    // another (or restarted) server even for non-idempotent methods.
+    error = std::string(kBusyErrorPrefix) + "server draining";
+    busy_rejected_->Increment();
+  } else if (it == handlers_.end()) {
     error = "unknown method '" + method + "'";
     metrics_.GetCounter("rpc_unknown_method_total").Increment();
   } else {
-    it->second.requests->Increment();
-    try {
-      result = it->second.handler(params);
-    } catch (const std::exception& e) {
-      error = std::string("handler failed: ") + e.what();
-      it->second.errors->Increment();
+    const int now_inflight =
+        inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    inflight_gauge_->Set(static_cast<double>(now_inflight));
+    if (options_.max_inflight > 0 && now_inflight > options_.max_inflight) {
+      error = std::string(kBusyErrorPrefix) + "too many in-flight requests (" +
+              std::to_string(options_.max_inflight) + " allowed)";
+      busy_rejected_->Increment();
+    } else {
+      ran_handler = true;
+      it->second.requests->Increment();
+      try {
+        result = it->second.handler(params);
+      } catch (const BusyError& e) {
+        // Resource budget shed inside the handler, before any effect:
+        // still always retryable from the client's point of view.
+        error = std::string(kBusyErrorPrefix) + e.what();
+        busy_rejected_->Increment();
+      } catch (const CorruptDataError& e) {
+        // Typed so the client can distinguish "your data is bad" (fall
+        // back to baseline) from generic handler failure.
+        error = std::string(kCorruptErrorPrefix) + e.what();
+        it->second.errors->Increment();
+      } catch (const std::exception& e) {
+        error = std::string("handler failed: ") + e.what();
+        it->second.errors->Increment();
+      }
+    }
+    const int after = inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    inflight_gauge_->Set(static_cast<double>(after));
+    if (after == 0 && draining_.load(std::memory_order_acquire)) {
+      // Empty critical section: pairs with the predicate check in Stop()
+      // so the last decrement cannot slip between its check and wait.
+      { std::lock_guard<std::mutex> lock(drain_mu_); }
+      drain_cv_.notify_all();
     }
   }
   span.End();
-  if (it != handlers_.end()) {
+  if (ran_handler) {
     it->second.latency->Observe(span.ElapsedSeconds());
     // A handler cannot be preempted mid-run, but one that blew its
     // budget must not masquerade as a success: the caller gets a typed
@@ -75,13 +177,37 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
   return msgpack::Encode(msgpack::Value(std::move(response)));
 }
 
+bool Server::Stop() {
+  draining_.store(true, std::memory_order_release);
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drained = drain_cv_.wait_for(lock, options_.drain_deadline, [this] {
+      return inflight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (!drained) {
+    metrics_.GetCounter("rpc_drain_timeouts_total").Increment();
+  }
+  stopped_.store(true, std::memory_order_release);
+  return drained;
+}
+
 void Server::ServeTransport(net::Transport& transport) {
   // Dispatch spans from this thread render on the "server" trace track.
   obs::GlobalTracer().SetThreadTrack("server");
   for (;;) {
     Bytes request;
     try {
-      request = transport.Receive();
+      // Ticked rather than fully blocking so a stopped server's worker
+      // threads become joinable even when their connections sit idle.
+      request = transport.Receive(net::DeadlineAfter(kServeTick));
+    } catch (const TimeoutError&) {
+      if (stopped_.load(std::memory_order_acquire)) {
+        transport.Close();
+        return;
+      }
+      continue;
     } catch (const Error&) {
       return;  // peer closed
     }
@@ -134,7 +260,13 @@ void TcpRpcServer::AcceptLoop() {
   }
 }
 
-TcpRpcServer::~TcpRpcServer() {
+void TcpRpcServer::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  // Drain first: in-flight handlers finish (bounded by the server's drain
+  // deadline), new requests get busy replies, serve loops start exiting.
+  server_.Stop();
   stopping_.store(true);
   // Wake the blocking accept() with a throwaway connection.
   try {
@@ -148,5 +280,7 @@ TcpRpcServer::~TcpRpcServer() {
     t.join();
   }
 }
+
+TcpRpcServer::~TcpRpcServer() { Stop(); }
 
 }  // namespace vizndp::rpc

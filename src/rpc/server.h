@@ -6,10 +6,18 @@
 // request count, error count, and latency histogram (plus the unlabeled
 // rpc_requests_total behind requests_served()), and emits one
 // "rpc.dispatch:<method>" span per request on the "server" trace track.
+//
+// Overload control: SetOptions can cap concurrent in-flight requests and
+// hand out a byte budget for decompressed working memory. A request that
+// would exceed either cap is *shed before its handler runs* — the caller
+// gets a BusyError-prefixed reply it can always retry — and Stop() turns
+// the server into a draining one: in-flight requests finish (bounded by
+// the drain deadline), everything new is shed.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <string>
@@ -35,31 +43,114 @@ struct ServerOptions {
   // preempted, but an overrun is reported to the caller as an RPC error
   // instead of a silently slow reply (rpc_deadline_exceeded_total).
   std::chrono::milliseconds request_deadline{0};
+  // Admission control: maximum concurrently executing handlers; 0 means
+  // unlimited. The excess request is shed with a retryable busy reply
+  // before its handler runs (rpc_busy_rejected_total).
+  int max_inflight = 0;
+  // Byte budget for decompressed working memory, enforced through
+  // memory_budget() by handlers that reserve before allocating
+  // (NdpServer reserves each request's raw array size); 0 = unlimited.
+  std::uint64_t mem_budget_bytes = 0;
+  // How long Stop() waits for in-flight handlers before giving up.
+  std::chrono::milliseconds drain_deadline{5000};
+};
+
+// Tracks reservations of a shared byte budget (decompressed brick
+// memory). Lock-free; over-budget reservations fail instead of blocking,
+// so the caller can shed the request as retryable-busy rather than queue
+// unbounded work.
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;
+  explicit MemoryBudget(std::uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+  void SetLimit(std::uint64_t limit_bytes) {
+    limit_.store(limit_bytes, std::memory_order_relaxed);
+  }
+  std::uint64_t limit() const {
+    return limit_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t in_use() const {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+
+  // Gauge mirroring in_use(), e.g. rpc_mem_budget_used_bytes. Optional;
+  // must outlive the budget.
+  void SetGauge(obs::Gauge* gauge) { gauge_ = gauge; }
+
+  // False when the reservation would exceed the limit (limit 0 always
+  // admits but still tracks usage, so the gauge stays meaningful).
+  bool TryReserve(std::uint64_t bytes);
+  void Release(std::uint64_t bytes);
+
+  // RAII reservation: throws BusyError when the budget cannot admit
+  // `bytes`, releases on destruction.
+  class Reservation {
+   public:
+    Reservation() = default;
+    Reservation(MemoryBudget& budget, std::uint64_t bytes);
+    ~Reservation();
+
+    Reservation(Reservation&& other) noexcept;
+    Reservation& operator=(Reservation&& other) noexcept;
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+
+   private:
+    MemoryBudget* budget_ = nullptr;
+    std::uint64_t bytes_ = 0;
+  };
+
+ private:
+  std::atomic<std::uint64_t> limit_{0};
+  std::atomic<std::uint64_t> in_use_{0};
+  obs::Gauge* gauge_ = nullptr;
 };
 
 class Server {
  public:
   using Handler = std::function<msgpack::Value(const msgpack::Array& params)>;
 
-  void SetOptions(const ServerOptions& options) { options_ = options; }
+  void SetOptions(const ServerOptions& options);
   const ServerOptions& options() const { return options_; }
 
   void Bind(const std::string& method, Handler handler);
 
-  // Serves one connection until the peer closes. Runs on the caller's
-  // thread; use std::thread/ServeAsync for concurrent serving.
+  // Serves one connection until the peer closes or the server stops.
+  // Runs on the caller's thread; use std::thread for concurrent serving.
   void ServeTransport(net::Transport& transport);
 
   // Core dispatch: decodes one request frame, runs the handler, returns
-  // the encoded response frame. Exposed for tests.
+  // the encoded response frame. Exposed for tests. Safe to call from
+  // many threads at once (that is what the in-flight cap is for).
   Bytes Dispatch(ByteSpan request_frame);
+
+  // Graceful drain: immediately sheds every new request with a busy
+  // reply, then waits up to options().drain_deadline for in-flight
+  // handlers to finish. Returns true when the server drained fully
+  // (false: the deadline passed with handlers still running, counted in
+  // rpc_drain_timeouts_total). After Stop, ServeTransport loops exit on
+  // their next tick. Idempotent.
+  bool Stop();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  int inflight() const { return inflight_.load(std::memory_order_acquire); }
+
+  // Shared decompressed-memory budget (limit follows
+  // options().mem_budget_bytes). Handlers reserve through this before
+  // large allocations; see NdpServer::SetMemoryBudget.
+  MemoryBudget& memory_budget() { return mem_budget_; }
 
   // Total dispatches, successful or not (kept from the pre-obs API; now
   // backed by the rpc_requests_total counter in metrics()).
   std::uint64_t requests_served() const { return requests_total_->value(); }
 
   // Per-server metrics: rpc_requests_total, rpc_errors_total and
-  // rpc_dispatch_seconds{method=...}, rpc_unknown_method_total.
+  // rpc_dispatch_seconds{method=...}, rpc_unknown_method_total, plus the
+  // overload set: rpc_busy_rejected_total, rpc_inflight_requests (gauge),
+  // rpc_mem_budget_used_bytes (gauge), rpc_drain_timeouts_total.
   obs::Registry& metrics() { return metrics_; }
   const obs::Registry& metrics() const { return metrics_; }
 
@@ -77,10 +168,22 @@ class Server {
   ServerOptions options_;
   obs::Registry metrics_;
   obs::Counter* requests_total_ = &metrics_.GetCounter("rpc_requests_total");
+  obs::Counter* busy_rejected_ =
+      &metrics_.GetCounter("rpc_busy_rejected_total");
+  obs::Gauge* inflight_gauge_ =
+      &metrics_.GetGauge("rpc_inflight_requests");
+
+  std::atomic<int> inflight_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  MemoryBudget mem_budget_;
 };
 
 // TCP front end: accepts connections on a loopback port and serves each on
-// its own thread. Stops (and joins) on destruction.
+// its own thread. Stop() (or destruction) drains the rpc::Server, then
+// closes the listener and joins every connection thread.
 class TcpRpcServer {
  public:
   // port 0 picks an ephemeral port.
@@ -92,12 +195,18 @@ class TcpRpcServer {
 
   std::uint16_t port() const { return listener_.port(); }
 
+  // Graceful shutdown: drain the server (finish in-flight, shed new,
+  // bounded by its drain deadline), stop accepting, join all connection
+  // threads. Idempotent; the destructor calls it.
+  void Stop();
+
  private:
   void AcceptLoop();
 
   Server& server_;
   net::TcpListener listener_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
   std::mutex workers_mu_;

@@ -39,12 +39,13 @@ TEST(Fault, CorruptBlobFailsLoudlyAndServerSurvives) {
   testbed.store().Put(testbed.bucket(), "bad.vnd", corrupted);
   testbed.store().Put(testbed.bucket(), "good.vnd", image);
 
-  // The pre-filter hits the CRC mismatch server-side; the client sees an
-  // RpcError naming the failure rather than silent bad geometry.
+  // The pre-filter hits the CRC mismatch server-side; the client sees a
+  // typed CorruptDataError naming the failure (carried across the wire
+  // by the error prefix) rather than silent bad geometry.
   try {
     testbed.ndp_client().Contour("bad.vnd", "v02", {0.1});
-    FAIL() << "expected RpcError";
-  } catch (const RpcError& e) {
+    FAIL() << "expected CorruptDataError";
+  } catch (const CorruptDataError& e) {
     EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
   }
   // Same server connection keeps working afterwards.
@@ -60,9 +61,10 @@ TEST(Fault, TruncatedObjectFails) {
   testbed.store().Put(testbed.bucket(), "trunc.vnd", image);
   EXPECT_THROW(testbed.ndp_client().Contour("trunc.vnd", "v02", {0.1}),
                RpcError);
-  // Baseline path fails too (blob read comes back short).
-  io::VndReader reader(testbed.RemoteGateway().Open("trunc.vnd"));
-  EXPECT_THROW(reader.ReadArray("v02"), Error);
+  // Baseline path fails too — now at open, where the header validation
+  // catches blobs overrunning the physical file.
+  EXPECT_THROW(io::VndReader(testbed.RemoteGateway().Open("trunc.vnd")),
+               DecodeError);
 }
 
 TEST(Fault, MissingObjectAndMissingArray) {
@@ -352,15 +354,15 @@ TEST(Fault, HealthyServerNeverTriggersFallback) {
 
 TEST(Fault, ApplicationErrorsDoNotFallBack) {
   // An RpcError means the server is alive and rejected the request (here:
-  // CRC mismatch on a corrupt blob). Falling back would hide real data
-  // damage behind a quietly different read path.
+  // an array that does not exist). Falling back would hide the caller's
+  // mistake behind a quietly different read path. Corrupt data is the
+  // deliberate exception — it *does* degrade to the baseline read; see
+  // integrity_test.cc.
   Testbed testbed;
-  Bytes image = MakeVndImage();
-  image[image.size() - 10] ^= 0xFF;
-  testbed.store().Put(testbed.bucket(), "bad.vnd", image);
+  testbed.store().Put(testbed.bucket(), "ok.vnd", MakeVndImage());
 
   DegradedClient degraded(testbed);
-  ndp::NdpContourSource source(degraded.ndp_client, "bad.vnd", "v02", {0.1});
+  ndp::NdpContourSource source(degraded.ndp_client, "ok.vnd", "nope", {0.1});
   source.SetFallback(testbed.LocalGateway());
   EXPECT_THROW(source.UpdateAndGetOutput(), RpcError);
 }

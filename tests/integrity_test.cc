@@ -1,0 +1,397 @@
+// End-to-end data integrity: per-brick CRCs (VND format v2), the
+// transient-corruption recovery ladder (verify → re-read → whole-blob →
+// baseline), v1 back-compat, and hostile-header rejection.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "compress/checksum.h"
+#include "compress/lz4.h"
+#include "contour/contour_filter.h"
+#include "io/vnd_format.h"
+#include "msgpack/pack.h"
+#include "ndp/bricked_select.h"
+#include "ndp/ndp_client.h"
+#include "ndp/ndp_server.h"
+#include "net/inproc.h"
+#include "obs/metrics.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "sim/impact.h"
+#include "storage/memory_store.h"
+
+namespace vizndp {
+namespace {
+
+Bytes MakeBrickedImage(std::uint32_t version = 2) {
+  sim::ImpactConfig cfg;
+  cfg.n = 16;
+  const grid::Dataset ds = sim::GenerateImpactTimestep(cfg, 24006, {"v02"});
+  io::VndWriter writer(ds);
+  writer.SetCodec(compress::MakeCodec("lz4"));
+  writer.SetBrickSize(4);
+  writer.SetFormatVersion(version);
+  return writer.Serialize();
+}
+
+// ObjectStore decorator that flips one byte in the first ranged read at
+// or past `min_offset` (the blob base: header reads stay clean) — a
+// transient fault, healed by the very next read of the same range.
+class FlakyStore : public storage::ObjectStore {
+ public:
+  FlakyStore(storage::ObjectStore& inner, std::uint64_t min_offset)
+      : inner_(inner), min_offset_(min_offset) {}
+
+  bool flipped() const { return flipped_; }
+
+  Bytes GetRange(const std::string& bucket, const std::string& key,
+                 std::uint64_t offset, std::uint64_t length) override {
+    Bytes out = inner_.GetRange(bucket, key, offset, length);
+    if (!flipped_ && offset >= min_offset_ && !out.empty()) {
+      out[out.size() / 2] ^= 0x01;
+      flipped_ = true;
+    }
+    return out;
+  }
+
+  void CreateBucket(const std::string& b) override { inner_.CreateBucket(b); }
+  bool BucketExists(const std::string& b) const override {
+    return inner_.BucketExists(b);
+  }
+  void Put(const std::string& b, const std::string& k,
+           ByteSpan data) override {
+    inner_.Put(b, k, data);
+  }
+  Bytes Get(const std::string& b, const std::string& k) override {
+    return inner_.Get(b, k);
+  }
+  storage::ObjectInfo Stat(const std::string& b,
+                           const std::string& k) override {
+    return inner_.Stat(b, k);
+  }
+  bool Exists(const std::string& b, const std::string& k) override {
+    return inner_.Exists(b, k);
+  }
+  void Delete(const std::string& b, const std::string& k) override {
+    inner_.Delete(b, k);
+  }
+  std::vector<storage::ObjectInfo> List(const std::string& b,
+                                        const std::string& p) override {
+    return inner_.List(b, p);
+  }
+
+ private:
+  storage::ObjectStore& inner_;
+  std::uint64_t min_offset_;
+  bool flipped_ = false;
+};
+
+contour::PolyData CleanBaseline(const Bytes& image, double iso) {
+  storage::MemoryObjectStore store;
+  store.CreateBucket("data");
+  store.Put("data", "t.vnd", image);
+  io::VndReader reader(storage::FileGateway(store, "data").Open("t.vnd"));
+  const contour::ContourFilter filter(std::vector<double>{iso});
+  return filter.Execute(reader.header().dims, reader.header().geometry,
+                        reader.ReadArray("v02"));
+}
+
+double GlobalCounter(const std::string& name) {
+  return obs::DefaultRegistry().GetCounter(name).value();
+}
+
+TEST(Integrity, Crc32StreamMatchesOneShot) {
+  Bytes data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<Byte>((i * 31 + 7) & 0xff);
+  }
+  const std::uint32_t one_shot = compress::Crc32(data);
+  compress::Crc32Stream stream;
+  // Uneven chunking, including empty updates.
+  const size_t cuts[] = {0, 1, 2, 130, 130, 500, 999, 1000};
+  size_t pos = 0;
+  for (const size_t cut : cuts) {
+    stream.Update(ByteSpan(data).subspan(pos, cut - pos));
+    pos = cut;
+  }
+  EXPECT_EQ(stream.value(), one_shot);
+  stream.Reset();
+  stream.Update(data);
+  EXPECT_EQ(stream.value(), one_shot);
+}
+
+TEST(Integrity, WriterRecordsPerBrickCrcs) {
+  const Bytes image = MakeBrickedImage();
+  const io::VndHeader h = io::ParseVndHeader(image);
+  EXPECT_EQ(h.version, 2u);
+  const io::ArrayMeta* meta = h.Find("v02");
+  ASSERT_NE(meta, nullptr);
+  ASSERT_TRUE(meta->bricks.has_value());
+  EXPECT_TRUE(meta->bricks->has_crc);
+  // Every entry's crc32 matches the stored brick bytes, and the
+  // whole-blob CRC still covers the concatenation.
+  compress::Crc32Stream blob_crc;
+  for (const io::BrickEntry& e : meta->bricks->entries) {
+    const ByteSpan brick = ByteSpan(image).subspan(
+        static_cast<size_t>(h.blob_base + meta->offset + e.offset),
+        static_cast<size_t>(e.stored_size));
+    EXPECT_EQ(compress::Crc32(brick), e.crc32);
+    blob_crc.Update(brick);
+  }
+  EXPECT_EQ(blob_crc.value(), meta->crc32);
+}
+
+TEST(Integrity, V1FilesStillReadBitIdentical) {
+  const Bytes v2 = MakeBrickedImage(2);
+  const Bytes v1 = MakeBrickedImage(1);
+  const io::VndHeader h1 = io::ParseVndHeader(v1);
+  EXPECT_EQ(h1.version, 1u);
+  const io::ArrayMeta* meta = h1.Find("v02");
+  ASSERT_NE(meta, nullptr);
+  ASSERT_TRUE(meta->bricks.has_value());
+  EXPECT_FALSE(meta->bricks->has_crc);
+
+  storage::MemoryObjectStore store;
+  store.CreateBucket("data");
+  store.Put("data", "v1.vnd", v1);
+  store.Put("data", "v2.vnd", v2);
+  const storage::FileGateway gateway(store, "data");
+  const io::VndReader r1(gateway.Open("v1.vnd"));
+  const io::VndReader r2(gateway.Open("v2.vnd"));
+  const grid::DataArray a1 = r1.ReadArray("v02");
+  const grid::DataArray a2 = r2.ReadArray("v02");
+  ASSERT_EQ(a1.byte_size(), a2.byte_size());
+  EXPECT_TRUE(std::equal(a1.raw().begin(), a1.raw().end(),
+                         a2.raw().begin()));
+
+  // The bricked fast path works on v1 too — just without per-brick
+  // verification.
+  const std::vector<double> iso{0.1};
+  ndp::BrickedSelectStats stats;
+  const contour::Selection s1 =
+      ndp::SelectInterestingPointsBricked(r1, "v02", iso, &stats);
+  const contour::Selection s2 =
+      ndp::SelectInterestingPointsBricked(r2, "v02", iso);
+  EXPECT_EQ(s1.ids, s2.ids);
+  EXPECT_EQ(stats.corrupt_bricks, 0);
+}
+
+TEST(Integrity, TransientCorruptBrickHealsAndMatchesBaseline) {
+  const Bytes image = MakeBrickedImage();
+  const io::VndHeader header = io::ParseVndHeader(image);
+  const contour::PolyData baseline = CleanBaseline(image, 0.1);
+  ASSERT_GT(baseline.TriangleCount(), 0u);
+
+  storage::MemoryObjectStore store;
+  store.CreateBucket("data");
+  store.Put("data", "t.vnd", image);
+  FlakyStore flaky(store, header.blob_base);
+
+  rpc::Server server;
+  ndp::NdpServer ndp_server{storage::FileGateway(flaky, "data")};
+  ndp_server.Bind(server);
+  net::TransportPair pair = net::CreateInProcPair();
+  std::thread serve([&] { server.ServeTransport(*pair.b); });
+
+  const double corrupt_before = GlobalCounter("corrupt_brick_total");
+  const double reread_before = GlobalCounter("brick_reread_total");
+
+  {
+    auto client = std::make_shared<rpc::Client>(std::move(pair.a));
+    ndp::NdpClient ndp(client, "data");
+    ndp::NdpLoadStats stats;
+    const contour::PolyData poly = ndp.Contour("t.vnd", "v02", {0.1}, &stats);
+
+    // The flip happened, the re-read healed it, and the geometry is
+    // bit-for-bit the baseline's — corruption cost one extra brick
+    // fetch, not correctness.
+    EXPECT_TRUE(flaky.flipped());
+    EXPECT_FALSE(stats.used_fallback);
+    EXPECT_TRUE(poly.GeometricallyEquals(baseline, 0.0));
+    EXPECT_DOUBLE_EQ(GlobalCounter("corrupt_brick_total"),
+                     corrupt_before + 1);
+    EXPECT_DOUBLE_EQ(GlobalCounter("brick_reread_total"), reread_before + 1);
+    EXPECT_DOUBLE_EQ(ndp_server.metrics()
+                         .GetCounter("ndp_wholeblob_fallback_total")
+                         .value(),
+                     0.0);
+  }
+  // Scope exit destroyed every owner of the rpc client, closing the
+  // transport; the serve thread sees the peer close and exits.
+  serve.join();
+}
+
+TEST(Integrity, PersistentCorruptionDegradesToBaselinePath) {
+  const Bytes image = MakeBrickedImage();
+  const io::VndHeader header = io::ParseVndHeader(image);
+  const contour::PolyData baseline = CleanBaseline(image, 0.1);
+  ASSERT_GT(baseline.TriangleCount(), 0u);
+
+  // Corrupt a brick the pre-filter must read (its [min, max] straddles
+  // the isovalue), permanently: re-reads see the same bad byte.
+  const io::ArrayMeta* meta = header.Find("v02");
+  ASSERT_NE(meta, nullptr);
+  Bytes corrupted = image;
+  bool hit = false;
+  for (const io::BrickEntry& e : meta->bricks->entries) {
+    if (e.min < 0.1 && e.max >= 0.1 && e.stored_size > 0) {
+      corrupted[static_cast<size_t>(header.blob_base + meta->offset +
+                                    e.offset + e.stored_size / 2)] ^= 0xFF;
+      hit = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(hit);
+
+  storage::MemoryObjectStore bad_store;
+  bad_store.CreateBucket("data");
+  bad_store.Put("data", "t.vnd", corrupted);
+  storage::MemoryObjectStore good_store;
+  good_store.CreateBucket("data");
+  good_store.Put("data", "t.vnd", image);
+
+  rpc::Server server;
+  ndp::NdpServer ndp_server{storage::FileGateway(bad_store, "data")};
+  ndp_server.Bind(server);
+  net::TransportPair pair = net::CreateInProcPair();
+  std::thread serve([&] { server.ServeTransport(*pair.b); });
+
+  const double fallbacks_before = GlobalCounter("ndp_fallback_total");
+
+  {
+    auto client = std::make_shared<rpc::Client>(std::move(pair.a));
+    auto ndp = std::make_shared<ndp::NdpClient>(client, "data");
+    ndp::NdpContourSource source(ndp, "t.vnd", "v02", {0.1});
+    source.SetFallback(storage::FileGateway(good_store, "data"));
+    const contour::PolyData& poly = source.UpdateAndGetOutput()->AsPolyData();
+
+    // Full ladder: brick CRC fail → re-read fails → whole-blob read
+    // fails its CRC too → typed error crosses the wire → client degrades
+    // to the baseline read against the clean replica. Geometry is
+    // bit-identical.
+    EXPECT_TRUE(source.last_stats().used_fallback);
+    EXPECT_TRUE(poly.GeometricallyEquals(baseline, 0.0));
+    EXPECT_DOUBLE_EQ(ndp_server.metrics()
+                         .GetCounter("ndp_wholeblob_fallback_total")
+                         .value(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(GlobalCounter("ndp_fallback_total"),
+                     fallbacks_before + 1);
+  }
+  serve.join();
+}
+
+// ---- hostile header construction helpers ----
+
+Bytes ImageFromHeader(msgpack::Map header, size_t blob_bytes) {
+  const Bytes hb = msgpack::Encode(msgpack::Value(std::move(header)));
+  Bytes out;
+  const Byte magic[4] = {'V', 'N', 'D', 'F'};
+  out.insert(out.end(), magic, magic + 4);
+  AppendLE<std::uint32_t>(2, out);
+  AppendLE<std::uint32_t>(static_cast<std::uint32_t>(hb.size()), out);
+  out.insert(out.end(), hb.begin(), hb.end());
+  out.resize(out.size() + blob_bytes);
+  return out;
+}
+
+msgpack::Map BaseHeader(std::int64_t nx, std::int64_t ny, std::int64_t nz) {
+  using msgpack::Value;
+  msgpack::Map h;
+  h.emplace_back(Value("dims"),
+                 Value(msgpack::Array{Value(nx), Value(ny), Value(nz)}));
+  h.emplace_back(Value("origin"),
+                 Value(msgpack::Array{Value(0.0), Value(0.0), Value(0.0)}));
+  h.emplace_back(Value("spacing"),
+                 Value(msgpack::Array{Value(1.0), Value(1.0), Value(1.0)}));
+  return h;
+}
+
+msgpack::Value ArrayEntry(const std::string& name, std::uint64_t raw,
+                          std::uint64_t stored, std::uint64_t offset) {
+  using msgpack::Value;
+  msgpack::Map m;
+  m.emplace_back(Value("name"), Value(name));
+  m.emplace_back(Value("type"), Value("float32"));
+  m.emplace_back(Value("codec"), Value("none"));
+  m.emplace_back(Value("raw_size"), Value(raw));
+  m.emplace_back(Value("stored_size"), Value(stored));
+  m.emplace_back(Value("offset"), Value(offset));
+  m.emplace_back(Value("crc32"), Value(std::uint64_t{0}));
+  return Value(std::move(m));
+}
+
+TEST(Integrity, HostileHeadersRejectedOnOpen) {
+  using msgpack::Value;
+
+  // Truncated preamble and bad magic.
+  EXPECT_THROW(io::ParseVndHeader(Bytes{0x56, 0x4e}), DecodeError);
+  Bytes bad_magic = MakeBrickedImage();
+  bad_magic[0] = 'X';
+  EXPECT_THROW(io::ParseVndHeader(bad_magic), DecodeError);
+
+  // Unsupported version.
+  Bytes bad_version = MakeBrickedImage();
+  StoreLE<std::uint32_t>(99, bad_version.data() + 4);
+  EXPECT_THROW(io::ParseVndHeader(bad_version), DecodeError);
+
+  // Header-size field larger than the file.
+  Bytes lying_header = MakeBrickedImage();
+  StoreLE<std::uint32_t>(0xffffffffu, lying_header.data() + 8);
+  EXPECT_THROW(io::ParseVndHeader(lying_header), DecodeError);
+
+  // Truncated blob region: a declared array overruns the physical file.
+  Bytes truncated = MakeBrickedImage();
+  truncated.resize(truncated.size() - 16);
+  EXPECT_THROW(io::ParseVndHeader(truncated), DecodeError);
+
+  // Non-positive dims.
+  {
+    msgpack::Map h = BaseHeader(0, 8, 8);
+    h.emplace_back(Value("arrays"), Value(msgpack::Array{}));
+    EXPECT_THROW(io::ParseVndHeader(ImageFromHeader(std::move(h), 0)),
+                 DecodeError);
+  }
+
+  // raw_size that disagrees with the grid.
+  {
+    msgpack::Map h = BaseHeader(2, 2, 2);
+    h.emplace_back(Value("arrays"),
+                   Value(msgpack::Array{ArrayEntry("a", 9999, 32, 0)}));
+    EXPECT_THROW(io::ParseVndHeader(ImageFromHeader(std::move(h), 32)),
+                 DecodeError);
+  }
+
+  // Overlapping array blobs (offset lies).
+  {
+    msgpack::Map h = BaseHeader(2, 2, 2);
+    h.emplace_back(Value("arrays"),
+                   Value(msgpack::Array{ArrayEntry("a", 32, 32, 0),
+                                        ArrayEntry("b", 32, 32, 16)}));
+    EXPECT_THROW(io::ParseVndHeader(ImageFromHeader(std::move(h), 64)),
+                 DecodeError);
+  }
+
+  // Array blob pointing past the end of the file.
+  {
+    msgpack::Map h = BaseHeader(2, 2, 2);
+    h.emplace_back(Value("arrays"),
+                   Value(msgpack::Array{ArrayEntry("a", 32, 32, 4096)}));
+    EXPECT_THROW(io::ParseVndHeader(ImageFromHeader(std::move(h), 32)),
+                 DecodeError);
+  }
+
+  // A well-formed hand-built header still parses (the helpers above are
+  // not rejected for incidental reasons).
+  {
+    msgpack::Map h = BaseHeader(2, 2, 2);
+    h.emplace_back(Value("arrays"),
+                   Value(msgpack::Array{ArrayEntry("a", 32, 32, 0)}));
+    const io::VndHeader parsed =
+        io::ParseVndHeader(ImageFromHeader(std::move(h), 32));
+    EXPECT_EQ(parsed.arrays.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace vizndp

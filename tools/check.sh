@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo check: tier-1 verify (full build + ctest), then an
-# address/UB-sanitizer build of the concurrency-heavy tests.
+# address/UB-sanitizer build of the concurrency-heavy tests plus a
+# hostile-input fuzz smoke, then the overload tests under tsan.
 #
 #   tools/check.sh            # everything
 #   SKIP_ASAN=1 tools/check.sh  # tier-1 only
@@ -13,14 +14,26 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== asan/ubsan: obs_test + net_test + rpc_test + fault_test =="
+  echo "== asan/ubsan: obs_test + net_test + rpc_test + fault_test + fuzz =="
   cmake --preset asan > /dev/null
   cmake --build build-asan -j"$(nproc)" --target obs_test net_test rpc_test \
-    fault_test
+    fault_test fuzz_test integrity_test vizndp_tool
   ./build-asan/tests/obs_test
   ./build-asan/tests/net_test
   ./build-asan/tests/rpc_test
   ./build-asan/tests/fault_test
+  ./build-asan/tests/fuzz_test
+  ./build-asan/tests/integrity_test
+  # Fuzz smoke under the sanitizers: 1500 mutations x 7 decoder targets
+  # (> 10k hostile inputs) at a fixed seed, so a CI failure replays
+  # byte-for-byte with the same command.
+  ./build-asan/tools/vizndp_tool fuzz --seed 1 --iters 1500
+
+  echo "== tsan: overload + rpc (admission/drain races) =="
+  cmake --preset tsan > /dev/null
+  cmake --build build-tsan -j"$(nproc)" --target overload_test rpc_test
+  ./build-tsan/tests/overload_test
+  ./build-tsan/tests/rpc_test
 fi
 
 echo "== all checks passed =="

@@ -7,10 +7,12 @@
 //                       [--obj FILE] [--ppm FILE]
 //   vizndp_tool select  --in FILE --array NAME --iso V[,V...]
 //                       [--encoding id+value|delta-varint|bitmap|run-length]
-//   vizndp_tool serve   --dir DIR [--port P]         (storage node)
+//   vizndp_tool serve   --dir DIR [--port P] [--max-inflight N]
+//                       [--mem-budget-mb N] [--drain-ms N]  (storage node)
 //   vizndp_tool fetch   --host H --port P --key K --array NAME --iso V[,V...]
 //                       [--obj FILE]                 (client node)
 //   vizndp_tool metrics --host H --port P [--json]   (scrape storage node)
+//   vizndp_tool fuzz    [--target NAME|all] [--seed S] [--iters N]
 //
 // Every command also accepts the global `--trace FILE` option, which
 // records obs spans during the run and writes a Chrome-tracing JSON
@@ -33,6 +35,7 @@
 #include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -53,6 +56,7 @@
 #include "storage/local_store.h"
 #include "storage/memory_store.h"
 #include "storage/store_rpc.h"
+#include "testing/fuzz.h"
 
 using namespace vizndp;
 
@@ -71,10 +75,26 @@ namespace {
                "          [--ppm FILE]\n"
                "  select  --in FILE --array NAME --iso V[,V...] [--encoding E]\n"
                "  serve   --dir DIR [--port P] [--timeout-ms N]\n"
+               "          [--max-inflight N] [--mem-budget-mb N] [--drain-ms N]\n"
                "  fetch   --host H --port P --key K --array NAME --iso V[,V...]\n"
                "          [--obj FILE] [--timeout-ms N] [--retries N]\n"
                "          [--fault SPEC] [--fallback]\n"
                "  metrics --host H --port P [--json]\n"
+               "  fuzz    [--target NAME|all] [--seed S] [--iters N]\n"
+               "\n"
+               "serve overload control:\n"
+               "  --max-inflight N   shed requests beyond N concurrent handlers\n"
+               "                     with a retryable busy reply (0 = unlimited)\n"
+               "  --mem-budget-mb N  shed ndp.select requests whose decompressed\n"
+               "                     array would push reserved memory past N MiB\n"
+               "  --drain-ms N       graceful-drain budget on Ctrl-C (finish\n"
+               "                     in-flight, reject new; default 5000)\n"
+               "\n"
+               "fuzz (hostile-input smoke test of every decoder):\n"
+               "  --target NAME      inflate|gzip|zlib|lz4|rle|msgpack|\n"
+               "                     vnd-header, or all (default all)\n"
+               "  --seed S           deterministic mutation seed (default 1)\n"
+               "  --iters N          iterations per target (default 2000)\n"
                "\n"
                "fetch fault tolerance:\n"
                "  --timeout-ms N   per-RPC deadline (and TCP connect budget)\n"
@@ -279,6 +299,8 @@ int CmdSelect(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_interrupted = 0;
+
 int CmdServe(const Args& args) {
   const std::string dir = args.Require("dir");
   const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
@@ -291,15 +313,33 @@ int CmdServe(const Args& args) {
   rpc::ServerOptions server_options;
   server_options.request_deadline =
       std::chrono::milliseconds(args.GetLong("timeout-ms", 0));
+  server_options.max_inflight =
+      static_cast<int>(args.GetLong("max-inflight", 0));
+  server_options.mem_budget_bytes =
+      static_cast<std::uint64_t>(args.GetLong("mem-budget-mb", 0)) << 20;
+  server_options.drain_deadline =
+      std::chrono::milliseconds(args.GetLong("drain-ms", 5000));
   rpc_server.SetOptions(server_options);
   storage::BindObjectStoreRpc(rpc_server, store);
   ndp::NdpServer ndp_server(storage::FileGateway(store, "data"));
+  ndp_server.SetMemoryBudget(&rpc_server.memory_budget());
   ndp_server.Bind(rpc_server);
   rpc::TcpRpcServer tcp(rpc_server, port);
   std::printf("serving %s/data on 127.0.0.1:%u (baseline reads + NDP "
-              "pre-filter); Ctrl-C to stop\n",
+              "pre-filter); Ctrl-C drains and stops\n",
               dir.c_str(), tcp.port());
-  ::pause();
+  std::signal(SIGINT, [](int) { g_serve_interrupted = 1; });
+  std::signal(SIGTERM, [](int) { g_serve_interrupted = 1; });
+  while (g_serve_interrupted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining (up to %ld ms)...\n", args.GetLong("drain-ms", 5000));
+  tcp.Stop();
+  std::printf("stopped; served %llu request(s), shed %llu as busy\n",
+              static_cast<unsigned long long>(rpc_server.requests_served()),
+              static_cast<unsigned long long>(
+                  rpc_server.metrics().GetCounter("rpc_busy_rejected_total")
+                      .value()));
   return 0;
 }
 
@@ -380,6 +420,36 @@ int CmdMetrics(const Args& args) {
   return 0;
 }
 
+int CmdFuzz(const Args& args) {
+  const std::string wanted = args.Get("target").value_or("all");
+  const auto seed = static_cast<std::uint64_t>(args.GetLong("seed", 1));
+  const auto iters = static_cast<std::uint64_t>(args.GetLong("iters", 2000));
+
+  std::vector<vizndp::testing::FuzzTarget> targets =
+      vizndp::testing::BuiltinFuzzTargets();
+  bool matched = false;
+  bench_util::Table table({"target", "iterations", "accepted", "rejected"});
+  for (const auto& target : targets) {
+    if (wanted != "all" && wanted != target.name) continue;
+    matched = true;
+    const vizndp::testing::FuzzReport report =
+        vizndp::testing::RunFuzzTarget(target, seed, iters);
+    table.AddRow({target.name, std::to_string(report.iterations),
+                  std::to_string(report.accepted),
+                  std::to_string(report.rejected)});
+  }
+  if (!matched) {
+    std::string names;
+    for (const auto& t : targets) names += " " + t.name;
+    Usage(("unknown --target; available:" + names).c_str());
+  }
+  table.Print(std::cout);
+  std::printf("every non-accepted input rejected with a typed error "
+              "(seed %llu)\n",
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 // Valueless boolean flags accepted by each command (everything else
 // takes a value).
 std::set<std::string> BoolFlags(const std::string& command) {
@@ -405,6 +475,7 @@ int main(int argc, char** argv) {
     else if (command == "serve") rc = CmdServe(args);
     else if (command == "fetch") rc = CmdFetch(args);
     else if (command == "metrics") rc = CmdMetrics(args);
+    else if (command == "fuzz") rc = CmdFuzz(args);
     else Usage(("unknown command: " + command).c_str());
     if (trace_path) {
       std::ofstream out(*trace_path, std::ios::binary);
