@@ -1,0 +1,114 @@
+// Ablation: happy-path cost of the distributed-tracing machinery.
+//
+// Tracing earns its keep only if the default configuration — tracer
+// disabled, no sampled context — costs essentially nothing. This bench
+// runs the same NDP sparse-field load three ways over a healthy in-proc
+// transport:
+//   off       tracer disabled, no context installed (the default)
+//   ctx-only  tracer disabled, but every load runs under a minted
+//             *unsampled* TraceContext — the thread-local install/
+//             restore and per-span tag branches run, while the wire
+//             format stays 4-element and nothing hits the ring buffer
+//   sampled   tracer enabled; full propagation, piggyback, and merge
+// The guard is ctx-only vs off (<2%): that delta is what every request
+// pays once the instrumentation is compiled in, whether or not anyone
+// ever samples. The sampled row is informational — that cost is opt-in
+// per request.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ndp/ndp_client.h"
+#include "obs/context.h"
+#include "obs/trace.h"
+#include "rpc/client.h"
+
+namespace vizndp::bench {
+namespace {
+
+// Mean seconds for `reps` sparse-field fetches through `client`. With
+// `mint_context`, each fetch runs under a fresh unsampled TraceContext.
+double MeanFetchSeconds(bench_util::Testbed& testbed, ndp::NdpClient& client,
+                        const std::string& key, const std::string& array,
+                        const std::vector<double>& isos, int reps,
+                        bool mint_context) {
+  return MeanLoadSeconds(reps, [&] {
+    std::optional<obs::ScopedTraceContext> scope;
+    if (mint_context) {
+      scope.emplace(obs::TraceContext::Mint(/*sampled=*/false));
+    }
+    auto timer = testbed.StartLoadTimer();
+    grid::UniformGeometry geometry;
+    (void)client.FetchSparseField(key, array, isos, &geometry, nullptr);
+    return timer.Stop();
+  });
+}
+
+int Run() {
+  BenchParams params;
+  params.steps = 2;  // generator minimum; only the first timestep is used
+  // Overhead in the microsecond range needs more samples than the
+  // throughput benches to stabilise.
+  const int reps = params.reps * 8;
+
+  bench_util::Testbed testbed;
+  const auto labels = PopulateImpactSeries(testbed, params, {"v02"});
+  const std::string key = TimestepKey("none", labels.front());
+  const std::vector<double> isos = {0.5};
+
+  ndp::NdpClient client(std::make_shared<rpc::Client>(testbed.ConnectToServer()),
+                        testbed.bucket());
+
+  // Warm the connection (first call pays one-time setup).
+  (void)MeanFetchSeconds(testbed, client, key, "v02", isos, 1, false);
+
+  obs::GlobalTracer().Enable(false);
+  const double off_s =
+      MeanFetchSeconds(testbed, client, key, "v02", isos, reps, false);
+  const double ctx_s =
+      MeanFetchSeconds(testbed, client, key, "v02", isos, reps, true);
+
+  // Sampled: the tracer is on, so FetchSparseField mints its own sampled
+  // root and every attempt propagates + piggybacks.
+  obs::GlobalTracer().Enable();
+  const double sampled_s =
+      MeanFetchSeconds(testbed, client, key, "v02", isos, reps, false);
+  obs::GlobalTracer().Enable(false);
+  obs::GlobalTracer().Clear();
+
+  const double ctx_pct = (ctx_s / off_s - 1.0) * 100.0;
+  const double sampled_pct = (sampled_s / off_s - 1.0) * 100.0;
+
+  std::cout << "Disabled-tracing overhead of the tracing machinery (in-proc, "
+            << params.n << "^3, " << reps << " reps)\n";
+  bench_util::Table table({"mode", "mean load", "overhead"});
+  table.AddRow({"off (no context)", bench_util::FormatSeconds(off_s), "--"});
+  char pct[32];
+  std::snprintf(pct, sizeof(pct), "%+.2f%%", ctx_pct);
+  table.AddRow({"ctx-only (unsampled context)",
+                bench_util::FormatSeconds(ctx_s), pct});
+  std::snprintf(pct, sizeof(pct), "%+.2f%%", sampled_pct);
+  table.AddRow({"sampled (full trace + piggyback)",
+                bench_util::FormatSeconds(sampled_s), pct});
+  table.Print(std::cout);
+
+  const std::string csv = bench_util::ResultsDir() + "/abl_trace_overhead.csv";
+  table.WriteCsv(csv);
+  std::fprintf(stderr, "[result] wrote %s\n", csv.c_str());
+  if (ctx_pct >= 2.0) {
+    std::fprintf(stderr,
+                 "[warn] ctx-only overhead %.2f%% exceeds the 2%% budget; "
+                 "rerun with more reps before concluding a regression\n",
+                 ctx_pct);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vizndp::bench
+
+int main() { return vizndp::bench::Run(); }

@@ -17,6 +17,10 @@ Testbed::Testbed(TestbedConfig config)
 
   storage::BindObjectStoreRpc(rpc_server_, *store_);
   ndp_server_ = std::make_unique<ndp::NdpServer>(LocalGateway());
+  // Budget wiring mirrors `vizndp_tool serve`: limit 0 admits everything,
+  // but overload tests can flip rpc_server().memory_budget() mid-run and
+  // see ndp.select shed as retryable-busy.
+  ndp_server_->SetMemoryBudget(&rpc_server_.memory_budget());
   ndp_server_->Bind(rpc_server_);
 
   // Two connections across the emulated link: one carrying baseline

@@ -69,6 +69,10 @@ class Testbed {
   net::SimulatedLink& link() { return link_; }
   storage::SsdModel& ssd() { return ssd_; }
 
+  // The storage node's RPC server — overload/tracing tests flip its
+  // memory budget and read its health table mid-run.
+  rpc::Server& rpc_server() { return rpc_server_; }
+
   LoadTimer StartLoadTimer() const { return LoadTimer(link_, ssd_); }
 
  private:

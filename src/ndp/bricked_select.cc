@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "compress/checksum.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace vizndp::ndp {
@@ -90,8 +91,14 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
       if (has_crc && compress::Crc32(brick_bytes) != entry.crc32) {
         ++local.corrupt_bricks;
         obs::DefaultRegistry().GetCounter("corrupt_brick_total").Increment();
+        obs::GlobalEventLog().Append(
+            "ndp.corrupt_brick",
+            "array=" + array + " brick=" + std::to_string(b));
         ++local.brick_rereads;
         obs::DefaultRegistry().GetCounter("brick_reread_total").Increment();
+        obs::GlobalEventLog().Append(
+            "ndp.brick_reread",
+            "array=" + array + " brick=" + std::to_string(b));
         reread = reader.ReadArrayRange(array, entry.offset, entry.stored_size);
         local.bytes_read += reread.size();
         if (compress::Crc32(reread) != entry.crc32) {

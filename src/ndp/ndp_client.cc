@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <optional>
 
 #include "common/error.h"
 #include "contour/contour_filter.h"
 #include "io/vnd_format.h"
+#include "obs/context.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
+#include "rpc/trace_wire.h"
 
 namespace vizndp::ndp {
 
@@ -28,6 +32,15 @@ contour::SparseField NdpClient::FetchSparseField(
     const std::string& key, const std::string& array,
     const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
     NdpLoadStats* stats) {
+  // Trace root: when someone is collecting (tracer enabled) and no outer
+  // scope minted one already (NdpContourSource does, so its fallback
+  // shares the trace), this fetch becomes one end-to-end distributed
+  // trace. With tracing off nothing is minted and the RPC frames keep
+  // the pre-tracing wire shape.
+  std::optional<obs::ScopedTraceContext> root;
+  if (obs::GlobalTracer().enabled() && !obs::CurrentTraceContext().valid()) {
+    root.emplace(obs::TraceContext::Mint(/*sampled=*/true));
+  }
   obs::Span total_span("ndp.fetch");
 
   Array isos;
@@ -62,6 +75,7 @@ contour::SparseField NdpClient::FetchSparseField(
   scatter_span.End();
 
   if (stats != nullptr) {
+    stats->trace_id = obs::CurrentTraceContext().trace_id;
     stats->stored_bytes = reply.At("stored_bytes").AsUint();
     stats->raw_bytes = reply.At("raw_bytes").AsUint();
     stats->payload_bytes = payload.size();
@@ -126,37 +140,72 @@ std::vector<obs::MetricSnapshot> NdpClient::ScrapeMetrics() {
         s.buckets.push_back(b.AsUint());
       }
     }
+    if (const Value* ev = v.Find("exemplar_value")) {
+      s.exemplar_value = ev->AsDouble();
+    }
+    if (const Value* et = v.Find("exemplar_trace")) {
+      s.exemplar_trace_id = et->AsUint();
+    }
     out.push_back(std::move(s));
   }
   return out;
 }
 
-size_t NdpClient::ScrapeTrace() {
-  const Value reply = client_->Call(kRpcNdpTrace, Array{}, CallOpts());
-  const Array& events = reply.As<Array>();
+std::string NdpClient::ScrapeMetricsFormatted(const std::string& format) {
+  const Value reply =
+      client_->Call(kRpcNdpMetrics, Array{Value(format)}, CallOpts());
+  return reply.As<std::string>();
+}
+
+size_t NdpClient::ScrapeTrace(std::uint64_t trace_id) {
+  Array params;
+  if (trace_id != 0) params.emplace_back(trace_id);
+  const Value reply =
+      client_->Call(kRpcNdpTrace, std::move(params), CallOpts());
+  const std::vector<obs::DrainedEvent> events = rpc::EventsFromValue(reply);
   if (events.empty()) return 0;
 
   // The server clock is a foreign steady_clock domain. Shift its events
   // so the newest one ends at the local "now": the scrape happens right
   // after the traced work, so nesting and relative timing stay readable.
+  // (Spans that arrived through a reply piggyback instead get the real
+  // midpoint clock alignment — see obs/trace_merge.h.)
   std::uint64_t min_start = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t max_end = 0;
-  for (const Value& v : events) {
-    const std::uint64_t ts = v.At("ts").AsUint();
-    min_start = std::min(min_start, ts);
-    max_end = std::max(max_end, ts + v.At("dur").AsUint());
+  for (const obs::DrainedEvent& e : events) {
+    min_start = std::min(min_start, e.start_us);
+    max_end = std::max(max_end, e.start_us + e.dur_us);
   }
   obs::Tracer& tracer = obs::GlobalTracer();
   const std::uint64_t span_len = max_end - min_start;
   const std::uint64_t now = tracer.NowMicros();
   const std::uint64_t base = now > span_len ? now - span_len : 0;
-  for (const Value& v : events) {
-    tracer.Inject(v.At("track").As<std::string>(),
-                  v.At("name").As<std::string>(),
-                  base + (v.At("ts").AsUint() - min_start),
-                  v.At("dur").AsUint());
+  for (const obs::DrainedEvent& e : events) {
+    obs::Tracer::SpanIds ids;
+    ids.trace_id = e.trace_id;
+    ids.span_id = e.span_id;
+    ids.parent_span_id = e.parent_span_id;
+    tracer.Inject(e.track, e.name, base + (e.start_us - min_start), e.dur_us,
+                  ids);
   }
   return events.size();
+}
+
+NdpClient::HealthReport NdpClient::Health() {
+  const Value reply = client_->Call(kRpcNdpHealth, Array{}, CallOpts());
+  HealthReport report;
+  report.draining = reply.At("draining").As<bool>();
+  report.inflight = reply.At("inflight").AsInt();
+  report.mem_in_use = reply.At("mem_in_use").AsUint();
+  report.mem_limit = reply.At("mem_limit").AsUint();
+  for (const Value& v : reply.At("requests").As<Array>()) {
+    HealthReport::Request r;
+    r.method = v.At("method").As<std::string>();
+    r.trace_id = v.At("trace_id").AsUint();
+    r.age_us = v.At("age_us").AsUint();
+    report.requests.push_back(std::move(r));
+  }
+  return report;
 }
 
 // Picks `k` contour values at evenly spaced quantiles of the value
@@ -185,6 +234,13 @@ std::vector<double> SuggestIsovalues(const NdpClient::ArrayStats& stats,
 
 pipeline::DataObjectPtr NdpContourSource::Execute(
     const std::vector<pipeline::DataObjectPtr>&) {
+  // Mint the trace root here rather than in FetchSparseField, so a
+  // degraded execution keeps its whole story — failed NDP attempts AND
+  // the baseline fallback — under one trace_id.
+  std::optional<obs::ScopedTraceContext> root;
+  if (obs::GlobalTracer().enabled() && !obs::CurrentTraceContext().valid()) {
+    root.emplace(obs::TraceContext::Mint(/*sampled=*/true));
+  }
   try {
     return std::make_shared<pipeline::DataObject>(
         client_->Contour(key_, array_, isovalues_, &stats_));
@@ -201,6 +257,7 @@ pipeline::DataObjectPtr NdpContourSource::Execute(
     // degrade to the full read (possibly against a different replica).
     if (!fallback_.has_value()) throw;
     obs::DefaultRegistry().GetCounter("ndp_fallback_total").Increment();
+    obs::GlobalEventLog().Append("ndp.fallback", "key=" + key_);
     std::fprintf(stderr,
                  "[vizndp] warning: NDP path for '%s' unavailable (%s); "
                  "falling back to baseline full-array read\n",
@@ -220,6 +277,7 @@ contour::PolyData NdpContourSource::BaselineContour() {
 
   stats_ = NdpLoadStats{};
   stats_.used_fallback = true;
+  stats_.trace_id = obs::CurrentTraceContext().trace_id;
   stats_.stored_bytes = reader.StoredSize(array_);
   stats_.raw_bytes = static_cast<std::uint64_t>(data.byte_size());
   stats_.total_points = static_cast<std::uint64_t>(

@@ -54,6 +54,9 @@ struct NdpLoadStats {
   // True when the NDP path was unreachable and NdpContourSource served
   // this load through the baseline full-array read instead.
   bool used_fallback = false;
+  // Distributed trace this load ran under (0 when tracing was off); the
+  // key into the merged timeline and the event journal.
+  std::uint64_t trace_id = 0;
 
   double Selectivity() const {
     return total_points == 0 ? 0.0
@@ -105,13 +108,35 @@ class NdpClient {
   // RPC. Use obs::FindMetric to pick out individual samples.
   std::vector<obs::MetricSnapshot> ScrapeMetrics();
 
+  // Same scrape rendered server-side ("text", "json", or "prom" —
+  // Prometheus exposition), for dashboards that want bytes, not values.
+  std::string ScrapeMetricsFormatted(const std::string& format);
+
   // Drains the storage node's span buffer over the ndp.trace RPC and
   // merges the events into the local process tracer (for two-process
-  // setups; the in-proc testbed shares one tracer and needs no scrape).
-  // Server timestamps live in a foreign clock domain, so they are
-  // shifted to end at the local "now" — good enough to read a fetch's
-  // phase nesting, not a cross-node clock sync. Returns the event count.
-  size_t ScrapeTrace();
+  // setups; sampled requests already piggyback their own spans on the
+  // reply, so this catches only material outside any traced request). A
+  // nonzero `trace_id` pulls just that trace. Server timestamps live in
+  // a foreign clock domain, so they are shifted to end at the local
+  // "now" — good enough to read phase nesting, not a cross-node clock
+  // sync (piggybacked spans get the real midpoint alignment instead).
+  // Returns the event count.
+  size_t ScrapeTrace(std::uint64_t trace_id = 0);
+
+  // ndp.health scrape: what the storage node is doing right now.
+  struct HealthReport {
+    bool draining = false;
+    std::int64_t inflight = 0;
+    std::uint64_t mem_in_use = 0;
+    std::uint64_t mem_limit = 0;
+    struct Request {
+      std::string method;
+      std::uint64_t trace_id = 0;
+      std::uint64_t age_us = 0;
+    };
+    std::vector<Request> requests;
+  };
+  HealthReport Health();
 
  private:
   rpc::CallOptions CallOpts() const {

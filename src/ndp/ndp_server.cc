@@ -8,7 +8,9 @@
 #include "contour/select.h"
 #include "io/vnd_format.h"
 #include "ndp/bricked_select.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
+#include "rpc/trace_wire.h"
 
 namespace vizndp::ndp {
 
@@ -41,6 +43,10 @@ Value SnapshotsToValue(const std::vector<obs::MetricSnapshot>& snapshot) {
       buckets.reserve(s.buckets.size());
       for (const std::uint64_t b : s.buckets) buckets.emplace_back(b);
       m.emplace_back(Value("buckets"), Value(std::move(buckets)));
+      if (s.exemplar_trace_id != 0) {
+        m.emplace_back(Value("exemplar_value"), Value(s.exemplar_value));
+        m.emplace_back(Value("exemplar_trace"), Value(s.exemplar_trace_id));
+      }
     }
     out.push_back(Value(std::move(m)));
   }
@@ -87,6 +93,8 @@ msgpack::Value NdpServer::Select(const std::string& key,
       // blob-level CRC, so a brick-local flip may still yield a correct
       // answer from the same store.
       metrics_.GetCounter("ndp_wholeblob_fallback_total").Increment();
+      obs::GlobalEventLog().Append("ndp.wholeblob_fallback",
+                                   "array=" + array);
       std::fprintf(stderr, "[vizndp] brick integrity failure (%s); %s\n",
                    e.what(), "falling back to whole-blob read");
       use_bricked = false;
@@ -262,27 +270,56 @@ void NdpServer::Bind(rpc::Server& server) {
   // registry (gateway + codec metrics). Names are disjoint by
   // construction, so a flat concatenation is unambiguous. The handler
   // lives inside `server`, so capturing it by reference is safe.
-  server.Bind(kRpcNdpMetrics, [this, &server](const Array&) -> Value {
+  // Structured by default; an optional params[0] format string ("text",
+  // "json", "prom") renders server-side instead, so a Prometheus scraper
+  // can hit the node through any thin RPC shim without a custom parser.
+  server.Bind(kRpcNdpMetrics, [this, &server](const Array& p) -> Value {
     std::vector<obs::MetricSnapshot> all = metrics_.Snapshot();
     for (auto& s : server.metrics().Snapshot()) all.push_back(std::move(s));
     for (auto& s : obs::DefaultRegistry().Snapshot()) {
       all.push_back(std::move(s));
     }
+    if (!p.empty() && p.at(0).Is<std::string>() &&
+        !p.at(0).As<std::string>().empty()) {
+      return Value(obs::FormatSnapshot(all, p.at(0).As<std::string>()));
+    }
     return SnapshotsToValue(all);
   });
   // Trace drain: ships (and clears) the storage node's span buffer so
-  // the client can merge the server half of a split-pipeline trace.
-  server.Bind(kRpcNdpTrace, [](const Array&) -> Value {
-    Array out;
-    for (const obs::DrainedEvent& e : obs::GlobalTracer().Drain()) {
+  // the client can merge the server half of a split-pipeline trace. A
+  // nonzero u64 in params[0] extracts only that trace's spans and leaves
+  // everything else buffered for other requests' scrapes.
+  server.Bind(kRpcNdpTrace, [](const Array& p) -> Value {
+    std::uint64_t trace_id = 0;
+    if (!p.empty() && p.at(0).IsInteger()) trace_id = p.at(0).AsUint();
+    return rpc::EventsToValue(trace_id != 0
+                                  ? obs::GlobalTracer().Extract(trace_id)
+                                  : obs::GlobalTracer().Drain());
+  });
+  // Liveness summary: what is executing right now and under which trace,
+  // so an operator staring at a slow client can jump straight from
+  // "ndp.select, 2.3 s in flight, trace f00d..." to the merged timeline.
+  server.Bind(kRpcNdpHealth, [&server](const Array&) -> Value {
+    const std::uint64_t now_us = obs::GlobalTracer().NowMicros();
+    Array requests;
+    for (const rpc::Server::InflightRequest& r : server.InflightSnapshot()) {
       Map m;
-      m.emplace_back(Value("name"), Value(e.name));
-      m.emplace_back(Value("track"), Value(e.track));
-      m.emplace_back(Value("ts"), Value(e.start_us));
-      m.emplace_back(Value("dur"), Value(e.dur_us));
-      out.push_back(Value(std::move(m)));
+      m.emplace_back(Value("method"), Value(r.method));
+      m.emplace_back(Value("trace_id"), Value(r.trace_id));
+      m.emplace_back(Value("age_us"),
+                     Value(now_us > r.start_us ? now_us - r.start_us : 0));
+      requests.push_back(Value(std::move(m)));
     }
-    return Value(std::move(out));
+    Map reply;
+    reply.emplace_back(Value("draining"), Value(server.draining()));
+    reply.emplace_back(Value("inflight"),
+                       Value(static_cast<std::int64_t>(server.inflight())));
+    reply.emplace_back(Value("mem_in_use"),
+                       Value(server.memory_budget().in_use()));
+    reply.emplace_back(Value("mem_limit"),
+                       Value(server.memory_budget().limit()));
+    reply.emplace_back(Value("requests"), Value(std::move(requests)));
+    return Value(std::move(reply));
   });
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace vizndp::net {
 
 std::uint64_t MixBits(std::uint64_t x) {
@@ -37,7 +39,13 @@ std::chrono::microseconds RetryPolicy::DelayBefore(int retry,
 
 void BackoffSleep(const RetryPolicy& policy, int retry, std::uint64_t salt) {
   const auto delay = policy.DelayBefore(retry, salt);
-  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  if (delay.count() > 0) {
+    // The inter-attempt gap is part of a traced request's story: render
+    // the backoff as its own span instead of unexplained dead air
+    // between two rpc.attempt spans.
+    obs::Span span("net.backoff");
+    std::this_thread::sleep_for(delay);
+  }
 }
 
 }  // namespace vizndp::net

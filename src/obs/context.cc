@@ -1,0 +1,78 @@
+#include "obs/context.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+namespace vizndp::obs {
+
+namespace {
+
+thread_local TraceContext g_current;
+
+// splitmix64 finalizer: cheap, well-mixed, and stateless.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Per-process random base so two processes (client and storage node)
+// minting concurrently cannot collide on trace ids.
+std::uint64_t ProcessSalt() {
+  static const std::uint64_t salt = [] {
+    std::random_device rd;
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return Mix((static_cast<std::uint64_t>(rd()) << 32) ^ rd() ^ now);
+  }();
+  return salt;
+}
+
+std::atomic<std::uint64_t> g_next_trace{1};
+std::atomic<std::uint64_t> g_next_span{1};
+
+}  // namespace
+
+TraceContext TraceContext::Mint(bool sampled) {
+  TraceContext ctx;
+  const std::uint64_t n = g_next_trace.fetch_add(1, std::memory_order_relaxed);
+  ctx.trace_id = Mix(ProcessSalt() ^ n);
+  if (ctx.trace_id == 0) ctx.trace_id = 1;  // 0 is the "no trace" sentinel
+  ctx.span_id = 0;
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+std::string TraceIdHex(std::uint64_t trace_id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+const TraceContext& CurrentTraceContext() { return g_current; }
+
+void internal_SetCurrentTraceContext(const TraceContext& ctx) {
+  g_current = ctx;
+}
+
+std::uint64_t NextSpanId() {
+  // Salted like trace ids: a merged timeline holds spans minted by both
+  // the client and the storage node, so a bare counter would collide
+  // (two "span 1"s) and make parent_span_id references ambiguous.
+  const std::uint64_t n = g_next_span.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = Mix(~ProcessSalt() ^ n);
+  return id == 0 ? 1 : id;  // 0 means "root of the trace"
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : saved_(g_current), installed_(ctx) {
+  g_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_current = saved_; }
+
+}  // namespace vizndp::obs

@@ -1,0 +1,71 @@
+// Request-scoped trace identity, the glue that turns per-process spans
+// into one distributed trace. A TraceContext names a pipeline execution
+// (trace_id), the span the next piece of work should nest under
+// (span_id), and whether anyone is collecting (sampled). The context
+// rides a thread-local so instrumentation deep in the stack (codecs,
+// retry sleeps, server handlers) tags its spans and events without any
+// plumbing through signatures; rpc::Client/Server carry it across the
+// wire inside the msgpack-rpc frame.
+//
+// Cost model: when no context is installed (the default — nothing minted,
+// tracing off) the per-span overhead is one thread-local read and a
+// branch; span-id allocation and the save/restore dance only happen for
+// sampled requests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vizndp::obs {
+
+struct TraceContext {
+  // Nonzero identifies one end-to-end pipeline execution; 0 = no trace.
+  std::uint64_t trace_id = 0;
+  // The span new work should parent under (0 = root of the trace).
+  std::uint64_t span_id = 0;
+  // True when a collector wants this request's spans/events. An
+  // unsampled context still tags, but is never propagated over RPC, so
+  // default traffic keeps the pre-tracing wire format.
+  bool sampled = false;
+
+  bool valid() const { return trace_id != 0; }
+
+  // Fresh trace root: process-unique trace_id, span_id 0.
+  static TraceContext Mint(bool sampled = true);
+};
+
+// Lower-case hex rendering used everywhere a trace_id crosses into text
+// (logs, JSON, Perfetto args) — 64-bit ids do not survive JS doubles.
+std::string TraceIdHex(std::uint64_t trace_id);
+
+// The calling thread's current context (invalid when none installed).
+const TraceContext& CurrentTraceContext();
+
+// Allocates a process-unique span id (never 0).
+std::uint64_t NextSpanId();
+
+// Implementation hook for obs::Span, which installs itself as the
+// thread's current span and restores the parent in End() — a lifetime
+// ScopedTraceContext cannot model. Not for general use.
+void internal_SetCurrentTraceContext(const TraceContext& ctx);
+
+// RAII installer: saves the thread's context, installs `ctx`, restores on
+// destruction. Used at trace roots (NdpContourSource, NdpClient) and by
+// rpc::Server::Dispatch when a request frame carries a context.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+  // The context this scope installed (not affected by nested scopes).
+  const TraceContext& context() const { return installed_; }
+
+ private:
+  TraceContext saved_;
+  TraceContext installed_;
+};
+
+}  // namespace vizndp::obs

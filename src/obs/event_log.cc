@@ -1,0 +1,78 @@
+#include "obs/event_log.h"
+
+#include <sstream>
+
+#include "obs/context.h"
+#include "obs/metrics.h"
+
+namespace vizndp::obs {
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void EventLog::Append(std::string name, std::string detail) {
+  const TraceContext& ctx = CurrentTraceContext();
+  LogEvent event;
+  event.trace_id = ctx.trace_id;
+  event.span_id = ctx.span_id;
+  event.ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  event.name = std::move(name);
+  event.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[ring_next_] = std::move(event);
+    ring_next_ = (ring_next_ + 1) % capacity_;
+  }
+}
+
+std::vector<LogEvent> EventLog::Events(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogEvent> out;
+  const size_t n = events_.size();
+  const size_t first = n < capacity_ ? 0 : ring_next_;
+  for (size_t i = 0; i < n; ++i) {
+    const LogEvent& e = events_[(first + i) % n];
+    if (trace_id == 0 || e.trace_id == trace_id) out.push_back(e);
+  }
+  return out;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  ring_next_ = 0;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string EventLog::Json(std::uint64_t trace_id) const {
+  const std::vector<LogEvent> events = Events(trace_id);
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const LogEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "{\"seq\":" << e.seq << ",\"trace_id\":\"" << TraceIdHex(e.trace_id)
+       << "\",\"ts\":" << e.ts_us << ",\"name\":\"" << JsonEscape(e.name)
+       << "\",\"detail\":\"" << JsonEscape(e.detail) << "\"}";
+  }
+  os << "]";
+  return os.str();
+}
+
+EventLog& GlobalEventLog() {
+  static EventLog* log = new EventLog();  // leaked: outlives all users
+  return *log;
+}
+
+}  // namespace vizndp::obs

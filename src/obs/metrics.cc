@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/context.h"
 
 namespace vizndp::obs {
 
@@ -27,16 +28,90 @@ void Histogram::Observe(double v) {
   const auto i = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seen = count_.fetch_add(1, std::memory_order_relaxed);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
+  }
+  // Exemplar: only observations that beat the running max take the lock,
+  // so steady-state traffic pays a single relaxed load here. `seen == 0`
+  // forces the very first observation through even when v <= 0.
+  if (v >= max_.load(std::memory_order_relaxed) || seen == 0) {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    if (!has_exemplar_ || v >= exemplar_value_) {
+      has_exemplar_ = true;
+      exemplar_value_ = v;
+      exemplar_trace_ = CurrentTraceContext().trace_id;
+      max_.store(v, std::memory_order_relaxed);
+    }
   }
 }
 
 std::uint64_t Histogram::bucket(size_t i) const {
   VIZNDP_CHECK_MSG(i < buckets_.size(), "histogram bucket out of range");
   return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::exemplar_value() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplar_value_;
+}
+
+std::uint64_t Histogram::exemplar_trace_id() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplar_trace_;
+}
+
+double SnapshotQuantile(const MetricSnapshot& snapshot, double q) {
+  if (snapshot.kind != MetricSnapshot::Kind::kHistogram ||
+      snapshot.count == 0 || snapshot.buckets.empty()) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = snapshot.buckets[i];
+    if (in_bucket == 0) continue;
+    const std::uint64_t below = cumulative;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= snapshot.bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate against; report the
+      // last finite bound as a (known-low) estimate.
+      return snapshot.bounds.empty() ? 0 : snapshot.bounds.back();
+    }
+    const double hi = snapshot.bounds[i];
+    const double lo = i == 0 ? 0 : snapshot.bounds[i - 1];
+    const double frac =
+        (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return snapshot.bounds.empty() ? 0 : snapshot.bounds.back();
+}
+
+void ParseCanonicalName(const std::string& canonical, std::string* base,
+                        Labels* labels) {
+  labels->clear();
+  const size_t brace = canonical.find('{');
+  if (brace == std::string::npos || canonical.back() != '}') {
+    *base = canonical;
+    return;
+  }
+  *base = canonical.substr(0, brace);
+  const std::string body =
+      canonical.substr(brace + 1, canonical.size() - brace - 2);
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string pair = body.substr(pos, comma - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      labels->emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+    pos = comma + 1;
+  }
 }
 
 const char* MetricKindName(MetricSnapshot::Kind kind) {
@@ -131,6 +206,8 @@ std::vector<MetricSnapshot> Registry::Snapshot() const {
     for (size_t i = 0; i <= s.bounds.size(); ++i) {
       s.buckets.push_back(hist->bucket(i));
     }
+    s.exemplar_value = hist->exemplar_value();
+    s.exemplar_trace_id = hist->exemplar_trace_id();
     out.push_back(std::move(s));
   }
   return out;
@@ -142,6 +219,15 @@ std::string SnapshotToText(const std::vector<MetricSnapshot>& snapshot) {
     os << s.name << " ";
     if (s.kind == MetricSnapshot::Kind::kHistogram) {
       os << "count=" << s.count << " sum=" << s.value;
+      if (s.count > 0) {
+        os << " p50=" << SnapshotQuantile(s, 0.50)
+           << " p95=" << SnapshotQuantile(s, 0.95)
+           << " p99=" << SnapshotQuantile(s, 0.99);
+        if (s.exemplar_trace_id != 0) {
+          os << " exemplar=" << s.exemplar_value << "@"
+             << TraceIdHex(s.exemplar_trace_id);
+        }
+      }
     } else {
       os << s.value;
     }
@@ -170,11 +256,101 @@ std::string SnapshotToJson(const std::vector<MetricSnapshot>& snapshot) {
         os << s.buckets[b];
       }
       os << "]";
+      if (s.count > 0) {
+        os << ",\"p50\":" << SnapshotQuantile(s, 0.50)
+           << ",\"p95\":" << SnapshotQuantile(s, 0.95)
+           << ",\"p99\":" << SnapshotQuantile(s, 0.99);
+      }
+      if (s.exemplar_trace_id != 0) {
+        os << ",\"exemplar\":{\"value\":" << s.exemplar_value
+           << ",\"trace_id\":\"" << TraceIdHex(s.exemplar_trace_id) << "\"}";
+      }
     }
     os << "}";
   }
   os << "]";
   return os.str();
+}
+
+namespace {
+
+// Prometheus-quoted label block: {k="v",...}; empty string for no labels.
+std::string PromLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + JsonEscape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same, with one extra label appended (used for _bucket{...,le="..."}).
+std::string PromLabelsWith(const Labels& labels, const std::string& key,
+                           const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return PromLabels(extended);
+}
+
+std::string PromDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string SnapshotToProm(const std::vector<MetricSnapshot>& snapshot) {
+  std::ostringstream os;
+  std::string last_typed;  // one # TYPE line per metric family
+  for (const MetricSnapshot& s : snapshot) {
+    std::string base;
+    Labels labels;
+    ParseCanonicalName(s.name, &base, &labels);
+    if (base != last_typed) {
+      os << "# TYPE " << base << " " << MetricKindName(s.kind) << "\n";
+      last_typed = base;
+    }
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        os << base << PromLabels(labels) << " " << s.value << "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          cumulative += s.buckets[i];
+          const std::string le = i < s.bounds.size()
+                                     ? PromDouble(s.bounds[i])
+                                     : std::string("+Inf");
+          os << base << "_bucket" << PromLabelsWith(labels, "le", le) << " "
+             << cumulative << "\n";
+        }
+        os << base << "_sum" << PromLabels(labels) << " " << s.value << "\n";
+        os << base << "_count" << PromLabels(labels) << " " << s.count
+           << "\n";
+        if (s.exemplar_trace_id != 0) {
+          // Classic text exposition has no exemplar syntax; keep the
+          // trace link scrape-visible as a comment.
+          os << "# EXEMPLAR " << base << PromLabels(labels) << " value="
+             << s.exemplar_value << " trace_id="
+             << TraceIdHex(s.exemplar_trace_id) << "\n";
+        }
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string FormatSnapshot(const std::vector<MetricSnapshot>& snapshot,
+                           const std::string& format) {
+  if (format.empty() || format == "text") return SnapshotToText(snapshot);
+  if (format == "json") return SnapshotToJson(snapshot);
+  if (format == "prom") return SnapshotToProm(snapshot);
+  throw Error("unknown metrics format: " + format);
 }
 
 Registry& DefaultRegistry() {

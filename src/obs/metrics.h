@@ -51,6 +51,12 @@ class Gauge {
 
 // Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
 // (and > bounds[i-1]); one extra overflow bucket holds v > bounds.back().
+//
+// Exemplar: the histogram remembers its worst (largest) observation and,
+// when the observing thread carried a TraceContext, that observation's
+// trace_id — so the slowest ndp.fetch in a scrape is one lookup away
+// from its merged trace. The exemplar path costs one relaxed load on the
+// common (non-record) case.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -63,11 +69,21 @@ class Histogram {
   // i in [0, bounds().size()]; the last index is the overflow bucket.
   std::uint64_t bucket(size_t i) const;
 
+  // Worst observation so far and the trace it belonged to (trace_id 0 =
+  // the worst observation was untraced). Meaningless while count() == 0.
+  double exemplar_value() const;
+  std::uint64_t exemplar_trace_id() const;
+
  private:
   std::vector<double> bounds_;  // ascending upper bounds
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};  // fast reject for the exemplar path
+  mutable std::mutex exemplar_mu_;
+  bool has_exemplar_ = false;
+  double exemplar_value_ = 0.0;
+  std::uint64_t exemplar_trace_ = 0;
 };
 
 // One exported metric, decoupled from live storage so snapshots can cross
@@ -81,7 +97,21 @@ struct MetricSnapshot {
   std::uint64_t count = 0;             // histogram observations
   std::vector<double> bounds;          // histogram upper bounds
   std::vector<std::uint64_t> buckets;  // histogram counts, bounds.size()+1
+  // Histogram exemplar: worst observation + its trace (0 = untraced).
+  double exemplar_value = 0;
+  std::uint64_t exemplar_trace_id = 0;
 };
+
+// Estimated q-quantile (q in [0,1]) of a histogram snapshot: finds the
+// bucket holding the target rank and interpolates linearly inside it.
+// Observations in the overflow bucket report the last finite bound.
+// Returns 0 for empty histograms and non-histogram snapshots.
+double SnapshotQuantile(const MetricSnapshot& snapshot, double q);
+
+// Splits a canonical name ("rpc_requests_total{method=ndp.select}") back
+// into base name and label pairs; labels is empty for unlabeled names.
+void ParseCanonicalName(const std::string& canonical, std::string* base,
+                        Labels* labels);
 
 const char* MetricKindName(MetricSnapshot::Kind kind);
 MetricSnapshot::Kind MetricKindFromName(std::string_view name);
@@ -92,6 +122,14 @@ const MetricSnapshot* FindMetric(const std::vector<MetricSnapshot>& snapshot,
 
 std::string SnapshotToText(const std::vector<MetricSnapshot>& snapshot);
 std::string SnapshotToJson(const std::vector<MetricSnapshot>& snapshot);
+// Prometheus text exposition (one # TYPE line per metric family,
+// histograms expanded into _bucket{le=...}/_sum/_count series, exemplars
+// as trailing comments) so the registry scrapes without bespoke parsing.
+std::string SnapshotToProm(const std::vector<MetricSnapshot>& snapshot);
+
+// Renders "text", "json", or "prom"; throws Error on unknown formats.
+std::string FormatSnapshot(const std::vector<MetricSnapshot>& snapshot,
+                           const std::string& format);
 
 class Registry {
  public:

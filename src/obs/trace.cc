@@ -46,58 +46,152 @@ void Tracer::SetThreadTrack(const std::string& name) {
   thread_tracks_[std::this_thread::get_id()] = TrackIdLocked(name);
 }
 
+void Tracer::PushLocked(TraceEvent event) {
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[ring_next_] = std::move(event);
+    ring_next_ = (ring_next_ + 1) % capacity_;
+  }
+}
+
 void Tracer::Record(std::string name,
                     std::chrono::steady_clock::time_point start,
                     std::chrono::steady_clock::time_point end) {
+  Record(std::move(name), start, end, SpanIds{});
+}
+
+void Tracer::Record(std::string name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end,
+                    const SpanIds& ids) {
   if (!enabled()) return;
   TraceEvent event;
   event.name = std::move(name);
   event.start_us = MicrosBetween(epoch_, start);
   event.dur_us = MicrosBetween(start, end);
+  event.trace_id = ids.trace_id;
+  event.span_id = ids.span_id;
+  event.parent_span_id = ids.parent_span_id;
   std::lock_guard<std::mutex> lock(mu_);
   event.track = ThreadTrackLocked();
-  if (events_.size() < capacity_) {
-    events_.push_back(std::move(event));
-  } else {
-    events_[ring_next_] = std::move(event);
-    ring_next_ = (ring_next_ + 1) % capacity_;
-  }
+  PushLocked(std::move(event));
 }
 
 void Tracer::Inject(const std::string& track, std::string name,
-                    std::uint64_t start_us, std::uint64_t dur_us) {
+                    std::uint64_t start_us, std::uint64_t dur_us,
+                    const SpanIds& ids) {
   TraceEvent event;
   event.name = std::move(name);
   event.start_us = start_us;
   event.dur_us = dur_us;
+  event.trace_id = ids.trace_id;
+  event.span_id = ids.span_id;
+  event.parent_span_id = ids.parent_span_id;
   std::lock_guard<std::mutex> lock(mu_);
   event.track = TrackIdLocked(track);
-  if (events_.size() < capacity_) {
-    events_.push_back(std::move(event));
-  } else {
-    events_[ring_next_] = std::move(event);
-    ring_next_ = (ring_next_ + 1) % capacity_;
-  }
+  PushLocked(std::move(event));
 }
+
+std::vector<TraceEvent> Tracer::Linearized() const {
+  std::vector<TraceEvent> out;
+  const size_t n = events_.size();
+  out.reserve(n);
+  const size_t first = n < capacity_ ? 0 : ring_next_;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(events_[(first + i) % n]);
+  }
+  return out;
+}
+
+namespace {
+
+DrainedEvent ToDrained(const TraceEvent& e,
+                       const std::vector<std::string>& tracks) {
+  DrainedEvent d;
+  d.name = e.name;
+  d.track = e.track < tracks.size() ? tracks[e.track] : "thread-?";
+  d.start_us = e.start_us;
+  d.dur_us = e.dur_us;
+  d.trace_id = e.trace_id;
+  d.span_id = e.span_id;
+  d.parent_span_id = e.parent_span_id;
+  return d;
+}
+
+}  // namespace
 
 std::vector<DrainedEvent> Tracer::Drain() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<DrainedEvent> out;
   out.reserve(events_.size());
-  // Oldest first: once the ring wrapped, ring_next_ points at the oldest.
-  const size_t n = events_.size();
-  const size_t first = n < capacity_ ? 0 : ring_next_;
-  for (size_t i = 0; i < n; ++i) {
-    const TraceEvent& e = events_[(first + i) % n];
-    DrainedEvent d;
-    d.name = e.name;
-    d.track = e.track < track_names_.size() ? track_names_[e.track]
-                                            : "thread-?";
-    d.start_us = e.start_us;
-    d.dur_us = e.dur_us;
-    out.push_back(std::move(d));
+  for (const TraceEvent& e : Linearized()) {
+    out.push_back(ToDrained(e, track_names_));
   }
   events_.clear();
+  ring_next_ = 0;
+  return out;
+}
+
+std::vector<DrainedEvent> Tracer::Collect(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DrainedEvent> out;
+  for (const TraceEvent& e : Linearized()) {
+    if (e.trace_id == trace_id) out.push_back(ToDrained(e, track_names_));
+  }
+  return out;
+}
+
+std::vector<DrainedEvent> Tracer::Extract(std::uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DrainedEvent> out;
+  std::vector<TraceEvent> rest;
+  for (TraceEvent& e : Linearized()) {
+    if (e.trace_id == trace_id) {
+      out.push_back(ToDrained(e, track_names_));
+    } else {
+      rest.push_back(std::move(e));
+    }
+  }
+  events_ = std::move(rest);
+  ring_next_ = 0;
+  return out;
+}
+
+std::vector<DrainedEvent> Tracer::ExtractSubtree(std::uint64_t trace_id,
+                                                 std::uint64_t root_span_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<TraceEvent> all = Linearized();
+  // Fixpoint over the parent relation: children End() (and thus record)
+  // before their parents, so a single pass in buffer order is not enough.
+  std::vector<bool> in_subtree(all.size(), false);
+  std::vector<std::uint64_t> member_spans{root_span_id};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (in_subtree[i] || all[i].trace_id != trace_id) continue;
+      if (all[i].span_id == 0) continue;
+      for (const std::uint64_t parent : member_spans) {
+        if (all[i].parent_span_id == parent) {
+          in_subtree[i] = true;
+          member_spans.push_back(all[i].span_id);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<DrainedEvent> out;
+  std::vector<TraceEvent> rest;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (in_subtree[i]) {
+      out.push_back(ToDrained(all[i], track_names_));
+    } else {
+      rest.push_back(all[i]);
+    }
+  }
+  events_ = std::move(rest);
   ring_next_ = 0;
   return out;
 }
@@ -142,7 +236,13 @@ void Tracer::WriteChromeJson(std::ostream& os) const {
     first = false;
     os << "{\"name\":\"" << JsonEscape(e.name)
        << "\",\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
-       << ",\"pid\":1,\"tid\":" << e.track << "}";
+       << ",\"pid\":1,\"tid\":" << e.track;
+    if (e.trace_id != 0) {
+      os << ",\"args\":{\"trace_id\":\"" << TraceIdHex(e.trace_id)
+         << "\",\"span_id\":" << e.span_id << ",\"parent_span_id\":"
+         << e.parent_span_id << "}";
+    }
+    os << "}";
   }
   os << "]}";
 }
@@ -156,6 +256,37 @@ std::string Tracer::ChromeJson() const {
 Tracer& GlobalTracer() {
   static Tracer* tracer = new Tracer();  // leaked: outlives all users
   return *tracer;
+}
+
+Span::Span(std::string name, Tracer& tracer)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {
+  const TraceContext& cur = CurrentTraceContext();
+  if (cur.valid()) {
+    ids_.trace_id = cur.trace_id;
+    ids_.parent_span_id = cur.span_id;
+    ids_.span_id = NextSpanId();
+    saved_ = cur;
+    TraceContext mine = cur;
+    mine.span_id = ids_.span_id;
+    // Install via the scoped mechanism by hand: Span outlives lexical
+    // scopes awkwardly (End() may come before destruction), so it
+    // restores in End() rather than a nested ScopedTraceContext.
+    internal_SetCurrentTraceContext(mine);
+    scoped_ = true;
+  }
+}
+
+void Span::End() {
+  if (ended_) return;
+  ended_ = true;
+  end_ = std::chrono::steady_clock::now();
+  if (scoped_) {
+    internal_SetCurrentTraceContext(saved_);
+    scoped_ = false;
+  }
+  tracer_.Record(std::move(name_), start_, end_, ids_);
 }
 
 }  // namespace vizndp::obs

@@ -1,0 +1,64 @@
+#include "obs/trace_merge.h"
+
+namespace vizndp::obs {
+
+namespace {
+
+std::int64_t AsSigned(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
+}  // namespace
+
+ClockOffset ClockOffset::Estimate(std::uint64_t t0, std::uint64_t t1,
+                                  std::uint64_t t2, std::uint64_t t3) {
+  ClockOffset out;
+  // Midpoint: average the two per-leg offset bounds. Computed in signed
+  // 64-bit; steady-clock micros since process start stay far below the
+  // 2^63 range.
+  out.offset_us = ((AsSigned(t0) - AsSigned(t1)) +
+                   (AsSigned(t3) - AsSigned(t2))) / 2;
+  // (rtt - server residency) / 2, split evenly over the two legs; clamp
+  // against pathological inputs (t3 < t0, server residency > rtt).
+  const std::int64_t rtt = AsSigned(t3) - AsSigned(t0);
+  const std::int64_t server = AsSigned(t2) - AsSigned(t1);
+  const std::int64_t wire = rtt > server ? rtt - server : 0;
+  out.wire_request_us = static_cast<std::uint64_t>(wire / 2);
+  out.wire_reply_us = static_cast<std::uint64_t>(wire - wire / 2);
+  return out;
+}
+
+std::uint64_t ClockOffset::ToLocal(std::uint64_t server_us) const {
+  const std::int64_t local = AsSigned(server_us) + offset_us;
+  return local > 0 ? static_cast<std::uint64_t>(local) : 0;
+}
+
+ClockOffset MergeRemoteAttempt(Tracer& tracer,
+                               const RemoteAttemptTrace& attempt,
+                               std::uint64_t trace_id,
+                               std::uint64_t parent_span_id) {
+  if (!attempt.has_server_times) return {};
+  const ClockOffset offset =
+      ClockOffset::Estimate(attempt.t0_client_send_us,
+                            attempt.t1_server_recv_us,
+                            attempt.t2_server_send_us,
+                            attempt.t3_client_recv_us);
+  for (const DrainedEvent& e : attempt.server_events) {
+    Tracer::SpanIds ids;
+    ids.trace_id = e.trace_id;
+    ids.span_id = e.span_id;
+    ids.parent_span_id = e.parent_span_id;
+    tracer.Inject(e.track, e.name, offset.ToLocal(e.start_us), e.dur_us, ids);
+  }
+  Tracer::SpanIds wire_ids;
+  wire_ids.trace_id = trace_id;
+  wire_ids.span_id = NextSpanId();
+  wire_ids.parent_span_id = parent_span_id;
+  tracer.Inject("wire", "wire:request", attempt.t0_client_send_us,
+                offset.wire_request_us, wire_ids);
+  wire_ids.span_id = NextSpanId();
+  tracer.Inject("wire", "wire:reply",
+                offset.ToLocal(attempt.t2_server_send_us),
+                offset.wire_reply_us, wire_ids);
+  return offset;
+}
+
+}  // namespace vizndp::obs

@@ -1,0 +1,65 @@
+// Clock-aligned merging of a remote (storage-node) trace fragment into
+// the local tracer. Client and server each timestamp spans against their
+// own steady_clock epoch, so a server span's raw timestamps are
+// meaningless in the client's timeline. The four RPC timestamps
+//
+//   t0  client sends the request      (client clock)
+//   t1  server receives it            (server clock)
+//   t2  server sends the reply        (server clock)
+//   t3  client receives the reply     (client clock)
+//
+// give the classic NTP midpoint estimate: assuming the two wire legs are
+// symmetric, the server clock is offset from the client clock by
+//
+//   offset = ((t0 - t1) + (t3 - t2)) / 2
+//
+// and server timestamps map into client time as t + offset. The same
+// four numbers bound the wire itself: the request leg is [t0, t1+offset]
+// and the reply leg is [t2+offset, t3], each of duration
+// (rtt - server_time) / 2 >= 0 — so wire pseudo-spans are non-negative
+// by construction (and clamped anyway, for clocks that misbehave).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace vizndp::obs {
+
+struct ClockOffset {
+  // Add to a server timestamp to get client time (may be negative).
+  std::int64_t offset_us = 0;
+  // Wire leg durations implied by the midpoint assumption.
+  std::uint64_t wire_request_us = 0;
+  std::uint64_t wire_reply_us = 0;
+
+  static ClockOffset Estimate(std::uint64_t t0_client_send,
+                              std::uint64_t t1_server_recv,
+                              std::uint64_t t2_server_send,
+                              std::uint64_t t3_client_recv);
+
+  std::uint64_t ToLocal(std::uint64_t server_us) const;
+};
+
+// One RPC attempt's worth of remote trace material, as carried by the
+// reply piggyback (see rpc/protocol.h).
+struct RemoteAttemptTrace {
+  std::uint64_t t0_client_send_us = 0;
+  std::uint64_t t3_client_recv_us = 0;
+  std::uint64_t t1_server_recv_us = 0;
+  std::uint64_t t2_server_send_us = 0;
+  bool has_server_times = false;
+  std::vector<DrainedEvent> server_events;
+};
+
+// Injects the attempt's server spans (clock-aligned, original tracks)
+// and two wire pseudo-spans ("wire:request" / "wire:reply" on the
+// "wire" track, parented under `parent_span_id`) into `tracer`. No-op
+// when the attempt carries no server times. Returns the estimate used.
+ClockOffset MergeRemoteAttempt(Tracer& tracer,
+                               const RemoteAttemptTrace& attempt,
+                               std::uint64_t trace_id,
+                               std::uint64_t parent_span_id);
+
+}  // namespace vizndp::obs

@@ -5,8 +5,12 @@
 #include "common/error.h"
 #include "msgpack/pack.h"
 #include "msgpack/unpack.h"
+#include "obs/context.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "rpc/protocol.h"
+#include "rpc/trace_wire.h"
 
 namespace vizndp::rpc {
 
@@ -20,6 +24,36 @@ std::uint64_t MethodSalt(const std::string& method) {
   return h;
 }
 
+std::string EventDetail(const std::string& method, int attempt) {
+  return "method=" + method + " attempt=" + std::to_string(attempt);
+}
+
+// Folds one attempt's reply piggyback into the local tracer: the server
+// spans land clock-aligned on their original tracks, and the two wire
+// legs appear as pseudo-spans parented under the attempt span. Malformed
+// piggybacks are ignored — trace material must never fail a call.
+void MergeReplyPiggyback(const msgpack::Value& piggyback, std::uint64_t t0,
+                         std::uint64_t t3, const obs::TraceContext& ctx,
+                         obs::Tracer& tracer) {
+  if (!piggyback.Is<msgpack::Map>()) return;
+  const msgpack::Value* recv = piggyback.Find(kPiggybackRecvKey);
+  const msgpack::Value* send = piggyback.Find(kPiggybackSendKey);
+  if (recv == nullptr || send == nullptr || !recv->IsInteger() ||
+      !send->IsInteger()) {
+    return;
+  }
+  obs::RemoteAttemptTrace attempt;
+  attempt.t0_client_send_us = t0;
+  attempt.t3_client_recv_us = t3;
+  attempt.t1_server_recv_us = recv->AsUint();
+  attempt.t2_server_send_us = send->AsUint();
+  attempt.has_server_times = true;
+  if (const msgpack::Value* spans = piggyback.Find(kPiggybackSpansKey)) {
+    attempt.server_events = EventsFromValue(*spans);
+  }
+  obs::MergeRemoteAttempt(tracer, attempt, ctx.trace_id, ctx.span_id);
+}
+
 }  // namespace
 
 // One attempt: send the request, then receive until *our* reply arrives.
@@ -29,6 +63,10 @@ std::uint64_t MethodSalt(const std::string& method) {
 msgpack::Value Client::CallOnce(const std::string& method,
                                 const msgpack::Array& params,
                                 net::Deadline deadline) {
+  obs::Tracer& tracer = obs::GlobalTracer();
+  // Each attempt is a distinct tagged child span of the rpc.call span, so
+  // a retried request renders as N attempt boxes, failures included.
+  obs::Span span("rpc.attempt:" + method, tracer);
   const std::uint64_t msgid = next_msgid_++;
 
   msgpack::Array request;
@@ -36,22 +74,38 @@ msgpack::Value Client::CallOnce(const std::string& method,
   request.emplace_back(msgid);
   request.emplace_back(method);
   request.push_back(msgpack::Value(msgpack::Array(params)));
+  // The attempt span installed itself as the thread's current span, so
+  // the ctx sent over the wire parents the server's dispatch span under
+  // *this attempt*. Only sampled contexts travel: with tracing off the
+  // frame keeps the pre-tracing 4-element shape old servers require.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  const bool traced = ctx.valid() && ctx.sampled;
+  if (traced) request.push_back(ContextToValue(ctx));
+  const std::uint64_t t0 = tracer.NowMicros();
   transport_->Send(msgpack::Encode(msgpack::Value(std::move(request))));
 
   for (;;) {
     const Bytes reply = transport_->Receive(deadline);
+    const std::uint64_t t3 = tracer.NowMicros();
     msgpack::Value response = msgpack::Decode(reply);
     auto& fields = response.AsMutable<msgpack::Array>();
-    if (fields.size() != 4 || fields[0].AsInt() != kResponseType) {
+    if (fields.size() < 4 || fields[0].AsInt() != kResponseType) {
       throw RpcError("malformed RPC response");
     }
     const std::uint64_t got = fields[1].AsUint();
     if (got != msgid) {
       if (got < msgid) {
         metrics().GetCounter("rpc_stale_replies_total").Increment();
+        obs::GlobalEventLog().Append("rpc.stale_reply", "method=" + method);
         continue;  // stale reply from an earlier attempt; keep waiting
       }
       throw RpcError("RPC response msgid mismatch");
+    }
+    // Merge the piggyback *before* error handling: a busy or corrupt
+    // reply still cost a round trip, and its server span + wire legs
+    // belong in the trace exactly because the attempt failed.
+    if (traced && fields.size() >= 5) {
+      MergeReplyPiggyback(fields[4], t0, t3, ctx, tracer);
     }
     if (!fields[2].IsNil()) {
       // Well-known prefixes carry typed errors across the string-only
@@ -75,9 +129,9 @@ msgpack::Value Client::CallOnce(const std::string& method,
 msgpack::Value Client::Call(const std::string& method, msgpack::Array params,
                             const CallOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
-  // One span per round trip on the "client" trace track; the matching
-  // server-side "rpc.dispatch:" span nests inside it, so the gap between
-  // the two is the transfer + queueing cost.
+  // One span per logical call on the "client" trace track; each attempt
+  // nests inside it, and the matching server-side "rpc.dispatch:" span
+  // nests inside the attempt.
   obs::Tracer& tracer = obs::GlobalTracer();
   if (tracer.enabled()) tracer.SetThreadTrack("client");
   obs::Span span("rpc.call:" + method, tracer);
@@ -94,6 +148,7 @@ msgpack::Value Client::Call(const std::string& method, msgpack::Array params,
     } catch (const TimeoutError&) {
       metrics().GetCounter("rpc_timeouts_total", {{"method", method}})
           .Increment();
+      obs::GlobalEventLog().Append("rpc.timeout", EventDetail(method, attempt));
       if (attempt >= attempts) {
         throw TimeoutError("rpc call '" + method + "' timed out after " +
                            std::to_string(attempt) + " attempt(s)");
@@ -103,6 +158,7 @@ msgpack::Value Client::Call(const std::string& method, msgpack::Array params,
       // retry is safe even for non-idempotent calls; back off and let the
       // overload clear.
       metrics().GetCounter("rpc_busy_total", {{"method", method}}).Increment();
+      obs::GlobalEventLog().Append("rpc.busy", EventDetail(method, attempt));
       if (attempt >= std::max(retry_.max_attempts, 1)) throw;
     } catch (const RpcError&) {
       // The server is alive and reported an application error (or sent a
@@ -116,10 +172,16 @@ msgpack::Value Client::Call(const std::string& method, msgpack::Array params,
     } catch (const Error&) {
       // Transport-level loss (peer closed, corrupt frame): retryable for
       // idempotent calls. A ReconnectingTransport re-dials underneath.
+      metrics()
+          .GetCounter("rpc_transport_errors_total", {{"method", method}})
+          .Increment();
+      obs::GlobalEventLog().Append("rpc.transport_error",
+                                   EventDetail(method, attempt));
       if (attempt >= attempts) throw;
     }
     metrics().GetCounter("rpc_retries_total", {{"method", method}})
         .Increment();
+    obs::GlobalEventLog().Append("rpc.retry", EventDetail(method, attempt + 1));
     net::BackoffSleep(retry_, attempt, salt);
   }
 }

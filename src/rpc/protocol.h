@@ -9,6 +9,24 @@
 // conditions a caller *acts on differently* get a prefix — busy (always
 // retryable: the handler never ran) and corrupt data (never retryable
 // against the same store, but eligible for the baseline fallback).
+//
+// Distributed tracing rides the same frames as OPTIONAL trailing
+// elements, so both directions stay backward compatible:
+//
+//   request:  [0, msgid, method, params, ctx(map)?]
+//   response: [1, msgid, error, result, piggyback(map)?]
+//
+// The ctx map ({"trace_id": u64, "span_id": u64}) is attached only when
+// the calling thread carries a *sampled* TraceContext — default traffic
+// keeps the original 4-element shape, which is why an old server (which
+// rejects any other arity) still interoperates with a new client. A new
+// server accepts both arities and simply never sees a ctx from an old
+// client. The piggyback map ({"t_recv": µs, "t_send": µs, "spans":
+// [...]}) is attached to the reply only when the request carried a ctx:
+// t_recv/t_send are the server's receive/send timestamps (its own clock;
+// see obs/trace_merge.h for the midpoint alignment) and "spans" are the
+// request's server-side spans, *moved* out of the server tracer so a
+// shared in-proc tracer never holds duplicates.
 #pragma once
 
 #include <cstdint>
@@ -21,5 +39,14 @@ inline constexpr std::int64_t kResponseType = 1;
 
 inline constexpr std::string_view kBusyErrorPrefix = "!busy: ";
 inline constexpr std::string_view kCorruptErrorPrefix = "!corrupt: ";
+
+// Keys of the request ctx map.
+inline constexpr const char* kCtxTraceIdKey = "trace_id";
+inline constexpr const char* kCtxSpanIdKey = "span_id";
+
+// Keys of the response piggyback map.
+inline constexpr const char* kPiggybackRecvKey = "t_recv";
+inline constexpr const char* kPiggybackSendKey = "t_send";
+inline constexpr const char* kPiggybackSpansKey = "spans";
 
 }  // namespace vizndp::rpc

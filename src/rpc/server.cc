@@ -1,10 +1,15 @@
 #include "rpc/server.h"
 
+#include <optional>
+
 #include "common/error.h"
 #include "msgpack/pack.h"
 #include "msgpack/unpack.h"
+#include "obs/context.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "rpc/protocol.h"
+#include "rpc/trace_wire.h"
 
 namespace vizndp::rpc {
 
@@ -88,15 +93,33 @@ void Server::Bind(const std::string& method, Handler handler) {
                    "duplicate RPC method '" + method + "'");
 }
 
+std::vector<Server::InflightRequest> Server::InflightSnapshot() const {
+  std::lock_guard<std::mutex> lock(inflight_table_mu_);
+  std::vector<InflightRequest> out;
+  out.reserve(inflight_table_.size());
+  for (const auto& [token, req] : inflight_table_) out.push_back(req);
+  return out;
+}
+
 Bytes Server::Dispatch(ByteSpan request_frame) {
+  // Receive timestamp for the reply piggyback (this server's clock; the
+  // client aligns it with the NTP midpoint — see obs/trace_merge.h).
+  const std::uint64_t t_recv = obs::GlobalTracer().NowMicros();
   msgpack::Value request = msgpack::Decode(request_frame);
   const auto& fields = request.As<msgpack::Array>();
-  if (fields.size() != 4 || fields[0].AsInt() != kRequestType) {
+  if (fields.size() < 4 || fields[0].AsInt() != kRequestType) {
     throw RpcError("malformed RPC request");
   }
   const std::uint64_t msgid = fields[1].AsUint();
   const std::string& method = fields[2].As<std::string>();
   const auto& params = fields[3].As<msgpack::Array>();
+  // Optional 5th element: the caller's trace context. Old clients send
+  // 4-element frames and land here with an invalid (untraced) context;
+  // anything malformed degrades to untraced rather than failing the call.
+  obs::TraceContext ctx;
+  if (fields.size() >= 5) ctx = ContextFromValue(fields[4]);
+  std::optional<obs::ScopedTraceContext> trace_scope;
+  if (ctx.valid()) trace_scope.emplace(ctx);
 
   obs::Span span("rpc.dispatch:" + method);
   // Counted before the handler runs so a scrape taken *inside* a handler
@@ -111,9 +134,12 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
     // another (or restarted) server even for non-idempotent methods.
     error = std::string(kBusyErrorPrefix) + "server draining";
     busy_rejected_->Increment();
+    obs::GlobalEventLog().Append("rpc.shed",
+                                 "reason=draining method=" + method);
   } else if (it == handlers_.end()) {
     error = "unknown method '" + method + "'";
     metrics_.GetCounter("rpc_unknown_method_total").Increment();
+    obs::GlobalEventLog().Append("rpc.unknown_method", "method=" + method);
   } else {
     const int now_inflight =
         inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -122,9 +148,18 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
       error = std::string(kBusyErrorPrefix) + "too many in-flight requests (" +
               std::to_string(options_.max_inflight) + " allowed)";
       busy_rejected_->Increment();
+      obs::GlobalEventLog().Append("rpc.shed",
+                                   "reason=inflight method=" + method);
     } else {
       ran_handler = true;
       it->second.requests->Increment();
+      std::uint64_t inflight_token;
+      {
+        std::lock_guard<std::mutex> lock(inflight_table_mu_);
+        inflight_token = next_inflight_token_++;
+        inflight_table_.emplace(
+            inflight_token, InflightRequest{method, ctx.trace_id, t_recv});
+      }
       try {
         result = it->second.handler(params);
       } catch (const BusyError& e) {
@@ -132,14 +167,24 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
         // still always retryable from the client's point of view.
         error = std::string(kBusyErrorPrefix) + e.what();
         busy_rejected_->Increment();
+        obs::GlobalEventLog().Append("rpc.shed",
+                                     "reason=budget method=" + method);
       } catch (const CorruptDataError& e) {
         // Typed so the client can distinguish "your data is bad" (fall
         // back to baseline) from generic handler failure.
         error = std::string(kCorruptErrorPrefix) + e.what();
         it->second.errors->Increment();
+        obs::GlobalEventLog().Append("rpc.corrupt_reply",
+                                     "method=" + method);
       } catch (const std::exception& e) {
         error = std::string("handler failed: ") + e.what();
         it->second.errors->Increment();
+        obs::GlobalEventLog().Append("rpc.handler_error",
+                                     "method=" + method);
+      }
+      {
+        std::lock_guard<std::mutex> lock(inflight_table_mu_);
+        inflight_table_.erase(inflight_token);
       }
     }
     const int after = inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
@@ -165,6 +210,7 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
       result = msgpack::Value();
       metrics_.GetCounter("rpc_deadline_exceeded_total", {{"method", method}})
           .Increment();
+      obs::GlobalEventLog().Append("rpc.deadline", "method=" + method);
     }
   }
 
@@ -174,6 +220,23 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
   response.emplace_back(error.empty() ? msgpack::Value(msgpack::Nil{})
                                       : msgpack::Value(std::move(error)));
   response.push_back(std::move(result));
+  if (ctx.valid()) {
+    // Reply piggyback: the server's receive/send timestamps plus this
+    // request's spans, *moved* out of the tracer (subtree under the
+    // request's ctx span) so a shared in-proc tracer keeps exactly one
+    // copy. Busy/error replies carry it too — failed attempts matter
+    // most in a trace.
+    msgpack::Map piggyback;
+    piggyback.emplace_back(msgpack::Value(kPiggybackRecvKey),
+                           msgpack::Value(t_recv));
+    piggyback.emplace_back(msgpack::Value(kPiggybackSendKey),
+                           msgpack::Value(obs::GlobalTracer().NowMicros()));
+    piggyback.emplace_back(
+        msgpack::Value(kPiggybackSpansKey),
+        EventsToValue(obs::GlobalTracer().ExtractSubtree(ctx.trace_id,
+                                                         ctx.span_id)));
+    response.push_back(msgpack::Value(std::move(piggyback)));
+  }
   return msgpack::Encode(msgpack::Value(std::move(response)));
 }
 
@@ -188,6 +251,10 @@ bool Server::Stop() {
   }
   if (!drained) {
     metrics_.GetCounter("rpc_drain_timeouts_total").Increment();
+    obs::GlobalEventLog().Append(
+        "rpc.drain_timeout",
+        "inflight=" + std::to_string(inflight_.load(
+                          std::memory_order_acquire)));
   }
   stopped_.store(true, std::memory_order_release);
   return drained;
@@ -215,6 +282,8 @@ void Server::ServeTransport(net::Transport& transport) {
       // An in-proc peer can bypass the TCP-level frame cap, so enforce it
       // here too; the connection is poisoned, not the server.
       metrics_.GetCounter("rpc_oversize_frames_total").Increment();
+      obs::GlobalEventLog().Append(
+          "rpc.oversize_frame", "bytes=" + std::to_string(request.size()));
       transport.Close();
       return;
     }
@@ -225,6 +294,7 @@ void Server::ServeTransport(net::Transport& transport) {
       // Undecodable/malformed frame: drop the connection, keep serving
       // others. Before this guard, one garbage frame killed the thread.
       metrics_.GetCounter("rpc_malformed_frames_total").Increment();
+      obs::GlobalEventLog().Append("rpc.malformed_frame");
       transport.Close();
       return;
     }

@@ -138,6 +138,18 @@ class Server {
   }
   int inflight() const { return inflight_.load(std::memory_order_acquire); }
 
+  // One currently executing handler, as reported by the ndp.health RPC:
+  // which method, since when (GlobalTracer µs), and — when the request
+  // carried a trace context — which trace to pull for the full story.
+  struct InflightRequest {
+    std::string method;
+    std::uint64_t trace_id = 0;  // 0 = untraced request
+    std::uint64_t start_us = 0;  // admission time, GlobalTracer clock
+  };
+
+  // Snapshot of the handlers executing right now (admitted, not shed).
+  std::vector<InflightRequest> InflightSnapshot() const;
+
   // Shared decompressed-memory budget (limit follows
   // options().mem_budget_bytes). Handlers reserve through this before
   // large allocations; see NdpServer::SetMemoryBudget.
@@ -179,6 +191,13 @@ class Server {
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   MemoryBudget mem_budget_;
+
+  // Registry behind InflightSnapshot(); keyed by a private token so two
+  // concurrent requests with equal msgids (different connections) don't
+  // collide.
+  mutable std::mutex inflight_table_mu_;
+  std::map<std::uint64_t, InflightRequest> inflight_table_;
+  std::uint64_t next_inflight_token_ = 1;
 };
 
 // TCP front end: accepts connections on a loopback port and serves each on

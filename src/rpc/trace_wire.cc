@@ -1,0 +1,71 @@
+#include "rpc/trace_wire.h"
+
+#include "rpc/protocol.h"
+
+namespace vizndp::rpc {
+
+using msgpack::Array;
+using msgpack::Map;
+using msgpack::Value;
+
+Value ContextToValue(const obs::TraceContext& ctx) {
+  Map m;
+  m.emplace_back(Value(kCtxTraceIdKey), Value(ctx.trace_id));
+  m.emplace_back(Value(kCtxSpanIdKey), Value(ctx.span_id));
+  return Value(std::move(m));
+}
+
+obs::TraceContext ContextFromValue(const Value& v) {
+  obs::TraceContext ctx;
+  if (!v.Is<Map>()) return ctx;
+  const Value* trace = v.Find(kCtxTraceIdKey);
+  if (trace == nullptr || !trace->IsInteger()) return ctx;
+  ctx.trace_id = trace->AsUint();
+  if (const Value* span = v.Find(kCtxSpanIdKey); span != nullptr &&
+      span->IsInteger()) {
+    ctx.span_id = span->AsUint();
+  }
+  ctx.sampled = true;
+  return ctx;
+}
+
+Value EventsToValue(const std::vector<obs::DrainedEvent>& events) {
+  Array out;
+  out.reserve(events.size());
+  for (const obs::DrainedEvent& e : events) {
+    Map m;
+    m.emplace_back(Value("name"), Value(e.name));
+    m.emplace_back(Value("track"), Value(e.track));
+    m.emplace_back(Value("ts"), Value(e.start_us));
+    m.emplace_back(Value("dur"), Value(e.dur_us));
+    if (e.trace_id != 0) {
+      m.emplace_back(Value("trace"), Value(e.trace_id));
+      m.emplace_back(Value("span"), Value(e.span_id));
+      m.emplace_back(Value("parent"), Value(e.parent_span_id));
+    }
+    out.push_back(Value(std::move(m)));
+  }
+  return Value(std::move(out));
+}
+
+std::vector<obs::DrainedEvent> EventsFromValue(const Value& v) {
+  std::vector<obs::DrainedEvent> out;
+  if (!v.Is<Array>()) return out;
+  for (const Value& entry : v.As<Array>()) {
+    if (!entry.Is<Map>()) continue;
+    obs::DrainedEvent e;
+    e.name = entry.At("name").As<std::string>();
+    e.track = entry.At("track").As<std::string>();
+    e.start_us = entry.At("ts").AsUint();
+    e.dur_us = entry.At("dur").AsUint();
+    if (const Value* t = entry.Find("trace")) e.trace_id = t->AsUint();
+    if (const Value* s = entry.Find("span")) e.span_id = s->AsUint();
+    if (const Value* p = entry.Find("parent")) {
+      e.parent_span_id = p->AsUint();
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace vizndp::rpc

@@ -1,5 +1,7 @@
 // Tests for the observability subsystem: metric registry concurrency and
-// bucket semantics, snapshot export, and the span/tracer pipeline down to
+// bucket semantics, quantiles and exemplars, snapshot export (text, JSON,
+// Prometheus), trace-context propagation primitives, the event journal,
+// clock-offset estimation, and the span/tracer pipeline down to
 // well-formed Chrome-tracing JSON.
 #include <algorithm>
 #include <string>
@@ -8,8 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
+#include "obs/context.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 
 namespace vizndp::obs {
 namespace {
@@ -209,6 +215,309 @@ TEST(Metrics, TextSnapshotListsEveryMetric) {
   const std::string text = registry.TextSnapshot();
   EXPECT_NE(text.find("c_total 5"), std::string::npos);
   EXPECT_NE(text.find("h_seconds count=1"), std::string::npos);
+}
+
+TEST(Metrics, QuantilesInterpolateWithinBuckets) {
+  // 10 observations in (10, 20]: cumulative curve is linear across one
+  // bucket, so every quantile interpolates inside [10, 20].
+  Registry registry;
+  Histogram& rh = registry.GetHistogram("h", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) rh.Observe(15.0);
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  const MetricSnapshot* s = FindMetric(snapshot, "h");
+  ASSERT_NE(s, nullptr);
+  // rank = q*count lands q of the way through the only occupied bucket.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(*s, 0.50), 15.0);
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(*s, 0.95), 19.5);
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(*s, 1.00), 20.0);
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(*s, 0.0), 10.0);  // frac 0 -> lower edge
+}
+
+TEST(Metrics, QuantileSpansMultipleBucketsAndOverflow) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("h", {1.0, 2.0});
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.5);   // bucket 1
+  h.Observe(99.0);  // overflow
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  const MetricSnapshot* s = FindMetric(snapshot, "h");
+  ASSERT_NE(s, nullptr);
+  // p50: rank 1.5 -> second half of bucket 1 -> between 1 and 2.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(*s, 0.50), 1.5);
+  // p99 lands in the overflow bucket, which has no upper edge: the
+  // estimate is pinned (known low) to the last finite bound.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(*s, 0.99), 2.0);
+  // Non-histograms and empty histograms quantile to 0.
+  registry.GetCounter("c").Increment();
+  const std::vector<MetricSnapshot> with_counter = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(*FindMetric(with_counter, "c"), 0.5), 0.0);
+}
+
+TEST(Metrics, ExemplarTracksMaxObservationWithTraceId) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("h", {1.0});
+  const TraceContext slow = TraceContext::Mint();
+  const TraceContext fast = TraceContext::Mint();
+  {
+    ScopedTraceContext scope(fast);
+    h.Observe(0.1);
+  }
+  {
+    ScopedTraceContext scope(slow);
+    h.Observe(5.0);  // the worst observation so far
+  }
+  {
+    ScopedTraceContext scope(fast);
+    h.Observe(0.2);  // smaller: must not displace the exemplar
+  }
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  const MetricSnapshot* s = FindMetric(snapshot, "h");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->exemplar_value, 5.0);
+  EXPECT_EQ(s->exemplar_trace_id, slow.trace_id);
+  // The text rendering links value@trace so a dashboard line jumps
+  // straight to the offending trace.
+  const std::string text = SnapshotToText({*s});
+  EXPECT_NE(text.find("exemplar=5@" + TraceIdHex(slow.trace_id)),
+            std::string::npos);
+}
+
+TEST(Metrics, ExemplarWithoutContextHasZeroTraceId) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("h", {1.0});
+  h.Observe(3.0);
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  const MetricSnapshot* s = FindMetric(snapshot, "h");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->exemplar_value, 3.0);
+  EXPECT_EQ(s->exemplar_trace_id, 0u);
+}
+
+TEST(Metrics, ParseCanonicalNameRoundTrips) {
+  std::string base;
+  Labels labels;
+  ParseCanonicalName("m{a=1,b=2}", &base, &labels);
+  EXPECT_EQ(base, "m");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(labels[1], (std::pair<std::string, std::string>{"b", "2"}));
+  ParseCanonicalName("bare", &base, &labels);
+  EXPECT_EQ(base, "bare");
+  EXPECT_TRUE(labels.empty());
+}
+
+TEST(Metrics, PromExpositionHasCumulativeBucketsAndTypes) {
+  Registry registry;
+  registry.GetCounter("req_total", {{"method", "x"}}).Increment(3);
+  registry.GetGauge("depth").Set(2.5);
+  Histogram& h = registry.GetHistogram("lat_seconds", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(9.0);
+  const std::string prom = SnapshotToProm(registry.Snapshot());
+  EXPECT_NE(prom.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("req_total{method=\"x\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE lat_seconds histogram"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(prom.find("lat_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_sum 11"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_count 3"), std::string::npos);
+}
+
+TEST(Metrics, FormatSnapshotDispatchesAndRejectsUnknown) {
+  Registry registry;
+  registry.GetCounter("c_total").Increment();
+  const auto snapshot = registry.Snapshot();
+  EXPECT_EQ(FormatSnapshot(snapshot, "text"), SnapshotToText(snapshot));
+  EXPECT_EQ(FormatSnapshot(snapshot, ""), SnapshotToText(snapshot));
+  EXPECT_EQ(FormatSnapshot(snapshot, "json"), SnapshotToJson(snapshot));
+  EXPECT_EQ(FormatSnapshot(snapshot, "prom"), SnapshotToProm(snapshot));
+  EXPECT_THROW(FormatSnapshot(snapshot, "xml"), Error);
+}
+
+TEST(Context, MintIsUniqueAndScopesNest) {
+  const TraceContext a = TraceContext::Mint();
+  const TraceContext b = TraceContext::Mint();
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_TRUE(a.sampled);
+  EXPECT_FALSE(TraceContext::Mint(/*sampled=*/false).sampled);
+
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  {
+    ScopedTraceContext outer(a);
+    EXPECT_EQ(CurrentTraceContext().trace_id, a.trace_id);
+    {
+      ScopedTraceContext inner(b);
+      EXPECT_EQ(CurrentTraceContext().trace_id, b.trace_id);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_id, a.trace_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+}
+
+TEST(Context, SpanIdsAreProcessUniqueAndNeverZero) {
+  const std::uint64_t a = NextSpanId();
+  const std::uint64_t b = NextSpanId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Context, SpansFormParentChainUnderContext) {
+  Tracer tracer;
+  tracer.Enable();
+  const TraceContext root = TraceContext::Mint();
+  std::uint64_t outer_id = 0;
+  {
+    ScopedTraceContext scope(root);
+    Span outer("outer", tracer);
+    outer_id = outer.span_id();
+    EXPECT_NE(outer_id, 0u);
+    // The outer span installed itself as the current span.
+    EXPECT_EQ(CurrentTraceContext().span_id, outer_id);
+    Span inner("inner", tracer);
+    EXPECT_NE(inner.span_id(), outer_id);
+  }
+  const std::vector<DrainedEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  const DrainedEvent& inner = events[0];
+  const DrainedEvent& outer = events[1];
+  EXPECT_EQ(inner.trace_id, root.trace_id);
+  EXPECT_EQ(outer.trace_id, root.trace_id);
+  EXPECT_EQ(outer.parent_span_id, 0u);      // parented at the trace root
+  EXPECT_EQ(inner.parent_span_id, outer_id);
+}
+
+TEST(EventLog, TagsEventsWithCurrentContextAndFilters) {
+  EventLog log;
+  const TraceContext a = TraceContext::Mint();
+  const TraceContext b = TraceContext::Mint();
+  log.Append("untagged");
+  {
+    ScopedTraceContext scope(a);
+    log.Append("rpc.timeout", "method=ndp.select attempt=1");
+  }
+  {
+    ScopedTraceContext scope(b);
+    log.Append("rpc.retry");
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.Events().size(), 3u);
+  const std::vector<LogEvent> only_a = log.Events(a.trace_id);
+  ASSERT_EQ(only_a.size(), 1u);
+  EXPECT_EQ(only_a[0].name, "rpc.timeout");
+  EXPECT_EQ(only_a[0].detail, "method=ndp.select attempt=1");
+  EXPECT_EQ(only_a[0].trace_id, a.trace_id);
+  // Sequence numbers record global append order.
+  const std::vector<LogEvent> all = log.Events();
+  EXPECT_LT(all[0].seq, all[1].seq);
+  EXPECT_LT(all[1].seq, all[2].seq);
+  ExpectWellFormedJson(log.Json());
+}
+
+TEST(EventLog, RingDropsOldestAndClearWorks) {
+  EventLog log(3);
+  for (int i = 0; i < 5; ++i) log.Append("e" + std::to_string(i));
+  const std::vector<LogEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[2].name, "e4");
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceMerge, MidpointOffsetRecoversKnownSkew) {
+  // Server clock runs 1000us ahead of the client's; both wire legs 50us.
+  //   client sends at 100, server receives at 100+50+1000 = 1150,
+  //   serves for 200, sends at 1350, client receives at 400.
+  const ClockOffset off = ClockOffset::Estimate(100, 1150, 1350, 400);
+  EXPECT_EQ(off.offset_us, -1000);
+  EXPECT_EQ(off.wire_request_us, 50u);
+  EXPECT_EQ(off.wire_reply_us, 50u);
+  EXPECT_EQ(off.ToLocal(1150), 150u);
+  EXPECT_EQ(off.ToLocal(1350), 350u);
+}
+
+TEST(TraceMerge, WireLegsClampNonNegative) {
+  // Server residency longer than the round trip (asymmetric or lying
+  // clocks): legs clamp to zero instead of going negative.
+  const ClockOffset off = ClockOffset::Estimate(100, 0, 900, 150);
+  EXPECT_EQ(off.wire_request_us + off.wire_reply_us, 0u);
+}
+
+TEST(TraceMerge, MergeRemoteAttemptAlignsSpansAndAddsWireLegs) {
+  Tracer tracer;
+  RemoteAttemptTrace attempt;
+  attempt.t0_client_send_us = 1000;
+  attempt.t3_client_recv_us = 1400;
+  attempt.t1_server_recv_us = 51100;  // server clock +50000, legs 100us
+  attempt.t2_server_send_us = 51300;
+  attempt.has_server_times = true;
+  DrainedEvent server_span;
+  server_span.name = "ndp.select";
+  server_span.track = "server";
+  server_span.start_us = 51150;
+  server_span.dur_us = 100;
+  server_span.trace_id = 7;
+  server_span.span_id = 42;
+  server_span.parent_span_id = 9;
+  attempt.server_events.push_back(server_span);
+
+  const ClockOffset off = MergeRemoteAttempt(tracer, attempt, 7, 9);
+  EXPECT_EQ(off.offset_us, -50000);
+
+  std::vector<DrainedEvent> merged = tracer.Drain();
+  ASSERT_EQ(merged.size(), 3u);
+  std::sort(merged.begin(), merged.end(),
+            [](const DrainedEvent& a, const DrainedEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  EXPECT_EQ(merged[0].name, "wire:request");
+  EXPECT_EQ(merged[0].track, "wire");
+  EXPECT_EQ(merged[0].start_us, 1000u);
+  EXPECT_EQ(merged[0].dur_us, 100u);
+  EXPECT_EQ(merged[0].parent_span_id, 9u);
+  EXPECT_EQ(merged[1].name, "ndp.select");
+  EXPECT_EQ(merged[1].track, "server");
+  EXPECT_EQ(merged[1].start_us, 1150u);  // 51150 - 50000
+  EXPECT_EQ(merged[1].span_id, 42u);
+  EXPECT_EQ(merged[2].name, "wire:reply");
+  EXPECT_EQ(merged[2].start_us, 1300u);
+  EXPECT_EQ(merged[2].dur_us, 100u);
+}
+
+TEST(Trace, ExtractSubtreeMovesOnlyDescendants) {
+  Tracer tracer;
+  // Trace 7: span 1 (client attempt, stays) and its child 2 with
+  // grandchild 3 (server side, extracted); span 50 belongs to another
+  // branch and must stay. Trace 8 must never move.
+  tracer.Inject("client", "attempt", 0, 100, {7, 1, 0});
+  tracer.Inject("server", "dispatch", 10, 50, {7, 2, 1});
+  tracer.Inject("server", "read", 20, 10, {7, 3, 2});
+  tracer.Inject("client", "other", 0, 5, {7, 50, 0});
+  tracer.Inject("client", "foreign", 0, 5, {8, 2, 1});
+  tracer.Inject("untagged", "plain", 0, 1);
+
+  std::vector<DrainedEvent> out = tracer.ExtractSubtree(7, 1);
+  ASSERT_EQ(out.size(), 2u);
+  std::sort(out.begin(), out.end(),
+            [](const DrainedEvent& a, const DrainedEvent& b) {
+              return a.span_id < b.span_id;
+            });
+  EXPECT_EQ(out[0].name, "dispatch");
+  EXPECT_EQ(out[1].name, "read");
+  // Everything else survives, including the root span itself.
+  const std::vector<DrainedEvent> rest = tracer.Drain();
+  ASSERT_EQ(rest.size(), 4u);
+  for (const DrainedEvent& e : rest) {
+    EXPECT_NE(e.name, "dispatch");
+    EXPECT_NE(e.name, "read");
+  }
 }
 
 TEST(Trace, DisabledTracerRecordsNothingButSpansStillTime) {

@@ -17,23 +17,50 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "== asan/ubsan: obs_test + net_test + rpc_test + fault_test + fuzz =="
   cmake --preset asan > /dev/null
   cmake --build build-asan -j"$(nproc)" --target obs_test net_test rpc_test \
-    fault_test fuzz_test integrity_test vizndp_tool
+    fault_test fuzz_test integrity_test trace_test vizndp_tool
   ./build-asan/tests/obs_test
   ./build-asan/tests/net_test
   ./build-asan/tests/rpc_test
   ./build-asan/tests/fault_test
   ./build-asan/tests/fuzz_test
   ./build-asan/tests/integrity_test
+  ./build-asan/tests/trace_test
   # Fuzz smoke under the sanitizers: 1500 mutations x 7 decoder targets
   # (> 10k hostile inputs) at a fixed seed, so a CI failure replays
   # byte-for-byte with the same command.
   ./build-asan/tools/vizndp_tool fuzz --seed 1 --iters 1500
 
-  echo "== tsan: overload + rpc (admission/drain races) =="
+  echo "== tsan: overload + rpc + trace (admission/drain/merge races) =="
   cmake --preset tsan > /dev/null
-  cmake --build build-tsan -j"$(nproc)" --target overload_test rpc_test
+  cmake --build build-tsan -j"$(nproc)" --target overload_test rpc_test \
+    trace_test vizndp_tool
   ./build-tsan/tests/overload_test
   ./build-tsan/tests/rpc_test
+  ./build-tsan/tests/trace_test
+
+  echo "== tsan e2e: fetch --trace-merged over TCP with faults =="
+  # Real two-process run of the distributed-tracing path: a TCP storage
+  # node, a lossy client connection, and a merged-timeline export. The
+  # grep asserts the file is Chrome-tracing JSON with all three tracks.
+  E2E_DIR="$(mktemp -d)"
+  trap 'kill "${SERVE_PID:-}" 2> /dev/null || true; rm -rf "$E2E_DIR"' EXIT
+  mkdir -p "$E2E_DIR/data"
+  ./build-tsan/tools/vizndp_tool gen --kind impact --n 32 \
+    --out "$E2E_DIR/data/ts.vnd"
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port 47899 &
+  SERVE_PID=$!
+  sleep 1
+  ./build-tsan/tools/vizndp_tool fetch --port 47899 --key ts.vnd \
+    --array v02 --iso 0.5 --timeout-ms 5000 --retries 2 \
+    --fault send.drop*1 --trace-merged "$E2E_DIR/trace.json"
+  kill -INT "$SERVE_PID"
+  wait "$SERVE_PID"
+  grep -q '"traceEvents"' "$E2E_DIR/trace.json"
+  for track in client server wire; do
+    grep -q "\"name\":\"$track\"" "$E2E_DIR/trace.json"
+  done
+  rm -rf "$E2E_DIR"
+  trap - EXIT
 fi
 
 echo "== all checks passed =="

@@ -10,8 +10,9 @@
 //   vizndp_tool serve   --dir DIR [--port P] [--max-inflight N]
 //                       [--mem-budget-mb N] [--drain-ms N]  (storage node)
 //   vizndp_tool fetch   --host H --port P --key K --array NAME --iso V[,V...]
-//                       [--obj FILE]                 (client node)
-//   vizndp_tool metrics --host H --port P [--json]   (scrape storage node)
+//                       [--obj FILE] [--trace-merged FILE]  (client node)
+//   vizndp_tool metrics --host H --port P [--json|--format F]
+//   vizndp_tool health  --host H --port P            (liveness snapshot)
 //   vizndp_tool fuzz    [--target NAME|all] [--seed S] [--iters N]
 //
 // Every command also accepts the global `--trace FILE` option, which
@@ -19,6 +20,14 @@
 // file on exit (open in chrome://tracing or ui.perfetto.dev). `fetch
 // --trace` additionally drains the storage node's span buffer so the
 // file shows both halves of the split pipeline.
+//
+// `fetch --trace-merged FILE` goes further: it runs the load as one
+// sampled distributed trace and writes a single clock-aligned timeline
+// — client spans, the storage node's spans (shifted into the client
+// clock via the NTP-style midpoint offset from each RPC's piggybacked
+// receive/send stamps), and derived "wire" spans for the request and
+// reply legs — all under one trace id, with retries, busy shed and
+// fallback decisions as tagged child spans.
 //
 // `serve` exposes both the baseline object-read RPCs and the NDP
 // pre-filter over TCP for every .vnd object under DIR/data/.
@@ -37,6 +46,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -78,8 +88,9 @@ namespace {
                "          [--max-inflight N] [--mem-budget-mb N] [--drain-ms N]\n"
                "  fetch   --host H --port P --key K --array NAME --iso V[,V...]\n"
                "          [--obj FILE] [--timeout-ms N] [--retries N]\n"
-               "          [--fault SPEC] [--fallback]\n"
-               "  metrics --host H --port P [--json]\n"
+               "          [--fault SPEC] [--fallback] [--trace-merged FILE]\n"
+               "  metrics --host H --port P [--json | --format text|json|prom]\n"
+               "  health  --host H --port P\n"
                "  fuzz    [--target NAME|all] [--seed S] [--iters N]\n"
                "\n"
                "serve overload control:\n"
@@ -103,6 +114,9 @@ namespace {
                "                   recv.delay=2000*3 (testing)\n"
                "  --fallback       degrade to the baseline full-array read\n"
                "                   when the NDP path stays unreachable\n"
+               "  --trace-merged FILE  run the load as one sampled distributed\n"
+               "                   trace and write a clock-aligned Chrome JSON\n"
+               "                   timeline (client + server + wire tracks)\n"
                "\n"
                "global options:\n"
                "  --trace FILE   record spans, write Chrome-tracing JSON\n");
@@ -346,6 +360,8 @@ int CmdServe(const Args& args) {
 int CmdFetch(const Args& args) {
   const std::string host = args.Get("host").value_or("127.0.0.1");
   const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
+  const auto trace_merged = args.Get("trace-merged");
+  if (trace_merged) obs::GlobalTracer().Enable();
 
   ndp::NdpClientOptions options;
   options.call_timeout =
@@ -397,7 +413,18 @@ int CmdFetch(const Args& args) {
     poly.WriteObj(*obj);
     std::printf("wrote %s\n", obj->c_str());
   }
-  if (obs::GlobalTracer().enabled() && !stats.used_fallback) {
+  if (trace_merged) {
+    // Sampled requests piggyback the server half of every attempt on
+    // the reply, already clock-aligned into this process's buffer, so
+    // the plain export is the complete merged timeline.
+    std::ofstream out(*trace_merged, std::ios::binary);
+    if (!out.good()) throw IoError("cannot open " + *trace_merged);
+    obs::GlobalTracer().WriteChromeJson(out);
+    std::printf("wrote %s (trace %s, %zu events: client + server + wire "
+                "tracks, clock-aligned)\n",
+                trace_merged->c_str(), obs::TraceIdHex(stats.trace_id).c_str(),
+                obs::GlobalTracer().event_count());
+  } else if (obs::GlobalTracer().enabled() && !stats.used_fallback) {
     // Pull the server half of the trace into the local buffer so the
     // --trace file shows read/decompress/select next to decode/scatter.
     const size_t merged = client->ScrapeTrace();
@@ -411,12 +438,39 @@ int CmdMetrics(const Args& args) {
   const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
   ndp::NdpClient client(
       std::make_shared<rpc::Client>(net::TcpConnect(host, port)), "data");
-  const std::vector<obs::MetricSnapshot> snapshot = client.ScrapeMetrics();
-  if (args.Has("json")) {
-    std::cout << obs::SnapshotToJson(snapshot) << "\n";
-    return 0;
+  // --format asks the storage node to render server-side (text, json, or
+  // prom — Prometheus exposition for a scrape endpoint); --json is the
+  // older spelling of --format json.
+  const std::string format =
+      args.Get("format").value_or(args.Has("json") ? "json" : "text");
+  std::cout << client.ScrapeMetricsFormatted(format);
+  if (format == "json") std::cout << "\n";
+  return 0;
+}
+
+int CmdHealth(const Args& args) {
+  const std::string host = args.Get("host").value_or("127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
+  ndp::NdpClient client(
+      std::make_shared<rpc::Client>(net::TcpConnect(host, port)), "data");
+  const ndp::NdpClient::HealthReport health = client.Health();
+  std::printf("draining: %s   in-flight: %lld   memory: %s",
+              health.draining ? "yes" : "no",
+              static_cast<long long>(health.inflight),
+              bench_util::FormatBytes(health.mem_in_use).c_str());
+  if (health.mem_limit != 0) {
+    std::printf(" of %s budget", bench_util::FormatBytes(health.mem_limit).c_str());
   }
-  std::cout << obs::SnapshotToText(snapshot);
+  std::printf("\n");
+  if (!health.requests.empty()) {
+    bench_util::Table table({"method", "trace", "age"});
+    for (const auto& r : health.requests) {
+      table.AddRow({r.method,
+                    r.trace_id == 0 ? "-" : obs::TraceIdHex(r.trace_id),
+                    std::to_string(r.age_us / 1000) + " ms"});
+    }
+    table.Print(std::cout);
+  }
   return 0;
 }
 
@@ -475,6 +529,7 @@ int main(int argc, char** argv) {
     else if (command == "serve") rc = CmdServe(args);
     else if (command == "fetch") rc = CmdFetch(args);
     else if (command == "metrics") rc = CmdMetrics(args);
+    else if (command == "health") rc = CmdHealth(args);
     else if (command == "fuzz") rc = CmdFuzz(args);
     else Usage(("unknown command: " + command).c_str());
     if (trace_path) {
