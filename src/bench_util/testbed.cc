@@ -51,6 +51,57 @@ net::TransportPtr Testbed::ConnectToServer() {
   return std::move(pair.b);
 }
 
+ClusterTestbed::ClusterTestbed(ClusterTestbedConfig config)
+    : config_(std::move(config)), link_(config_.link), ssd_(config_.ssd) {
+  store_ = std::make_shared<storage::MemoryObjectStore>(&ssd_);
+  store_->CreateBucket(config_.bucket);
+
+  std::vector<std::shared_ptr<ndp::NdpClient>> clients;
+  for (int i = 0; i < config_.servers; ++i) {
+    auto node = std::make_unique<Node>();
+    node->rpc = std::make_unique<rpc::Server>();
+    node->ndp = std::make_unique<ndp::NdpServer>(LocalGateway());
+    node->ndp->SetMemoryBudget(&node->rpc->memory_budget());
+    node->ndp->Bind(*node->rpc);
+
+    net::TransportPair pair = net::CreateInProcPair(&link_);
+    node->serve_thread =
+        std::thread([srv = node->rpc.get(),
+                     server_end = std::shared_ptr<net::Transport>(
+                         std::move(pair.a))]() mutable {
+          srv->ServeTransport(*server_end);
+        });
+    net::TransportPtr client_end = std::move(pair.b);
+    if (config_.decorate) {
+      client_end = config_.decorate(std::move(client_end), i);
+    }
+    node->client = std::make_shared<ndp::NdpClient>(
+        std::make_shared<rpc::Client>(std::move(client_end)),
+        config_.bucket, config_.client_options);
+    clients.push_back(node->client);
+    nodes_.push_back(std::move(node));
+  }
+  sharded_ = std::make_shared<cluster::ShardedNdpClient>(
+      std::move(clients), config_.replicas, config_.sharded);
+}
+
+void ClusterTestbed::KillServer(int i) {
+  nodes_.at(static_cast<size_t>(i))->rpc->Stop();
+}
+
+ClusterTestbed::~ClusterTestbed() {
+  // The sharded client may still hold abandoned hedge attempts against
+  // these nodes; destroy it (joins them) before the serve loops exit.
+  sharded_.reset();
+  for (auto& node : nodes_) {
+    node->client.reset();
+    node->rpc->Stop();
+  }
+  for (auto& node : nodes_) {
+    if (node->serve_thread.joinable()) node->serve_thread.join();
+  }
+}
+
 Testbed::~Testbed() {
   // Dropping the clients closes their transports; the server loops see
   // the close and exit.

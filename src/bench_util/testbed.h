@@ -12,9 +12,11 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <thread>
 
+#include "cluster/sharded_client.h"
 #include "ndp/ndp_client.h"
 #include "ndp/ndp_server.h"
 #include "rpc/server.h"
@@ -87,6 +89,78 @@ class Testbed {
   std::shared_ptr<rpc::Client> ndp_rpc_client_;
   std::unique_ptr<storage::RemoteObjectStore> remote_store_;
   std::shared_ptr<ndp::NdpClient> ndp_client_;
+};
+
+// Emulated N-node serving tier for the sharded experiments: N
+// independent rpc::Server+NdpServer nodes over one shared object store
+// (every node is a full replica, the ShardMap invariant), one in-proc
+// connection per node, and a ShardedNdpClient fanning out over them.
+// Mirrors Testbed's wiring per node so single-node and sharded runs
+// differ only in topology.
+struct ClusterTestbedConfig {
+  int servers = 3;
+  int replicas = 2;
+  net::LinkConfig link;
+  storage::SsdConfig ssd;
+  std::string bucket = "data";
+  // Per-server client knobs (timeouts, retry) — hedging needs a finite
+  // call_timeout so abandoned losers unwind.
+  ndp::NdpClientOptions client_options;
+  cluster::ShardedClientOptions sharded;
+  // Optional per-connection transport decorator (fault injection): wraps
+  // server `i`'s client-side transport before the rpc::Client sees it.
+  std::function<net::TransportPtr(net::TransportPtr, int server)> decorate;
+};
+
+class ClusterTestbed {
+ public:
+  explicit ClusterTestbed(ClusterTestbedConfig config = {});
+  ~ClusterTestbed();
+
+  ClusterTestbed(const ClusterTestbed&) = delete;
+  ClusterTestbed& operator=(const ClusterTestbed&) = delete;
+
+  // The shared store, for pre-populating datasets (visible on all nodes).
+  storage::ObjectStore& store() { return *store_; }
+  const std::string& bucket() const { return config_.bucket; }
+
+  // Storage-side gateway (same data every node serves); tests use it for
+  // the baseline-fallback rung and single-server reference runs.
+  storage::FileGateway LocalGateway() {
+    return storage::FileGateway(*store_, config_.bucket);
+  }
+
+  int server_count() const { return config_.servers; }
+  rpc::Server& rpc_server(int i) { return *nodes_.at(size_t(i))->rpc; }
+  ndp::NdpServer& ndp_server(int i) { return *nodes_.at(size_t(i))->ndp; }
+
+  // Direct client to one node (health probes, reference fetches).
+  std::shared_ptr<ndp::NdpClient> server_client(int i) {
+    return nodes_.at(static_cast<size_t>(i))->client;
+  }
+
+  std::shared_ptr<cluster::ShardedNdpClient> sharded_client() {
+    return sharded_;
+  }
+
+  // Drains node `i` and exits its serve loops: subsequent calls to it
+  // fail with PeerClosedError and the sharded client fails over.
+  void KillServer(int i);
+
+ private:
+  struct Node {
+    std::unique_ptr<rpc::Server> rpc;
+    std::unique_ptr<ndp::NdpServer> ndp;
+    std::thread serve_thread;
+    std::shared_ptr<ndp::NdpClient> client;
+  };
+
+  ClusterTestbedConfig config_;
+  net::SimulatedLink link_;
+  storage::SsdModel ssd_;
+  std::shared_ptr<storage::ObjectStore> store_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::shared_ptr<cluster::ShardedNdpClient> sharded_;
 };
 
 }  // namespace vizndp::bench_util

@@ -1,0 +1,448 @@
+#include "cluster/sharded_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/context.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
+
+namespace vizndp::cluster {
+
+namespace {
+
+std::string ShardTag(int shard) { return std::to_string(shard); }
+
+obs::Histogram& SubfetchHistogram() {
+  return obs::DefaultRegistry().GetHistogram("cluster_subfetch_seconds",
+                                             obs::LatencyBounds());
+}
+
+}  // namespace
+
+ShardedNdpClient::ShardedNdpClient(
+    std::vector<std::shared_ptr<ndp::NdpClient>> servers, int replicas,
+    ShardedClientOptions options)
+    : servers_(std::move(servers)),
+      map_(static_cast<int>(servers_.size()), replicas),
+      options_(options),
+      subfetch_seconds_(SubfetchHistogram()),
+      suspect_(servers_.size(), false) {
+  VIZNDP_CHECK_MSG(!servers_.empty(), "sharded client needs servers");
+}
+
+ShardedNdpClient::~ShardedNdpClient() { Reap(/*wait=*/true); }
+
+void ShardedNdpClient::MarkSuspect(int server, bool suspect) {
+  std::lock_guard lk(suspect_mu_);
+  suspect_.at(static_cast<size_t>(server)) = suspect;
+}
+
+int ShardedNdpClient::ProbeHealth() {
+  int suspects = 0;
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    bool suspect = false;
+    try {
+      suspect = servers_[i]->Health().draining;
+    } catch (const Error&) {
+      // Unreachable counts as suspect; the replica chain will route
+      // around it and the node rejoins on the next clean probe.
+      suspect = true;
+    }
+    MarkSuspect(static_cast<int>(i), suspect);
+    if (suspect) ++suspects;
+  }
+  return suspects;
+}
+
+ndp::NdpClient::FileInfo ShardedNdpClient::Info(const std::string& key) {
+  {
+    std::lock_guard lk(info_mu_);
+    const auto it = info_cache_.find(key);
+    if (it != info_cache_.end()) return it->second;
+  }
+  // Any node can answer (every node fronts the same store); try the
+  // key's home chain first, then walk the rest of the fleet. Health
+  // bookkeeping is left to actual fetch attempts — a metadata probe
+  // bouncing off a busy node is not evidence worth demoting it over.
+  std::vector<int> order = LiveChain(map_.ShardOfKey(key));
+  for (int sv = 0; sv < server_count(); ++sv) {
+    if (std::find(order.begin(), order.end(), sv) == order.end()) {
+      order.push_back(sv);
+    }
+  }
+  std::exception_ptr last;
+  for (const int sv : order) {
+    try {
+      ndp::NdpClient::FileInfo info =
+          servers_[static_cast<size_t>(sv)]->Info(key);
+      std::lock_guard lk(info_mu_);
+      return info_cache_.emplace(key, std::move(info)).first->second;
+    } catch (const BusyError&) {
+      last = std::current_exception();
+    } catch (const RpcError&) {
+      throw;  // the server answered: bad key is bad on every replica
+    } catch (const Error&) {
+      last = std::current_exception();
+    }
+  }
+  std::rethrow_exception(last);
+}
+
+std::vector<int> ShardedNdpClient::LiveChain(int shard) {
+  const std::vector<int> chain = map_.ReplicaChain(shard);
+  std::vector<int> live;
+  std::vector<int> demoted;
+  {
+    std::lock_guard lk(suspect_mu_);
+    for (const int sv : chain) {
+      (suspect_[static_cast<size_t>(sv)] ? demoted : live).push_back(sv);
+    }
+  }
+  for (const int sv : demoted) {
+    obs::DefaultRegistry().GetCounter("cluster_draining_skips_total")
+        .Increment();
+    obs::GlobalEventLog().Append(
+        "cluster.draining_skip",
+        "shard=" + ShardTag(shard) + " server=" + std::to_string(sv));
+    live.push_back(sv);  // still last-resort usable: demoted, not dropped
+  }
+  return live;
+}
+
+std::optional<std::chrono::microseconds> ShardedNdpClient::HedgeDelay()
+    const {
+  if (options_.hedge_ms < 0) return std::nullopt;
+  double ms = options_.hedge_ms;
+  if (ms == 0) {
+    // Adaptive: hedge at the tail of what sub-fetches normally take, so
+    // the backup fires only for genuinely slow replicas. Cold start uses
+    // the floor.
+    ms = options_.hedge_floor_ms;
+    if (subfetch_seconds_.count() >= options_.min_hedge_samples) {
+      ms = std::max(
+          options_.hedge_floor_ms,
+          1e3 * obs::HistogramQuantile(subfetch_seconds_,
+                                       options_.hedge_quantile));
+    }
+  }
+  return std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3));
+}
+
+void ShardedNdpClient::Park(std::vector<std::future<void>>&& futures) {
+  std::lock_guard lk(pending_mu_);
+  for (std::future<void>& f : futures) {
+    if (!f.valid()) continue;
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      f.get();  // worker bodies never throw; this just releases state
+    } else {
+      pending_.push_back(std::move(f));
+    }
+  }
+  futures.clear();
+}
+
+void ShardedNdpClient::Reap(bool wait) {
+  std::vector<std::future<void>> grabbed;
+  {
+    std::lock_guard lk(pending_mu_);
+    grabbed.swap(pending_);
+  }
+  std::vector<std::future<void>> keep;
+  for (std::future<void>& f : grabbed) {
+    if (!f.valid()) continue;
+    if (wait ||
+        f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      f.get();
+    } else {
+      keep.push_back(std::move(f));
+    }
+  }
+  if (!keep.empty()) {
+    std::lock_guard lk(pending_mu_);
+    for (std::future<void>& f : keep) pending_.push_back(std::move(f));
+  }
+}
+
+ndp::PartialFetch ShardedNdpClient::SubFetch(
+    int shard, const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues,
+    const std::vector<std::int64_t>* only_bricks) {
+  const std::vector<int> chain = LiveChain(shard);
+  obs::Registry& reg = obs::DefaultRegistry();
+  reg.GetCounter("cluster_subfetch_total", {{"shard", ShardTag(shard)}})
+      .Increment();
+  obs::Span span("cluster.shard" + ShardTag(shard));
+
+  auto state = std::make_shared<Race>();
+  state->slots.resize(chain.size());
+  std::vector<std::future<void>> attempts;
+
+  // Worker threads inherit the caller's trace context so their spans and
+  // the server-side spans they trigger nest under this sub-fetch.
+  const obs::TraceContext parent_ctx = obs::CurrentTraceContext();
+  const std::vector<std::int64_t> bricks_copy =
+      only_bricks != nullptr ? *only_bricks : std::vector<std::int64_t>{};
+  const bool restricted = only_bricks != nullptr;
+
+  auto launch = [&](size_t slot_idx) {
+    const int sv = chain[slot_idx];
+    state->slots[slot_idx].server = sv;
+    std::shared_ptr<ndp::NdpClient> client =
+        servers_[static_cast<size_t>(sv)];
+    attempts.push_back(std::async(
+        std::launch::async,
+        [this, state, slot_idx, sv, client, key, array, isovalues,
+         bricks_copy, restricted, parent_ctx]() {
+          std::optional<obs::ScopedTraceContext> scope;
+          if (parent_ctx.valid()) scope.emplace(parent_ctx);
+          std::optional<ndp::PartialFetch> result;
+          std::exception_ptr error;
+          try {
+            result = client->FetchPartial(
+                key, array, isovalues, restricted ? &bricks_copy : nullptr);
+          } catch (const BusyError&) {
+            // An overloaded node is the one health signal an attempt
+            // sees directly; demote it for subsequent chains.
+            MarkSuspect(sv, true);
+            error = std::current_exception();
+          } catch (...) {
+            error = std::current_exception();
+          }
+          std::lock_guard lk(state->mu);
+          Slot& slot = state->slots[slot_idx];
+          slot.result = std::move(result);
+          slot.error = error;
+          slot.done = true;
+          state->cv.notify_all();
+        }));
+  };
+
+  const std::optional<std::chrono::microseconds> hedge_delay = HedgeDelay();
+  size_t next = 0;
+  launch(next++);
+  bool hedge_fired = false;
+  size_t hedge_slot = 0;
+
+  ndp::PartialFetch result;
+  int winner = -1;
+  {
+    std::unique_lock lk(state->mu);
+    for (;;) {
+      size_t done = 0;
+      std::exception_ptr last_error;
+      for (size_t i = 0; i < next; ++i) {
+        const Slot& slot = state->slots[i];
+        if (!slot.done) continue;
+        ++done;
+        if (slot.result.has_value() && winner < 0) {
+          winner = static_cast<int>(i);
+        }
+        if (slot.error != nullptr) last_error = slot.error;
+      }
+      if (winner >= 0) {
+        result = std::move(*state->slots[static_cast<size_t>(winner)].result);
+        break;
+      }
+      if (done == next) {
+        // Every launched attempt failed. A server-reported application
+        // error (bad key/array — BusyError excepted, that's admission
+        // control) would fail identically on every replica: propagate.
+        try {
+          std::rethrow_exception(last_error);
+        } catch (const BusyError&) {
+        } catch (const RpcError&) {
+          throw;
+        } catch (...) {
+        }
+        if (next >= chain.size()) std::rethrow_exception(last_error);
+        lk.unlock();
+        reg.GetCounter("cluster_failover_total").Increment();
+        obs::GlobalEventLog().Append(
+            "cluster.failover", "shard=" + ShardTag(shard) + " server=" +
+                                    std::to_string(chain[next]));
+        launch(next++);
+        lk.lock();
+        continue;
+      }
+      // Something is still running. Fire the hedge once its delay
+      // elapses with no resolution; otherwise just wait for progress.
+      const size_t seen = done;
+      auto progressed = [&] {
+        size_t now_done = 0;
+        for (size_t i = 0; i < next; ++i) {
+          if (state->slots[i].done) ++now_done;
+        }
+        return now_done > seen;
+      };
+      if (!hedge_fired && hedge_delay.has_value() && next < chain.size()) {
+        if (!state->cv.wait_for(lk, *hedge_delay, progressed)) {
+          hedge_fired = true;
+          hedge_slot = next;
+          lk.unlock();
+          reg.GetCounter("ndp_hedge_launched_total").Increment();
+          obs::GlobalEventLog().Append(
+              "cluster.hedge", "shard=" + ShardTag(shard) + " server=" +
+                                   std::to_string(chain[next]));
+          launch(next++);
+          lk.lock();
+        }
+        continue;
+      }
+      state->cv.wait(lk, progressed);
+    }
+  }
+
+  if (hedge_fired) {
+    const bool hedge_won = winner == static_cast<int>(hedge_slot);
+    reg.GetCounter(hedge_won ? "ndp_hedge_won_total" : "ndp_hedge_lost_total")
+        .Increment();
+    obs::GlobalEventLog().Append(
+        hedge_won ? "cluster.hedge_won" : "cluster.hedge_lost",
+        "shard=" + ShardTag(shard) + " server=" +
+            std::to_string(state->slots[static_cast<size_t>(winner)].server));
+  }
+
+  // Hand losers still in flight to the reaper; their slots stay alive
+  // through the shared Race until the worker finishes.
+  Park(std::move(attempts));
+  span.End();
+  subfetch_seconds_.Observe(span.ElapsedSeconds());
+  return result;
+}
+
+contour::SparseField ShardedNdpClient::FetchSparseField(
+    const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
+    ndp::NdpLoadStats* stats) {
+  std::optional<obs::ScopedTraceContext> root;
+  if (obs::GlobalTracer().enabled() && !obs::CurrentTraceContext().valid()) {
+    root.emplace(obs::TraceContext::Mint(/*sampled=*/true));
+  }
+  obs::Span total_span("cluster.fetch");
+  Reap(/*wait=*/false);
+
+  // Placement needs the brick decomposition; a monolithic array cannot
+  // be sub-divided and routes whole to its rendezvous owner.
+  const ndp::NdpClient::FileInfo info = Info(key);
+  const ndp::NdpClient::FileInfo::Array* meta = info.Find(array);
+
+  std::vector<std::pair<int, std::vector<std::int64_t>>> plan;
+  const bool whole_key = meta == nullptr || meta->brick_count == 0;
+  if (whole_key) {
+    // Monolithic array — or an array the catalog doesn't know, which the
+    // home server rejects with its canonical application error.
+    plan.emplace_back(map_.ShardOfKey(key), std::vector<std::int64_t>{});
+  } else {
+    std::vector<std::vector<std::int64_t>> slices =
+        map_.Partition(key, meta->brick_count);
+    for (int s = 0; s < static_cast<int>(slices.size()); ++s) {
+      if (!slices[static_cast<size_t>(s)].empty()) {
+        plan.emplace_back(s, std::move(slices[static_cast<size_t>(s)]));
+      }
+    }
+  }
+
+  // Scatter: one concurrent sub-fetch per shard slice. Gather is a
+  // barrier — the merge needs every partial.
+  const obs::TraceContext parent_ctx = obs::CurrentTraceContext();
+  std::vector<std::future<ndp::PartialFetch>> futures;
+  futures.reserve(plan.size());
+  for (const auto& [shard, bricks] : plan) {
+    const std::vector<std::int64_t>* restriction =
+        whole_key ? nullptr : &bricks;
+    futures.push_back(std::async(
+        std::launch::async, [this, shard = shard, &key, &array, &isovalues,
+                             restriction, parent_ctx]() {
+          std::optional<obs::ScopedTraceContext> scope;
+          if (parent_ctx.valid()) scope.emplace(parent_ctx);
+          return SubFetch(shard, key, array, isovalues, restriction);
+        }));
+  }
+
+  std::vector<ndp::PartialFetch> partials;
+  partials.reserve(plan.size());
+  std::exception_ptr shard_failure;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    try {
+      partials.push_back(futures[i].get());
+    } catch (const BusyError&) {
+      shard_failure = std::current_exception();
+    } catch (const RpcError&) {
+      throw;  // application error: identical on every replica
+    } catch (const Error&) {
+      shard_failure = std::current_exception();
+    }
+  }
+
+  if (shard_failure != nullptr) {
+    // Rung 3: some shard exhausted its replica chain. Any single live
+    // node can still serve the *whole* dataset (every node is a full
+    // replica), so trade the bandwidth win for availability before
+    // falling back to the caller's baseline path.
+    obs::DefaultRegistry().GetCounter("cluster_unrestricted_fallback_total")
+        .Increment();
+    obs::GlobalEventLog().Append("cluster.unrestricted_fallback",
+                                 "key=" + key);
+    bool rescued = false;
+    for (int sv = 0; sv < server_count() && !rescued; ++sv) {
+      try {
+        obs::Span rescue_span("cluster.rescue");
+        partials.clear();
+        partials.push_back(servers_[static_cast<size_t>(sv)]->FetchPartial(
+            key, array, isovalues, nullptr));
+        rescued = true;
+      } catch (const Error&) {
+      }
+    }
+    if (!rescued) std::rethrow_exception(shard_failure);
+  }
+
+  VIZNDP_CHECK_MSG(!partials.empty(), "sharded fetch produced no partials");
+  // Merge. Scatter is idempotent for duplicate ids (shard halos overlap
+  // on brick boundaries with identical values) and order-independent,
+  // so any arrival order reconstructs the same field.
+  const ndp::PartialFetch& first = partials.front();
+  for (const ndp::PartialFetch& p : partials) {
+    VIZNDP_CHECK_MSG(p.dims.nx == first.dims.nx &&
+                         p.dims.ny == first.dims.ny &&
+                         p.dims.nz == first.dims.nz &&
+                         p.dtype == first.dtype,
+                     "shards disagree on dataset shape — mixed replicas?");
+  }
+  if (geometry != nullptr) *geometry = first.geometry;
+  contour::SparseField field(first.dims, first.dtype);
+  obs::Span scatter_span("cluster.merge");
+  for (const ndp::PartialFetch& p : partials) {
+    field.Scatter(p.selection.ids, p.selection.values);
+  }
+  scatter_span.End();
+
+  if (stats != nullptr) {
+    *stats = ndp::NdpLoadStats{};
+    stats->trace_id = obs::CurrentTraceContext().trace_id;
+    for (const ndp::PartialFetch& p : partials) {
+      stats->stored_bytes += p.stored_bytes;
+      stats->raw_bytes = std::max(stats->raw_bytes, p.raw_bytes);
+      stats->payload_bytes += p.payload_bytes;
+      stats->reply_bytes += p.payload_bytes + 256;
+      stats->bricks_read += p.bricks_read;
+      stats->total_points = std::max(stats->total_points, p.total_points);
+      // Parallel shards: the fleet's phase time is the slowest shard.
+      stats->server_read_s = std::max(stats->server_read_s, p.server_read_s);
+      stats->server_select_s =
+          std::max(stats->server_select_s, p.server_select_s);
+    }
+    stats->bricks_total = first.bricks_total;
+    stats->selected_points = static_cast<std::uint64_t>(field.ValidCount());
+    stats->client_scatter_s = scatter_span.ElapsedSeconds();
+    total_span.End();
+    stats->client_s = total_span.ElapsedSeconds();
+  }
+  return field;
+}
+
+}  // namespace vizndp::cluster

@@ -1,0 +1,134 @@
+// Scatter-gather NDP serving: one FetchSparseField fans out as
+// brick-restricted sub-requests to N storage nodes, each holding a
+// replica of the dataset, and the partial selections merge back into a
+// single sparse field bit-identical to the one-server path.
+//
+// Tail-latency control (the reason this tier exists): each sub-request
+// is *hedged* — if a shard's primary replica has not answered within a
+// delay derived from the observed sub-fetch latency distribution, the
+// same request launches on the next replica and the first success wins.
+// The loser is abandoned (synchronous RPCs cannot be cancelled) and its
+// thread reaped asynchronously, so one slow or dead node costs one hedge
+// delay, not a timeout.
+//
+// Failure ladder, in order, for each sub-request:
+//   1. primary replica          (per the ShardMap chain)
+//   2. remaining replicas       (hedge or sequential failover)
+//   3. unrestricted rescue      (whole-dataset fetch from any live node)
+//   4. caller's baseline path   (NdpContourSource::SetFallback, as ever)
+// Geometry stays bit-identical at every rung: all rungs compute the same
+// selection invariant over the same stored values.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "ndp/ndp_client.h"
+
+namespace vizndp::cluster {
+
+struct ShardedClientOptions {
+  // Hedge policy. Negative disables hedging; positive is a fixed delay
+  // in milliseconds; zero (default) adapts: the delay is the
+  // hedge_quantile of cluster_subfetch_seconds once min_hedge_samples
+  // observations exist, hedge_floor_ms while the histogram is cold.
+  double hedge_ms = 0;
+  double hedge_quantile = 0.95;
+  double hedge_floor_ms = 25.0;
+  std::uint64_t min_hedge_samples = 16;
+};
+
+// Drop-in NdpFetcher over a fleet of NDP servers. Every server must
+// hold a full replica of each dataset it may be asked about (the
+// testbed and vizndp_tool load datasets on every node; see shard_map.h).
+//
+// Thread-safety: FetchSparseField may be called concurrently; internal
+// per-server clients serialize their RPCs.
+class ShardedNdpClient : public ndp::NdpFetcher {
+ public:
+  ShardedNdpClient(std::vector<std::shared_ptr<ndp::NdpClient>> servers,
+                   int replicas, ShardedClientOptions options = {});
+  // Joins any hedge losers still in flight (bounded by the per-call
+  // timeout configured on the underlying clients).
+  ~ShardedNdpClient() override;
+
+  // Scatter-gather fetch. Stats are the order-independent merge of the
+  // per-shard replies: byte/brick counts sum, server phase times take
+  // the max (the shards ran in parallel), selected_points is the
+  // *deduplicated* count (shard halos overlap on brick boundaries).
+  contour::SparseField FetchSparseField(
+      const std::string& key, const std::string& array,
+      const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
+      ndp::NdpLoadStats* stats = nullptr) override;
+
+  // Polls ndp.health on every server; draining or unreachable nodes are
+  // marked suspect and moved to the back of every replica chain until
+  // the next probe. Returns the number of suspect servers.
+  int ProbeHealth();
+
+  // Test hook: treat `server` as suspect without a probe.
+  void MarkSuspect(int server, bool suspect = true);
+
+  const ShardMap& shard_map() const { return map_; }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+
+  // Dataset layout (ndp.info), cached per key — datasets are immutable.
+  ndp::NdpClient::FileInfo Info(const std::string& key);
+
+ private:
+  // One replica attempt's outcome, filled in by its worker thread.
+  struct Slot {
+    bool done = false;
+    int server = -1;
+    std::optional<ndp::PartialFetch> result;  // engaged iff success
+    std::exception_ptr error;                 // set iff failure
+  };
+  struct Race {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Slot> slots;
+  };
+
+  // Hedged, failing-over fetch of one shard's slice (`only_bricks`
+  // nullptr = the whole dataset, for unbricked arrays). Throws the last
+  // replica's error once the chain is exhausted.
+  ndp::PartialFetch SubFetch(int shard, const std::string& key,
+                             const std::string& array,
+                             const std::vector<double>& isovalues,
+                             const std::vector<std::int64_t>* only_bricks);
+
+  // Replica chain for `shard` with suspect servers demoted to the back
+  // (skips counted and journaled).
+  std::vector<int> LiveChain(int shard);
+
+  std::optional<std::chrono::microseconds> HedgeDelay() const;
+
+  // Moves still-running attempt threads to pending_ and drops finished
+  // ones; called as each race resolves and from the destructor.
+  void Park(std::vector<std::future<void>>&& futures);
+  void Reap(bool wait);
+
+  std::vector<std::shared_ptr<ndp::NdpClient>> servers_;
+  ShardMap map_;
+  ShardedClientOptions options_;
+  obs::Histogram& subfetch_seconds_;
+
+  std::mutex suspect_mu_;
+  std::vector<bool> suspect_;
+
+  std::mutex info_mu_;
+  std::map<std::string, ndp::NdpClient::FileInfo> info_cache_;
+
+  std::mutex pending_mu_;
+  std::vector<std::future<void>> pending_;  // abandoned hedge losers
+};
+
+}  // namespace vizndp::cluster

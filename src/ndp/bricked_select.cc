@@ -29,7 +29,8 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
                                   const std::string& array,
                                   const io::ArrayMeta& meta,
                                   std::span<const double> isovalues,
-                                  BrickedSelectStats* stats) {
+                                  BrickedSelectStats* stats,
+                                  const std::vector<std::int64_t>* only_bricks) {
   const grid::Dims dims = reader.header().dims;
   const io::BrickGrid bgrid(dims, meta.bricks->edge);
 
@@ -39,9 +40,22 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
   BrickedSelectStats local;
   local.bricks_total = bgrid.BrickCount();
 
-  // Straddling bricks, ascending (== ascending blob offsets).
+  // Straddling bricks, ascending (== ascending blob offsets), optionally
+  // intersected with the sub-request's brick restriction (`only_bricks`
+  // is sorted, so the merge below stays a linear walk).
   std::vector<std::int64_t> needed;
+  size_t restrict_cursor = 0;
   for (std::int64_t b = 0; b < bgrid.BrickCount(); ++b) {
+    if (only_bricks != nullptr) {
+      while (restrict_cursor < only_bricks->size() &&
+             (*only_bricks)[restrict_cursor] < b) {
+        ++restrict_cursor;
+      }
+      if (restrict_cursor >= only_bricks->size() ||
+          (*only_bricks)[restrict_cursor] != b) {
+        continue;
+      }
+    }
     const io::BrickEntry& entry = meta.bricks->entries[static_cast<size_t>(b)];
     if (Straddles(entry.min, entry.max, isovalues)) needed.push_back(b);
   }
@@ -165,16 +179,19 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
 
 contour::Selection SelectInterestingPointsBricked(
     const io::VndReader& reader, const std::string& array,
-    std::span<const double> isovalues, BrickedSelectStats* stats) {
+    std::span<const double> isovalues, BrickedSelectStats* stats,
+    const std::vector<std::int64_t>* only_bricks) {
   const io::ArrayMeta* meta = reader.header().Find(array);
   VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
   VIZNDP_CHECK_MSG(meta->bricks.has_value(),
                    "array '" + array + "' is not bricked");
   switch (meta->type) {
     case grid::DataType::Float32:
-      return BrickedSelectT<float>(reader, array, *meta, isovalues, stats);
+      return BrickedSelectT<float>(reader, array, *meta, isovalues, stats,
+                                   only_bricks);
     case grid::DataType::Float64:
-      return BrickedSelectT<double>(reader, array, *meta, isovalues, stats);
+      return BrickedSelectT<double>(reader, array, *meta, isovalues, stats,
+                                    only_bricks);
     default:
       throw Error("selection requires a floating-point array");
   }

@@ -35,8 +35,17 @@ struct BrickedSelectStats {
 // caller (NdpServer) falls back to the whole-blob read for the array.
 // Both events are counted in the stats and in obs::DefaultRegistry()
 // (corrupt_brick_total / brick_reread_total).
+//
+// Sharding: `only_bricks` (sorted, unique brick ids) restricts the scan
+// to those bricks — the sub-request shape of the scatter-gather cluster
+// client. The restricted selection equals the unrestricted one filtered
+// to points owned by (or on the ghost boundary of) the listed bricks, so
+// the union of selections over a partition of the brick space, with
+// boundary duplicates dropped by id, is exactly the full selection.
+// nullptr means "all bricks".
 contour::Selection SelectInterestingPointsBricked(
     const io::VndReader& reader, const std::string& array,
-    std::span<const double> isovalues, BrickedSelectStats* stats = nullptr);
+    std::span<const double> isovalues, BrickedSelectStats* stats = nullptr,
+    const std::vector<std::int64_t>* only_bricks = nullptr);
 
 }  // namespace vizndp::ndp

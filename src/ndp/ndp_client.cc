@@ -28,6 +28,59 @@ NdpClient::NdpClient(std::shared_ptr<rpc::Client> client, std::string bucket,
   }
 }
 
+contour::PolyData NdpFetcher::Contour(const std::string& key,
+                                      const std::string& array,
+                                      const std::vector<double>& isovalues,
+                                      NdpLoadStats* stats) {
+  grid::UniformGeometry geometry;
+  const contour::SparseField field =
+      FetchSparseField(key, array, isovalues, &geometry, stats);
+  return field.Contour(geometry, isovalues);
+}
+
+PartialFetch NdpClient::FetchPartial(const std::string& key,
+                                     const std::string& array,
+                                     const std::vector<double>& isovalues,
+                                     const std::vector<std::int64_t>* bricks) {
+  Array isos;
+  for (const double v : isovalues) isos.emplace_back(v);
+  Array params{Value(bucket_), Value(key), Value(array),
+               Value(std::move(isos)),
+               Value(static_cast<std::uint64_t>(encoding_))};
+  if (bricks != nullptr) {
+    params.push_back(BrickRestrictionToValue(*bricks));
+  }
+  Value reply = client_->Call(kRpcNdpSelect, std::move(params), CallOpts());
+
+  PartialFetch out;
+  const auto& dims_v = reply.At("dims").As<Array>();
+  out.dims = grid::Dims{dims_v.at(0).AsInt(), dims_v.at(1).AsInt(),
+                        dims_v.at(2).AsInt()};
+  const auto& o = reply.At("origin").As<Array>();
+  const auto& s = reply.At("spacing").As<Array>();
+  out.geometry.origin = {o.at(0).AsDouble(), o.at(1).AsDouble(),
+                         o.at(2).AsDouble()};
+  out.geometry.spacing = {s.at(0).AsDouble(), s.at(1).AsDouble(),
+                          s.at(2).AsDouble()};
+  out.dtype = grid::DataTypeFromName(reply.At("dtype").As<std::string>());
+  const Bytes& payload = reply.At("payload").As<Bytes>();
+
+  obs::Span decode_span("ndp.decode");
+  out.selection = DecodeSelection(payload, out.dims);
+  decode_span.End();
+
+  out.stored_bytes = reply.At("stored_bytes").AsUint();
+  out.raw_bytes = reply.At("raw_bytes").AsUint();
+  out.payload_bytes = payload.size();
+  out.selected_points = reply.At("selected").AsUint();
+  out.total_points = reply.At("total_points").AsUint();
+  out.bricks_total = reply.At("bricks_total").AsInt();
+  out.bricks_read = reply.At("bricks_read").AsInt();
+  out.server_read_s = reply.At("read_s").AsDouble();
+  out.server_select_s = reply.At("select_s").AsDouble();
+  return out;
+}
+
 contour::SparseField NdpClient::FetchSparseField(
     const std::string& key, const std::string& array,
     const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
@@ -43,66 +96,36 @@ contour::SparseField NdpClient::FetchSparseField(
   }
   obs::Span total_span("ndp.fetch");
 
-  Array isos;
-  for (const double v : isovalues) isos.emplace_back(v);
-  Value reply = client_->Call(
-      kRpcNdpSelect,
-      Array{Value(bucket_), Value(key), Value(array), Value(std::move(isos)),
-            Value(static_cast<std::uint64_t>(encoding_))},
-      CallOpts());
+  obs::Span rpc_span("ndp.partial");
+  PartialFetch partial = FetchPartial(key, array, isovalues, nullptr);
+  rpc_span.End();
+  const double decode_s = rpc_span.ElapsedSeconds();  // incl. RPC wait
+  if (geometry != nullptr) *geometry = partial.geometry;
 
-  const auto& dims_v = reply.At("dims").As<Array>();
-  const grid::Dims dims{dims_v.at(0).AsInt(), dims_v.at(1).AsInt(),
-                        dims_v.at(2).AsInt()};
-  if (geometry != nullptr) {
-    const auto& o = reply.At("origin").As<Array>();
-    const auto& s = reply.At("spacing").As<Array>();
-    geometry->origin = {o.at(0).AsDouble(), o.at(1).AsDouble(),
-                        o.at(2).AsDouble()};
-    geometry->spacing = {s.at(0).AsDouble(), s.at(1).AsDouble(),
-                         s.at(2).AsDouble()};
-  }
-  const grid::DataType type =
-      grid::DataTypeFromName(reply.At("dtype").As<std::string>());
-  const Bytes& payload = reply.At("payload").As<Bytes>();
-
-  obs::Span decode_span("ndp.decode");
-  DecodedSelection decoded = DecodeSelection(payload, dims);
-  decode_span.End();
-  contour::SparseField field(dims, type);
+  contour::SparseField field(partial.dims, partial.dtype);
   obs::Span scatter_span("ndp.scatter");
-  field.Scatter(decoded.ids, decoded.values);
+  field.Scatter(partial.selection.ids, partial.selection.values);
   scatter_span.End();
 
   if (stats != nullptr) {
     stats->trace_id = obs::CurrentTraceContext().trace_id;
-    stats->stored_bytes = reply.At("stored_bytes").AsUint();
-    stats->raw_bytes = reply.At("raw_bytes").AsUint();
-    stats->payload_bytes = payload.size();
+    stats->stored_bytes = partial.stored_bytes;
+    stats->raw_bytes = partial.raw_bytes;
+    stats->payload_bytes = partial.payload_bytes;
     // Approximate full frame size: payload dominates; metadata is ~200 B.
-    stats->reply_bytes = payload.size() + 256;
-    stats->selected_points = reply.At("selected").AsUint();
-    stats->total_points = reply.At("total_points").AsUint();
-    stats->bricks_total = reply.At("bricks_total").AsInt();
-    stats->bricks_read = reply.At("bricks_read").AsInt();
-    stats->server_read_s = reply.At("read_s").AsDouble();
-    stats->server_select_s = reply.At("select_s").AsDouble();
-    stats->client_decode_s = decode_span.ElapsedSeconds();
+    stats->reply_bytes = partial.payload_bytes + 256;
+    stats->selected_points = partial.selected_points;
+    stats->total_points = partial.total_points;
+    stats->bricks_total = partial.bricks_total;
+    stats->bricks_read = partial.bricks_read;
+    stats->server_read_s = partial.server_read_s;
+    stats->server_select_s = partial.server_select_s;
+    stats->client_decode_s = decode_s;
     stats->client_scatter_s = scatter_span.ElapsedSeconds();
     total_span.End();
     stats->client_s = total_span.ElapsedSeconds();
   }
   return field;
-}
-
-contour::PolyData NdpClient::Contour(const std::string& key,
-                                     const std::string& array,
-                                     const std::vector<double>& isovalues,
-                                     NdpLoadStats* stats) {
-  grid::UniformGeometry geometry;
-  const contour::SparseField field =
-      FetchSparseField(key, array, isovalues, &geometry, stats);
-  return field.Contour(geometry, isovalues);
 }
 
 NdpClient::ArrayStats NdpClient::Stats(const std::string& key,
@@ -119,6 +142,29 @@ NdpClient::ArrayStats NdpClient::Stats(const std::string& key,
     stats.histogram.push_back(c.AsUint());
   }
   return stats;
+}
+
+NdpClient::FileInfo NdpClient::Info(const std::string& key) {
+  const Value reply = client_->Call(
+      kRpcNdpInfo, Array{Value(bucket_), Value(key)}, CallOpts());
+  FileInfo info;
+  const auto& dims_v = reply.At("dims").As<Array>();
+  info.dims = grid::Dims{dims_v.at(0).AsInt(), dims_v.at(1).AsInt(),
+                         dims_v.at(2).AsInt()};
+  for (const Value& v : reply.At("arrays").As<Array>()) {
+    FileInfo::Array a;
+    a.name = v.At("name").As<std::string>();
+    a.raw_size = v.At("raw_size").AsUint();
+    a.stored_size = v.At("stored_size").AsUint();
+    // Pre-sharding servers don't report the brick decomposition; treat
+    // their arrays as monolithic (no sub-request sharding).
+    if (const Value* b = v.Find("bricks")) a.brick_count = b->AsInt();
+    if (const Value* e = v.Find("brick_edge")) {
+      a.brick_edge = static_cast<std::int32_t>(e->AsInt());
+    }
+    info.arrays.push_back(std::move(a));
+  }
+  return info;
 }
 
 std::vector<obs::MetricSnapshot> NdpClient::ScrapeMetrics() {

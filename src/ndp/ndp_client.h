@@ -65,7 +65,50 @@ struct NdpLoadStats {
   }
 };
 
-class NdpClient {
+// What NdpContourSource (and any other consumer of the split pipeline)
+// actually needs from "the NDP path": a sparse field plus load stats.
+// NdpClient fetches it from one storage node; cluster::ShardedNdpClient
+// scatter-gathers it from many. Both produce bit-identical fields, so
+// pipelines are oblivious to the cluster topology behind them.
+class NdpFetcher {
+ public:
+  virtual ~NdpFetcher() = default;
+
+  // Runs the pre-filter remotely and reconstructs the sparse field.
+  // Grid geometry comes back in the reply. `stats` may be null.
+  virtual contour::SparseField FetchSparseField(
+      const std::string& key, const std::string& array,
+      const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
+      NdpLoadStats* stats = nullptr) = 0;
+
+  // Full NDP contour: fetch + post-filter in one call.
+  contour::PolyData Contour(const std::string& key, const std::string& array,
+                            const std::vector<double>& isovalues,
+                            NdpLoadStats* stats = nullptr);
+};
+
+// One shard's (or the single server's) reply to a — possibly
+// brick-restricted — ndp.select, decoded but not yet scattered. The
+// sharded client merges several of these into one SparseField; the
+// plain client scatters exactly one.
+struct PartialFetch {
+  grid::Dims dims;
+  grid::UniformGeometry geometry;
+  grid::DataType dtype = grid::DataType::Float32;
+  DecodedSelection selection;
+  // Server-side accounting, summed/merged into NdpLoadStats.
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t selected_points = 0;
+  std::uint64_t total_points = 0;
+  std::int64_t bricks_total = 0;
+  std::int64_t bricks_read = 0;
+  double server_read_s = 0;
+  double server_select_s = 0;
+};
+
+class NdpClient : public NdpFetcher {
  public:
   explicit NdpClient(std::shared_ptr<rpc::Client> client,
                      std::string bucket = "data",
@@ -80,12 +123,14 @@ class NdpClient {
                                         const std::string& array,
                                         const std::vector<double>& isovalues,
                                         grid::UniformGeometry* geometry,
-                                        NdpLoadStats* stats = nullptr);
+                                        NdpLoadStats* stats = nullptr) override;
 
-  // Full NDP contour: fetch + post-filter in one call.
-  contour::PolyData Contour(const std::string& key, const std::string& array,
+  // One ndp.select round trip, optionally restricted to `only_bricks`
+  // (sorted brick ids; nullptr = whole array): the scatter-gather
+  // sub-request. Returns the decoded but unscattered selection.
+  PartialFetch FetchPartial(const std::string& key, const std::string& array,
                             const std::vector<double>& isovalues,
-                            NdpLoadStats* stats = nullptr);
+                            const std::vector<std::int64_t>* only_bricks);
 
   // Near-data array statistics (ndp.stats): only the histogram crosses
   // the network, never the array.
@@ -103,6 +148,29 @@ class NdpClient {
 
   ArrayStats Stats(const std::string& key, const std::string& array,
                    int bins = 64);
+
+  // ndp.info scrape: dims plus per-array layout, including the brick
+  // decomposition a sharded client partitions over (brick_count 0 =
+  // monolithic blob, no sub-request sharding possible for that array).
+  struct FileInfo {
+    grid::Dims dims;
+    struct Array {
+      std::string name;
+      std::uint64_t raw_size = 0;
+      std::uint64_t stored_size = 0;
+      std::int64_t brick_count = 0;
+      std::int32_t brick_edge = 0;
+    };
+    std::vector<Array> arrays;
+
+    const Array* Find(const std::string& name) const {
+      for (const Array& a : arrays) {
+        if (a.name == name) return &a;
+      }
+      return nullptr;
+    }
+  };
+  FileInfo Info(const std::string& key);
 
   // Scrapes the storage node's metric registries over the ndp.metrics
   // RPC. Use obs::FindMetric to pick out individual samples.
@@ -165,7 +233,9 @@ std::vector<double> SuggestIsovalues(const NdpClient::ArrayStats& stats,
 // NdpLoadStats::used_fallback.
 class NdpContourSource final : public pipeline::Algorithm {
  public:
-  NdpContourSource(std::shared_ptr<NdpClient> client, std::string key,
+  // Accepts any fetcher: a single-node NdpClient or a
+  // cluster::ShardedNdpClient — the pipeline shape is identical.
+  NdpContourSource(std::shared_ptr<NdpFetcher> client, std::string key,
                    std::string array, std::vector<double> isovalues)
       : client_(std::move(client)),
         key_(std::move(key)),
@@ -200,7 +270,7 @@ class NdpContourSource final : public pipeline::Algorithm {
  private:
   contour::PolyData BaselineContour();
 
-  std::shared_ptr<NdpClient> client_;
+  std::shared_ptr<NdpFetcher> client_;
   std::string key_;
   std::string array_;
   std::vector<double> isovalues_;

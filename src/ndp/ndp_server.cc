@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <optional>
 
 #include "common/error.h"
 #include "contour/select.h"
@@ -58,11 +59,22 @@ Value SnapshotsToValue(const std::vector<obs::MetricSnapshot>& snapshot) {
 msgpack::Value NdpServer::Select(const std::string& key,
                                  const std::string& array,
                                  const std::vector<double>& isovalues,
-                                 SelectionEncoding encoding) {
+                                 SelectionEncoding encoding,
+                                 const std::vector<std::int64_t>* only_bricks) {
   obs::Span total_span("ndp.select");
   const io::VndReader reader(gateway_.Open(key));
   const io::ArrayMeta* meta = reader.header().Find(array);
   VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
+  if (only_bricks != nullptr) {
+    VIZNDP_CHECK_MSG(meta->bricks.has_value(),
+                     "brick restriction on unbricked array '" + array + "'");
+    const auto brick_count = static_cast<std::int64_t>(
+        meta->bricks->entries.size());
+    VIZNDP_CHECK_MSG(
+        only_bricks->empty() || only_bricks->back() < brick_count,
+        "brick restriction id out of range for '" + array + "'");
+    metrics_.GetCounter("ndp_restricted_select_total").Increment();
+  }
 
   // Admission by working-set size: the decompressed array bounds this
   // request's memory high-water mark. Throws BusyError (always
@@ -85,9 +97,19 @@ msgpack::Value NdpServer::Select(const std::string& key,
     obs::Span read_span("ndp.read");
     BrickedSelectStats bstats;
     try {
-      selection =
-          SelectInterestingPointsBricked(reader, array, isovalues, &bstats);
+      selection = SelectInterestingPointsBricked(reader, array, isovalues,
+                                                 &bstats, only_bricks);
     } catch (const CorruptDataError& e) {
+      if (only_bricks != nullptr) {
+        // Sub-request: the whole-blob read would answer for the *entire*
+        // array, not this shard's slice, and the caller has a better
+        // rung anyway — a replica holding an independent copy. Cross the
+        // wire typed so the sharded client fails over.
+        metrics_.GetCounter("ndp_restricted_corrupt_total").Increment();
+        obs::GlobalEventLog().Append("ndp.restricted_corrupt",
+                                     "array=" + array);
+        throw;
+      }
       // A brick failed its CRC twice (or decoded to garbage). The
       // whole-blob path below re-reads the entire array and checks the
       // blob-level CRC, so a brick-local flip may still yield a correct
@@ -178,6 +200,14 @@ msgpack::Value NdpServer::Info(const std::string& key) {
     e.emplace_back(Value("codec"), Value(m.codec));
     e.emplace_back(Value("raw_size"), Value(m.raw_size));
     e.emplace_back(Value("stored_size"), Value(m.stored_size));
+    // Brick decomposition, so a sharded client can partition the brick
+    // space without reading the full header: 0 bricks = monolithic blob.
+    e.emplace_back(Value("bricks"),
+                   Value(static_cast<std::int64_t>(
+                       m.bricks.has_value() ? m.bricks->entries.size() : 0)));
+    e.emplace_back(Value("brick_edge"),
+                   Value(static_cast<std::int64_t>(
+                       m.bricks.has_value() ? m.bricks->edge : 0)));
     arrays.push_back(Value(std::move(e)));
   }
   Map reply;
@@ -252,11 +282,18 @@ void NdpServer::Bind(rpc::Server& server) {
     for (const Value& v : p.at(3).As<Array>()) {
       isovalues.push_back(v.AsDouble());
     }
+    // Optional 6th element: the sub-request brick restriction (absent or
+    // empty = the whole brick space, the pre-sharding request shape).
+    std::optional<std::vector<std::int64_t>> bricks;
+    if (p.size() > 5 && p.at(5).Is<Array>() && !p.at(5).As<Array>().empty()) {
+      bricks = BrickRestrictionFromValue(p.at(5));
+    }
     // p[0] is the bucket, fixed at gateway construction; kept in the
     // protocol so multi-bucket servers remain possible.
     return Select(p.at(1).As<std::string>(), p.at(2).As<std::string>(),
                   isovalues,
-                  static_cast<SelectionEncoding>(p.at(4).AsUint()));
+                  static_cast<SelectionEncoding>(p.at(4).AsUint()),
+                  bricks.has_value() ? &*bricks : nullptr);
   });
   server.Bind(kRpcNdpInfo, [this](const Array& p) -> Value {
     return Info(p.at(1).As<std::string>());

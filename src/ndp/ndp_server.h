@@ -48,9 +48,19 @@ class NdpServer {
 
   // Handler core, exposed for tests: reads `key`, selects interesting
   // points of `array` for `isovalues`, returns the reply map.
+  //
+  // `only_bricks` (sorted brick ids, nullptr = all) restricts the
+  // pre-filter to a subset of the brick space — the sub-request half of
+  // the scatter-gather protocol (see src/cluster/). Restricted requests
+  // require a bricked array, and they do NOT take the server-side
+  // whole-blob fallback on persistent brick corruption: the right
+  // recovery for a shard sub-request is the client's replica failover
+  // (a different data copy), so the CorruptDataError crosses the wire
+  // typed instead (ndp_restricted_corrupt_total / ndp.restricted_corrupt).
   msgpack::Value Select(const std::string& key, const std::string& array,
                         const std::vector<double>& isovalues,
-                        SelectionEncoding encoding);
+                        SelectionEncoding encoding,
+                        const std::vector<std::int64_t>* only_bricks = nullptr);
 
   msgpack::Value Info(const std::string& key);
 

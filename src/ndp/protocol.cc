@@ -14,6 +14,30 @@ const char* SelectionEncodingName(SelectionEncoding e) {
   return "?";
 }
 
+msgpack::Value BrickRestrictionToValue(std::span<const std::int64_t> bricks) {
+  msgpack::Array out;
+  out.reserve(bricks.size());
+  for (const std::int64_t b : bricks) out.emplace_back(b);
+  return msgpack::Value(std::move(out));
+}
+
+std::vector<std::int64_t> BrickRestrictionFromValue(
+    const msgpack::Value& value) {
+  std::vector<std::int64_t> out;
+  const auto& arr = value.As<msgpack::Array>();
+  out.reserve(arr.size());
+  for (const msgpack::Value& v : arr) {
+    if (!v.IsInteger()) throw DecodeError("brick restriction: non-integer id");
+    const std::int64_t b = v.AsInt();
+    if (b < 0) throw DecodeError("brick restriction: negative brick id");
+    if (!out.empty() && b <= out.back()) {
+      throw DecodeError("brick restriction: ids must be sorted and unique");
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
 void AppendVarint(std::uint64_t value, Bytes& out) {
   while (value >= 0x80) {
     out.push_back(static_cast<Byte>(value) | 0x80);

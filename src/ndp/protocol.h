@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "contour/select.h"
 #include "grid/data_array.h"
+#include "msgpack/value.h"
 
 namespace vizndp::ndp {
 
@@ -47,6 +49,22 @@ DecodedSelection DecodeSelection(ByteSpan payload, const grid::Dims& dims);
 // Unsigned LEB128 helpers (shared with tests).
 void AppendVarint(std::uint64_t value, Bytes& out);
 std::uint64_t ReadVarint(ByteSpan data, size_t& pos);
+
+// Sub-request brick restriction (scatter-gather sharding). ndp.select
+// takes an optional 6th positional parameter: a sorted array of brick
+// ids restricting the bricked pre-filter to exactly those bricks. A
+// sharded client partitions the brick space across servers, sends each
+// its own restriction, and merges the partial selections; any replica
+// can serve any restriction because the restriction names data, not
+// placement. Old servers never see it (old clients send 5 params) and
+// old clients keep working against new servers (an absent/empty
+// restriction means "all bricks", the pre-sharding behaviour).
+msgpack::Value BrickRestrictionToValue(std::span<const std::int64_t> bricks);
+// Decodes the restriction; validates ids are sorted, unique, and
+// non-negative (the upper bound is checked against the actual brick
+// count by NdpServer::Select). Throws DecodeError on violations.
+std::vector<std::int64_t> BrickRestrictionFromValue(
+    const msgpack::Value& value);
 
 // RPC method names served by NdpServer.
 inline constexpr const char* kRpcNdpSelect = "ndp.select";

@@ -62,6 +62,27 @@ std::uint64_t Histogram::exemplar_trace_id() const {
   return exemplar_trace_;
 }
 
+MetricSnapshot SnapshotHistogram(const Histogram& histogram,
+                                 std::string name) {
+  MetricSnapshot s;
+  s.name = std::move(name);
+  s.kind = MetricSnapshot::Kind::kHistogram;
+  s.value = histogram.sum();
+  s.count = histogram.count();
+  s.bounds = histogram.bounds();
+  s.buckets.reserve(s.bounds.size() + 1);
+  for (size_t i = 0; i <= s.bounds.size(); ++i) {
+    s.buckets.push_back(histogram.bucket(i));
+  }
+  s.exemplar_value = histogram.exemplar_value();
+  s.exemplar_trace_id = histogram.exemplar_trace_id();
+  return s;
+}
+
+double HistogramQuantile(const Histogram& histogram, double q) {
+  return SnapshotQuantile(SnapshotHistogram(histogram), q);
+}
+
 double SnapshotQuantile(const MetricSnapshot& snapshot, double q) {
   if (snapshot.kind != MetricSnapshot::Kind::kHistogram ||
       snapshot.count == 0 || snapshot.buckets.empty()) {

@@ -108,6 +108,15 @@ struct MetricSnapshot {
 // Returns 0 for empty histograms and non-histogram snapshots.
 double SnapshotQuantile(const MetricSnapshot& snapshot, double q);
 
+// Snapshot of one live histogram (no registry walk) — how an adaptive
+// policy reads a quantile off the metric it also feeds, e.g. the sharded
+// client deriving its hedge delay from cluster_subfetch_seconds.
+MetricSnapshot SnapshotHistogram(const Histogram& histogram,
+                                 std::string name = {});
+
+// SnapshotQuantile over a live histogram in one call.
+double HistogramQuantile(const Histogram& histogram, double q);
+
 // Splits a canonical name ("rpc_requests_total{method=ndp.select}") back
 // into base name and label pairs; labels is empty for unlabeled names.
 void ParseCanonicalName(const std::string& canonical, std::string* base,

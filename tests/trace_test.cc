@@ -137,12 +137,18 @@ TEST(TracePropagation, SampledFetchMergesServerSpansAndWireLegs) {
 
   const auto spans = obs::GlobalTracer().Collect(stats.trace_id);
   const auto fetches = SpansNamed(spans, "ndp.fetch");
+  const auto partials = SpansNamed(spans, "ndp.partial");
   const auto calls = SpansNamed(spans, "rpc.call:ndp.select");
   const auto attempts = SpansNamed(spans, "rpc.attempt:ndp.select");
   ASSERT_EQ(fetches.size(), 1u);
+  ASSERT_EQ(partials.size(), 1u);
   ASSERT_EQ(calls.size(), 1u);
   ASSERT_EQ(attempts.size(), 1u);
-  EXPECT_EQ(calls[0].parent_span_id, fetches[0].span_id);
+  // The sharded client reuses the single-server partial-fetch path, so
+  // even a lone-server fetch nests its RPC under an `ndp.partial` span
+  // (the unit a shard sub-request traces as).
+  EXPECT_EQ(partials[0].parent_span_id, fetches[0].span_id);
+  EXPECT_EQ(calls[0].parent_span_id, partials[0].span_id);
   EXPECT_EQ(attempts[0].parent_span_id, calls[0].span_id);
 
   // The server half crossed back on the reply piggyback, already under

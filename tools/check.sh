@@ -30,13 +30,17 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # byte-for-byte with the same command.
   ./build-asan/tools/vizndp_tool fuzz --seed 1 --iters 1500
 
-  echo "== tsan: overload + rpc + trace (admission/drain/merge races) =="
+  echo "== tsan: overload + rpc + trace + cluster (admission/drain/merge/hedge races) =="
   cmake --preset tsan > /dev/null
   cmake --build build-tsan -j"$(nproc)" --target overload_test rpc_test \
-    trace_test vizndp_tool
+    trace_test cluster_test vizndp_tool
   ./build-tsan/tests/overload_test
   ./build-tsan/tests/rpc_test
   ./build-tsan/tests/trace_test
+  # The sharded-serving suite (`ctest -L cluster`) is the most
+  # thread-hostile code in the tree: hedge races, loser parking, and
+  # concurrent failover all run under tsan here.
+  ./build-tsan/tests/cluster_test
 
   echo "== tsan e2e: fetch --trace-merged over TCP with faults =="
   # Real two-process run of the distributed-tracing path: a TCP storage
@@ -59,6 +63,53 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   for track in client server wire; do
     grep -q "\"name\":\"$track\"" "$E2E_DIR/trace.json"
   done
+  rm -rf "$E2E_DIR"
+  trap - EXIT
+
+  echo "== tsan e2e: sharded fetch over TCP, one shard killed, one delayed =="
+  # Real multi-process run of the sharded serving tier: three storage
+  # nodes on OS-assigned ports (parsed from the `port:` line), one node
+  # killed before the fetch, another answering 300 ms late so the hedge
+  # fires. The degraded fetch must produce the same triangle count as
+  # the single-server reference, win at least one hedge, and record the
+  # failover in the event journal.
+  E2E_DIR="$(mktemp -d)"
+  trap 'kill "${S0_PID:-}" "${S1_PID:-}" "${S2_PID:-}" 2> /dev/null || true; \
+       rm -rf "$E2E_DIR"' EXIT
+  mkdir -p "$E2E_DIR/data"
+  ./build-tsan/tools/vizndp_tool gen --kind impact --n 32 --bricks 8 \
+    --out "$E2E_DIR/data/ts.vnd"
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port 0 \
+    > "$E2E_DIR/s0.log" & S0_PID=$!
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port 0 \
+    > "$E2E_DIR/s1.log" & S1_PID=$!
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port 0 \
+    > "$E2E_DIR/s2.log" & S2_PID=$!
+  for i in 0 1 2; do
+    for _ in $(seq 1 50); do
+      grep -q '^port:' "$E2E_DIR/s$i.log" && break
+      sleep 0.2
+    done
+  done
+  P0="$(awk '/^port:/{print $2}' "$E2E_DIR/s0.log")"
+  P1="$(awk '/^port:/{print $2}' "$E2E_DIR/s1.log")"
+  P2="$(awk '/^port:/{print $2}' "$E2E_DIR/s2.log")"
+  REF_TRIS="$(./build-tsan/tools/vizndp_tool fetch --port "$P0" \
+    --key ts.vnd --array v02 --iso 0.5 --timeout-ms 10000 \
+    | sed -n 's/^NDP contour: \([0-9]*\) triangles.*/\1/p')"
+  kill "$S2_PID"; wait "$S2_PID" 2> /dev/null || true
+  ./build-tsan/tools/vizndp_tool fetch \
+    --connect "127.0.0.1:$P0" --connect "127.0.0.1:$P1" \
+    --connect "127.0.0.1:$P2" --replicas 2 --hedge-ms 40 \
+    --shard-fault "1:recv.delay=300000+" --journal "$E2E_DIR/journal.json" \
+    --key ts.vnd --array v02 --iso 0.5 --timeout-ms 10000 \
+    | tee "$E2E_DIR/fetch.log"
+  grep -q "^NDP contour: $REF_TRIS triangles" "$E2E_DIR/fetch.log"
+  grep -Eq 'won [1-9][0-9]*' "$E2E_DIR/fetch.log"
+  grep -q 'cluster.failover' "$E2E_DIR/journal.json"
+  grep -q 'cluster.hedge_won' "$E2E_DIR/journal.json"
+  kill "$S0_PID" "$S1_PID" 2> /dev/null || true
+  wait "$S0_PID" "$S1_PID" 2> /dev/null || true
   rm -rf "$E2E_DIR"
   trap - EXIT
 fi

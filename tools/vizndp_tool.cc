@@ -51,12 +51,15 @@
 #include "obs/trace.h"
 
 #include "bench_util/table.h"
+#include "cluster/sharded_client.h"
 #include "contour/contour_filter.h"
+#include "obs/event_log.h"
 #include "contour/select.h"
 #include "io/vnd_format.h"
 #include "ndp/ndp_client.h"
 #include "ndp/ndp_server.h"
 #include "net/fault.h"
+#include "net/inproc.h"
 #include "net/tcp.h"
 #include "storage/remote_store.h"
 #include "render/render_sink.h"
@@ -89,6 +92,8 @@ namespace {
                "  fetch   --host H --port P --key K --array NAME --iso V[,V...]\n"
                "          [--obj FILE] [--timeout-ms N] [--retries N]\n"
                "          [--fault SPEC] [--fallback] [--trace-merged FILE]\n"
+               "          [--connect HOST:PORT]... [--replicas R] [--hedge-ms X]\n"
+               "          [--shard-fault I:SPEC]...\n"
                "  metrics --host H --port P [--json | --format text|json|prom]\n"
                "  health  --host H --port P\n"
                "  fuzz    [--target NAME|all] [--seed S] [--iters N]\n"
@@ -118,8 +123,19 @@ namespace {
                "                   trace and write a clock-aligned Chrome JSON\n"
                "                   timeline (client + server + wire tracks)\n"
                "\n"
+               "fetch sharded serving (two or more --connect endpoints):\n"
+               "  --connect H:P    one storage node; repeat per node. The fetch\n"
+               "                   scatter-gathers brick-restricted sub-requests\n"
+               "                   and merges bit-identical geometry\n"
+               "  --replicas R     copies per shard for failover/hedging (def 2)\n"
+               "  --hedge-ms X     hedge delay: X>0 fixed ms, 0 adaptive (tail\n"
+               "                   quantile), omit to disable hedging\n"
+               "  --shard-fault I:SPEC  inject --fault-style faults into server\n"
+               "                   I's connection only (testing)\n"
+               "\n"
                "global options:\n"
-               "  --trace FILE   record spans, write Chrome-tracing JSON\n");
+               "  --trace FILE    record spans, write Chrome-tracing JSON\n"
+               "  --journal FILE  write the event journal (JSON) on exit\n");
   std::exit(2);
 }
 
@@ -133,20 +149,28 @@ class Args {
       if (key.rfind("--", 0) != 0) Usage(("unexpected argument: " + key).c_str());
       key = key.substr(2);
       if (flags.count(key) != 0) {
-        values_[key] = "1";
+        values_[key].emplace_back("1");
         continue;
       }
       if (i + 1 >= argc) Usage(("missing value for --" + key).c_str());
-      values_[key] = argv[++i];
+      values_[key].emplace_back(argv[++i]);
     }
   }
 
   bool Has(const std::string& key) const { return values_.count(key) != 0; }
 
+  // Last occurrence wins for single-valued options.
   std::optional<std::string> Get(const std::string& key) const {
     const auto it = values_.find(key);
     return it == values_.end() ? std::nullopt
-                               : std::optional<std::string>(it->second);
+                               : std::optional<std::string>(it->second.back());
+  }
+
+  // Every occurrence, in command-line order — for repeatable options
+  // like fetch's --connect HOST:PORT.
+  std::vector<std::string> GetAll(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
   }
 
   std::string Require(const std::string& key) const {
@@ -161,7 +185,7 @@ class Args {
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
 };
 
 std::vector<double> ParseIsovalues(const std::string& spec) {
@@ -339,9 +363,14 @@ int CmdServe(const Args& args) {
   ndp_server.SetMemoryBudget(&rpc_server.memory_budget());
   ndp_server.Bind(rpc_server);
   rpc::TcpRpcServer tcp(rpc_server, port);
+  // Machine-readable first line — `--port 0` lets the OS pick, and shell
+  // harnesses (tools/check.sh) parse the choice from here.
+  std::printf("port: %u\n", tcp.port());
+  std::fflush(stdout);
   std::printf("serving %s/data on 127.0.0.1:%u (baseline reads + NDP "
               "pre-filter); Ctrl-C drains and stops\n",
               dir.c_str(), tcp.port());
+  std::fflush(stdout);
   std::signal(SIGINT, [](int) { g_serve_interrupted = 1; });
   std::signal(SIGTERM, [](int) { g_serve_interrupted = 1; });
   while (g_serve_interrupted == 0) {
@@ -357,9 +386,17 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// "HOST:PORT" → pair; bare "PORT" assumes localhost.
+std::pair<std::string, std::uint16_t> ParseEndpoint(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return {"127.0.0.1", static_cast<std::uint16_t>(std::atoi(spec.c_str()))};
+  }
+  return {spec.substr(0, colon),
+          static_cast<std::uint16_t>(std::atoi(spec.c_str() + colon + 1))};
+}
+
 int CmdFetch(const Args& args) {
-  const std::string host = args.Get("host").value_or("127.0.0.1");
-  const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
   const auto trace_merged = args.Get("trace-merged");
   if (trace_merged) obs::GlobalTracer().Enable();
 
@@ -372,23 +409,85 @@ int CmdFetch(const Args& args) {
 
   net::TcpOptions tcp_options;
   tcp_options.connect_timeout = options.connect_timeout;
-  net::TransportPtr transport = net::TcpConnect(host, port, tcp_options);
-  if (const auto fault = args.Get("fault")) {
-    // Inject faults into the NDP connection only; a --fallback read uses
-    // a second, clean connection (standing in for the baseline path).
-    transport = net::WrapWithFaults(std::move(transport), *fault);
-  }
-  auto client = std::make_shared<ndp::NdpClient>(
-      std::make_shared<rpc::Client>(std::move(transport)), "data", options);
 
-  ndp::NdpContourSource source(client, args.Require("key"),
+  // Endpoints: either the classic --host/--port single server, or one
+  // --connect HOST:PORT per storage node of a sharded serving tier.
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+  for (const std::string& spec : args.GetAll("connect")) {
+    endpoints.push_back(ParseEndpoint(spec));
+  }
+  if (endpoints.empty()) {
+    endpoints.emplace_back(
+        args.Get("host").value_or("127.0.0.1"),
+        static_cast<std::uint16_t>(args.GetLong("port", 47801)));
+  }
+
+  // --shard-fault I:SPEC injects faults into server I's connection only
+  // (e.g. --shard-fault 1:recv.delay=300 makes shard 1 slow enough that
+  // hedges fire); --fault applies to every connection.
+  std::map<int, std::string> shard_faults;
+  for (const std::string& spec : args.GetAll("shard-fault")) {
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos) Usage("--shard-fault needs I:SPEC");
+    shard_faults[std::atoi(spec.c_str())] = spec.substr(colon + 1);
+  }
+
+  std::vector<std::shared_ptr<ndp::NdpClient>> clients;
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    net::TransportPtr transport;
+    try {
+      transport = net::TcpConnect(endpoints[i].first, endpoints[i].second,
+                                  tcp_options);
+    } catch (const Error& e) {
+      // A lone server must be reachable, but a sharded tier keeps going:
+      // stand in a pre-closed channel so every use of this node reports
+      // peer-closed and the replica chain fails over, same as a node
+      // that died mid-run.
+      if (endpoints.size() == 1) throw;
+      std::fprintf(stderr, "[warn] server %zu (%s:%u) unreachable: %s\n", i,
+                   endpoints[i].first.c_str(), endpoints[i].second, e.what());
+      net::TransportPair dead = net::CreateInProcPair(nullptr);
+      dead.a.reset();
+      transport = std::move(dead.b);
+    }
+    // Inject faults into the NDP connection(s) only; a --fallback read
+    // uses a separate, clean connection (the baseline path stand-in).
+    if (const auto fault = args.Get("fault")) {
+      transport = net::WrapWithFaults(std::move(transport), *fault);
+    }
+    const auto sf = shard_faults.find(static_cast<int>(i));
+    if (sf != shard_faults.end()) {
+      transport = net::WrapWithFaults(std::move(transport), sf->second);
+    }
+    clients.push_back(std::make_shared<ndp::NdpClient>(
+        std::make_shared<rpc::Client>(std::move(transport)), "data",
+        options));
+  }
+
+  std::shared_ptr<ndp::NdpFetcher> fetcher;
+  std::shared_ptr<cluster::ShardedNdpClient> sharded;
+  if (clients.size() > 1) {
+    cluster::ShardedClientOptions sharded_options;
+    // Off unless asked: 0 = adaptive (tail-quantile), >0 fixed ms.
+    sharded_options.hedge_ms = args.Has("hedge-ms")
+                                   ? std::atof(args.Require("hedge-ms").c_str())
+                                   : -1.0;
+    sharded = std::make_shared<cluster::ShardedNdpClient>(
+        clients, static_cast<int>(args.GetLong("replicas", 2)),
+        sharded_options);
+    fetcher = sharded;
+  } else {
+    fetcher = clients.front();
+  }
+
+  ndp::NdpContourSource source(fetcher, args.Require("key"),
                                args.Require("array"),
                                ParseIsovalues(args.Require("iso")));
   std::shared_ptr<rpc::Client> fallback_rpc;
   std::unique_ptr<storage::RemoteObjectStore> fallback_store;
   if (args.Has("fallback")) {
-    fallback_rpc = std::make_shared<rpc::Client>(
-        net::TcpConnect(host, port, tcp_options));
+    fallback_rpc = std::make_shared<rpc::Client>(net::TcpConnect(
+        endpoints.front().first, endpoints.front().second, tcp_options));
     fallback_store = std::make_unique<storage::RemoteObjectStore>(fallback_rpc);
     source.SetFallback(storage::FileGateway(*fallback_store, "data"));
   }
@@ -409,6 +508,23 @@ int CmdFetch(const Args& args) {
                 100.0 * stats.Selectivity(),
                 static_cast<unsigned long long>(stats.payload_bytes));
   }
+  if (sharded != nullptr) {
+    // The hedging scoreboard for this run (process-wide counters: this
+    // fetch is the only traffic in a CLI invocation).
+    obs::Registry& reg = obs::DefaultRegistry();
+    std::printf(
+        "cluster: %d server(s) x %d replica(s); hedges launched %llu, "
+        "won %llu, lost %llu; failovers %llu\n",
+        sharded->server_count(), sharded->shard_map().replicas(),
+        static_cast<unsigned long long>(
+            reg.GetCounter("ndp_hedge_launched_total").value()),
+        static_cast<unsigned long long>(
+            reg.GetCounter("ndp_hedge_won_total").value()),
+        static_cast<unsigned long long>(
+            reg.GetCounter("ndp_hedge_lost_total").value()),
+        static_cast<unsigned long long>(
+            reg.GetCounter("cluster_failover_total").value()));
+  }
   if (const auto obj = args.Get("obj")) {
     poly.WriteObj(*obj);
     std::printf("wrote %s\n", obj->c_str());
@@ -427,7 +543,8 @@ int CmdFetch(const Args& args) {
   } else if (obs::GlobalTracer().enabled() && !stats.used_fallback) {
     // Pull the server half of the trace into the local buffer so the
     // --trace file shows read/decompress/select next to decode/scatter.
-    const size_t merged = client->ScrapeTrace();
+    size_t merged = 0;
+    for (const auto& c : clients) merged += c->ScrapeTrace();
     std::printf("merged %zu server trace event(s)\n", merged);
   }
   return 0;
@@ -538,6 +655,12 @@ int main(int argc, char** argv) {
       obs::GlobalTracer().WriteChromeJson(out);
       std::printf("wrote %s (%zu trace events)\n", trace_path->c_str(),
                   obs::GlobalTracer().event_count());
+    }
+    if (const auto journal_path = args.Get("journal")) {
+      std::ofstream out(*journal_path, std::ios::binary);
+      if (!out.good()) throw IoError("cannot open " + *journal_path);
+      out << obs::GlobalEventLog().Json() << "\n";
+      std::printf("wrote %s (event journal)\n", journal_path->c_str());
     }
     return rc;
   } catch (const std::exception& e) {
