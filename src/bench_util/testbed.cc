@@ -1,5 +1,8 @@
 #include "bench_util/testbed.h"
 
+#include <string>
+
+#include "common/error.h"
 #include "net/inproc.h"
 #include "storage/store_rpc.h"
 
@@ -51,54 +54,124 @@ net::TransportPtr Testbed::ConnectToServer() {
   return std::move(pair.b);
 }
 
+void ClusterTestbed::StartNodeLocked(Node& node) {
+  node.rpc = std::make_shared<rpc::Server>();
+  node.ndp = std::make_shared<ndp::NdpServer>(LocalGateway());
+  node.ndp->SetMemoryBudget(&node.rpc->memory_budget());
+  node.ndp->Bind(*node.rpc);
+  node.alive = true;
+}
+
+net::TransportFactory ClusterTestbed::DialFactory(int i, bool decorated) {
+  return [this, i, decorated]() -> net::TransportPtr {
+    Node& node = *nodes_.at(static_cast<size_t>(i));
+    std::shared_ptr<rpc::Server> srv;
+    {
+      std::lock_guard lk(node.mu);
+      if (!node.alive) {
+        throw PeerClosedError("node " + std::to_string(i) + " is down");
+      }
+      srv = node.rpc;
+    }
+    net::TransportPair pair = net::CreateInProcPair(&link_);
+    {
+      // The serve thread keeps its own shared_ptr to the server it
+      // serves, so a later restart (which swaps node.rpc) never pulls
+      // the server out from under a loop still draining.
+      std::lock_guard lk(node.mu);
+      node.serve_threads.emplace_back(
+          [srv, server_end = std::shared_ptr<net::Transport>(
+                    std::move(pair.a))]() mutable {
+            srv->ServeTransport(*server_end);
+          });
+    }
+    net::TransportPtr client_end = std::move(pair.b);
+    if (decorated && config_.decorate) {
+      client_end = config_.decorate(std::move(client_end), i);
+    }
+    return client_end;
+  };
+}
+
 ClusterTestbed::ClusterTestbed(ClusterTestbedConfig config)
     : config_(std::move(config)), link_(config_.link), ssd_(config_.ssd) {
   store_ = std::make_shared<storage::MemoryObjectStore>(&ssd_);
   store_->CreateBucket(config_.bucket);
 
-  std::vector<std::shared_ptr<ndp::NdpClient>> clients;
+  // All nodes first (the dial factories index into nodes_), channels
+  // second.
   for (int i = 0; i < config_.servers; ++i) {
     auto node = std::make_unique<Node>();
-    node->rpc = std::make_unique<rpc::Server>();
-    node->ndp = std::make_unique<ndp::NdpServer>(LocalGateway());
-    node->ndp->SetMemoryBudget(&node->rpc->memory_budget());
-    node->ndp->Bind(*node->rpc);
-
-    net::TransportPair pair = net::CreateInProcPair(&link_);
-    node->serve_thread =
-        std::thread([srv = node->rpc.get(),
-                     server_end = std::shared_ptr<net::Transport>(
-                         std::move(pair.a))]() mutable {
-          srv->ServeTransport(*server_end);
-        });
-    net::TransportPtr client_end = std::move(pair.b);
-    if (config_.decorate) {
-      client_end = config_.decorate(std::move(client_end), i);
-    }
-    node->client = std::make_shared<ndp::NdpClient>(
-        std::make_shared<rpc::Client>(std::move(client_end)),
-        config_.bucket, config_.client_options);
-    clients.push_back(node->client);
+    std::lock_guard lk(node->mu);
+    StartNodeLocked(*node);
     nodes_.push_back(std::move(node));
+  }
+  std::vector<std::shared_ptr<ndp::NdpClient>> clients;
+  for (int i = 0; i < config_.servers; ++i) {
+    Node& node = *nodes_[static_cast<size_t>(i)];
+    // Data channel: chaos fault handle over a reconnecting transport —
+    // scripts persist across the connections under them.
+    auto faulty = std::make_unique<net::FaultInjectingTransport>(
+        std::make_unique<net::ReconnectingTransport>(
+            DialFactory(i, /*decorated=*/true)));
+    node.fault = faulty.get();
+    node.client = std::make_shared<ndp::NdpClient>(
+        std::make_shared<rpc::Client>(std::move(faulty)), config_.bucket,
+        config_.client_options);
+    // Probe channel: its own connection, no decorator, no chaos faults.
+    node.probe = std::make_shared<ndp::NdpClient>(
+        std::make_shared<rpc::Client>(
+            std::make_unique<net::ReconnectingTransport>(
+                DialFactory(i, /*decorated=*/false))),
+        config_.bucket, config_.client_options);
+    clients.push_back(node.client);
   }
   sharded_ = std::make_shared<cluster::ShardedNdpClient>(
       std::move(clients), config_.replicas, config_.sharded);
 }
 
 void ClusterTestbed::KillServer(int i) {
-  nodes_.at(static_cast<size_t>(i))->rpc->Stop();
+  Node& node = *nodes_.at(static_cast<size_t>(i));
+  std::shared_ptr<rpc::Server> srv;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lk(node.mu);
+    if (!node.alive) return;
+    node.alive = false;
+    srv = node.rpc;
+    threads.swap(node.serve_threads);
+  }
+  srv->Stop();
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ClusterTestbed::RestartServer(int i) {
+  Node& node = *nodes_.at(static_cast<size_t>(i));
+  std::lock_guard lk(node.mu);
+  if (node.alive) return;
+  StartNodeLocked(node);
+}
+
+bool ClusterTestbed::alive(int i) {
+  Node& node = *nodes_.at(static_cast<size_t>(i));
+  std::lock_guard lk(node.mu);
+  return node.alive;
 }
 
 ClusterTestbed::~ClusterTestbed() {
   // The sharded client may still hold abandoned hedge attempts against
   // these nodes; destroy it (joins them) before the serve loops exit.
+  // Any HealthMonitor on the probe clients must already be stopped by
+  // its owner (declare the monitor after the testbed).
   sharded_.reset();
   for (auto& node : nodes_) {
     node->client.reset();
-    node->rpc->Stop();
+    node->probe.reset();
   }
-  for (auto& node : nodes_) {
-    if (node->serve_thread.joinable()) node->serve_thread.join();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    KillServer(static_cast<int>(i));
   }
 }
 

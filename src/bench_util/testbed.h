@@ -14,10 +14,13 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "cluster/sharded_client.h"
 #include "ndp/ndp_client.h"
+#include "net/fault.h"
+#include "net/reconnect.h"
 #include "ndp/ndp_server.h"
 #include "rpc/server.h"
 #include "bench_util/stats.h"
@@ -97,6 +100,16 @@ class Testbed {
 // connection per node, and a ShardedNdpClient fanning out over them.
 // Mirrors Testbed's wiring per node so single-node and sharded runs
 // differ only in topology.
+//
+// Channels are self-healing: every client connection goes through a
+// net::ReconnectingTransport whose factory dials the node's *current*
+// rpc::Server (throwing PeerClosedError while the node is down), so
+// KillServer → RestartServer round-trips without rebuilding clients —
+// the next call after a restart just redials. Each node additionally
+// exposes a dedicated probe client (for a cluster::HealthMonitor; stop
+// the monitor before destroying the testbed) and a persistent
+// FaultInjectingTransport handle wrapped around its data channel (for
+// the chaos harness to script delays/corruption mid-run).
 struct ClusterTestbedConfig {
   int servers = 3;
   int replicas = 2;
@@ -134,26 +147,58 @@ class ClusterTestbed {
   rpc::Server& rpc_server(int i) { return *nodes_.at(size_t(i))->rpc; }
   ndp::NdpServer& ndp_server(int i) { return *nodes_.at(size_t(i))->ndp; }
 
-  // Direct client to one node (health probes, reference fetches).
+  // Direct client to one node (reference fetches). Reconnecting: usable
+  // across kill/restart cycles of the node.
   std::shared_ptr<ndp::NdpClient> server_client(int i) {
     return nodes_.at(static_cast<size_t>(i))->client;
+  }
+
+  // Dedicated health-probe connection to node `i` — never shared with
+  // data fetches and never touched by chaos fault scripts, so a
+  // HealthMonitor sees the node's real state.
+  std::shared_ptr<ndp::NdpClient> probe_client(int i) {
+    return nodes_.at(static_cast<size_t>(i))->probe;
+  }
+
+  // Persistent fault handle on node `i`'s data channel; survives
+  // kill/restart cycles (it wraps the reconnecting transport, not one
+  // connection).
+  net::FaultInjectingTransport& fault(int i) {
+    return *nodes_.at(static_cast<size_t>(i))->fault;
   }
 
   std::shared_ptr<cluster::ShardedNdpClient> sharded_client() {
     return sharded_;
   }
 
-  // Drains node `i` and exits its serve loops: subsequent calls to it
-  // fail with PeerClosedError and the sharded client fails over.
+  // Drains node `i`, exits and joins its serve loops: subsequent calls
+  // to it fail with PeerClosedError and the sharded client fails over.
   void KillServer(int i);
+
+  // Brings a killed node back as a fresh incarnation (new rpc::Server +
+  // NdpServer with a new node_id) over the same shared store — restarts
+  // lose no data, exactly like a storage node rebooting over its disks.
+  void RestartServer(int i);
+
+  bool alive(int i);
 
  private:
   struct Node {
-    std::unique_ptr<rpc::Server> rpc;
-    std::unique_ptr<ndp::NdpServer> ndp;
-    std::thread serve_thread;
+    std::mutex mu;  // guards rpc/ndp/alive/serve_threads across redials
+    std::shared_ptr<rpc::Server> rpc;
+    std::shared_ptr<ndp::NdpServer> ndp;
+    bool alive = true;
+    std::vector<std::thread> serve_threads;
+    net::FaultInjectingTransport* fault = nullptr;  // owned by `client`
     std::shared_ptr<ndp::NdpClient> client;
+    std::shared_ptr<ndp::NdpClient> probe;
   };
+
+  // (Re)creates node i's servers over the shared store; node.mu held.
+  void StartNodeLocked(Node& node);
+  // Transport factory dialing node i's current server; `decorated`
+  // applies config_.decorate to the new connection (data channels only).
+  net::TransportFactory DialFactory(int i, bool decorated);
 
   ClusterTestbedConfig config_;
   net::SimulatedLink link_;

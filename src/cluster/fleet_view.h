@@ -1,0 +1,60 @@
+// Epoch-stamped cluster membership snapshot, published by HealthMonitor
+// and consumed by ShardedNdpClient.
+//
+// The view is immutable once published: readers hold a
+// shared_ptr<const FleetView> for the duration of one fetch, so placement
+// decisions inside that fetch are self-consistent and no lock is ever
+// held across an RPC. Epochs are strictly increasing; a reader comparing
+// two views can always tell which is newer.
+//
+// Per-node states form the self-healing lifecycle:
+//
+//   live ──fail×S──► suspect ──fail×D──► dead ──ok──► rejoining ──ok×K──► live
+//     ▲                 │                                  │
+//     └────ok (decay)───┘             fail ────────────────┘ (back to dead)
+//
+// `live` and `suspect` nodes are *usable* (suspect only demotes a node to
+// the back of replica chains); `dead` and `rejoining` nodes are excluded
+// from placement entirely until the monitor has seen K consecutive
+// healthy probes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vizndp::cluster {
+
+enum class NodeState : std::uint8_t {
+  kLive = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kRejoining = 3,
+};
+
+const char* NodeStateName(NodeState state);
+
+// Usable = may appear in a replica chain. Suspect nodes stay usable
+// (they answered recently; they are demoted, not dropped) — only dead
+// and not-yet-readmitted nodes fall out of placement.
+inline bool NodeUsable(NodeState state) {
+  return state == NodeState::kLive || state == NodeState::kSuspect;
+}
+
+struct FleetView {
+  std::uint64_t epoch = 0;
+  std::vector<NodeState> states;  // index = server id
+
+  int UsableCount() const {
+    int n = 0;
+    for (const NodeState s : states) {
+      if (NodeUsable(s)) ++n;
+    }
+    return n;
+  }
+
+  // "live,suspect,dead" — journal/debug rendering.
+  std::string ToString() const;
+};
+
+}  // namespace vizndp::cluster

@@ -30,15 +30,57 @@ ShardedNdpClient::ShardedNdpClient(
       map_(static_cast<int>(servers_.size()), replicas),
       options_(options),
       subfetch_seconds_(SubfetchHistogram()),
+      parked_gauge_(
+          obs::DefaultRegistry().GetGauge("cluster_hedge_parked")),
       suspect_(servers_.size(), false) {
   VIZNDP_CHECK_MSG(!servers_.empty(), "sharded client needs servers");
 }
 
-ShardedNdpClient::~ShardedNdpClient() { Reap(/*wait=*/true); }
+ShardedNdpClient::~ShardedNdpClient() {
+  Reap(/*wait=*/true);
+  parked_gauge_.Set(0);
+}
 
 void ShardedNdpClient::MarkSuspect(int server, bool suspect) {
   std::lock_guard lk(suspect_mu_);
   suspect_.at(static_cast<size_t>(server)) = suspect;
+}
+
+void ShardedNdpClient::SetFleetView(std::shared_ptr<const FleetView> view) {
+  {
+    std::lock_guard lk(view_mu_);
+    view_ = view;
+  }
+  if (view == nullptr || view->states.size() != servers_.size()) return;
+  // The monitor's verdict supersedes ad-hoc suspicion: nodes it calls
+  // live are trusted again, nodes it calls suspect stay demoted.
+  std::lock_guard lk(suspect_mu_);
+  for (size_t i = 0; i < suspect_.size(); ++i) {
+    if (view->states[i] == NodeState::kLive) suspect_[i] = false;
+    if (view->states[i] == NodeState::kSuspect) suspect_[i] = true;
+  }
+}
+
+std::shared_ptr<const FleetView> ShardedNdpClient::fleet_view() const {
+  std::lock_guard lk(view_mu_);
+  return view_;
+}
+
+std::vector<bool> ShardedNdpClient::Eligibility(
+    const std::shared_ptr<const FleetView>& view) const {
+  std::vector<bool> eligible(servers_.size(), true);
+  if (view == nullptr || view->states.size() != servers_.size()) {
+    return eligible;
+  }
+  int usable = 0;
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    eligible[i] = NodeUsable(view->states[i]);
+    if (eligible[i]) ++usable;
+  }
+  // An all-dead view must not make a fetch unroutable — plan over
+  // everyone and let the transports report the truth.
+  if (usable == 0) eligible.assign(servers_.size(), true);
+  return eligible;
 }
 
 int ShardedNdpClient::ProbeHealth() {
@@ -68,7 +110,9 @@ ndp::NdpClient::FileInfo ShardedNdpClient::Info(const std::string& key) {
   // key's home chain first, then walk the rest of the fleet. Health
   // bookkeeping is left to actual fetch attempts — a metadata probe
   // bouncing off a busy node is not evidence worth demoting it over.
-  std::vector<int> order = LiveChain(map_.ShardOfKey(key));
+  const std::vector<bool> eligible = Eligibility(fleet_view());
+  std::vector<int> order = LiveChain(map_.ShardOfKey(key, &eligible),
+                                     &eligible);
   for (int sv = 0; sv < server_count(); ++sv) {
     if (std::find(order.begin(), order.end(), sv) == order.end()) {
       order.push_back(sv);
@@ -92,8 +136,9 @@ ndp::NdpClient::FileInfo ShardedNdpClient::Info(const std::string& key) {
   std::rethrow_exception(last);
 }
 
-std::vector<int> ShardedNdpClient::LiveChain(int shard) {
-  const std::vector<int> chain = map_.ReplicaChain(shard);
+std::vector<int> ShardedNdpClient::LiveChain(
+    int shard, const std::vector<bool>* eligible) {
+  const std::vector<int> chain = map_.ReplicaChain(shard, eligible);
   std::vector<int> live;
   std::vector<int> demoted;
   {
@@ -133,16 +178,29 @@ std::optional<std::chrono::microseconds> ShardedNdpClient::HedgeDelay()
 }
 
 void ShardedNdpClient::Park(std::vector<std::future<void>>&& futures) {
-  std::lock_guard lk(pending_mu_);
-  for (std::future<void>& f : futures) {
-    if (!f.valid()) continue;
-    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
-      f.get();  // worker bodies never throw; this just releases state
-    } else {
-      pending_.push_back(std::move(f));
+  std::vector<std::future<void>> overflow;
+  {
+    std::lock_guard lk(pending_mu_);
+    for (std::future<void>& f : futures) {
+      if (!f.valid()) continue;
+      if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+        f.get();  // worker bodies never throw; this just releases state
+      } else {
+        pending_.push_back(std::move(f));
+      }
     }
+    futures.clear();
+    // Bound the parked set: past the cap, the oldest losers get joined
+    // instead of accumulating threads without limit.
+    while (pending_.size() > kMaxParked) {
+      overflow.push_back(std::move(pending_.front()));
+      pending_.erase(pending_.begin());
+    }
+    parked_gauge_.Set(static_cast<double>(pending_.size()));
   }
-  futures.clear();
+  // Join the overflow outside the lock; each join is bounded by the
+  // per-call timeout on the underlying clients.
+  for (std::future<void>& f : overflow) f.get();
 }
 
 void ShardedNdpClient::Reap(bool wait) {
@@ -161,17 +219,20 @@ void ShardedNdpClient::Reap(bool wait) {
       keep.push_back(std::move(f));
     }
   }
-  if (!keep.empty()) {
+  {
     std::lock_guard lk(pending_mu_);
     for (std::future<void>& f : keep) pending_.push_back(std::move(f));
+    parked_gauge_.Set(static_cast<double>(pending_.size()));
   }
 }
 
 ndp::PartialFetch ShardedNdpClient::SubFetch(
     int shard, const std::string& key, const std::string& array,
     const std::vector<double>& isovalues,
-    const std::vector<std::int64_t>* only_bricks) {
-  const std::vector<int> chain = LiveChain(shard);
+    const std::vector<std::int64_t>* only_bricks,
+    const std::vector<bool>& eligible) {
+  const std::vector<int> chain =
+      LiveChain(shard, eligible.empty() ? nullptr : &eligible);
   obs::Registry& reg = obs::DefaultRegistry();
   reg.GetCounter("cluster_subfetch_total", {{"shard", ShardTag(shard)}})
       .Increment();
@@ -325,6 +386,11 @@ contour::SparseField ShardedNdpClient::FetchSparseField(
   obs::Span total_span("cluster.fetch");
   Reap(/*wait=*/false);
 
+  // One membership snapshot per fetch: placement, chains, and the
+  // rescue rung below all answer to the same view, and no lock is held
+  // once it is taken.
+  const std::vector<bool> eligible = Eligibility(fleet_view());
+
   // Placement needs the brick decomposition; a monolithic array cannot
   // be sub-divided and routes whole to its rendezvous owner.
   const ndp::NdpClient::FileInfo info = Info(key);
@@ -335,10 +401,11 @@ contour::SparseField ShardedNdpClient::FetchSparseField(
   if (whole_key) {
     // Monolithic array — or an array the catalog doesn't know, which the
     // home server rejects with its canonical application error.
-    plan.emplace_back(map_.ShardOfKey(key), std::vector<std::int64_t>{});
+    plan.emplace_back(map_.ShardOfKey(key, &eligible),
+                      std::vector<std::int64_t>{});
   } else {
     std::vector<std::vector<std::int64_t>> slices =
-        map_.Partition(key, meta->brick_count);
+        map_.Partition(key, meta->brick_count, &eligible);
     for (int s = 0; s < static_cast<int>(slices.size()); ++s) {
       if (!slices[static_cast<size_t>(s)].empty()) {
         plan.emplace_back(s, std::move(slices[static_cast<size_t>(s)]));
@@ -356,10 +423,11 @@ contour::SparseField ShardedNdpClient::FetchSparseField(
         whole_key ? nullptr : &bricks;
     futures.push_back(std::async(
         std::launch::async, [this, shard = shard, &key, &array, &isovalues,
-                             restriction, parent_ctx]() {
+                             restriction, parent_ctx, &eligible]() {
           std::optional<obs::ScopedTraceContext> scope;
           if (parent_ctx.valid()) scope.emplace(parent_ctx);
-          return SubFetch(shard, key, array, isovalues, restriction);
+          return SubFetch(shard, key, array, isovalues, restriction,
+                          eligible);
         }));
   }
 
@@ -388,14 +456,31 @@ contour::SparseField ShardedNdpClient::FetchSparseField(
     obs::GlobalEventLog().Append("cluster.unrestricted_fallback",
                                  "key=" + key);
     bool rescued = false;
-    for (int sv = 0; sv < server_count() && !rescued; ++sv) {
+    // Usable nodes first; the rest only as a last resort (the view may
+    // be stale, and a "dead" node that answers is better than no data).
+    std::vector<int> rescue_order;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int sv = 0; sv < server_count(); ++sv) {
+        if (eligible[static_cast<size_t>(sv)] == (pass == 0)) {
+          rescue_order.push_back(sv);
+        }
+      }
+    }
+    for (const int sv : rescue_order) {
+      if (rescued) break;
       try {
         obs::Span rescue_span("cluster.rescue");
         partials.clear();
         partials.push_back(servers_[static_cast<size_t>(sv)]->FetchPartial(
             key, array, isovalues, nullptr));
         rescued = true;
-      } catch (const Error&) {
+      } catch (const Error& e) {
+        // Swallowed on purpose — the next server in the order is the
+        // answer — but journaled so a fetch that exhausts every rescue
+        // rung leaves a per-server trail of what refused it.
+        obs::GlobalEventLog().Append(
+            "cluster.rescue_failed",
+            "server=" + std::to_string(sv) + " error=" + e.what());
       }
     }
     if (!rescued) std::rethrow_exception(shard_failure);

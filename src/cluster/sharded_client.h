@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/fleet_view.h"
 #include "cluster/shard_map.h"
 #include "ndp/ndp_client.h"
 
@@ -77,6 +78,17 @@ class ShardedNdpClient : public ndp::NdpFetcher {
   // Test hook: treat `server` as suspect without a probe.
   void MarkSuspect(int server, bool suspect = true);
 
+  // Installs a membership snapshot (normally called by a HealthMonitor
+  // view sink). Each FetchSparseField snapshots the current view once
+  // and plans over its usable nodes only: dead/rejoining nodes drop out
+  // of partitions and chains, and their bricks re-spread across the
+  // survivors. A live verdict also clears the node's local suspect bit;
+  // nullptr (or a view from a different fleet size) restores the static
+  // all-nodes placement. Never holds a lock across an RPC: the view is
+  // swapped atomically and read-only afterwards.
+  void SetFleetView(std::shared_ptr<const FleetView> view);
+  std::shared_ptr<const FleetView> fleet_view() const;
+
   const ShardMap& shard_map() const { return map_; }
   int server_count() const { return static_cast<int>(servers_.size()); }
 
@@ -99,27 +111,44 @@ class ShardedNdpClient : public ndp::NdpFetcher {
 
   // Hedged, failing-over fetch of one shard's slice (`only_bricks`
   // nullptr = the whole dataset, for unbricked arrays). Throws the last
-  // replica's error once the chain is exhausted.
+  // replica's error once the chain is exhausted. `eligible` is the
+  // fetch's view snapshot (empty = all servers).
   ndp::PartialFetch SubFetch(int shard, const std::string& key,
                              const std::string& array,
                              const std::vector<double>& isovalues,
-                             const std::vector<std::int64_t>* only_bricks);
+                             const std::vector<std::int64_t>* only_bricks,
+                             const std::vector<bool>& eligible);
 
-  // Replica chain for `shard` with suspect servers demoted to the back
-  // (skips counted and journaled).
-  std::vector<int> LiveChain(int shard);
+  // Replica chain for `shard` over the eligible servers, with suspect
+  // servers demoted to the back (skips counted and journaled).
+  std::vector<int> LiveChain(int shard, const std::vector<bool>* eligible);
+
+  // Usable-server mask of `view` (all-true when the view is null, from
+  // a different fleet size, or marks nobody usable).
+  std::vector<bool> Eligibility(
+      const std::shared_ptr<const FleetView>& view) const;
 
   std::optional<std::chrono::microseconds> HedgeDelay() const;
 
   // Moves still-running attempt threads to pending_ and drops finished
-  // ones; called as each race resolves and from the destructor.
+  // ones; called as each race resolves and from the destructor. The
+  // parked set is bounded by kMaxParked: over the cap, Park blocks on
+  // the oldest losers (bounded by the per-call timeout) instead of
+  // accumulating threads without limit. The cluster_hedge_parked gauge
+  // tracks the set's size.
   void Park(std::vector<std::future<void>>&& futures);
   void Reap(bool wait);
+
+  static constexpr size_t kMaxParked = 64;
 
   std::vector<std::shared_ptr<ndp::NdpClient>> servers_;
   ShardMap map_;
   ShardedClientOptions options_;
   obs::Histogram& subfetch_seconds_;
+  obs::Gauge& parked_gauge_;
+
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const FleetView> view_;
 
   std::mutex suspect_mu_;
   std::vector<bool> suspect_;

@@ -237,13 +237,21 @@ size_t NdpClient::ScrapeTrace(std::uint64_t trace_id) {
   return events.size();
 }
 
-NdpClient::HealthReport NdpClient::Health() {
-  const Value reply = client_->Call(kRpcNdpHealth, Array{}, CallOpts());
+NdpClient::HealthReport NdpClient::Health(std::uint64_t view_epoch) {
+  Array params;
+  if (view_epoch != 0) params.emplace_back(view_epoch);
+  const Value reply =
+      client_->Call(kRpcNdpHealth, std::move(params), CallOpts());
   HealthReport report;
   report.draining = reply.At("draining").As<bool>();
   report.inflight = reply.At("inflight").AsInt();
   report.mem_in_use = reply.At("mem_in_use").AsUint();
   report.mem_limit = reply.At("mem_limit").AsUint();
+  // Optional keys: absent on pre-self-healing servers.
+  if (const Value* v = reply.Find("node_id")) report.node_id = v->AsUint();
+  if (const Value* v = reply.Find("view_epoch")) {
+    report.view_epoch = v->AsUint();
+  }
   for (const Value& v : reply.At("requests").As<Array>()) {
     HealthReport::Request r;
     r.method = v.At("method").As<std::string>();

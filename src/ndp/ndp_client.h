@@ -197,6 +197,13 @@ class NdpClient : public NdpFetcher {
     std::int64_t inflight = 0;
     std::uint64_t mem_in_use = 0;
     std::uint64_t mem_limit = 0;
+    // Server-incarnation identity (0 from pre-self-healing servers): a
+    // changed id between two probes means the node restarted even if it
+    // was never caught down.
+    std::uint64_t node_id = 0;
+    // Highest cluster view epoch the server has heard from any prober
+    // (0 from old servers).
+    std::uint64_t view_epoch = 0;
     struct Request {
       std::string method;
       std::uint64_t trace_id = 0;
@@ -204,7 +211,9 @@ class NdpClient : public NdpFetcher {
     };
     std::vector<Request> requests;
   };
-  HealthReport Health();
+  // `view_epoch` (nonzero) piggybacks the caller's cluster view epoch
+  // on the probe; old servers ignore the extra param.
+  HealthReport Health(std::uint64_t view_epoch = 0);
 
  private:
   rpc::CallOptions CallOpts() const {

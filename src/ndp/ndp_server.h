@@ -18,6 +18,8 @@
 // wire typed so the client can degrade to its baseline pipeline.
 #pragma once
 
+#include <atomic>
+
 #include "ndp/protocol.h"
 #include "obs/metrics.h"
 #include "rpc/server.h"
@@ -25,12 +27,29 @@
 
 namespace vizndp::ndp {
 
+// Random 64-bit server-incarnation id. Every NdpServer construction
+// mints a fresh one, so a health prober that sees the id change knows
+// the process (or server object) behind the endpoint restarted even if
+// it never caught the endpoint down.
+std::uint64_t MintNodeId();
+
 class NdpServer {
  public:
   // `gateway` should be local to the storage node (that is the point);
   // it must outlive the server.
   explicit NdpServer(storage::FileGateway gateway)
-      : gateway_(std::move(gateway)) {}
+      : gateway_(std::move(gateway)), node_id_(MintNodeId()) {}
+
+  // This incarnation's identity, reported in every ndp.health reply.
+  std::uint64_t node_id() const { return node_id_; }
+
+  // Highest cluster view epoch any health prober has mentioned (probes
+  // piggyback their view epoch as the optional first ndp.health param);
+  // echoed back in health replies so operators can spot a prober whose
+  // view lags the fleet.
+  std::uint64_t seen_view_epoch() const {
+    return seen_view_epoch_.load(std::memory_order_relaxed);
+  }
 
   // Pre-filter scan parallelism on the storage node. 1 = serial
   // (default); 0 = one thread per hardware core.
@@ -82,6 +101,8 @@ class NdpServer {
   int prefilter_threads_ = 1;
   rpc::MemoryBudget* mem_budget_ = nullptr;
   obs::Registry metrics_;
+  std::uint64_t node_id_;
+  std::atomic<std::uint64_t> seen_view_epoch_{0};
 };
 
 }  // namespace vizndp::ndp

@@ -1,5 +1,7 @@
 #include "ndp/protocol.h"
 
+#include <string>
+
 #include "common/error.h"
 
 namespace vizndp::ndp {
@@ -25,6 +27,10 @@ std::vector<std::int64_t> BrickRestrictionFromValue(
     const msgpack::Value& value) {
   std::vector<std::int64_t> out;
   const auto& arr = value.As<msgpack::Array>();
+  if (arr.size() > kMaxBrickRestriction) {
+    throw DecodeError("brick restriction: absurd length " +
+                      std::to_string(arr.size()));
+  }
   out.reserve(arr.size());
   for (const msgpack::Value& v : arr) {
     if (!v.IsInteger()) throw DecodeError("brick restriction: non-integer id");

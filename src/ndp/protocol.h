@@ -60,9 +60,14 @@ std::uint64_t ReadVarint(ByteSpan data, size_t& pos);
 // old clients keep working against new servers (an absent/empty
 // restriction means "all bricks", the pre-sharding behaviour).
 msgpack::Value BrickRestrictionToValue(std::span<const std::int64_t> bricks);
-// Decodes the restriction; validates ids are sorted, unique, and
-// non-negative (the upper bound is checked against the actual brick
-// count by NdpServer::Select). Throws DecodeError on violations.
+// Hard cap on restriction length: far above any real brick count (a
+// 1M-brick dataset at 32³ bricks is a 3.2-terapoint grid), far below
+// what a hostile length would make the server allocate.
+inline constexpr size_t kMaxBrickRestriction = size_t{1} << 20;
+// Decodes the restriction; validates ids are sorted, unique,
+// non-negative, and at most kMaxBrickRestriction long (the upper bound
+// is checked against the actual brick count by NdpServer::Select).
+// Throws DecodeError on violations.
 std::vector<std::int64_t> BrickRestrictionFromValue(
     const msgpack::Value& value);
 

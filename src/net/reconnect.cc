@@ -29,7 +29,13 @@ void ReconnectingTransport::EnsureConnected() {
 }
 
 void ReconnectingTransport::Send(ByteSpan frame) {
-  const int attempts = std::max(policy_.max_attempts, 1);
+  // A send that lands on a closed channel never delivered its frame, so
+  // re-dialing and re-sending is not a retry of the remote operation —
+  // it is always safe, and always allowed at least once even under the
+  // no-retry default policy (otherwise every first call after a server
+  // restart fails on the stale connection). The policy only raises how
+  // many successive incarnations may die mid-send before giving up.
+  const int attempts = std::max(policy_.max_attempts, 2);
   for (int attempt = 1;; ++attempt) {
     EnsureConnected();
     try {

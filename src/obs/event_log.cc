@@ -44,6 +44,21 @@ std::vector<LogEvent> EventLog::Events(std::uint64_t trace_id) const {
   return out;
 }
 
+std::uint64_t EventLog::LastSeq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+size_t EventLog::CountSince(std::string_view name,
+                            std::uint64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const LogEvent& e : events_) {
+    if (e.seq > after_seq && e.name == name) ++count;
+  }
+  return count;
+}
+
 void EventLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace vizndp::obs {
@@ -39,6 +40,13 @@ class EventLog {
 
   // Oldest-first copy; trace_id 0 returns everything.
   std::vector<LogEvent> Events(std::uint64_t trace_id = 0) const;
+
+  // Sequence number of the most recent event (0 when empty) — take it
+  // as a baseline, then CountSince(name, baseline) counts the events of
+  // one kind appended afterwards (and still in the ring). The chaos
+  // harness audits counter deltas against these.
+  std::uint64_t LastSeq() const;
+  size_t CountSince(std::string_view name, std::uint64_t after_seq) const;
 
   void Clear();
   size_t size() const;

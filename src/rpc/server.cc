@@ -264,16 +264,20 @@ void Server::ServeTransport(net::Transport& transport) {
   // Dispatch spans from this thread render on the "server" trace track.
   obs::GlobalTracer().SetThreadTrack("server");
   for (;;) {
+    // Checked every round, not only on an idle tick: a peer that sends
+    // faster than kServeTick (a 20ms health prober, say) would otherwise
+    // keep this loop serving a stopped server forever, and whoever is
+    // joining the worker blocks with it.
+    if (stopped_.load(std::memory_order_acquire)) {
+      transport.Close();
+      return;
+    }
     Bytes request;
     try {
       // Ticked rather than fully blocking so a stopped server's worker
       // threads become joinable even when their connections sit idle.
       request = transport.Receive(net::DeadlineAfter(kServeTick));
     } catch (const TimeoutError&) {
-      if (stopped_.load(std::memory_order_acquire)) {
-        transport.Close();
-        return;
-      }
       continue;
     } catch (const Error&) {
       return;  // peer closed

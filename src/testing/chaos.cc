@@ -1,0 +1,414 @@
+#include "testing/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "bench_util/testbed.h"
+#include "cluster/health_monitor.h"
+#include "cluster/sharded_client.h"
+#include "common/error.h"
+#include "compress/codec.h"
+#include "contour/polydata.h"
+#include "io/vnd_format.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "sim/impact.h"
+#include "testing/fuzz.h"
+
+namespace vizndp::testing {
+namespace {
+
+const std::vector<double> kIsos = {0.2, 0.5};
+constexpr const char* kKey = "chaos.vnd";
+
+// The counter/journal pairs the serving tier promises to keep 1:1: each
+// increment appends exactly one event with the paired name, so after a
+// schedule's threads are all joined, delta(counter) == count(events).
+struct AuditPair {
+  const char* counter;
+  const char* event;
+};
+constexpr AuditPair kAuditPairs[] = {
+    {"cluster_failover_total", "cluster.failover"},
+    {"ndp_hedge_launched_total", "cluster.hedge"},
+    {"ndp_hedge_won_total", "cluster.hedge_won"},
+    {"ndp_hedge_lost_total", "cluster.hedge_lost"},
+    {"cluster_draining_skips_total", "cluster.draining_skip"},
+    {"cluster_unrestricted_fallback_total", "cluster.unrestricted_fallback"},
+    {"cluster_rejoin_total", "cluster.rejoin"},
+};
+
+enum class Fault { kKill, kRestart, kDelay, kCorrupt, kBusy, kQuiet };
+
+void StoreDataset(storage::ObjectStore& store, const std::string& bucket,
+                  const ChaosOptions& options) {
+  sim::ImpactConfig cfg;
+  cfg.n = options.n;
+  const grid::Dataset ds = sim::GenerateImpactTimestep(cfg, 24006, {"v02"});
+  io::VndWriter writer(ds);
+  writer.SetCodec(compress::MakeCodec("lz4"));
+  writer.SetBrickSize(options.brick_edge);
+  writer.WriteToStore(store, bucket, kKey);
+}
+
+std::uint64_t CounterValue(const std::string& name) {
+  return obs::DefaultRegistry().GetCounter(name).value();
+}
+
+}  // namespace
+
+std::string ChaosReport::Summary() const {
+  std::ostringstream os;
+  os << "chaos: schedules=" << schedules << " fetches=" << fetches
+     << " kills=" << kills << " restarts=" << restarts << " delays=" << delays
+     << " corrupts=" << corrupts << " busies=" << busies
+     << " rejoins=" << rejoins << " rejoined_served=" << rejoined_served
+     << " view_changes=" << view_changes
+     << " violations=" << violations.size();
+  return os.str();
+}
+
+ChaosReport RunChaos(const ChaosOptions& options) {
+  ChaosReport report;
+  obs::EventLog& journal = obs::GlobalEventLog();
+
+  for (int sched = 0; sched < options.schedules; ++sched) {
+    // Fresh journal per schedule so CountSince never loses events to the
+    // ring (sequence numbers keep climbing across Clear).
+    journal.Clear();
+    const std::uint64_t base_seq = journal.LastSeq();
+    std::uint64_t counter_base[std::size(kAuditPairs)];
+    for (size_t p = 0; p < std::size(kAuditPairs); ++p) {
+      counter_base[p] = CounterValue(kAuditPairs[p].counter);
+    }
+
+    auto violate = [&](int step, const std::string& what) {
+      report.violations.push_back("schedule " + std::to_string(sched) +
+                                  " step " + std::to_string(step) + ": " +
+                                  what);
+    };
+
+    // Every schedule decision comes from this rng alone, and the state it
+    // consults (alive/busy bookkeeping) is driver-side and deterministic,
+    // so a seed replays the same fault sequence exactly.
+    FuzzRng rng(options.seed * 0x9E3779B97F4A7C15ull +
+                static_cast<std::uint64_t>(sched));
+
+    std::uint64_t final_epoch = 0;
+    std::vector<bool> was_restarted(static_cast<size_t>(options.servers),
+                                    false);
+    auto phase_t0 = std::chrono::steady_clock::now();
+    auto phase = [&](const char* name) {
+      if (!options.verbose) return;
+      const auto now = std::chrono::steady_clock::now();
+      std::fprintf(stderr, "chaos:   phase %-12s %6.2fs\n", name,
+                   std::chrono::duration<double>(now - phase_t0).count());
+      phase_t0 = now;
+    };
+    {
+      bench_util::ClusterTestbedConfig config;
+      config.servers = options.servers;
+      config.replicas = options.replicas;
+      config.client_options.call_timeout = options.call_timeout;
+      config.sharded.hedge_ms = options.hedge_ms;
+      bench_util::ClusterTestbed cluster(config);
+      StoreDataset(cluster.store(), cluster.bucket(), options);
+
+      // The oracle: one healthy node's full pipeline, fetched before any
+      // fault. Every chaotic fetch must reproduce it bit for bit.
+      const contour::PolyData reference =
+          cluster.server_client(0)->Contour(kKey, "v02", kIsos);
+
+      std::vector<std::shared_ptr<ndp::NdpClient>> probes;
+      for (int i = 0; i < options.servers; ++i) {
+        probes.push_back(cluster.probe_client(i));
+      }
+      cluster::HealthMonitorOptions mopts;
+      mopts.period = options.probe_period;
+      mopts.seed = options.seed + static_cast<std::uint64_t>(sched);
+      mopts.suspect_after = 1;
+      mopts.dead_after = 2;
+      mopts.rejoin_after = 2;
+      // Declared after the testbed: destroyed (and stopped) before it.
+      cluster::HealthMonitor monitor(std::move(probes), mopts);
+      monitor.SetViewSink(
+          [&cluster](std::shared_ptr<const cluster::FleetView> view) {
+            cluster.sharded_client()->SetFleetView(std::move(view));
+          });
+      phase("setup");
+      monitor.Start();
+      // Let the first sweeps record every node's identity before faults
+      // start. Without this, a step-0 kill+restart that completes inside
+      // one probe gap leaves `identity == 0`, which disables the
+      // silent-restart tripwire and the schedule never journals a rejoin.
+      std::this_thread::sleep_for(2 * options.probe_period);
+
+      std::uint64_t last_epoch = 0;
+      auto check_fetch = [&](int step) {
+        const auto fetch_start = std::chrono::steady_clock::now();
+        try {
+          const contour::PolyData got =
+              cluster.sharded_client()->Contour(kKey, "v02", kIsos);
+          ++report.fetches;
+          if (!got.GeometricallyEquals(reference, 0.0)) {
+            violate(step, "geometry differs from single-server oracle");
+          }
+        } catch (const Error& e) {
+          violate(step, std::string("fetch failed: ") + e.what());
+          if (options.verbose) {
+            // The journal holds the per-server trail of what refused this
+            // fetch (failovers, rescue refusals) — print the tail.
+            const auto events = journal.Events();
+            const size_t n = events.size();
+            for (size_t i = n > 12 ? n - 12 : 0; i < n; ++i) {
+              std::fprintf(stderr, "chaos:     journal %s %s\n",
+                           events[i].name.c_str(), events[i].detail.c_str());
+            }
+          }
+        }
+        if (options.verbose) {
+          const double s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - fetch_start)
+                               .count();
+          if (s > 0.25) {
+            std::fprintf(stderr, "chaos:   slow fetch step %d: %.2fs\n", step,
+                         s);
+          }
+        }
+        const auto view = monitor.view();
+        if (view != nullptr) {
+          if (view->epoch < last_epoch) {
+            violate(step, "view epoch went backwards: " +
+                              std::to_string(view->epoch) + " < " +
+                              std::to_string(last_epoch));
+          }
+          last_epoch = view->epoch;
+        }
+      };
+
+      int busy_node = -1;  // node currently shedding selects, or -1
+      auto alive_count = [&] {
+        int n = 0;
+        for (int i = 0; i < options.servers; ++i) n += cluster.alive(i);
+        return n;
+      };
+      auto pick_alive = [&]() -> int {
+        std::vector<int> up;
+        for (int i = 0; i < options.servers; ++i) {
+          if (cluster.alive(i)) up.push_back(i);
+        }
+        return up[static_cast<size_t>(rng.Below(up.size()))];
+      };
+
+      for (int step = 0; step < options.steps; ++step) {
+        if (busy_node >= 0) {  // overload clears after one step
+          cluster.rpc_server(busy_node).memory_budget().SetLimit(0);
+          busy_node = -1;
+        }
+
+        Fault fault;
+        if (step == 0) {
+          fault = Fault::kKill;  // every schedule exercises the headline
+        } else if (step == 1) {
+          fault = Fault::kRestart;  // ...kill -> detect -> restart -> rejoin
+        } else {
+          fault = static_cast<Fault>(rng.Below(6));
+        }
+
+        const auto fault_start = std::chrono::steady_clock::now();
+        switch (fault) {
+          case Fault::kKill: {
+            // Keep at least one non-busy live node, or every fetch rung
+            // (including the unrestricted rescue) legitimately fails and
+            // the availability invariant means nothing.
+            if (busy_node >= 0 || alive_count() < 2) break;
+            const int victim = pick_alive();
+            cluster.KillServer(victim);
+            ++report.kills;
+            break;
+          }
+          case Fault::kRestart: {
+            std::vector<int> down;
+            for (int i = 0; i < options.servers; ++i) {
+              if (!cluster.alive(i)) down.push_back(i);
+            }
+            if (down.empty()) break;
+            const int node =
+                down[static_cast<size_t>(rng.Below(down.size()))];
+            cluster.RestartServer(node);
+            was_restarted[static_cast<size_t>(node)] = true;
+            ++report.restarts;
+            break;
+          }
+          case Fault::kDelay: {
+            // Finite script: the next 1-3 replies on one data channel
+            // stall past the hedge delay, then the channel heals.
+            const int node = pick_alive();
+            const size_t frames = 1 + rng.Below(3);
+            const auto hold = std::chrono::microseconds(
+                static_cast<std::int64_t>(1000 + rng.Below(14000)));
+            cluster.fault(node).ScriptReceive(std::vector<net::FaultAction>(
+                frames, net::FaultAction::Delay(hold)));
+            ++report.delays;
+            break;
+          }
+          case Fault::kCorrupt: {
+            // Truncation breaks the msgpack envelope, so the client sees
+            // a typed decode failure and fails over. (A BitFlip would
+            // mostly land in the selection payload, which carries no
+            // client-side digest — it would corrupt geometry silently
+            // rather than test the failover path, so the harness sticks
+            // to faults the reply framing is contracted to catch.)
+            const int node = pick_alive();
+            cluster.fault(node).ScriptReceive(
+                {net::FaultAction::Truncate(rng.Below(48))});
+            ++report.corrupts;
+            break;
+          }
+          case Fault::kBusy: {
+            if (alive_count() < 2) break;
+            busy_node = pick_alive();
+            cluster.rpc_server(busy_node).memory_budget().SetLimit(1);
+            ++report.busies;
+            break;
+          }
+          case Fault::kQuiet:
+            break;
+        }
+        if (options.verbose) {
+          const double s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - fault_start)
+                               .count();
+          static const char* kFaultNames[] = {"kill",    "restart", "delay",
+                                              "corrupt", "busy",    "quiet"};
+          std::fprintf(stderr, "chaos:   sched %d step %d: %s (%.2fs)\n",
+                       sched, step, kFaultNames[static_cast<int>(fault)], s);
+        }
+
+        for (int f = 0; f < options.fetches_per_step; ++f) check_fetch(step);
+      }
+
+      phase("steps");
+      // Recovery tail: heal everything and require the fleet to converge
+      // back to all-live — the self-healing half of the contract.
+      if (busy_node >= 0) {
+        cluster.rpc_server(busy_node).memory_budget().SetLimit(0);
+        busy_node = -1;
+      }
+      for (int i = 0; i < options.servers; ++i) {
+        // Drop unconsumed delay/corrupt scripts (a slice that routed no
+        // traffic never drained them) so the rejoin checks below measure
+        // the healed fleet, not a stale fault.
+        cluster.fault(i).ScriptSend({});
+        cluster.fault(i).ScriptReceive({});
+      }
+      for (int i = 0; i < options.servers; ++i) {
+        if (!cluster.alive(i)) {
+          cluster.RestartServer(i);
+          was_restarted[static_cast<size_t>(i)] = true;
+          ++report.restarts;
+        }
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      bool converged = false;
+      while (!converged && std::chrono::steady_clock::now() < deadline) {
+        const auto view = monitor.view();
+        converged = view != nullptr &&
+                    view->UsableCount() == options.servers &&
+                    std::all_of(view->states.begin(), view->states.end(),
+                                [](cluster::NodeState s) {
+                                  return s == cluster::NodeState::kLive;
+                                });
+        if (!converged) std::this_thread::sleep_for(options.probe_period);
+      }
+      if (!converged) {
+        violate(options.steps, "fleet never converged back to all-live");
+      }
+
+      // A rejoined node must be *serving* again, not merely probed live:
+      // fetch through the sharded client (its slice may be empty for this
+      // key), then directly, and require the fresh incarnation's select
+      // counter to move.
+      check_fetch(options.steps);
+      for (int i = 0; i < options.servers; ++i) {
+        if (!was_restarted[static_cast<size_t>(i)]) continue;
+        auto served = [&] {
+          return cluster.ndp_server(i)
+                     .metrics()
+                     .GetCounter("ndp_select_requests_total")
+                     .value() > 0;
+        };
+        if (!served()) {
+          try {
+            cluster.server_client(i)->FetchPartial(kKey, "v02", kIsos,
+                                                   nullptr);
+          } catch (const Error& e) {
+            violate(options.steps, "restarted node " + std::to_string(i) +
+                                       " unusable after rejoin: " + e.what());
+          }
+        }
+        if (served()) {
+          ++report.rejoined_served;
+        } else {
+          violate(options.steps, "restarted node " + std::to_string(i) +
+                                     " never served a select");
+        }
+      }
+
+      const auto view = monitor.view();
+      final_epoch = view != nullptr ? view->epoch : 0;
+      phase("recovery");
+      monitor.Stop();
+      phase("stop");
+    }  // testbed destroyed: every serve loop and hedge loser joined
+    phase("teardown");
+
+    // Audit: with all threads quiesced, each promised counter moved in
+    // lockstep with its journal event...
+    for (size_t p = 0; p < std::size(kAuditPairs); ++p) {
+      const std::uint64_t delta =
+          CounterValue(kAuditPairs[p].counter) - counter_base[p];
+      const size_t events = journal.CountSince(kAuditPairs[p].event, base_seq);
+      if (delta != events) {
+        violate(-1, std::string("audit: ") + kAuditPairs[p].counter + "=" +
+                        std::to_string(delta) + " but " + kAuditPairs[p].event +
+                        " events=" + std::to_string(events));
+      }
+    }
+    // ...every published epoch was journaled exactly once...
+    const size_t view_events = journal.CountSince("cluster.view_change",
+                                                  base_seq);
+    if (view_events != final_epoch) {
+      violate(-1, "audit: final epoch " + std::to_string(final_epoch) +
+                      " but cluster.view_change events=" +
+                      std::to_string(view_events));
+    }
+    report.view_changes += view_events;
+    report.rejoins += journal.CountSince("cluster.rejoin", base_seq);
+    // ...and no hedge loser outlived its client.
+    const double parked =
+        obs::DefaultRegistry().GetGauge("cluster_hedge_parked").value();
+    if (parked != 0) {
+      violate(-1, "audit: cluster_hedge_parked=" + std::to_string(parked) +
+                      " after testbed teardown");
+    }
+
+    ++report.schedules;
+    if (options.verbose) {
+      std::printf("chaos: schedule %d/%d done (epoch=%llu, violations=%zu)\n",
+                  sched + 1, options.schedules,
+                  static_cast<unsigned long long>(final_epoch),
+                  report.violations.size());
+      std::fflush(stdout);
+    }
+  }
+  return report;
+}
+
+}  // namespace vizndp::testing

@@ -1,0 +1,68 @@
+// Seeded chaos harness for the self-healing serving tier: drives a
+// ClusterTestbed + HealthMonitor through randomized schedules of
+// kill / restart / delay / corrupt / busy faults mid-request-stream and
+// checks the tier's contract after every fetch:
+//
+//   1. geometry bit-identical to the pre-chaos single-server oracle
+//      (the paper's invariant: degradation may cost time, never bits);
+//   2. fleet-view epochs monotone;
+//   3. the one-counter-one-event audit (every counted failover / hedge /
+//      rescue / rejoin has exactly one journal event, and vice versa);
+//   4. no parked-hedge leaks (cluster_hedge_parked drains to zero when
+//      the schedule's client is gone);
+//   5. a restarted node is observed serving traffic again.
+//
+// Determinism: every schedule decision comes from FuzzRng(seed, index),
+// so `vizndp_tool chaos --seed S` replays the same fault sequence — a
+// CI failure reproduces locally byte-for-byte. (Races inside a schedule
+// are real; the *faults* are not random between runs.)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vizndp::testing {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  int schedules = 20;
+  // Fault steps per schedule; steps 0 and 1 are always a kill and the
+  // matching restart (the headline path must appear in every schedule),
+  // the rest draw from {kill, restart, delay, corrupt, busy, quiet}.
+  int steps = 8;
+  int fetches_per_step = 2;
+  int servers = 3;
+  int replicas = 2;
+  int n = 16;                  // dataset edge (n^3 grid)
+  std::int32_t brick_edge = 8;
+  std::chrono::milliseconds probe_period{20};
+  std::chrono::milliseconds call_timeout{2000};
+  double hedge_ms = 10;  // fixed hedge so parked-loser reaping exercises
+  bool verbose = false;  // per-schedule progress on stdout
+};
+
+struct ChaosReport {
+  int schedules = 0;
+  std::uint64_t fetches = 0;
+  // Faults actually applied (deterministic per seed).
+  std::uint64_t kills = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t corrupts = 0;
+  std::uint64_t busies = 0;
+  // Healing observed.
+  std::uint64_t rejoins = 0;          // cluster.rejoin events journaled
+  std::uint64_t rejoined_served = 0;  // restarted nodes serving again
+  std::uint64_t view_changes = 0;
+  // Invariant violations; empty = the run passed.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+ChaosReport RunChaos(const ChaosOptions& options);
+
+}  // namespace vizndp::testing

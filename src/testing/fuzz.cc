@@ -12,6 +12,7 @@
 #include "io/vnd_format.h"
 #include "msgpack/pack.h"
 #include "msgpack/unpack.h"
+#include "ndp/protocol.h"
 
 namespace vizndp::testing {
 
@@ -74,6 +75,56 @@ Bytes MsgpackSeed() {
   request.emplace_back(std::string("ndp.select"));
   request.push_back(msgpack::Value(std::move(params)));
   return msgpack::Encode(msgpack::Value(std::move(request)));
+}
+
+// A valid 6-element ndp.select params frame — the post-sharding request
+// shape whose tail element is the brick restriction.
+Bytes SelectParamsSeed() {
+  msgpack::Array params;
+  params.emplace_back(std::string("data"));
+  params.emplace_back(std::string("ts24006.vnd"));
+  params.emplace_back(std::string("v02"));
+  msgpack::Array isos;
+  isos.emplace_back(0.2);
+  isos.emplace_back(0.5);
+  params.push_back(msgpack::Value(std::move(isos)));
+  params.emplace_back(std::uint64_t{3});  // kRunLength
+  msgpack::Array bricks;
+  for (const std::int64_t b : {0, 2, 5, 9}) {
+    bricks.emplace_back(b);
+  }
+  params.push_back(msgpack::Value(std::move(bricks)));
+  return msgpack::Encode(msgpack::Value(std::move(params)));
+}
+
+// The protocol-level validation NdpServer::Bind performs on a sharded
+// ndp.select params frame, with the shape checks made explicit so every
+// hostile frame gets a typed rejection (the dispatch path reaches storage
+// next; fuzzing stops at the parse).
+void ValidateSelectParams(ByteSpan input) {
+  const msgpack::Value v = msgpack::Decode(input);
+  if (!v.Is<msgpack::Array>()) {
+    throw DecodeError("select frame: params is not an array");
+  }
+  const msgpack::Array& p = v.As<msgpack::Array>();
+  if (p.size() < 6) {
+    throw DecodeError("select frame: expected 6 params, got " +
+                      std::to_string(p.size()));
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    if (!p[i].Is<std::string>()) {
+      throw DecodeError("select frame: param " + std::to_string(i) +
+                        " is not a string");
+    }
+  }
+  if (!p[3].Is<msgpack::Array>()) {
+    throw DecodeError("select frame: isovalues is not an array");
+  }
+  for (const msgpack::Value& iso : p[3].As<msgpack::Array>()) {
+    (void)iso.AsDouble();
+  }
+  (void)p[4].AsUint();  // encoding tag
+  (void)ndp::BrickRestrictionFromValue(p[5]);
 }
 
 }  // namespace
@@ -184,6 +235,13 @@ std::vector<FuzzTarget> BuiltinFuzzTargets() {
   targets.push_back({"msgpack", [] { return MsgpackSeed(); },
                      [](ByteSpan input, size_t) {
                        (void)msgpack::Decode(input);
+                     }});
+
+  // Corpus files are named <target>_<what>.bin (stem up to the first
+  // underscore), hence the dash in the name.
+  targets.push_back({"ndp-select", [] { return SelectParamsSeed(); },
+                     [](ByteSpan input, size_t) {
+                       ValidateSelectParams(input);
                      }});
 
   targets.push_back({"vnd-header", [] { return VndSeedImage(); },

@@ -1,20 +1,32 @@
 #!/usr/bin/env bash
 # Repo check: tier-1 verify (full build + ctest), then an
 # address/UB-sanitizer build of the concurrency-heavy tests plus a
-# hostile-input fuzz smoke, then the overload tests under tsan.
+# hostile-input fuzz smoke, the overload/cluster tests under tsan, and
+# a chaos stage (seeded fault schedules under tsan plus a real TCP
+# kill -> restart -> serves-again exercise).
 #
 #   tools/check.sh            # everything
 #   SKIP_ASAN=1 tools/check.sh  # tier-1 only
+#
+# Every stage is fail-fast: the first failing command aborts the run
+# and the ERR trap names the stage that died.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: configure + build + ctest =="
+CURRENT_STAGE="(startup)"
+stage() {
+  CURRENT_STAGE="$1"
+  echo "== $1 =="
+}
+trap 'echo "FAILED stage: $CURRENT_STAGE" >&2' ERR
+
+stage "tier-1: configure + build + ctest"
 cmake -B build -S . > /dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== asan/ubsan: obs_test + net_test + rpc_test + fault_test + fuzz =="
+  stage "asan/ubsan: obs + net + rpc + fault + integrity + trace + fuzz"
   cmake --preset asan > /dev/null
   cmake --build build-asan -j"$(nproc)" --target obs_test net_test rpc_test \
     fault_test fuzz_test integrity_test trace_test vizndp_tool
@@ -25,15 +37,15 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ./build-asan/tests/fuzz_test
   ./build-asan/tests/integrity_test
   ./build-asan/tests/trace_test
-  # Fuzz smoke under the sanitizers: 1500 mutations x 7 decoder targets
+  # Fuzz smoke under the sanitizers: 1500 mutations x 8 decoder targets
   # (> 10k hostile inputs) at a fixed seed, so a CI failure replays
   # byte-for-byte with the same command.
   ./build-asan/tools/vizndp_tool fuzz --seed 1 --iters 1500
 
-  echo "== tsan: overload + rpc + trace + cluster (admission/drain/merge/hedge races) =="
+  stage "tsan: overload + rpc + trace + cluster (admission/drain/merge/hedge races)"
   cmake --preset tsan > /dev/null
   cmake --build build-tsan -j"$(nproc)" --target overload_test rpc_test \
-    trace_test cluster_test vizndp_tool
+    trace_test cluster_test chaos_test vizndp_tool
   ./build-tsan/tests/overload_test
   ./build-tsan/tests/rpc_test
   ./build-tsan/tests/trace_test
@@ -42,7 +54,15 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # concurrent failover all run under tsan here.
   ./build-tsan/tests/cluster_test
 
-  echo "== tsan e2e: fetch --trace-merged over TCP with faults =="
+  stage "chaos: seeded kill/restart/delay/corrupt schedules under tsan"
+  # The membership suite (monitor thread vs. fetch path vs. testbed
+  # teardown) and a fixed-seed chaos run: every fetch bit-identical to
+  # the single-server oracle while nodes die, rejoin, stall, and shed.
+  # A failure replays exactly with the same seed.
+  ./build-tsan/tests/chaos_test
+  ./build-tsan/tools/vizndp_tool chaos --seed 7 --schedules 3
+
+  stage "tsan e2e: fetch --trace-merged over TCP with faults"
   # Real two-process run of the distributed-tracing path: a TCP storage
   # node, a lossy client connection, and a merged-timeline export. The
   # grep asserts the file is Chrome-tracing JSON with all three tracks.
@@ -66,13 +86,15 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   rm -rf "$E2E_DIR"
   trap - EXIT
 
-  echo "== tsan e2e: sharded fetch over TCP, one shard killed, one delayed =="
+  stage "tsan e2e: sharded fetch over TCP, one shard killed, one delayed, then restarted"
   # Real multi-process run of the sharded serving tier: three storage
   # nodes on OS-assigned ports (parsed from the `port:` line), one node
   # killed before the fetch, another answering 300 ms late so the hedge
   # fires. The degraded fetch must produce the same triangle count as
   # the single-server reference, win at least one hedge, and record the
-  # failover in the event journal.
+  # failover in the event journal. Then the killed node is restarted on
+  # its old port and must serve the full contour again — the TCP half of
+  # the kill -> restart -> rejoin story.
   E2E_DIR="$(mktemp -d)"
   trap 'kill "${S0_PID:-}" "${S1_PID:-}" "${S2_PID:-}" 2> /dev/null || true; \
        rm -rf "$E2E_DIR"' EXIT
@@ -108,10 +130,30 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   grep -Eq 'won [1-9][0-9]*' "$E2E_DIR/fetch.log"
   grep -q 'cluster.failover' "$E2E_DIR/journal.json"
   grep -q 'cluster.hedge_won' "$E2E_DIR/journal.json"
-  kill "$S0_PID" "$S1_PID" 2> /dev/null || true
-  wait "$S0_PID" "$S1_PID" 2> /dev/null || true
+  # Restart the killed node on its old port; a late-starting server is
+  # reachable because the client's transports dial lazily and re-dial
+  # stale connections. The fresh incarnation must serve the contour.
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port "$P2" \
+    > "$E2E_DIR/s2b.log" & S2_PID=$!
+  for _ in $(seq 1 50); do
+    grep -q '^port:' "$E2E_DIR/s2b.log" && break
+    sleep 0.2
+  done
+  ./build-tsan/tools/vizndp_tool fetch --port "$P2" --key ts.vnd \
+    --array v02 --iso 0.5 --timeout-ms 10000 | tee "$E2E_DIR/rejoin.log"
+  grep -q "^NDP contour: $REF_TRIS triangles" "$E2E_DIR/rejoin.log"
+  # And the full fleet serves sharded again, restarted node included.
+  ./build-tsan/tools/vizndp_tool fetch \
+    --connect "127.0.0.1:$P0" --connect "127.0.0.1:$P1" \
+    --connect "127.0.0.1:$P2" --replicas 2 \
+    --key ts.vnd --array v02 --iso 0.5 --timeout-ms 10000 \
+    | tee "$E2E_DIR/healed.log"
+  grep -q "^NDP contour: $REF_TRIS triangles" "$E2E_DIR/healed.log"
+  kill "$S0_PID" "$S1_PID" "$S2_PID" 2> /dev/null || true
+  wait "$S0_PID" "$S1_PID" "$S2_PID" 2> /dev/null || true
   rm -rf "$E2E_DIR"
   trap - EXIT
 fi
 
+CURRENT_STAGE="(done)"
 echo "== all checks passed =="

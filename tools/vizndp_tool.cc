@@ -60,7 +60,9 @@
 #include "ndp/ndp_server.h"
 #include "net/fault.h"
 #include "net/inproc.h"
+#include "net/reconnect.h"
 #include "net/tcp.h"
+#include "testing/chaos.h"
 #include "storage/remote_store.h"
 #include "render/render_sink.h"
 #include "rpc/server.h"
@@ -97,6 +99,8 @@ namespace {
                "  metrics --host H --port P [--json | --format text|json|prom]\n"
                "  health  --host H --port P\n"
                "  fuzz    [--target NAME|all] [--seed S] [--iters N]\n"
+               "  chaos   [--seed S] [--schedules N] [--steps N] [--fetches N]\n"
+               "          [--servers N] [--replicas R] [--n EDGE] [--verbose]\n"
                "\n"
                "serve overload control:\n"
                "  --max-inflight N   shed requests beyond N concurrent handlers\n"
@@ -111,6 +115,14 @@ namespace {
                "                     vnd-header, or all (default all)\n"
                "  --seed S           deterministic mutation seed (default 1)\n"
                "  --iters N          iterations per target (default 2000)\n"
+               "\n"
+               "chaos (seeded kill/restart/delay/corrupt/busy schedules\n"
+               "against an in-process cluster + health monitor; geometry must\n"
+               "stay bit-identical to the single-server oracle, counters must\n"
+               "match the journal, and every restarted node must rejoin):\n"
+               "  --seed S           deterministic schedule seed (default 1)\n"
+               "  --schedules N      independent schedules to run (default 20)\n"
+               "  --steps N          fault steps per schedule (default 8)\n"
                "\n"
                "fetch fault tolerance:\n"
                "  --timeout-ms N   per-RPC deadline (and TCP connect budget)\n"
@@ -435,20 +447,25 @@ int CmdFetch(const Args& args) {
   std::vector<std::shared_ptr<ndp::NdpClient>> clients;
   for (size_t i = 0; i < endpoints.size(); ++i) {
     net::TransportPtr transport;
-    try {
+    if (endpoints.size() == 1) {
       transport = net::TcpConnect(endpoints[i].first, endpoints[i].second,
-                                  tcp_options);
-    } catch (const Error& e) {
-      // A lone server must be reachable, but a sharded tier keeps going:
-      // stand in a pre-closed channel so every use of this node reports
-      // peer-closed and the replica chain fails over, same as a node
-      // that died mid-run.
-      if (endpoints.size() == 1) throw;
-      std::fprintf(stderr, "[warn] server %zu (%s:%u) unreachable: %s\n", i,
-                   endpoints[i].first.c_str(), endpoints[i].second, e.what());
-      net::TransportPair dead = net::CreateInProcPair(nullptr);
-      dead.a.reset();
-      transport = std::move(dead.b);
+                                  tcp_options);  // a lone server must answer
+    } else {
+      // Sharded tier: every channel re-dials on use, so a node that is
+      // down now — not yet started, or killed and restarted — becomes
+      // usable the moment it listens again. While it stays down each use
+      // fails with peer-closed and the replica chain fails over.
+      auto dial = [host = endpoints[i].first, port = endpoints[i].second,
+                   tcp_options] { return net::TcpConnect(host, port,
+                                                         tcp_options); };
+      try {
+        (void)dial();  // early warning only; the transport dials lazily
+      } catch (const Error& e) {
+        std::fprintf(stderr, "[warn] server %zu (%s:%u) unreachable: %s\n",
+                     i, endpoints[i].first.c_str(), endpoints[i].second,
+                     e.what());
+      }
+      transport = std::make_unique<net::ReconnectingTransport>(dial);
     }
     // Inject faults into the NDP connection(s) only; a --fallback read
     // uses a separate, clean connection (the baseline path stand-in).
@@ -621,11 +638,35 @@ int CmdFuzz(const Args& args) {
   return 0;
 }
 
+int CmdChaos(const Args& args) {
+  vizndp::testing::ChaosOptions options;
+  options.seed = static_cast<std::uint64_t>(args.GetLong("seed", 1));
+  options.schedules = static_cast<int>(args.GetLong("schedules", 20));
+  options.steps = static_cast<int>(args.GetLong("steps", 8));
+  options.fetches_per_step = static_cast<int>(args.GetLong("fetches", 2));
+  options.servers = static_cast<int>(args.GetLong("servers", 3));
+  options.replicas = static_cast<int>(args.GetLong("replicas", 2));
+  options.n = static_cast<int>(args.GetLong("n", 16));
+  options.verbose = args.Has("verbose");
+
+  const vizndp::testing::ChaosReport report =
+      vizndp::testing::RunChaos(options);
+  std::printf("%s\n", report.Summary().c_str());
+  for (const std::string& v : report.violations) {
+    std::printf("VIOLATION: %s\n", v.c_str());
+  }
+  std::printf("chaos %s: %d schedule(s), seed %llu\n",
+              report.ok() ? "PASS" : "FAIL", report.schedules,
+              static_cast<unsigned long long>(options.seed));
+  return report.ok() ? 0 : 1;
+}
+
 // Valueless boolean flags accepted by each command (everything else
 // takes a value).
 std::set<std::string> BoolFlags(const std::string& command) {
   if (command == "metrics") return {"json"};
   if (command == "fetch") return {"fallback"};
+  if (command == "chaos") return {"verbose"};
   return {};
 }
 
@@ -648,6 +689,7 @@ int main(int argc, char** argv) {
     else if (command == "metrics") rc = CmdMetrics(args);
     else if (command == "health") rc = CmdHealth(args);
     else if (command == "fuzz") rc = CmdFuzz(args);
+    else if (command == "chaos") rc = CmdChaos(args);
     else Usage(("unknown command: " + command).c_str());
     if (trace_path) {
       std::ofstream out(*trace_path, std::ios::binary);
