@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "ndp/scrub_verify.h"
 #include "net/inproc.h"
 #include "storage/store_rpc.h"
 
@@ -17,8 +18,12 @@ Testbed::Testbed(TestbedConfig config)
                                                          &ssd_);
   }
   store_->CreateBucket(config_.bucket);
+  fault_store_ = std::make_unique<storage::FaultInjectingStore>(*store_);
 
-  storage::BindObjectStoreRpc(rpc_server_, *store_);
+  // Everything the storage node itself does — store.* RPC handlers and
+  // the NDP gateway alike — reads through the fault wrapper, so a
+  // scripted device fault perturbs both serving paths.
+  storage::BindObjectStoreRpc(rpc_server_, *fault_store_);
   ndp_server_ = std::make_unique<ndp::NdpServer>(LocalGateway());
   // Budget wiring mirrors `vizndp_tool serve`: limit 0 admits everything,
   // but overload tests can flip rpc_server().memory_budget() mid-run and
@@ -55,9 +60,22 @@ net::TransportPtr Testbed::ConnectToServer() {
 }
 
 void ClusterTestbed::StartNodeLocked(Node& node) {
+  // The old incarnation's scrubber references the old server's memory
+  // budget; stop it before that server can be released.
+  node.scrub.reset();
   node.rpc = std::make_shared<rpc::Server>();
   node.ndp = std::make_shared<ndp::NdpServer>(LocalGateway());
   node.ndp->SetMemoryBudget(&node.rpc->memory_budget());
+  // A fresh incarnation gets a fresh scrubber (the dtor of the old one
+  // stops its thread) but keeps the node's quarantine set — restarting
+  // does not forget which bricks were bad at rest.
+  node.scrub = std::make_unique<storage::Scrubber>(
+      LocalGateway(),
+      ndp::MakeVndScrubVerifier(LocalGateway(), node.quarantine,
+                                &node.rpc->memory_budget()),
+      node.quarantine);
+  node.ndp->SetQuarantine(&node.quarantine);
+  node.ndp->SetScrubber(node.scrub.get());
   node.ndp->Bind(*node.rpc);
   node.alive = true;
 }
@@ -97,6 +115,7 @@ ClusterTestbed::ClusterTestbed(ClusterTestbedConfig config)
     : config_(std::move(config)), link_(config_.link), ssd_(config_.ssd) {
   store_ = std::make_shared<storage::MemoryObjectStore>(&ssd_);
   store_->CreateBucket(config_.bucket);
+  fault_store_ = std::make_unique<storage::FaultInjectingStore>(*store_);
 
   // All nodes first (the dial factories index into nodes_), channels
   // second.

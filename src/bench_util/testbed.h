@@ -24,9 +24,11 @@
 #include "ndp/ndp_server.h"
 #include "rpc/server.h"
 #include "bench_util/stats.h"
+#include "storage/fault_store.h"
 #include "storage/local_store.h"
 #include "storage/memory_store.h"
 #include "storage/remote_store.h"
+#include "storage/scrubber.h"
 
 namespace vizndp::bench_util {
 
@@ -47,9 +49,15 @@ class Testbed {
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
-  // Direct (un-modeled) access for pre-populating datasets.
+  // Direct (un-modeled, un-faulted) access for pre-populating datasets.
   storage::ObjectStore& store() { return *store_; }
   const std::string& bucket() const { return config_.bucket; }
+
+  // Disk-fault handle on the storage node's store: every server-side
+  // read (NdpServer gateway, store.* RPC handlers) goes through this
+  // wrapper, so scripted EIO/short/rot faults hit exactly where a bad
+  // device would. store() bypasses it for test setup.
+  storage::FaultInjectingStore& store_fault() { return *fault_store_; }
 
   // Client-side gateway: every object byte crosses the simulated link
   // (the paper's baseline: s3fs on the client, MinIO remote).
@@ -59,7 +67,7 @@ class Testbed {
 
   // Storage-side gateway: object reads stay local (the NDP setup).
   storage::FileGateway LocalGateway() {
-    return storage::FileGateway(*store_, config_.bucket);
+    return storage::FileGateway(*fault_store_, config_.bucket);
   }
 
   ndp::NdpClient& ndp_client() { return *ndp_client_; }
@@ -85,6 +93,7 @@ class Testbed {
   net::SimulatedLink link_;
   storage::SsdModel ssd_;
   std::shared_ptr<storage::ObjectStore> store_;
+  std::unique_ptr<storage::FaultInjectingStore> fault_store_;
   rpc::Server rpc_server_;
   std::unique_ptr<ndp::NdpServer> ndp_server_;
   std::vector<std::thread> server_threads_;
@@ -120,6 +129,10 @@ struct ClusterTestbedConfig {
   // call_timeout so abandoned losers unwind.
   ndp::NdpClientOptions client_options;
   cluster::ShardedClientOptions sharded;
+  // Storage retry ladder every node's gateway runs under. Chaos
+  // schedules raise max_attempts so scripted EIO storms sized to
+  // max_attempts-1 are guaranteed to heal in place.
+  net::RetryPolicy store_retry = storage::DefaultStoreRetryPolicy();
   // Optional per-connection transport decorator (fault injection): wraps
   // server `i`'s client-side transport before the rpc::Client sees it.
   std::function<net::TransportPtr(net::TransportPtr, int server)> decorate;
@@ -133,19 +146,42 @@ class ClusterTestbed {
   ClusterTestbed(const ClusterTestbed&) = delete;
   ClusterTestbed& operator=(const ClusterTestbed&) = delete;
 
-  // The shared store, for pre-populating datasets (visible on all nodes).
+  // The shared store, for pre-populating datasets (visible on all
+  // nodes). Bypasses the fault wrapper: chaos uses it to plant rotted
+  // bytes and to issue the clean repair re-Put.
   storage::ObjectStore& store() { return *store_; }
   const std::string& bucket() const { return config_.bucket; }
+
+  // Shared disk-fault handle: every node's gateway reads the store
+  // through this wrapper, so one scripted fault storm hits the whole
+  // tier exactly like a failing shared backend would.
+  storage::FaultInjectingStore& store_fault() { return *fault_store_; }
 
   // Storage-side gateway (same data every node serves); tests use it for
   // the baseline-fallback rung and single-server reference runs.
   storage::FileGateway LocalGateway() {
-    return storage::FileGateway(*store_, config_.bucket);
+    return storage::FileGateway(*fault_store_, config_.bucket,
+                                config_.store_retry);
   }
 
   int server_count() const { return config_.servers; }
   rpc::Server& rpc_server(int i) { return *nodes_.at(size_t(i))->rpc; }
   ndp::NdpServer& ndp_server(int i) { return *nodes_.at(size_t(i))->ndp; }
+
+  // Node i's quarantine set (fed by its scrubber, consulted by its
+  // bricked pre-filter). Lives in the Node, not the NdpServer: a
+  // restart keeps what the previous incarnation learned about bad
+  // bricks, like a quarantine file surviving a reboot.
+  storage::QuarantineSet& quarantine(int i) {
+    return nodes_.at(static_cast<size_t>(i))->quarantine;
+  }
+
+  // Node i's scrubber. Not started by default — chaos and tests drive
+  // passes deterministically with RunPassNow(); call Start() for the
+  // background cadence.
+  storage::Scrubber& scrubber(int i) {
+    return *nodes_.at(static_cast<size_t>(i))->scrub;
+  }
 
   // Direct client to one node (reference fetches). Reconnecting: usable
   // across kill/restart cycles of the node.
@@ -185,8 +221,12 @@ class ClusterTestbed {
  private:
   struct Node {
     std::mutex mu;  // guards rpc/ndp/alive/serve_threads across redials
+    storage::QuarantineSet quarantine;  // survives restarts; declared
+                                        // before rpc/ndp/scrub so every
+                                        // consumer dies before it does
     std::shared_ptr<rpc::Server> rpc;
     std::shared_ptr<ndp::NdpServer> ndp;
+    std::unique_ptr<storage::Scrubber> scrub;
     bool alive = true;
     std::vector<std::thread> serve_threads;
     net::FaultInjectingTransport* fault = nullptr;  // owned by `client`
@@ -204,6 +244,7 @@ class ClusterTestbed {
   net::SimulatedLink link_;
   storage::SsdModel ssd_;
   std::shared_ptr<storage::ObjectStore> store_;
+  std::unique_ptr<storage::FaultInjectingStore> fault_store_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::shared_ptr<cluster::ShardedNdpClient> sharded_;
 };

@@ -37,6 +37,18 @@ class IoError : public Error {
   using Error::Error;
 };
 
+// An I/O failure expected to heal on retry of the *same* operation
+// (EIO from a flaky device, a short read racing a writer, an injected
+// transient fault). Subtypes IoError so generic catch sites keep
+// working, but the storage retry ladder (FileGateway) catches exactly
+// this type and retries with seeded backoff, where a plain IoError is
+// permanent — missing object, exhausted retries — and must enter the
+// recovery ladder instead.
+class TransientIoError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 // RPC-level failures (unknown method, transport closed, bad reply).
 class RpcError : public Error {
  public:

@@ -30,7 +30,9 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
                                   const io::ArrayMeta& meta,
                                   std::span<const double> isovalues,
                                   BrickedSelectStats* stats,
-                                  const std::vector<std::int64_t>* only_bricks) {
+                                  const std::vector<std::int64_t>* only_bricks,
+                                  const storage::QuarantineSet* quarantine,
+                                  const std::string& quarantine_key) {
   const grid::Dims dims = reader.header().dims;
   const io::BrickGrid bgrid(dims, meta.bricks->edge);
 
@@ -62,6 +64,79 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
   local.bricks_read = static_cast<std::int64_t>(needed.size());
 
   const compress::CodecPtr codec = compress::MakeCodec(meta.codec);
+  const bool has_crc = meta.bricks->has_crc;
+
+  // Decompress + scan one brick whose stored bytes already verified.
+  auto scan_brick = [&](std::int64_t b, ByteSpan brick_bytes) {
+    const io::BrickGrid::Extent e = bgrid.BrickExtent(b);
+    const size_t slab_bytes = static_cast<size_t>(e.PointCount()) * sizeof(T);
+    const auto t_decompress = std::chrono::steady_clock::now();
+    Bytes raw;
+    try {
+      raw = codec->Decompress(brick_bytes, slab_bytes, slab_bytes);
+    } catch (const DecodeError& err) {
+      // v1 files carry no brick CRC, so corruption surfaces here
+      // instead; route it into the same recovery ladder.
+      throw CorruptDataError(std::string("brick decode failed: ") +
+                             err.what());
+    }
+    if (raw.size() != slab_bytes) {
+      throw CorruptDataError("brick decompressed to wrong size: " + array);
+    }
+    const grid::DataArray slab(array, meta.type, std::move(raw));
+    local.read_seconds += SecondsSince(t_decompress);
+
+    const auto t_scan = std::chrono::steady_clock::now();
+    const grid::Dims slab_dims{e.x1 - e.x0 + 1, e.y1 - e.y0 + 1,
+                               e.z1 - e.z0 + 1};
+    const contour::Selection slab_selection =
+        contour::SelectInterestingPoints(slab_dims, slab, isovalues);
+    const auto values = slab_selection.values.template View<T>();
+    for (size_t i = 0; i < slab_selection.ids.size(); ++i) {
+      const auto c = slab_dims.Coords(slab_selection.ids[i]);
+      picked.emplace_back(dims.Index(e.x0 + c[0], e.y0 + c[1], e.z0 + c[2]),
+                          values[i]);
+    }
+    local.scan_seconds += SecondsSince(t_scan);
+  };
+
+  // Bricks the scrubber quarantined leave the coalesced runs: their
+  // stored bytes are known bad, so reading them with their neighbors
+  // would poison the run and prepay a doomed read+decompress. Each goes
+  // straight to the recovery rung — one individual verified read. A
+  // brick healed by a clean re-Put (which the scrubber has not yet
+  // re-admitted) verifies here and serves normally.
+  if (quarantine != nullptr && !quarantine_key.empty()) {
+    std::vector<std::int64_t> kept;
+    kept.reserve(needed.size());
+    for (const std::int64_t b : needed) {
+      if (!quarantine->Contains(quarantine_key, array, b)) {
+        kept.push_back(b);
+        continue;
+      }
+      ++local.quarantine_skips;
+      obs::DefaultRegistry()
+          .GetCounter("ndp_quarantine_skip_total")
+          .Increment();
+      obs::GlobalEventLog().Append(
+          "ndp.quarantine_skip",
+          "array=" + array + " brick=" + std::to_string(b));
+      const io::BrickEntry& entry =
+          meta.bricks->entries[static_cast<size_t>(b)];
+      const auto t_read = std::chrono::steady_clock::now();
+      const Bytes stored =
+          reader.ReadArrayRange(array, entry.offset, entry.stored_size);
+      local.bytes_read += stored.size();
+      local.read_seconds += SecondsSince(t_read);
+      if (has_crc && compress::Crc32(stored) != entry.crc32) {
+        throw CorruptDataError("quarantined brick still corrupt: " + array +
+                               " brick " + std::to_string(b));
+      }
+      scan_brick(b, ByteSpan(stored));
+    }
+    needed.swap(kept);
+  }
+
   size_t cursor = 0;
   while (cursor < needed.size()) {
     // Coalesce runs of consecutive bricks (their blobs are contiguous by
@@ -88,9 +163,6 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
       const std::int64_t b = needed[r];
       const io::BrickEntry& entry =
           meta.bricks->entries[static_cast<size_t>(b)];
-      const io::BrickGrid::Extent e = bgrid.BrickExtent(b);
-      const size_t slab_bytes =
-          static_cast<size_t>(e.PointCount()) * sizeof(T);
 
       // Verify-then-decompress, with one recovery re-read. The brick CRC
       // (format v2) is checked *before* the decoder touches the bytes;
@@ -101,7 +173,6 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
       ByteSpan brick_bytes = ByteSpan(run).subspan(
           entry.offset - first.offset, entry.stored_size);
       Bytes reread;
-      const bool has_crc = meta.bricks->has_crc;
       if (has_crc && compress::Crc32(brick_bytes) != entry.crc32) {
         ++local.corrupt_bricks;
         obs::DefaultRegistry().GetCounter("corrupt_brick_total").Increment();
@@ -121,33 +192,8 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
         }
         brick_bytes = ByteSpan(reread);
       }
-      Bytes raw;
-      try {
-        raw = codec->Decompress(brick_bytes, slab_bytes, slab_bytes);
-      } catch (const DecodeError& err) {
-        // v1 files carry no brick CRC, so corruption surfaces here
-        // instead; route it into the same recovery ladder.
-        throw CorruptDataError(std::string("brick decode failed: ") +
-                               err.what());
-      }
-      if (raw.size() != slab_bytes) {
-        throw CorruptDataError("brick decompressed to wrong size: " + array);
-      }
-      const grid::DataArray slab(array, meta.type, std::move(raw));
       local.read_seconds += SecondsSince(t_decompress);
-
-      const auto t_scan = std::chrono::steady_clock::now();
-      const grid::Dims slab_dims{e.x1 - e.x0 + 1, e.y1 - e.y0 + 1,
-                                 e.z1 - e.z0 + 1};
-      const contour::Selection slab_selection =
-          contour::SelectInterestingPoints(slab_dims, slab, isovalues);
-      const auto values = slab_selection.values.template View<T>();
-      for (size_t i = 0; i < slab_selection.ids.size(); ++i) {
-        const auto c = slab_dims.Coords(slab_selection.ids[i]);
-        picked.emplace_back(dims.Index(e.x0 + c[0], e.y0 + c[1], e.z0 + c[2]),
-                            values[i]);
-      }
-      local.scan_seconds += SecondsSince(t_scan);
+      scan_brick(b, brick_bytes);
     }
     cursor = run_end;
   }
@@ -180,7 +226,9 @@ contour::Selection BrickedSelectT(const io::VndReader& reader,
 contour::Selection SelectInterestingPointsBricked(
     const io::VndReader& reader, const std::string& array,
     std::span<const double> isovalues, BrickedSelectStats* stats,
-    const std::vector<std::int64_t>* only_bricks) {
+    const std::vector<std::int64_t>* only_bricks,
+    const storage::QuarantineSet* quarantine,
+    const std::string& quarantine_key) {
   const io::ArrayMeta* meta = reader.header().Find(array);
   VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
   VIZNDP_CHECK_MSG(meta->bricks.has_value(),
@@ -188,10 +236,10 @@ contour::Selection SelectInterestingPointsBricked(
   switch (meta->type) {
     case grid::DataType::Float32:
       return BrickedSelectT<float>(reader, array, *meta, isovalues, stats,
-                                   only_bricks);
+                                   only_bricks, quarantine, quarantine_key);
     case grid::DataType::Float64:
       return BrickedSelectT<double>(reader, array, *meta, isovalues, stats,
-                                    only_bricks);
+                                    only_bricks, quarantine, quarantine_key);
     default:
       throw Error("selection requires a floating-point array");
   }

@@ -15,6 +15,7 @@
 
 #include "contour/select.h"
 #include "io/vnd_format.h"
+#include "storage/scrubber.h"
 
 namespace vizndp::ndp {
 
@@ -24,6 +25,7 @@ struct BrickedSelectStats {
   std::uint64_t bytes_read = 0;  // compressed brick bytes fetched
   std::int64_t corrupt_bricks = 0;  // bricks that failed their CRC
   std::int64_t brick_rereads = 0;   // recovery re-reads issued
+  std::int64_t quarantine_skips = 0;  // bricks served via the skip path
   double read_seconds = 0;       // fetch + decompress (measured)
   double scan_seconds = 0;       // per-brick selection scans (measured)
 };
@@ -43,9 +45,20 @@ struct BrickedSelectStats {
 // the union of selections over a partition of the brick space, with
 // boundary duplicates dropped by id, is exactly the full selection.
 // nullptr means "all bricks".
+//
+// Quarantine: bricks the scrubber flagged corrupt-at-rest (`quarantine`
+// keyed by `quarantine_key`) are excluded from the coalesced runs —
+// their stored bytes are *known* bad, so the read+CRC-fail+re-read
+// cycle is a doomed prepayment. Each skips straight to the recovery
+// rung: one individual verified read (ndp_quarantine_skip_total +
+// "ndp.quarantine_skip"). If the object was re-Put clean since the
+// scrub, that read verifies and the brick serves normally; otherwise
+// CorruptDataError propagates immediately. nullptr disables the check.
 contour::Selection SelectInterestingPointsBricked(
     const io::VndReader& reader, const std::string& array,
     std::span<const double> isovalues, BrickedSelectStats* stats = nullptr,
-    const std::vector<std::int64_t>* only_bricks = nullptr);
+    const std::vector<std::int64_t>* only_bricks = nullptr,
+    const storage::QuarantineSet* quarantine = nullptr,
+    const std::string& quarantine_key = {});
 
 }  // namespace vizndp::ndp

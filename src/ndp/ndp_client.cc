@@ -259,6 +259,15 @@ NdpClient::HealthReport NdpClient::Health(std::uint64_t view_epoch) {
     r.age_us = v.At("age_us").AsUint();
     report.requests.push_back(std::move(r));
   }
+  if (const Value* scrub = reply.Find("scrub")) {
+    report.scrub_present = true;
+    report.scrub_running = scrub->At("running").As<bool>();
+    report.scrub_passes = scrub->At("passes").AsUint();
+    report.scrub_bricks_checked = scrub->At("bricks_checked").AsUint();
+    report.scrub_corrupt_found = scrub->At("corrupt_found").AsUint();
+    report.scrub_readmitted = scrub->At("readmitted").AsUint();
+    report.scrub_quarantined = scrub->At("quarantined").AsUint();
+  }
   return report;
 }
 

@@ -210,6 +210,15 @@ class NdpClient : public NdpFetcher {
       std::uint64_t age_us = 0;
     };
     std::vector<Request> requests;
+    // Scrub-and-quarantine status (absent on servers without a
+    // scrubber; scrub_present stays false then).
+    bool scrub_present = false;
+    bool scrub_running = false;
+    std::uint64_t scrub_passes = 0;
+    std::uint64_t scrub_bricks_checked = 0;
+    std::uint64_t scrub_corrupt_found = 0;
+    std::uint64_t scrub_readmitted = 0;
+    std::uint64_t scrub_quarantined = 0;
   };
   // `view_epoch` (nonzero) piggybacks the caller's cluster view epoch
   // on the probe; old servers ignore the extra param.

@@ -114,7 +114,8 @@ msgpack::Value NdpServer::Select(const std::string& key,
     BrickedSelectStats bstats;
     try {
       selection = SelectInterestingPointsBricked(reader, array, isovalues,
-                                                 &bstats, only_bricks);
+                                                 &bstats, only_bricks,
+                                                 quarantine_, key);
     } catch (const CorruptDataError& e) {
       if (only_bricks != nullptr) {
         // Sub-request: the whole-blob read would answer for the *entire*
@@ -134,6 +135,23 @@ msgpack::Value NdpServer::Select(const std::string& key,
       obs::GlobalEventLog().Append("ndp.wholeblob_fallback",
                                    "array=" + array);
       std::fprintf(stderr, "[vizndp] brick integrity failure (%s); %s\n",
+                   e.what(), "falling back to whole-blob read");
+      use_bricked = false;
+    } catch (const IoError& e) {
+      // The gateway's retry ladder already burned its budget on the
+      // brick reads. The whole-blob read is a fresh op sequence against
+      // the same store — an EIO storm that has passed heals here.
+      if (only_bricks != nullptr) {
+        // Same reasoning as restricted corruption: the sharded caller's
+        // replica failover is the better rung, so cross the wire typed.
+        metrics_.GetCounter("ndp_restricted_io_total").Increment();
+        obs::GlobalEventLog().Append("ndp.restricted_io", "array=" + array);
+        throw;
+      }
+      metrics_.GetCounter("ndp_wholeblob_fallback_total").Increment();
+      obs::GlobalEventLog().Append("ndp.wholeblob_fallback",
+                                   "array=" + array + " reason=io");
+      std::fprintf(stderr, "[vizndp] brick read I/O failure (%s); %s\n",
                    e.what(), "falling back to whole-blob read");
       use_bricked = false;
     }
@@ -389,6 +407,19 @@ void NdpServer::Bind(rpc::Server& server) {
     reply.emplace_back(Value("view_epoch"),
                        Value(seen_view_epoch_.load(
                            std::memory_order_relaxed)));
+    // Scrub-and-quarantine status (absent when no scrubber is wired;
+    // clients parse the keys they know).
+    if (scrubber_ != nullptr) {
+      const storage::ScrubStatus s = scrubber_->status();
+      Map scrub;
+      scrub.emplace_back(Value("running"), Value(s.running));
+      scrub.emplace_back(Value("passes"), Value(s.passes));
+      scrub.emplace_back(Value("bricks_checked"), Value(s.bricks_checked));
+      scrub.emplace_back(Value("corrupt_found"), Value(s.corrupt_found));
+      scrub.emplace_back(Value("readmitted"), Value(s.readmitted));
+      scrub.emplace_back(Value("quarantined"), Value(s.quarantined_now));
+      reply.emplace_back(Value("scrub"), Value(std::move(scrub)));
+    }
     return Value(std::move(reply));
   });
 }

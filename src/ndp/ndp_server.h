@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "rpc/server.h"
 #include "storage/file_gateway.h"
+#include "storage/scrubber.h"
 
 namespace vizndp::ndp {
 
@@ -60,6 +61,21 @@ class NdpServer {
   // the duration of the request; an exhausted budget sheds the request
   // with BusyError before any read happens. Must outlive the server.
   void SetMemoryBudget(rpc::MemoryBudget* budget) { mem_budget_ = budget; }
+
+  // Optional quarantine set maintained by a storage::Scrubber. When set,
+  // the bricked pre-filter skips known-corrupt bricks straight to their
+  // recovery re-read instead of prepaying a doomed read+decompress (see
+  // bricked_select.h). Must outlive the server.
+  void SetQuarantine(const storage::QuarantineSet* quarantine) {
+    quarantine_ = quarantine;
+  }
+
+  // Optional scrubber whose status is surfaced in ndp.health replies
+  // (passes, bricks checked, corrupt found, current quarantine size).
+  // Must outlive the server.
+  void SetScrubber(const storage::Scrubber* scrubber) {
+    scrubber_ = scrubber;
+  }
 
   // Registers ndp.select, ndp.info, ndp.stats, ndp.metrics, and
   // ndp.trace on `server`.
@@ -100,6 +116,8 @@ class NdpServer {
   storage::FileGateway gateway_;
   int prefilter_threads_ = 1;
   rpc::MemoryBudget* mem_budget_ = nullptr;
+  const storage::QuarantineSet* quarantine_ = nullptr;
+  const storage::Scrubber* scrubber_ = nullptr;
   obs::Registry metrics_;
   std::uint64_t node_id_;
   std::atomic<std::uint64_t> seen_view_epoch_{0};

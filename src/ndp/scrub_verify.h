@@ -1,0 +1,37 @@
+// VND-aware scrub verifier: the format knowledge storage::Scrubber
+// deliberately lacks (the storage library sits below the VND reader in
+// the dependency order). Walks every bricked, CRC-stamped array of one
+// object, re-reads each brick from the store, and reconciles the CRC
+// verdicts with the QuarantineSet:
+//
+//   CRC fails  -> quarantine the brick (scrub_quarantine_total +
+//                 one "scrub.quarantine" event when newly added)
+//   CRC passes -> re-admit it if it was quarantined (scrub_readmit_total
+//                 + one "scrub.readmit" event) — the object was re-Put
+//                 with clean bytes since the scrub that caught it
+//
+// Scrubbing is a background courtesy, so brick reads reserve from the
+// server's MemoryBudget when one is given and *skip* (not fail) bricks
+// the budget cannot admit — a scrub pass must never shed user traffic.
+#pragma once
+
+#include "rpc/server.h"
+#include "storage/file_gateway.h"
+#include "storage/scrubber.h"
+
+namespace vizndp::ndp {
+
+// Verifies one VND object. `quarantine` (and `budget`, when non-null)
+// must outlive the call.
+storage::ScrubObjectReport ScrubVndObject(const storage::FileGateway& gateway,
+                                          const std::string& key,
+                                          storage::QuarantineSet& quarantine,
+                                          rpc::MemoryBudget* budget = nullptr);
+
+// Packages ScrubVndObject as the storage::ScrubVerifier callback a
+// Scrubber wants. `quarantine` and `budget` must outlive the verifier.
+storage::ScrubVerifier MakeVndScrubVerifier(storage::FileGateway gateway,
+                                            storage::QuarantineSet& quarantine,
+                                            rpc::MemoryBudget* budget = nullptr);
+
+}  // namespace vizndp::ndp

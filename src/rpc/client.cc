@@ -120,6 +120,15 @@ msgpack::Value Client::CallOnce(const std::string& method,
                                "': " +
                                remote.substr(kCorruptErrorPrefix.size()));
       }
+      if (remote.starts_with(kTransientIoErrorPrefix)) {
+        throw TransientIoError(
+            "remote I/O error calling '" + method +
+            "': " + remote.substr(kTransientIoErrorPrefix.size()));
+      }
+      if (remote.starts_with(kIoErrorPrefix)) {
+        throw IoError("remote I/O error calling '" + method +
+                      "': " + remote.substr(kIoErrorPrefix.size()));
+      }
       throw RpcError("remote error calling '" + method + "': " + remote);
     }
     return std::move(fields[3]);
@@ -168,6 +177,28 @@ msgpack::Value Client::Call(const std::string& method, msgpack::Array params,
       // The server already exhausted its own recovery ladder (re-read,
       // whole-blob fallback); retrying reads the same bad bytes. Let the
       // caller decide (NdpContourSource falls back to the baseline path).
+      throw;
+    } catch (const PeerClosedError&) {
+      // Listed before IoError (its base): a closed peer is transport
+      // loss, retryable for idempotent calls like any other Error.
+      metrics()
+          .GetCounter("rpc_transport_errors_total", {{"method", method}})
+          .Increment();
+      obs::GlobalEventLog().Append("rpc.transport_error",
+                                   EventDetail(method, attempt));
+      if (attempt >= attempts) throw;
+    } catch (const TransientIoError&) {
+      // The *remote store* flaked and the server's own retry budget ran
+      // out; another attempt reruns the whole server-side ladder, so for
+      // idempotent calls it is worth one more backoff cycle.
+      metrics()
+          .GetCounter("rpc_remote_io_total", {{"method", method}})
+          .Increment();
+      obs::GlobalEventLog().Append("rpc.remote_io", EventDetail(method, attempt));
+      if (attempt >= attempts) throw;
+    } catch (const IoError&) {
+      // Permanent remote storage failure (missing object, dead device):
+      // a retry rereads the same absence. Never retried.
       throw;
     } catch (const Error&) {
       // Transport-level loss (peer closed, corrupt frame): retryable for

@@ -39,6 +39,12 @@ inline constexpr std::int64_t kResponseType = 1;
 
 inline constexpr std::string_view kBusyErrorPrefix = "!busy: ";
 inline constexpr std::string_view kCorruptErrorPrefix = "!corrupt: ";
+// Storage I/O failures reported by the remote store, split the same way
+// the local storage layer splits them: transient (retrying the same call
+// may heal — a flaky device under the remote) vs permanent (missing
+// object, dead device; retrying rereads the same failure).
+inline constexpr std::string_view kIoErrorPrefix = "!io: ";
+inline constexpr std::string_view kTransientIoErrorPrefix = "!io_transient: ";
 
 // Keys of the request ctx map.
 inline constexpr const char* kCtxTraceIdKey = "trace_id";

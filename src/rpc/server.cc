@@ -176,6 +176,17 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
         it->second.errors->Increment();
         obs::GlobalEventLog().Append("rpc.corrupt_reply",
                                      "method=" + method);
+      } catch (const TransientIoError& e) {
+        // Typed + ordered before IoError (its base): the client may
+        // retry a transient storage failure, never a permanent one.
+        error = std::string(kTransientIoErrorPrefix) + e.what();
+        it->second.errors->Increment();
+        obs::GlobalEventLog().Append("rpc.io_reply",
+                                     "method=" + method + " transient=1");
+      } catch (const IoError& e) {
+        error = std::string(kIoErrorPrefix) + e.what();
+        it->second.errors->Increment();
+        obs::GlobalEventLog().Append("rpc.io_reply", "method=" + method);
       } catch (const std::exception& e) {
         error = std::string("handler failed: ") + e.what();
         it->second.errors->Increment();

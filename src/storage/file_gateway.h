@@ -1,23 +1,40 @@
 // s3fs stand-in: exposes objects through a file-style open/read/size
 // interface so the VTK-like reader can consume the object store without
 // knowing whether it is local (NDP setup) or remote (baseline setup).
+//
+// The gateway is also where the storage retry ladder lives: every read
+// (and the open-time Stat) retries TransientIoError with seeded backoff
+// per the gateway's net::RetryPolicy, so a flaky device heals invisibly
+// (`store_retry_total` / `store.retry` per retry). A permanent IoError —
+// or an exhausted retry budget — is counted once
+// (`store_io_error_total` / `store.io_error`) and propagates for the
+// brick recovery ladder above to handle.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "net/retry.h"
 #include "storage/object_store.h"
 
 namespace vizndp::storage {
 
+// Default storage retry policy: 3 total attempts with a short base
+// delay. Device flakes are microsecond-scale events, not the tens of
+// milliseconds an RPC retry waits out.
+net::RetryPolicy DefaultStoreRetryPolicy();
+
 // A read-only "open file" over one object.
 class GatewayFile {
  public:
-  GatewayFile(ObjectStore& store, std::string bucket, std::string key);
+  GatewayFile(ObjectStore& store, std::string bucket, std::string key,
+              net::RetryPolicy retry = DefaultStoreRetryPolicy());
 
   std::uint64_t size() const { return size_; }
 
-  // Reads up to `length` bytes at `offset` (short read only at EOF).
+  // Reads up to `length` bytes at `offset` (short read only at EOF). A
+  // result shorter than the object's size promises is itself treated as
+  // a transient fault and retried.
   Bytes ReadAt(std::uint64_t offset, std::uint64_t length) const;
 
   // Reads the whole object.
@@ -27,17 +44,20 @@ class GatewayFile {
   ObjectStore& store_;
   std::string bucket_;
   std::string key_;
+  net::RetryPolicy retry_;
+  std::uint64_t salt_ = 0;  // decorrelates backoff across keys
   std::uint64_t size_ = 0;
 };
 
 class FileGateway {
  public:
   // `store` must outlive the gateway.
-  FileGateway(ObjectStore& store, std::string bucket)
-      : store_(store), bucket_(std::move(bucket)) {}
+  FileGateway(ObjectStore& store, std::string bucket,
+              net::RetryPolicy retry = DefaultStoreRetryPolicy())
+      : store_(store), bucket_(std::move(bucket)), retry_(retry) {}
 
   GatewayFile Open(const std::string& key) const {
-    return GatewayFile(store_, bucket_, key);
+    return GatewayFile(store_, bucket_, key, retry_);
   }
 
   bool Exists(const std::string& key) const {
@@ -48,12 +68,16 @@ class FileGateway {
     return store_.List(bucket_, prefix);
   }
 
+  void SetRetryPolicy(const net::RetryPolicy& retry) { retry_ = retry; }
+  const net::RetryPolicy& retry_policy() const { return retry_; }
+
   ObjectStore& store() const { return store_; }
   const std::string& bucket() const { return bucket_; }
 
  private:
   ObjectStore& store_;
   std::string bucket_;
+  net::RetryPolicy retry_;
 };
 
 }  // namespace vizndp::storage

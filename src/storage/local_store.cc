@@ -60,16 +60,22 @@ bool LocalObjectStore::BucketExists(const std::string& bucket) const {
 void LocalObjectStore::Put(const std::string& bucket, const std::string& key,
                            ByteSpan data) {
   const fs::path path = ObjectPath(bucket, key);
-  VIZNDP_CHECK_MSG(BucketExists(bucket), "no such bucket: " + bucket);
+  if (!BucketExists(bucket)) {
+    throw IoError("no such bucket: " + bucket);
+  }
   fs::create_directories(path.parent_path());
   // Write-then-rename so concurrent readers never observe a torn object.
   const fs::path tmp = path.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    VIZNDP_CHECK_MSG(out.good(), "cannot open for write: " + tmp.string());
+    if (!out.good()) {
+      throw IoError("cannot open for write: " + tmp.string());
+    }
     out.write(reinterpret_cast<const char*>(data.data()),
               static_cast<std::streamsize>(data.size()));
-    VIZNDP_CHECK_MSG(out.good(), "short write: " + tmp.string());
+    if (!out.good()) {
+      throw TransientIoError("short write: " + tmp.string());
+    }
   }
   fs::rename(tmp, path);
   if (ssd_ != nullptr) ssd_->ChargeWrite(data.size());
@@ -86,7 +92,12 @@ Bytes LocalObjectStore::Get(const std::string& bucket, const std::string& key) {
   Bytes data(size);
   in.read(reinterpret_cast<char*>(data.data()),
           static_cast<std::streamsize>(size));
-  VIZNDP_CHECK_MSG(in.good() || size == 0, "short read: " + path.string());
+  // A short read of an existing object is a device-level flake, not
+  // caller misuse: typed + transient so the gateway retry ladder (and
+  // above it the brick recovery ladder) can engage instead of aborting.
+  if (!in.good() && size != 0) {
+    throw TransientIoError("short read: " + path.string());
+  }
   if (ssd_ != nullptr) ssd_->ChargeRead(size);
   return data;
 }
@@ -106,7 +117,9 @@ Bytes LocalObjectStore::GetRange(const std::string& bucket,
   Bytes data(take);
   in.read(reinterpret_cast<char*>(data.data()),
           static_cast<std::streamsize>(take));
-  VIZNDP_CHECK_MSG(in.good() || take == 0, "short read: " + path.string());
+  if (!in.good() && take != 0) {
+    throw TransientIoError("short read: " + path.string());
+  }
   if (ssd_ != nullptr) ssd_->ChargeRead(take);
   return data;
 }

@@ -45,6 +45,9 @@ void BindObjectStoreRpc(rpc::Server& server, ObjectStore& store) {
     store.CreateBucket(p.at(0).As<std::string>());
     return Value();
   });
+  server.Bind(kRpcStoreExistsBucket, [&store](const Array& p) -> Value {
+    return Value(store.BucketExists(p.at(0).As<std::string>()));
+  });
 }
 
 }  // namespace vizndp::storage

@@ -18,6 +18,7 @@ inline constexpr const char* kRpcStoreExists = "store.exists";
 inline constexpr const char* kRpcStoreList = "store.list";
 inline constexpr const char* kRpcStoreDelete = "store.delete";
 inline constexpr const char* kRpcStoreCreateBucket = "store.create_bucket";
+inline constexpr const char* kRpcStoreExistsBucket = "store.exists_bucket";
 
 // Registers handlers for all store methods. `store` must outlive `server`.
 void BindObjectStoreRpc(rpc::Server& server, ObjectStore& store);

@@ -33,6 +33,9 @@ struct AuditPair {
   const char* counter;
   const char* event;
 };
+// (scrub_corrupt_found_total is deliberately absent: it counts every
+// corrupt sighting every pass, while scrub.quarantine journals only the
+// transition into quarantine — they are not 1:1 by design.)
 constexpr AuditPair kAuditPairs[] = {
     {"cluster_failover_total", "cluster.failover"},
     {"ndp_hedge_launched_total", "cluster.hedge"},
@@ -41,9 +44,23 @@ constexpr AuditPair kAuditPairs[] = {
     {"cluster_draining_skips_total", "cluster.draining_skip"},
     {"cluster_unrestricted_fallback_total", "cluster.unrestricted_fallback"},
     {"cluster_rejoin_total", "cluster.rejoin"},
+    {"store_retry_total", "store.retry"},
+    {"store_io_error_total", "store.io_error"},
+    {"scrub_quarantine_total", "scrub.quarantine"},
+    {"scrub_readmit_total", "scrub.readmit"},
+    {"ndp_quarantine_skip_total", "ndp.quarantine_skip"},
 };
 
-enum class Fault { kKill, kRestart, kDelay, kCorrupt, kBusy, kQuiet };
+enum class Fault {
+  kKill,
+  kRestart,
+  kDelay,
+  kCorrupt,
+  kBusy,
+  kQuiet,
+  kStoreEio,
+  kStoreSlow,
+};
 
 void StoreDataset(storage::ObjectStore& store, const std::string& bucket,
                   const ChaosOptions& options) {
@@ -67,7 +84,9 @@ std::string ChaosReport::Summary() const {
   os << "chaos: schedules=" << schedules << " fetches=" << fetches
      << " kills=" << kills << " restarts=" << restarts << " delays=" << delays
      << " corrupts=" << corrupts << " busies=" << busies
+     << " store_eios=" << store_eios << " store_slows=" << store_slows
      << " rejoins=" << rejoins << " rejoined_served=" << rejoined_served
+     << " rot_roundtrips=" << rot_roundtrips
      << " view_changes=" << view_changes
      << " violations=" << violations.size();
   return os.str();
@@ -116,6 +135,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
       config.replicas = options.replicas;
       config.client_options.call_timeout = options.call_timeout;
       config.sharded.hedge_ms = options.hedge_ms;
+      config.store_retry.max_attempts = options.store_retry_attempts;
       bench_util::ClusterTestbed cluster(config);
       StoreDataset(cluster.store(), cluster.bucket(), options);
 
@@ -217,7 +237,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
         } else if (step == 1) {
           fault = Fault::kRestart;  // ...kill -> detect -> restart -> rejoin
         } else {
-          fault = static_cast<Fault>(rng.Below(6));
+          fault = static_cast<Fault>(rng.Below(8));
         }
 
         const auto fault_start = std::chrono::steady_clock::now();
@@ -279,13 +299,42 @@ ChaosReport RunChaos(const ChaosOptions& options) {
           }
           case Fault::kQuiet:
             break;
+          case Fault::kStoreEio: {
+            // Transient EIO storm on the shared store's read path, sized
+            // so even one op's retries can drain it without exhausting
+            // the ladder: the gateway heals in place and the fetch below
+            // never notices (store_retry_total moves, geometry does not).
+            const size_t frames = 1 + rng.Below(static_cast<size_t>(
+                                          options.store_retry_attempts - 1));
+            cluster.store_fault().Script(
+                storage::StoreOp::kRead,
+                std::vector<storage::StoreFaultAction>(
+                    frames, storage::StoreFaultAction::Eio()));
+            ++report.store_eios;
+            break;
+          }
+          case Fault::kStoreSlow: {
+            // Slow-disk window: the next few reads stall, modeling a
+            // device in an internal GC pause. Purely latency — nothing
+            // to heal, geometry unaffected.
+            const size_t frames = 1 + rng.Below(4);
+            const auto hold = std::chrono::microseconds(
+                static_cast<std::int64_t>(200 + rng.Below(3000)));
+            cluster.store_fault().Script(
+                storage::StoreOp::kRead,
+                std::vector<storage::StoreFaultAction>(
+                    frames, storage::StoreFaultAction::Delay(hold)));
+            ++report.store_slows;
+            break;
+          }
         }
         if (options.verbose) {
           const double s = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - fault_start)
                                .count();
-          static const char* kFaultNames[] = {"kill",    "restart", "delay",
-                                              "corrupt", "busy",    "quiet"};
+          static const char* kFaultNames[] = {
+              "kill", "restart",   "delay",     "corrupt",
+              "busy", "quiet",     "store_eio", "store_slow"};
           std::fprintf(stderr, "chaos:   sched %d step %d: %s (%.2fs)\n",
                        sched, step, kFaultNames[static_cast<int>(fault)], s);
         }
@@ -307,6 +356,8 @@ ChaosReport RunChaos(const ChaosOptions& options) {
         cluster.fault(i).ScriptSend({});
         cluster.fault(i).ScriptReceive({});
       }
+      // Same for unconsumed disk-fault scripts on the shared store.
+      cluster.store_fault().ClearFaults();
       for (int i = 0; i < options.servers; ++i) {
         if (!cluster.alive(i)) {
           cluster.RestartServer(i);
@@ -330,6 +381,73 @@ ChaosReport RunChaos(const ChaosOptions& options) {
       if (!converged) {
         violate(options.steps, "fleet never converged back to all-live");
       }
+
+      // Bit-rot round trip: plant rot at rest in a brick every fetch
+      // needs, then require the full lifecycle — every node's scrubber
+      // quarantines it; after a clean re-Put the (still-quarantined)
+      // brick serves through the quarantine-skip rung bit-identically;
+      // the next scrub pass re-admits it everywhere.
+      {
+        const int rot_step = options.steps + 1;
+        const io::VndReader probe_reader(cluster.LocalGateway().Open(kKey));
+        const io::VndHeader& header = probe_reader.header();
+        const io::ArrayMeta* meta = header.Find("v02");
+        std::int64_t rot_brick = -1;
+        if (meta != nullptr && meta->bricks.has_value()) {
+          const auto& entries = meta->bricks->entries;
+          for (size_t b = 0; b < entries.size() && rot_brick < 0; ++b) {
+            for (const double iso : kIsos) {
+              if (entries[b].min < iso && entries[b].max >= iso) {
+                rot_brick = static_cast<std::int64_t>(b);
+                break;
+              }
+            }
+          }
+        }
+        if (rot_brick < 0) {
+          violate(rot_step, "no isovalue-straddling brick to rot");
+        } else {
+          const io::BrickEntry& entry =
+              meta->bricks->entries[static_cast<size_t>(rot_brick)];
+          const Bytes clean = cluster.store().Get(cluster.bucket(), kKey);
+          Bytes rotted = clean;
+          const std::uint64_t victim =
+              header.blob_base + meta->offset + entry.offset +
+              rng.Below(entry.stored_size);
+          rotted[static_cast<size_t>(victim)] ^=
+              static_cast<Byte>(1u << rng.Below(8));
+          cluster.store().Put(cluster.bucket(), kKey, ByteSpan(rotted));
+
+          for (int i = 0; i < options.servers; ++i) {
+            cluster.scrubber(i).RunPassNow();
+            if (!cluster.quarantine(i).Contains(kKey, "v02", rot_brick)) {
+              violate(rot_step, "node " + std::to_string(i) +
+                                    " scrub missed planted rot");
+            }
+          }
+          // Repair: re-Put the clean image. The brick stays quarantined
+          // until the next scrub pass, so this fetch must take the
+          // quarantine-skip rung — and still match the oracle exactly.
+          cluster.store().Put(cluster.bucket(), kKey, ByteSpan(clean));
+          const std::uint64_t skips_before =
+              CounterValue("ndp_quarantine_skip_total");
+          check_fetch(rot_step);
+          if (CounterValue("ndp_quarantine_skip_total") == skips_before) {
+            violate(rot_step, "quarantine-skip path never exercised");
+          }
+          bool readmitted = true;
+          for (int i = 0; i < options.servers; ++i) {
+            cluster.scrubber(i).RunPassNow();
+            if (cluster.quarantine(i).Contains(kKey, "v02", rot_brick)) {
+              violate(rot_step, "node " + std::to_string(i) +
+                                    " never readmitted the healed brick");
+              readmitted = false;
+            }
+          }
+          if (readmitted) ++report.rot_roundtrips;
+        }
+      }
+      phase("rot");
 
       // A rejoined node must be *serving* again, not merely probed live:
       // fetch through the sharded client (its slice may be empty for this

@@ -1,16 +1,23 @@
 // Seeded chaos harness for the self-healing serving tier: drives a
 // ClusterTestbed + HealthMonitor through randomized schedules of
-// kill / restart / delay / corrupt / busy faults mid-request-stream and
-// checks the tier's contract after every fetch:
+// kill / restart / delay / corrupt / busy faults — plus disk faults
+// against the shared store (transient EIO storms sized to the retry
+// ladder, slow-disk windows) — mid-request-stream, and checks the
+// tier's contract after every fetch:
 //
 //   1. geometry bit-identical to the pre-chaos single-server oracle
 //      (the paper's invariant: degradation may cost time, never bits);
 //   2. fleet-view epochs monotone;
 //   3. the one-counter-one-event audit (every counted failover / hedge /
-//      rescue / rejoin has exactly one journal event, and vice versa);
+//      rescue / rejoin / store-retry / quarantine has exactly one
+//      journal event, and vice versa);
 //   4. no parked-hedge leaks (cluster_hedge_parked drains to zero when
 //      the schedule's client is gone);
-//   5. a restarted node is observed serving traffic again.
+//   5. a restarted node is observed serving traffic again;
+//   6. a full bit-rot round trip per schedule: rot planted at rest is
+//      quarantined by every node's scrubber, a clean re-Put serves
+//      through the quarantine-skip path bit-identically, and the next
+//      scrub pass re-admits the brick on every node.
 //
 // Determinism: every schedule decision comes from FuzzRng(seed, index),
 // so `vizndp_tool chaos --seed S` replays the same fault sequence — a
@@ -30,8 +37,13 @@ struct ChaosOptions {
   int schedules = 20;
   // Fault steps per schedule; steps 0 and 1 are always a kill and the
   // matching restart (the headline path must appear in every schedule),
-  // the rest draw from {kill, restart, delay, corrupt, busy, quiet}.
+  // the rest draw from {kill, restart, delay, corrupt, busy, quiet,
+  // store_eio, store_slow}.
   int steps = 8;
+  // Gateway retry ladder on every node; EIO storms are sized to at most
+  // store_retry_attempts-1 consecutive failures so in-place healing is
+  // guaranteed (even if one op's retries drain the whole storm).
+  int store_retry_attempts = 4;
   int fetches_per_step = 2;
   int servers = 3;
   int replicas = 2;
@@ -52,9 +64,12 @@ struct ChaosReport {
   std::uint64_t delays = 0;
   std::uint64_t corrupts = 0;
   std::uint64_t busies = 0;
+  std::uint64_t store_eios = 0;   // transient EIO storms scripted
+  std::uint64_t store_slows = 0;  // slow-disk windows scripted
   // Healing observed.
   std::uint64_t rejoins = 0;          // cluster.rejoin events journaled
   std::uint64_t rejoined_served = 0;  // restarted nodes serving again
+  std::uint64_t rot_roundtrips = 0;   // quarantine->repair->readmit cycles
   std::uint64_t view_changes = 0;
   // Invariant violations; empty = the run passed.
   std::vector<std::string> violations;

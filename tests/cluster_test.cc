@@ -304,8 +304,10 @@ TEST(Cluster, ApplicationErrorsPropagateInsteadOfFailingOver) {
   EXPECT_THROW(
       cluster.sharded_client()->Contour("ts.vnd", "nope", kIsos),
       RpcError);
+  // A missing object is a permanent storage failure on every replica:
+  // the typed IoError propagates without failover churn.
   EXPECT_THROW(cluster.sharded_client()->Contour("missing.vnd", "v02", kIsos),
-               RpcError);
+               IoError);
   EXPECT_EQ(CounterValue("cluster_failover_total"), failovers_before);
 }
 

@@ -70,8 +70,11 @@ TEST(Fault, TruncatedObjectFails) {
 TEST(Fault, MissingObjectAndMissingArray) {
   Testbed testbed;
   testbed.store().Put(testbed.bucket(), "ok.vnd", MakeVndImage());
+  // A missing object is a *storage* failure: the typed IoError crosses
+  // the wire (and, being permanent, is never retried client-side).
   EXPECT_THROW(testbed.ndp_client().Contour("nope.vnd", "v02", {0.1}),
-               RpcError);
+               IoError);
+  // A missing array is an application error: still a generic RpcError.
   EXPECT_THROW(testbed.ndp_client().Contour("ok.vnd", "prs", {0.1}), RpcError);
   // Server still healthy.
   EXPECT_GT(

@@ -15,7 +15,13 @@ namespace {
 
 namespace fs = std::filesystem;
 
-// Typed fixture so every behavior is tested against both backends.
+// Conformance fixture: every ObjectStore behavior below runs against
+// all three implementations — Memory, Local (filesystem), and Remote
+// (a MemoryObjectStore served over in-proc store.* RPC) — so edge
+// semantics (ranged reads past EOF, typed errors, overwrite
+// visibility) cannot drift between backends. The Remote instantiation
+// doubles as the wire-typing test: server-side IoError must arrive
+// client-side as IoError, not a generic RpcError.
 template <typename StoreT>
 class ObjectStoreTest : public ::testing::Test {
  protected:
@@ -25,6 +31,18 @@ class ObjectStoreTest : public ::testing::Test {
               ("vizndp_store_test_" + std::to_string(::getpid()) + "_" +
                std::to_string(counter_++));
       store_ = std::make_unique<LocalObjectStore>(root_);
+    } else if constexpr (std::is_same_v<StoreT, RemoteObjectStore>) {
+      backing_ = std::make_unique<MemoryObjectStore>();
+      server_ = std::make_unique<rpc::Server>();
+      BindObjectStoreRpc(*server_, *backing_);
+      net::TransportPair pair = net::CreateInProcPair();
+      server_thread_ = std::thread(
+          [srv = server_.get(),
+           t = std::shared_ptr<net::Transport>(std::move(pair.a))] {
+            srv->ServeTransport(*t);
+          });
+      store_ = std::make_unique<RemoteObjectStore>(
+          std::make_shared<rpc::Client>(std::move(pair.b)));
     } else {
       store_ = std::make_unique<MemoryObjectStore>();
     }
@@ -32,16 +50,21 @@ class ObjectStoreTest : public ::testing::Test {
   }
 
   ~ObjectStoreTest() override {
-    store_.reset();
+    store_.reset();  // closes the remote transport, if any
+    if (server_thread_.joinable()) server_thread_.join();
     if (!root_.empty()) fs::remove_all(root_);
   }
 
   static inline int counter_ = 0;
   fs::path root_;
+  std::unique_ptr<MemoryObjectStore> backing_;
+  std::unique_ptr<rpc::Server> server_;
+  std::thread server_thread_;
   std::unique_ptr<ObjectStore> store_;
 };
 
-using Backends = ::testing::Types<MemoryObjectStore, LocalObjectStore>;
+using Backends =
+    ::testing::Types<MemoryObjectStore, LocalObjectStore, RemoteObjectStore>;
 TYPED_TEST_SUITE(ObjectStoreTest, Backends);
 
 TYPED_TEST(ObjectStoreTest, PutGetRoundTrip) {
@@ -82,10 +105,56 @@ TYPED_TEST(ObjectStoreTest, RangedReads) {
   EXPECT_EQ(this->store_->GetRange("b", "k", 500, 0), Bytes{});
 }
 
+TYPED_TEST(ObjectStoreTest, RangedReadSuffixAndEdges) {
+  const Bytes data = ToBytes("0123456789");
+  this->store_->Put("b", "k", data);
+  // Suffix read starting exactly at the last byte.
+  EXPECT_EQ(this->store_->GetRange("b", "k", 9, 100), ToBytes("9"));
+  // Offset exactly at the end: empty, not an error.
+  EXPECT_EQ(this->store_->GetRange("b", "k", 10, 1), Bytes{});
+  // Zero-length read at offset 0 of a non-empty object.
+  EXPECT_EQ(this->store_->GetRange("b", "k", 0, 0), Bytes{});
+  // Full-object range equals Get.
+  EXPECT_EQ(this->store_->GetRange("b", "k", 0, data.size()), data);
+}
+
+TYPED_TEST(ObjectStoreTest, OverwriteShrinksVisibleSize) {
+  this->store_->Put("b", "k", ToBytes("a long first version"));
+  this->store_->Put("b", "k", ToBytes("v2"));
+  EXPECT_EQ(this->store_->Stat("b", "k").size, 2u);
+  // The old tail must not bleed through a ranged read.
+  EXPECT_EQ(this->store_->GetRange("b", "k", 2, 100), Bytes{});
+}
+
 TYPED_TEST(ObjectStoreTest, DeleteRemoves) {
   this->store_->Put("b", "k", ToBytes("x"));
   this->store_->Delete("b", "k");
   EXPECT_FALSE(this->store_->Exists("b", "k"));
+}
+
+TYPED_TEST(ObjectStoreTest, DeleteThenGetThrowsTyped) {
+  this->store_->Put("b", "k", ToBytes("x"));
+  this->store_->Delete("b", "k");
+  // A permanent IoError on every read form — never a transient (a retry
+  // ladder must not spin on a deleted object) and, for the remote
+  // backend, never an untyped RpcError.
+  EXPECT_THROW(this->store_->Get("b", "k"), IoError);
+  EXPECT_THROW(this->store_->GetRange("b", "k", 0, 1), IoError);
+  EXPECT_THROW(this->store_->Stat("b", "k"), IoError);
+  try {
+    this->store_->Get("b", "k");
+    FAIL() << "expected IoError";
+  } catch (const TransientIoError&) {
+    FAIL() << "missing object must be permanent, not transient";
+  } catch (const IoError&) {
+  }
+}
+
+TYPED_TEST(ObjectStoreTest, BucketExistsReflectsCreation) {
+  EXPECT_TRUE(this->store_->BucketExists("b"));
+  EXPECT_FALSE(this->store_->BucketExists("nope"));
+  this->store_->CreateBucket("nope");
+  EXPECT_TRUE(this->store_->BucketExists("nope"));
 }
 
 TYPED_TEST(ObjectStoreTest, ListWithPrefix) {
@@ -198,7 +267,49 @@ TEST(RemoteStore, MirrorsBackingStore) {
 
 TEST(RemoteStore, ErrorsCrossTheWire) {
   RemoteFixture fx;
-  EXPECT_THROW(fx.remote->Get("b", "missing"), RpcError);
+  // Server-side IoError arrives typed (the "!io: " wire prefix), so the
+  // client can tell "object is gone" (permanent, don't retry) from a
+  // generic handler failure.
+  EXPECT_THROW(fx.remote->Get("b", "missing"), IoError);
+  try {
+    fx.remote->Get("b", "missing");
+    FAIL() << "expected IoError";
+  } catch (const TransientIoError&) {
+    FAIL() << "missing object must cross the wire as permanent";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+}
+
+TEST(RemoteStore, BucketExistsCrossesTheWire) {
+  RemoteFixture fx;
+  EXPECT_TRUE(fx.remote->BucketExists("b"));
+  EXPECT_FALSE(fx.remote->BucketExists("never-created"));
+}
+
+TEST(RemoteStore, BucketExistsUnknownMethodMapsToTrue) {
+  // An old server without store.exists_bucket answers "unknown method";
+  // the client maps that to the old permissive behavior (assume the
+  // bucket is there) instead of failing the caller.
+  MemoryObjectStore backing;
+  backing.CreateBucket("b");
+  rpc::Server server;
+  server.Bind(kRpcStoreGet, [&backing](const msgpack::Array& p) {
+    return msgpack::Value(
+        backing.Get(p.at(0).As<std::string>(), p.at(1).As<std::string>()));
+  });  // deliberately NOT BindObjectStoreRpc: simulates a pre-upgrade peer
+  net::TransportPair pair = net::CreateInProcPair();
+  std::thread server_thread(
+      [&server, t = std::shared_ptr<net::Transport>(std::move(pair.a))] {
+        server.ServeTransport(*t);
+      });
+  {
+    RemoteObjectStore remote(
+        std::make_shared<rpc::Client>(std::move(pair.b)));
+    EXPECT_TRUE(remote.BucketExists("b"));
+    EXPECT_TRUE(remote.BucketExists("anything-at-all"));
+  }
+  server_thread.join();
 }
 
 TEST(RemoteStore, GetMovesFullObjectAcrossLink) {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repo check: tier-1 verify (full build + ctest), then an
 # address/UB-sanitizer build of the concurrency-heavy tests plus a
-# hostile-input fuzz smoke, the overload/cluster tests under tsan, and
-# a chaos stage (seeded fault schedules under tsan plus a real TCP
-# kill -> restart -> serves-again exercise).
+# hostile-input fuzz smoke, the overload/cluster tests under tsan, a
+# storage-fault stage (retry ladder + scrubber under tsan, seeded
+# disk-fault chaos), and a chaos stage (seeded fault schedules under
+# tsan plus a real TCP kill -> restart -> serves-again exercise).
 #
 #   tools/check.sh            # everything
 #   SKIP_ASAN=1 tools/check.sh  # tier-1 only
@@ -26,10 +27,11 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  stage "asan/ubsan: obs + net + rpc + fault + integrity + trace + fuzz"
+  stage "asan/ubsan: obs + net + rpc + fault + integrity + trace + storage + fuzz"
   cmake --preset asan > /dev/null
   cmake --build build-asan -j"$(nproc)" --target obs_test net_test rpc_test \
-    fault_test fuzz_test integrity_test trace_test vizndp_tool
+    fault_test fuzz_test integrity_test trace_test storage_test \
+    store_fault_test scrub_test vizndp_tool
   ./build-asan/tests/obs_test
   ./build-asan/tests/net_test
   ./build-asan/tests/rpc_test
@@ -37,6 +39,12 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ./build-asan/tests/fuzz_test
   ./build-asan/tests/integrity_test
   ./build-asan/tests/trace_test
+  # The storage-fault suites (`ctest -L storage`): injected EIO/rot/short
+  # reads, the typed retry ladder, and scrub-and-quarantine — heavy on
+  # buffer slicing, so asan watches every byte.
+  ./build-asan/tests/storage_test
+  ./build-asan/tests/store_fault_test
+  ./build-asan/tests/scrub_test
   # Fuzz smoke under the sanitizers: 1500 mutations x 8 decoder targets
   # (> 10k hostile inputs) at a fixed seed, so a CI failure replays
   # byte-for-byte with the same command.
@@ -53,6 +61,25 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # thread-hostile code in the tree: hedge races, loser parking, and
   # concurrent failover all run under tsan here.
   ./build-tsan/tests/cluster_test
+
+  stage "storage faults: retry ladder + scrubber under tsan, seeded disk-fault chaos"
+  cmake --build build-tsan -j"$(nproc)" --target store_fault_test scrub_test
+  # The scrubber thread races the fetch path and the quarantine set by
+  # design; tsan referees. The disk-fault chaos schedule (store EIO
+  # storms, slow-disk windows, a forced bit-rot quarantine -> re-Put ->
+  # readmit round trip per schedule) replays exactly with the same seed.
+  ./build-tsan/tests/store_fault_test
+  ./build-tsan/tests/scrub_test
+  ./build-tsan/tools/vizndp_tool chaos --seed 80886 --schedules 2 --steps 8
+  # Scrub-overhead guard (<2% fetch latency at the production cadence;
+  # the tier-1 build, not tsan — this measures time, not races). The
+  # bench prints [warn] when over budget; that fails the stage.
+  SCRUB_LOG="$(mktemp)"
+  VIZNDP_BENCH_N=64 VIZNDP_BENCH_REPS=4 ./build/bench/abl_scrub_overhead \
+    2> "$SCRUB_LOG"
+  cat "$SCRUB_LOG" >&2
+  ! grep -q '\[warn\]' "$SCRUB_LOG"
+  rm -f "$SCRUB_LOG"
 
   stage "chaos: seeded kill/restart/delay/corrupt schedules under tsan"
   # The membership suite (monitor thread vs. fetch path vs. testbed
