@@ -1,0 +1,164 @@
+// Ablation: record-path cost of the sliding-window histogram layer.
+//
+// PR 9 moved the hot-path latency families (ndp_select_seconds,
+// rpc_dispatch_seconds, cluster_subfetch_seconds) from plain cumulative
+// Histograms to WindowedHistograms so the fleet plane reads "the last
+// ~10 seconds" instead of everything-since-boot. The window adds one
+// relaxed epoch-id load and one bucket fetch_add per Observe (plus an
+// amortised mutex'd rotation at epoch boundaries) — this bench prices
+// that directly and then scales it against a real NDP fetch:
+//
+//   1. raw: ns/Observe for Histogram vs WindowedHistogram, tight loop,
+//      median of trials (epoch rotations happen live during the loop);
+//   2. in-context: mean fetch seconds on the in-proc testbed and the
+//      windowed observations one fetch actually performs (counted off
+//      the registry's _window series), giving the implied fraction of a
+//      fetch spent in the window layer.
+//
+// The guard is the implied fraction (<2%): per-Observe the ring is
+// necessarily pricier than a bare histogram, but a fetch performs a
+// handful of observations against milliseconds of work, so the end-to-
+// end cost must stay in the noise.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/windowed.h"
+
+namespace vizndp::bench {
+namespace {
+
+constexpr int kTrials = 5;
+constexpr int kObservesPerTrial = 2'000'000;
+
+// Latency-shaped sample values spanning several buckets.
+std::vector<double> SampleValues() {
+  std::vector<double> values;
+  for (int i = 0; i < 64; ++i) {
+    values.push_back(1e-5 * static_cast<double>(1 + (i * 37) % 977));
+  }
+  return values;
+}
+
+// Median ns/Observe over kTrials tight loops of `observe`.
+template <typename ObserveFn>
+double MedianNsPerObserve(ObserveFn&& observe) {
+  const std::vector<double> values = SampleValues();
+  std::vector<double> trials;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kObservesPerTrial; ++i) {
+      observe(values[static_cast<size_t>(i) % values.size()]);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    trials.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        kObservesPerTrial);
+  }
+  std::nth_element(trials.begin(), trials.begin() + kTrials / 2, trials.end());
+  return trials[kTrials / 2];
+}
+
+// Total observations ever recorded into windowed families, summed over
+// the given registries: a series is windowed iff its _window sibling is
+// exported alongside it, and the cumulative count is monotone (the
+// window count itself decays as epochs rotate out mid-measurement).
+std::uint64_t WindowedObservations(
+    const std::vector<const obs::Registry*>& registries) {
+  std::uint64_t total = 0;
+  for (const obs::Registry* registry : registries) {
+    const std::vector<obs::MetricSnapshot> snap = registry->Snapshot();
+    for (const obs::MetricSnapshot& s : snap) {
+      if (s.kind != obs::MetricSnapshot::Kind::kHistogram) continue;
+      if (s.window_seconds > 0) continue;
+      if (obs::FindMetric(snap, obs::WindowedName(s.name)) != nullptr) {
+        total += s.count;
+      }
+    }
+  }
+  return total;
+}
+
+int Run() {
+  BenchParams params;
+  params.steps = 2;  // generator minimum; only the first timestep is used
+  const int reps = params.reps * 8;
+
+  // --- raw record path -----------------------------------------------------
+  obs::Histogram plain(obs::LatencyBounds());
+  obs::WindowedHistogram windowed(obs::LatencyBounds());
+  // Warm both (page in buckets, settle the first epoch rotation).
+  (void)MedianNsPerObserve([&plain](double v) { plain.Observe(v); });
+  const double plain_ns =
+      MedianNsPerObserve([&plain](double v) { plain.Observe(v); });
+  const double windowed_ns =
+      MedianNsPerObserve([&windowed](double v) { windowed.Observe(v); });
+  const double delta_ns = windowed_ns - plain_ns;
+
+  // --- in context: a real NDP fetch ----------------------------------------
+  bench_util::Testbed testbed;
+  const auto labels = PopulateImpactSeries(testbed, params, {"v02"});
+  const std::string key = TimestepKey("none", labels.front());
+  const std::vector<double> isos = {0.5};
+
+  (void)NdpLoad(testbed, key, "v02", isos);  // warm the path
+  // Every windowed family this fetch path can touch: rpc_dispatch and
+  // ndp_select live in the storage node's server registry, the sharded
+  // subfetch window in the process registry.
+  const std::vector<const obs::Registry*> registries = {
+      &obs::DefaultRegistry(), &testbed.rpc_server().metrics(),
+      &testbed.ndp_server().metrics()};
+  const std::uint64_t observed_before = WindowedObservations(registries);
+  const double fetch_s =
+      MeanLoadSeconds(reps, [&] { return NdpLoad(testbed, key, "v02", isos); });
+  const double per_fetch =
+      static_cast<double>(WindowedObservations(registries) - observed_before) /
+      reps;
+
+  // Worst-case framing: every windowed observation charged the full
+  // windowed cost (not just the delta over the plain histogram it
+  // replaced) against one fetch.
+  const double implied_pct = per_fetch * windowed_ns / (fetch_s * 1e9) * 100.0;
+  const double delta_pct = per_fetch * delta_ns / (fetch_s * 1e9) * 100.0;
+
+  std::cout << "Sliding-window record-path overhead (in-proc, " << params.n
+            << "^3, " << reps << " reps)\n";
+  char buf[64];
+  bench_util::Table table({"metric", "value"});
+  std::snprintf(buf, sizeof(buf), "%.1f", plain_ns);
+  table.AddRow({"plain histogram ns/observe", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f", windowed_ns);
+  table.AddRow({"windowed histogram ns/observe", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f", delta_ns);
+  table.AddRow({"window delta ns/observe", buf});
+  std::snprintf(buf, sizeof(buf), "%.1f", per_fetch);
+  table.AddRow({"windowed observes per fetch", buf});
+  table.AddRow({"mean fetch", bench_util::FormatSeconds(fetch_s)});
+  std::snprintf(buf, sizeof(buf), "%.4f%%", implied_pct);
+  table.AddRow({"implied fetch overhead (full cost)", buf});
+  std::snprintf(buf, sizeof(buf), "%.4f%%", delta_pct);
+  table.AddRow({"implied fetch overhead (delta vs plain)", buf});
+  table.Print(std::cout);
+
+  const std::string csv = bench_util::ResultsDir() + "/abl_window_overhead.csv";
+  table.WriteCsv(csv);
+  std::fprintf(stderr, "[result] wrote %s\n", csv.c_str());
+  if (implied_pct >= 2.0) {
+    std::fprintf(stderr,
+                 "[warn] windowed record path implies %.3f%% of a fetch, over "
+                 "the 2%% budget; rerun with more reps before concluding a "
+                 "regression\n",
+                 implied_pct);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vizndp::bench
+
+int main() { return vizndp::bench::Run(); }

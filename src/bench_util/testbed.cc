@@ -149,6 +149,21 @@ ClusterTestbed::ClusterTestbed(ClusterTestbedConfig config)
       std::move(clients), config_.replicas, config_.sharded);
 }
 
+std::shared_ptr<ndp::NdpClient> ClusterTestbed::NewNodeClient(
+    int i, net::FaultInjectingTransport** fault) {
+  net::TransportPtr transport = std::make_unique<net::ReconnectingTransport>(
+      DialFactory(i, /*decorated=*/false));
+  if (fault != nullptr) {
+    auto faulty =
+        std::make_unique<net::FaultInjectingTransport>(std::move(transport));
+    *fault = faulty.get();
+    transport = std::move(faulty);
+  }
+  return std::make_shared<ndp::NdpClient>(
+      std::make_shared<rpc::Client>(std::move(transport)), config_.bucket,
+      config_.client_options);
+}
+
 void ClusterTestbed::KillServer(int i) {
   Node& node = *nodes_.at(static_cast<size_t>(i));
   std::shared_ptr<rpc::Server> srv;

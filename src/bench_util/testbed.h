@@ -86,6 +86,10 @@ class Testbed {
   // memory budget and read its health table mid-run.
   rpc::Server& rpc_server() { return rpc_server_; }
 
+  // The storage node's NDP pre-filter server (owns the ndp_select
+  // latency registry the observability benches count against).
+  ndp::NdpServer& ndp_server() { return *ndp_server_; }
+
   LoadTimer StartLoadTimer() const { return LoadTimer(link_, ssd_); }
 
  private:
@@ -202,6 +206,15 @@ class ClusterTestbed {
   net::FaultInjectingTransport& fault(int i) {
     return *nodes_.at(static_cast<size_t>(i))->fault;
   }
+
+  // A fresh dedicated client to node `i` over its own reconnecting
+  // channel — how a FleetScraper gets per-node scrape connections that
+  // never share a transport with the data path. When `fault` is
+  // non-null it receives a fault handle wrapped around this channel
+  // (owned by the returned client), so tests can slow one node's scrape
+  // RTT without touching its serving.
+  std::shared_ptr<ndp::NdpClient> NewNodeClient(
+      int i, net::FaultInjectingTransport** fault = nullptr);
 
   std::shared_ptr<cluster::ShardedNdpClient> sharded_client() {
     return sharded_;

@@ -9,6 +9,7 @@
 #include "obs/context.h"
 #include "obs/event_log.h"
 #include "obs/trace.h"
+#include "obs/windowed.h"
 
 namespace vizndp::cluster {
 
@@ -16,9 +17,9 @@ namespace {
 
 std::string ShardTag(int shard) { return std::to_string(shard); }
 
-obs::Histogram& SubfetchHistogram() {
-  return obs::DefaultRegistry().GetHistogram("cluster_subfetch_seconds",
-                                             obs::LatencyBounds());
+obs::WindowedHistogram& SubfetchHistogram() {
+  return obs::DefaultRegistry().GetWindowedHistogram(
+      "cluster_subfetch_seconds", obs::LatencyBounds());
 }
 
 }  // namespace
@@ -158,20 +159,53 @@ std::vector<int> ShardedNdpClient::LiveChain(
   return live;
 }
 
+void ShardedNdpClient::SetHedgeHint(double seconds) {
+  hedge_hint_seconds_.store(seconds, std::memory_order_relaxed);
+  hedge_hint_at_us_.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
 std::optional<std::chrono::microseconds> ShardedNdpClient::HedgeDelay()
     const {
   if (options_.hedge_ms < 0) return std::nullopt;
   double ms = options_.hedge_ms;
   if (ms == 0) {
     // Adaptive: hedge at the tail of what sub-fetches normally take, so
-    // the backup fires only for genuinely slow replicas. Cold start uses
-    // the floor.
+    // the backup fires only for genuinely slow replicas. Preference
+    // order: a fresh fleet-wide windowed p95 pushed by a FleetScraper
+    // (it sees every node, not just the shards this client drew), then
+    // this client's own sliding window, then the cumulative series, and
+    // the floor while everything is cold.
     ms = options_.hedge_floor_ms;
-    if (subfetch_seconds_.count() >= options_.min_hedge_samples) {
-      ms = std::max(
-          options_.hedge_floor_ms,
-          1e3 * obs::HistogramQuantile(subfetch_seconds_,
-                                       options_.hedge_quantile));
+    const double hint = hedge_hint_seconds_.load(std::memory_order_relaxed);
+    const std::int64_t hint_at =
+        hedge_hint_at_us_.load(std::memory_order_relaxed);
+    const std::int64_t now_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    const bool hint_fresh =
+        hint > 0 && hint_at > 0 &&
+        now_us - hint_at <
+            1000 * static_cast<std::int64_t>(options_.hedge_hint_ttl_ms);
+    if (hint_fresh) {
+      ms = std::max(options_.hedge_floor_ms, 1e3 * hint);
+    } else {
+      const obs::MetricSnapshot window = subfetch_seconds_.WindowSnapshot();
+      if (window.count >= options_.min_hedge_samples) {
+        ms = std::max(
+            options_.hedge_floor_ms,
+            1e3 * obs::SnapshotQuantile(window, options_.hedge_quantile));
+      } else if (subfetch_seconds_.cumulative().count() >=
+                 options_.min_hedge_samples) {
+        ms = std::max(options_.hedge_floor_ms,
+                      1e3 * obs::HistogramQuantile(
+                                subfetch_seconds_.cumulative(),
+                                options_.hedge_quantile));
+      }
     }
   }
   return std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3));

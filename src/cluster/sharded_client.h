@@ -20,6 +20,8 @@
 // selection invariant over the same stored values.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -45,6 +47,9 @@ struct ShardedClientOptions {
   double hedge_quantile = 0.95;
   double hedge_floor_ms = 25.0;
   std::uint64_t min_hedge_samples = 16;
+  // How long a SetHedgeHint value stays authoritative before the delay
+  // falls back to this client's own latency window.
+  double hedge_hint_ttl_ms = 10000.0;
 };
 
 // Drop-in NdpFetcher over a fleet of NDP servers. Every server must
@@ -89,6 +94,18 @@ class ShardedNdpClient : public ndp::NdpFetcher {
   void SetFleetView(std::shared_ptr<const FleetView> view);
   std::shared_ptr<const FleetView> fleet_view() const;
 
+  // Fleet-wide windowed sub-fetch tail (seconds), normally pushed by a
+  // cluster::FleetScraper after each sweep. While fresh (hedge_hint_ttl_
+  // ms) it overrides the process-local latency window in HedgeDelay —
+  // a hedging client benefits from latency every node observed, not
+  // just the shards it happened to draw. <= 0 clears the hint.
+  void SetHedgeHint(double seconds);
+
+  // The adaptive hedge delay the next sub-fetch would use (nullopt =
+  // hedging disabled). Public so tests and dashboards can read the
+  // policy without racing a fetch.
+  std::optional<std::chrono::microseconds> HedgeDelay() const;
+
   const ShardMap& shard_map() const { return map_; }
   int server_count() const { return static_cast<int>(servers_.size()); }
 
@@ -128,8 +145,6 @@ class ShardedNdpClient : public ndp::NdpFetcher {
   std::vector<bool> Eligibility(
       const std::shared_ptr<const FleetView>& view) const;
 
-  std::optional<std::chrono::microseconds> HedgeDelay() const;
-
   // Moves still-running attempt threads to pending_ and drops finished
   // ones; called as each race resolves and from the destructor. The
   // parked set is bounded by kMaxParked: over the cap, Park blocks on
@@ -144,8 +159,10 @@ class ShardedNdpClient : public ndp::NdpFetcher {
   std::vector<std::shared_ptr<ndp::NdpClient>> servers_;
   ShardMap map_;
   ShardedClientOptions options_;
-  obs::Histogram& subfetch_seconds_;
+  obs::WindowedHistogram& subfetch_seconds_;
   obs::Gauge& parked_gauge_;
+  std::atomic<double> hedge_hint_seconds_{0};
+  std::atomic<std::int64_t> hedge_hint_at_us_{0};
 
   mutable std::mutex view_mu_;
   std::shared_ptr<const FleetView> view_;

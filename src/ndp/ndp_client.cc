@@ -192,6 +192,9 @@ std::vector<obs::MetricSnapshot> NdpClient::ScrapeMetrics() {
     if (const Value* et = v.Find("exemplar_trace")) {
       s.exemplar_trace_id = et->AsUint();
     }
+    if (const Value* ws = v.Find("window_s")) {
+      s.window_seconds = ws->AsDouble();
+    }
     out.push_back(std::move(s));
   }
   return out;
@@ -258,6 +261,29 @@ NdpClient::HealthReport NdpClient::Health(std::uint64_t view_epoch) {
     r.trace_id = v.At("trace_id").AsUint();
     r.age_us = v.At("age_us").AsUint();
     report.requests.push_back(std::move(r));
+  }
+  if (const Value* v = reply.Find("wall_s")) report.wall_s = v->AsDouble();
+  if (const Value* v = reply.Find("uptime_s")) {
+    report.uptime_s = v->AsDouble();
+  }
+  if (const Value* window = reply.Find("window")) {
+    report.window_present = true;
+    report.window_seconds = window->At("seconds").AsDouble();
+    report.window_count = window->At("count").AsUint();
+    report.window_p50 = window->At("p50").AsDouble();
+    report.window_p95 = window->At("p95").AsDouble();
+    report.window_p99 = window->At("p99").AsDouble();
+  }
+  if (const Value* slo = reply.Find("slo")) {
+    for (const Value& v : slo->As<Array>()) {
+      HealthReport::Slo s;
+      s.name = v.At("name").As<std::string>();
+      s.budget_remaining = v.At("budget_remaining").AsDouble();
+      s.burn_short = v.At("burn_short").AsDouble();
+      s.burn_long = v.At("burn_long").AsDouble();
+      s.alerting = v.At("alerting").As<bool>();
+      report.slo.push_back(std::move(s));
+    }
   }
   if (const Value* scrub = reply.Find("scrub")) {
     report.scrub_present = true;

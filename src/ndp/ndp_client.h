@@ -210,6 +210,28 @@ class NdpClient : public NdpFetcher {
       std::uint64_t age_us = 0;
     };
     std::vector<Request> requests;
+    // Clock stamps (0 from pre-fleet-observability servers).
+    double wall_s = 0;
+    double uptime_s = 0;
+    // Sliding-window latency summary of the node's pre-filter
+    // (ndp_select_seconds_window); window_present stays false on old
+    // servers.
+    bool window_present = false;
+    double window_seconds = 0;
+    std::uint64_t window_count = 0;
+    double window_p50 = 0;
+    double window_p95 = 0;
+    double window_p99 = 0;
+    // Per-objective SLO state, present when the node is colocated with
+    // an SloTracker (NdpServer::SetSloStatusFn).
+    struct Slo {
+      std::string name;
+      double budget_remaining = 1.0;
+      double burn_short = 0;
+      double burn_long = 0;
+      bool alerting = false;
+    };
+    std::vector<Slo> slo;
     // Scrub-and-quarantine status (absent on servers without a
     // scrubber; scrub_present stays false then).
     bool scrub_present = false;

@@ -13,6 +13,7 @@
 #include "ndp/bricked_select.h"
 #include "obs/event_log.h"
 #include "obs/trace.h"
+#include "obs/windowed.h"
 #include "rpc/trace_wire.h"
 
 namespace vizndp::ndp {
@@ -63,6 +64,11 @@ Value SnapshotsToValue(const std::vector<obs::MetricSnapshot>& snapshot) {
       if (s.exemplar_trace_id != 0) {
         m.emplace_back(Value("exemplar_value"), Value(s.exemplar_value));
         m.emplace_back(Value("exemplar_trace"), Value(s.exemplar_trace_id));
+      }
+      // Sliding-window series carry their span; absent for cumulative
+      // ones, and old clients skip the key either way.
+      if (s.window_seconds > 0) {
+        m.emplace_back(Value("window_s"), Value(s.window_seconds));
       }
     }
     out.push_back(Value(std::move(m)));
@@ -216,7 +222,9 @@ msgpack::Value NdpServer::Select(const std::string& key,
   reply.emplace_back(Value("read_s"), Value(read_s));
   reply.emplace_back(Value("select_s"), Value(select_s));
   total_span.End();
-  metrics_.GetHistogram("ndp_select_seconds", obs::LatencyBounds())
+  // Windowed: the scrape exports ndp_select_seconds (cumulative, as
+  // ever) plus ndp_select_seconds_window for sliding-window quantiles.
+  metrics_.GetWindowedHistogram("ndp_select_seconds", obs::LatencyBounds())
       .Observe(total_span.ElapsedSeconds());
   return Value(std::move(reply));
 }
@@ -350,6 +358,9 @@ void NdpServer::Bind(rpc::Server& server) {
     for (auto& s : obs::DefaultRegistry().Snapshot()) {
       all.push_back(std::move(s));
     }
+    // Wall-clock + uptime stamp, once per scrape (not per registry), so
+    // an external scraper can turn two expositions into rates.
+    obs::StampSnapshot(all);
     if (!p.empty() && p.at(0).Is<std::string>() &&
         !p.at(0).As<std::string>().empty()) {
       return Value(obs::FormatSnapshot(all, p.at(0).As<std::string>()));
@@ -407,6 +418,44 @@ void NdpServer::Bind(rpc::Server& server) {
     reply.emplace_back(Value("view_epoch"),
                        Value(seen_view_epoch_.load(
                            std::memory_order_relaxed)));
+    // Clock stamps plus the sliding-window latency summary of the
+    // pre-filter (new in the fleet-observability tier; clients parse
+    // the keys they know). The window quantiles are what FleetScraper's
+    // slow-node detector and `vizndp_tool top` read per probe.
+    reply.emplace_back(Value("wall_s"), Value(obs::WallTimeSeconds()));
+    reply.emplace_back(Value("uptime_s"),
+                       Value(obs::ProcessUptimeSeconds()));
+    {
+      const obs::MetricSnapshot w =
+          metrics_
+              .GetWindowedHistogram("ndp_select_seconds",
+                                    obs::LatencyBounds())
+              .WindowSnapshot();
+      Map window;
+      window.emplace_back(Value("seconds"), Value(w.window_seconds));
+      window.emplace_back(Value("count"), Value(w.count));
+      window.emplace_back(Value("p50"), Value(obs::SnapshotQuantile(w, 0.5)));
+      window.emplace_back(Value("p95"),
+                          Value(obs::SnapshotQuantile(w, 0.95)));
+      window.emplace_back(Value("p99"),
+                          Value(obs::SnapshotQuantile(w, 0.99)));
+      reply.emplace_back(Value("window"), Value(std::move(window)));
+    }
+    // Per-objective SLO state when a tracker is colocated with this node.
+    if (slo_status_fn_) {
+      Array slo;
+      for (const obs::SloStatus& st : slo_status_fn_()) {
+        Map m;
+        m.emplace_back(Value("name"), Value(st.name));
+        m.emplace_back(Value("budget_remaining"),
+                       Value(st.budget_remaining));
+        m.emplace_back(Value("burn_short"), Value(st.burn_short));
+        m.emplace_back(Value("burn_long"), Value(st.burn_long));
+        m.emplace_back(Value("alerting"), Value(st.alerting));
+        slo.push_back(Value(std::move(m)));
+      }
+      reply.emplace_back(Value("slo"), Value(std::move(slo)));
+    }
     // Scrub-and-quarantine status (absent when no scrubber is wired;
     // clients parse the keys they know).
     if (scrubber_ != nullptr) {

@@ -19,9 +19,11 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 
 #include "ndp/protocol.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "rpc/server.h"
 #include "storage/file_gateway.h"
 #include "storage/scrubber.h"
@@ -39,7 +41,11 @@ class NdpServer {
   // `gateway` should be local to the storage node (that is the point);
   // it must outlive the server.
   explicit NdpServer(storage::FileGateway gateway)
-      : gateway_(std::move(gateway)), node_id_(MintNodeId()) {}
+      : gateway_(std::move(gateway)), node_id_(MintNodeId()) {
+    // Anchor the process uptime clock now, so the first metrics scrape
+    // reports time-since-serving-started, not time-since-first-scrape.
+    obs::ProcessUptimeSeconds();
+  }
 
   // This incarnation's identity, reported in every ndp.health reply.
   std::uint64_t node_id() const { return node_id_; }
@@ -75,6 +81,14 @@ class NdpServer {
   // Must outlive the server.
   void SetScrubber(const storage::Scrubber* scrubber) {
     scrubber_ = scrubber;
+  }
+
+  // Optional SLO status source surfaced in ndp.health replies — a node
+  // colocated with an SloTracker (or tests) can publish per-objective
+  // budget/burn state to any health prober. Called on the dispatch
+  // thread, so it must be thread-safe (SloTracker::status is).
+  void SetSloStatusFn(std::function<std::vector<obs::SloStatus>()> fn) {
+    slo_status_fn_ = std::move(fn);
   }
 
   // Registers ndp.select, ndp.info, ndp.stats, ndp.metrics, and
@@ -118,6 +132,7 @@ class NdpServer {
   rpc::MemoryBudget* mem_budget_ = nullptr;
   const storage::QuarantineSet* quarantine_ = nullptr;
   const storage::Scrubber* scrubber_ = nullptr;
+  std::function<std::vector<obs::SloStatus>()> slo_status_fn_;
   obs::Registry metrics_;
   std::uint64_t node_id_;
   std::atomic<std::uint64_t> seen_view_epoch_{0};

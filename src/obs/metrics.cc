@@ -6,8 +6,11 @@
 
 #include "common/error.h"
 #include "obs/context.h"
+#include "obs/windowed.h"
 
 namespace vizndp::obs {
+
+Registry::~Registry() = default;
 
 void Gauge::Add(double delta) {
   double cur = value_.load(std::memory_order_relaxed);
@@ -85,11 +88,20 @@ double HistogramQuantile(const Histogram& histogram, double q) {
 
 double SnapshotQuantile(const MetricSnapshot& snapshot, double q) {
   if (snapshot.kind != MetricSnapshot::Kind::kHistogram ||
-      snapshot.count == 0 || snapshot.buckets.empty()) {
+      snapshot.buckets.empty()) {
     return 0;
   }
-  q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(snapshot.count);
+  // NaN-proof clamp: std::clamp propagates NaN, and a NaN rank would
+  // fall through every bucket and report the top bound.
+  if (!(q >= 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank against the actual bucket mass, not the advertised count — a
+  // hand-merged snapshot may disagree, and an inflated count would park
+  // every quantile in the overflow bucket.
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : snapshot.buckets) total += b;
+  if (total == 0) return 0;
+  const double rank = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;
   for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
     const std::uint64_t in_bucket = snapshot.buckets[i];
@@ -198,6 +210,18 @@ Histogram& Registry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+WindowedHistogram& Registry::GetWindowedHistogram(
+    const std::string& name, std::vector<double> bounds, const Labels& labels,
+    const WindowedHistogramOptions& options) {
+  const std::string key = CanonicalName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windowed_[key];
+  if (!slot) {
+    slot = std::make_shared<WindowedHistogram>(std::move(bounds), options);
+  }
+  return *slot;
+}
+
 std::vector<MetricSnapshot> Registry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSnapshot> out;
@@ -231,6 +255,10 @@ std::vector<MetricSnapshot> Registry::Snapshot() const {
     s.exemplar_trace_id = hist->exemplar_trace_id();
     out.push_back(std::move(s));
   }
+  for (const auto& [name, wh] : windowed_) {
+    out.push_back(SnapshotHistogram(wh->cumulative(), name));
+    out.push_back(wh->WindowSnapshot(WindowedName(name)));
+  }
   return out;
 }
 
@@ -240,6 +268,7 @@ std::string SnapshotToText(const std::vector<MetricSnapshot>& snapshot) {
     os << s.name << " ";
     if (s.kind == MetricSnapshot::Kind::kHistogram) {
       os << "count=" << s.count << " sum=" << s.value;
+      if (s.window_seconds > 0) os << " window=" << s.window_seconds << "s";
       if (s.count > 0) {
         os << " p50=" << SnapshotQuantile(s, 0.50)
            << " p95=" << SnapshotQuantile(s, 0.95)
@@ -266,6 +295,9 @@ std::string SnapshotToJson(const std::vector<MetricSnapshot>& snapshot) {
     os << "{\"name\":\"" << JsonEscape(s.name) << "\",\"kind\":\""
        << MetricKindName(s.kind) << "\",\"value\":" << s.value;
     if (s.kind == MetricSnapshot::Kind::kHistogram) {
+      if (s.window_seconds > 0) {
+        os << ",\"window_seconds\":" << s.window_seconds;
+      }
       os << ",\"count\":" << s.count << ",\"bounds\":[";
       for (size_t b = 0; b < s.bounds.size(); ++b) {
         if (b > 0) os << ",";
@@ -324,42 +356,57 @@ std::string PromDouble(double v) {
 }  // namespace
 
 std::string SnapshotToProm(const std::vector<MetricSnapshot>& snapshot) {
+  // Group series by family (base name) in first-seen order so # TYPE is
+  // emitted exactly once per family even when the input interleaves
+  // families — merged fleet snapshots sort canonical names, and
+  // "foo_window{...}" sorts *between* "foo" and "foo{...}".
+  std::vector<std::string> bases(snapshot.size());
+  std::vector<Labels> labelsets(snapshot.size());
+  std::vector<std::string> family_order;
+  std::map<std::string, std::vector<size_t>> by_family;
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    ParseCanonicalName(snapshot[i].name, &bases[i], &labelsets[i]);
+    auto& members = by_family[bases[i]];
+    if (members.empty()) family_order.push_back(bases[i]);
+    members.push_back(i);
+  }
   std::ostringstream os;
-  std::string last_typed;  // one # TYPE line per metric family
-  for (const MetricSnapshot& s : snapshot) {
-    std::string base;
-    Labels labels;
-    ParseCanonicalName(s.name, &base, &labels);
-    if (base != last_typed) {
-      os << "# TYPE " << base << " " << MetricKindName(s.kind) << "\n";
-      last_typed = base;
-    }
-    switch (s.kind) {
-      case MetricSnapshot::Kind::kCounter:
-      case MetricSnapshot::Kind::kGauge:
-        os << base << PromLabels(labels) << " " << s.value << "\n";
-        break;
-      case MetricSnapshot::Kind::kHistogram: {
-        std::uint64_t cumulative = 0;
-        for (size_t i = 0; i < s.buckets.size(); ++i) {
-          cumulative += s.buckets[i];
-          const std::string le = i < s.bounds.size()
-                                     ? PromDouble(s.bounds[i])
-                                     : std::string("+Inf");
-          os << base << "_bucket" << PromLabelsWith(labels, "le", le) << " "
-             << cumulative << "\n";
+  for (const std::string& family : family_order) {
+    const std::vector<size_t>& members = by_family[family];
+    os << "# TYPE " << family << " "
+       << MetricKindName(snapshot[members.front()].kind) << "\n";
+    for (const size_t idx : members) {
+      const MetricSnapshot& s = snapshot[idx];
+      const std::string& base = bases[idx];
+      const Labels& labels = labelsets[idx];
+      switch (s.kind) {
+        case MetricSnapshot::Kind::kCounter:
+        case MetricSnapshot::Kind::kGauge:
+          os << base << PromLabels(labels) << " " << s.value << "\n";
+          break;
+        case MetricSnapshot::Kind::kHistogram: {
+          std::uint64_t cumulative = 0;
+          for (size_t b = 0; b < s.buckets.size(); ++b) {
+            cumulative += s.buckets[b];
+            const std::string le = b < s.bounds.size()
+                                       ? PromDouble(s.bounds[b])
+                                       : std::string("+Inf");
+            os << base << "_bucket" << PromLabelsWith(labels, "le", le) << " "
+               << cumulative << "\n";
+          }
+          os << base << "_sum" << PromLabels(labels) << " " << s.value
+             << "\n";
+          os << base << "_count" << PromLabels(labels) << " " << s.count
+             << "\n";
+          if (s.exemplar_trace_id != 0) {
+            // Classic text exposition has no exemplar syntax; keep the
+            // trace link scrape-visible as a comment.
+            os << "# EXEMPLAR " << base << PromLabels(labels) << " value="
+               << s.exemplar_value << " trace_id="
+               << TraceIdHex(s.exemplar_trace_id) << "\n";
+          }
+          break;
         }
-        os << base << "_sum" << PromLabels(labels) << " " << s.value << "\n";
-        os << base << "_count" << PromLabels(labels) << " " << s.count
-           << "\n";
-        if (s.exemplar_trace_id != 0) {
-          // Classic text exposition has no exemplar syntax; keep the
-          // trace link scrape-visible as a comment.
-          os << "# EXEMPLAR " << base << PromLabels(labels) << " value="
-             << s.exemplar_value << " trace_id="
-             << TraceIdHex(s.exemplar_trace_id) << "\n";
-        }
-        break;
       }
     }
   }
@@ -393,6 +440,39 @@ std::vector<double> ExponentialBounds(double start, double factor, int count) {
 }
 
 std::vector<double> LatencyBounds() { return ExponentialBounds(1e-6, 4, 13); }
+
+namespace {
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+}  // namespace
+
+double WallTimeSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessStart())
+      .count();
+}
+
+void StampSnapshot(std::vector<MetricSnapshot>& snapshot) {
+  MetricSnapshot wall;
+  wall.name = "process_wall_time_seconds";
+  wall.kind = MetricSnapshot::Kind::kGauge;
+  wall.value = WallTimeSeconds();
+  snapshot.push_back(std::move(wall));
+  MetricSnapshot up;
+  up.name = "process_uptime_seconds";
+  up.kind = MetricSnapshot::Kind::kGauge;
+  up.value = ProcessUptimeSeconds();
+  snapshot.push_back(std::move(up));
+}
 
 std::string JsonEscape(std::string_view s) {
   std::string out;

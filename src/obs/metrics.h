@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -23,6 +24,15 @@
 #include <vector>
 
 namespace vizndp::obs {
+
+class WindowedHistogram;
+
+// Ring geometry for WindowedHistogram (see obs/windowed.h): the sliding
+// window spans epochs * epoch_duration (defaults: 8 x 1.25s = 10s).
+struct WindowedHistogramOptions {
+  int epochs = 8;
+  std::chrono::milliseconds epoch_duration{1250};
+};
 
 // Label set rendered into the canonical metric name, sorted by key:
 // "rpc_requests_total{method=ndp.select}".
@@ -100,12 +110,21 @@ struct MetricSnapshot {
   // Histogram exemplar: worst observation + its trace (0 = untraced).
   double exemplar_value = 0;
   std::uint64_t exemplar_trace_id = 0;
+  // Sliding-window span this histogram covers; 0 = cumulative since
+  // boot. Windowed series export under a "_window" base-name suffix so
+  // both views coexist in one scrape (see obs/windowed.h).
+  double window_seconds = 0;
 };
 
 // Estimated q-quantile (q in [0,1]) of a histogram snapshot: finds the
 // bucket holding the target rank and interpolates linearly inside it.
-// Observations in the overflow bucket report the last finite bound.
-// Returns 0 for empty histograms and non-histogram snapshots.
+// Pinned edge behavior (tests/obs_test.cc): q outside [0,1] — NaN
+// included — clamps; empty histograms and non-histogram snapshots return
+// 0; q=0 reports the lower edge of the first occupied bucket and q=1 the
+// upper edge of the last; overflow-bucket mass reports the last finite
+// bound as a known-low estimate (0 when there are no finite bounds). The
+// rank denominator is the actual bucket mass, so a snapshot whose
+// `count` disagrees with its buckets (a hand-merged one) stays sane.
 double SnapshotQuantile(const MetricSnapshot& snapshot, double q);
 
 // Snapshot of one live histogram (no registry walk) — how an adaptive
@@ -143,6 +162,7 @@ std::string FormatSnapshot(const std::vector<MetricSnapshot>& snapshot,
 class Registry {
  public:
   Registry() = default;
+  ~Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -152,6 +172,12 @@ class Registry {
   Gauge& GetGauge(const std::string& name, const Labels& labels = {});
   Histogram& GetHistogram(const std::string& name, std::vector<double> bounds,
                           const Labels& labels = {});
+  // A windowed histogram snapshots twice: cumulative under `name`, the
+  // sliding window under `name_window` (window_seconds set). Must not
+  // collide with a plain histogram of the same canonical name.
+  WindowedHistogram& GetWindowedHistogram(
+      const std::string& name, std::vector<double> bounds,
+      const Labels& labels = {}, const WindowedHistogramOptions& options = {});
 
   std::vector<MetricSnapshot> Snapshot() const;
   std::string TextSnapshot() const { return SnapshotToText(Snapshot()); }
@@ -165,6 +191,9 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // shared_ptr (not unique_ptr) so the deleter is captured where the
+  // type is complete — headers only ever see the forward declaration.
+  std::map<std::string, std::shared_ptr<WindowedHistogram>> windowed_;
 };
 
 // Process-wide registry used by substrate layers that have no natural
@@ -177,6 +206,19 @@ std::vector<double> ExponentialBounds(double start, double factor, int count);
 
 // Default latency buckets: 1 µs .. ~16.8 s, factor 4.
 std::vector<double> LatencyBounds();
+
+// Process clocks for scrape stamps: seconds since the Unix epoch
+// (system clock) and monotonic seconds since this process first touched
+// the obs layer (anchored at first call; servers call it at startup).
+double WallTimeSeconds();
+double ProcessUptimeSeconds();
+
+// Appends `process_wall_time_seconds` and `process_uptime_seconds`
+// gauges so external scrapers can compute rates from two expositions
+// without trusting their own clocks. Called by the ndp.metrics handler
+// (not per-registry: a node's scrape concatenates three registries and
+// must carry exactly one stamp pair).
+void StampSnapshot(std::vector<MetricSnapshot>& snapshot);
 
 // Minimal JSON string escaping shared by the snapshot and trace exports.
 std::string JsonEscape(std::string_view s);

@@ -68,8 +68,12 @@ void Tracer::Record(std::string name,
   if (!enabled()) return;
   TraceEvent event;
   event.name = std::move(name);
+  // Both endpoints truncate against the same epoch before the duration
+  // is formed; flooring start and duration independently could push a
+  // nested span's rounded end past its parent's by a microsecond.
   event.start_us = MicrosBetween(epoch_, start);
-  event.dur_us = MicrosBetween(start, end);
+  const std::uint64_t end_us = MicrosBetween(epoch_, end);
+  event.dur_us = end_us > event.start_us ? end_us - event.start_us : 0;
   event.trace_id = ids.trace_id;
   event.span_id = ids.span_id;
   event.parent_span_id = ids.parent_span_id;

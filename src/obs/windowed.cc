@@ -1,0 +1,126 @@
+#include "obs/windowed.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vizndp::obs {
+
+WindowedHistogram::WindowedHistogram(std::vector<double> bounds,
+                                     WindowedHistogramOptions options)
+    : cumulative_(std::move(bounds)),
+      epochs_(options.epochs),
+      epoch_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options.epoch_duration)),
+      origin_(std::chrono::steady_clock::now()),
+      slots_(static_cast<size_t>(options.epochs)) {
+  VIZNDP_CHECK_MSG(epochs_ >= 2, "windowed histogram needs >= 2 epochs");
+  VIZNDP_CHECK_MSG(epoch_ns_.count() > 0,
+                   "windowed histogram epoch duration must be positive");
+  for (Epoch& slot : slots_) {
+    slot.buckets = std::vector<std::atomic<std::uint64_t>>(
+        cumulative_.bounds().size() + 1);
+  }
+}
+
+std::uint64_t WindowedHistogram::EpochNow() const {
+  const auto elapsed = std::chrono::steady_clock::now() - origin_;
+  return static_cast<std::uint64_t>(elapsed / epoch_ns_) +
+         bias_.load(std::memory_order_relaxed);
+}
+
+double WindowedHistogram::window_seconds() const {
+  return static_cast<double>(epochs_) *
+         std::chrono::duration<double>(epoch_ns_).count();
+}
+
+void WindowedHistogram::RotateTo(std::uint64_t target) const {
+  if (target <= current_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  const std::uint64_t cur = current_.load(std::memory_order_relaxed);
+  if (target <= cur) return;
+  // A jump past the whole ring recycles every slot; otherwise only the
+  // epochs actually crossed.
+  const std::uint64_t ring = static_cast<std::uint64_t>(epochs_);
+  std::uint64_t first = cur + 1;
+  if (target - cur > ring) first = target - ring + 1;
+  for (std::uint64_t e = first; e <= target; ++e) {
+    Epoch& slot = slots_[e % ring];
+    for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+    slot.id.store(e, std::memory_order_relaxed);
+  }
+  current_.store(target, std::memory_order_relaxed);
+}
+
+void WindowedHistogram::Observe(double v) {
+  cumulative_.Observe(v);
+  const std::uint64_t e = EpochNow();
+  if (e != current_.load(std::memory_order_relaxed)) RotateTo(e);
+  const std::vector<double>& bounds = cumulative_.bounds();
+  const auto i = static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+  slots_[e % static_cast<std::uint64_t>(epochs_)].buckets[i].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+MetricSnapshot WindowedHistogram::WindowSnapshot(std::string name) const {
+  const std::uint64_t now_e = EpochNow();
+  RotateTo(now_e);  // expire stale epochs even when nobody observes
+  MetricSnapshot s;
+  s.name = std::move(name);
+  s.kind = MetricSnapshot::Kind::kHistogram;
+  s.bounds = cumulative_.bounds();
+  s.buckets.assign(s.bounds.size() + 1, 0);
+  s.window_seconds = window_seconds();
+  const std::uint64_t ring = static_cast<std::uint64_t>(epochs_);
+  const std::uint64_t oldest = now_e >= ring - 1 ? now_e - (ring - 1) : 0;
+  {
+    // Hold the rotation lock so a concurrent boundary-crossing cannot
+    // clear a slot halfway through the sum.
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    for (const Epoch& slot : slots_) {
+      const std::uint64_t id = slot.id.load(std::memory_order_relaxed);
+      if (id < oldest || id > now_e) continue;
+      for (size_t b = 0; b < slot.buckets.size(); ++b) {
+        s.buckets[b] += slot.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  double sum_estimate = 0;
+  for (size_t b = 0; b < s.buckets.size(); ++b) {
+    s.count += s.buckets[b];
+    if (s.buckets[b] == 0) continue;
+    double mid;
+    if (b >= s.bounds.size()) {
+      mid = s.bounds.empty() ? 0 : s.bounds.back();
+    } else {
+      const double lo = b == 0 ? 0 : s.bounds[b - 1];
+      mid = (lo + s.bounds[b]) / 2;
+    }
+    sum_estimate += mid * static_cast<double>(s.buckets[b]);
+  }
+  s.value = sum_estimate;
+  return s;
+}
+
+std::uint64_t WindowedHistogram::WindowCount() const {
+  return WindowSnapshot().count;
+}
+
+double WindowedHistogram::WindowQuantile(double q) const {
+  return SnapshotQuantile(WindowSnapshot(), q);
+}
+
+void WindowedHistogram::AdvanceEpochsForTest(int n) {
+  bias_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+  RotateTo(EpochNow());
+}
+
+std::string WindowedName(const std::string& canonical) {
+  std::string base;
+  Labels labels;
+  ParseCanonicalName(canonical, &base, &labels);
+  return Registry::CanonicalName(base + "_window", labels);
+}
+
+}  // namespace vizndp::obs

@@ -1,0 +1,88 @@
+// Sliding-window histograms: a ring of bucketized epochs layered on top
+// of the cumulative Histogram, so dashboards and adaptive policies read
+// "the last ~10 seconds" instead of everything-since-boot (a p99 from an
+// hour ago must not drown the last minute's regression). The cumulative
+// series is kept unchanged for compatibility; the window exports as a
+// second snapshot under `<base>_window` with window_seconds set.
+//
+// Concurrency model matches Histogram: the record path is relaxed
+// atomics only (one extra epoch-id load + one bucket fetch_add on top of
+// the cumulative observe). Rotation — clearing expired epochs when the
+// clock crosses an epoch boundary — takes a mutex, but only the first
+// observer past the boundary pays it. An observation racing a rotation
+// may land in the epoch being recycled; the error is bounded by one
+// observation per rotation and the window is an estimate by design.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vizndp::obs {
+
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(std::vector<double> bounds,
+                             WindowedHistogramOptions options = {});
+
+  // Records into the cumulative histogram and the current epoch.
+  void Observe(double v);
+
+  // The since-boot series (exported under the plain metric name).
+  const Histogram& cumulative() const { return cumulative_; }
+
+  // Window span in seconds (epochs * epoch_duration).
+  double window_seconds() const;
+  const std::vector<double>& bounds() const { return cumulative_.bounds(); }
+
+  // Sliding-window snapshot: bucket counts summed over the live epochs,
+  // window_seconds set. `value` (the sum) is estimated from bucket
+  // midpoints — the per-epoch ring tracks counts only.
+  MetricSnapshot WindowSnapshot(std::string name = {}) const;
+
+  // Observations currently inside the window.
+  std::uint64_t WindowCount() const;
+
+  // q-quantile over the current window (0 while the window is empty).
+  double WindowQuantile(double q) const;
+
+  // Test clock: advances the logical epoch index by `n` without waiting
+  // for wall time. Tests pair this with a very long epoch_duration so
+  // real time never rotates underneath them.
+  void AdvanceEpochsForTest(int n);
+
+ private:
+  // One ring slot: the absolute epoch index it currently holds plus its
+  // bucket counts (bounds.size() + 1, overflow last).
+  struct Epoch {
+    std::atomic<std::uint64_t> id{0};
+    std::vector<std::atomic<std::uint64_t>> buckets;
+  };
+
+  std::uint64_t EpochNow() const;
+  // Clears every epoch in (current, target] and advances current_;
+  // no-op when target <= current. Snapshot calls it too (const path),
+  // so expired epochs age out even on an idle histogram.
+  void RotateTo(std::uint64_t target) const;
+
+  Histogram cumulative_;
+  const int epochs_;
+  const std::chrono::nanoseconds epoch_ns_;
+  const std::chrono::steady_clock::time_point origin_;
+  std::atomic<std::uint64_t> bias_{0};  // AdvanceEpochsForTest offset
+  mutable std::atomic<std::uint64_t> current_{0};
+  mutable std::mutex rotate_mu_;
+  mutable std::vector<Epoch> slots_;
+};
+
+// Canonical name of the window series for a cumulative canonical name:
+// base gains a "_window" suffix, labels stay ("ndp_select_seconds" ->
+// "ndp_select_seconds_window"; "h{a=b}" -> "h_window{a=b}").
+std::string WindowedName(const std::string& canonical);
+
+}  // namespace vizndp::obs

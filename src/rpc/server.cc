@@ -6,6 +6,7 @@
 #include "msgpack/pack.h"
 #include "msgpack/unpack.h"
 #include "obs/context.h"
+#include "obs/windowed.h"
 #include "obs/event_log.h"
 #include "obs/trace.h"
 #include "rpc/protocol.h"
@@ -87,8 +88,10 @@ void Server::Bind(const std::string& method, Handler handler) {
   const obs::Labels labels = {{"method", method}};
   bound.requests = &metrics_.GetCounter("rpc_requests_total", labels);
   bound.errors = &metrics_.GetCounter("rpc_errors_total", labels);
-  bound.latency = &metrics_.GetHistogram("rpc_dispatch_seconds",
-                                         obs::LatencyBounds(), labels);
+  // Windowed: scrapes see rpc_dispatch_seconds{method} (cumulative)
+  // plus rpc_dispatch_seconds_window{method} for the last ~10 s.
+  bound.latency = &metrics_.GetWindowedHistogram(
+      "rpc_dispatch_seconds", obs::LatencyBounds(), labels);
   VIZNDP_CHECK_MSG(handlers_.emplace(method, std::move(bound)).second,
                    "duplicate RPC method '" + method + "'");
 }

@@ -173,7 +173,7 @@ class Server {
     Handler handler;
     obs::Counter* requests = nullptr;
     obs::Counter* errors = nullptr;
-    obs::Histogram* latency = nullptr;
+    obs::WindowedHistogram* latency = nullptr;
   };
 
   std::map<std::string, Bound> handlers_;

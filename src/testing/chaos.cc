@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "bench_util/testbed.h"
+#include "cluster/fleet_scraper.h"
 #include "cluster/health_monitor.h"
 #include "cluster/sharded_client.h"
 #include "common/error.h"
@@ -49,6 +50,9 @@ constexpr AuditPair kAuditPairs[] = {
     {"scrub_quarantine_total", "scrub.quarantine"},
     {"scrub_readmit_total", "scrub.readmit"},
     {"ndp_quarantine_skip_total", "ndp.quarantine_skip"},
+    {"slo_burn_alert_total", "slo.burn_alert"},
+    {"slo_burn_clear_total", "slo.burn_clear"},
+    {"cluster_slow_node_total", "cluster.slow_node"},
 };
 
 enum class Fault {
@@ -77,6 +81,39 @@ std::uint64_t CounterValue(const std::string& name) {
   return obs::DefaultRegistry().GetCounter(name).value();
 }
 
+// Family sum across every label series: the SLO counters label by
+// objective ({slo=...}) and the slow-node counter by node, so the audit
+// must compare whole families, not the unlabeled series.
+std::uint64_t CounterFamilyValue(const std::string& family) {
+  double sum = 0;
+  std::string base;
+  obs::Labels labels;
+  for (const obs::MetricSnapshot& s : obs::DefaultRegistry().Snapshot()) {
+    if (s.kind != obs::MetricSnapshot::Kind::kCounter) continue;
+    obs::ParseCanonicalName(s.name, &base, &labels);
+    if (base == family) sum += s.value;
+  }
+  return static_cast<std::uint64_t>(sum + 0.5);
+}
+
+// Availability objective the chaos scraper runs under: one dead node of
+// three yields a 1/3 bad ratio per sweep, far above every threshold,
+// while the windows are small enough that a recovery tail of good
+// sweeps clears the alert and refills the budget within seconds.
+obs::SloObjective ChaosAvailabilityObjective() {
+  obs::SloObjective avail;
+  avail.name = "availability";
+  avail.error_counter = "fleet_scrape_failed_total";
+  avail.total_counter = "fleet_scrape_total";
+  avail.max_bad_ratio = 0.02;
+  avail.short_window_s = 0.25;
+  avail.long_window_s = 1.0;
+  avail.budget_window_s = 2.5;
+  avail.short_burn_threshold = 5;
+  avail.long_burn_threshold = 2;
+  return avail;
+}
+
 }  // namespace
 
 std::string ChaosReport::Summary() const {
@@ -88,6 +125,8 @@ std::string ChaosReport::Summary() const {
      << " rejoins=" << rejoins << " rejoined_served=" << rejoined_served
      << " rot_roundtrips=" << rot_roundtrips
      << " view_changes=" << view_changes
+     << " slo_burn_alerts=" << slo_burn_alerts
+     << " slo_burn_clears=" << slo_burn_clears << " slow_nodes=" << slow_nodes
      << " violations=" << violations.size();
   return os.str();
 }
@@ -103,7 +142,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     const std::uint64_t base_seq = journal.LastSeq();
     std::uint64_t counter_base[std::size(kAuditPairs)];
     for (size_t p = 0; p < std::size(kAuditPairs); ++p) {
-      counter_base[p] = CounterValue(kAuditPairs[p].counter);
+      counter_base[p] = CounterFamilyValue(kAuditPairs[p].counter);
     }
 
     auto violate = [&](int step, const std::string& what) {
@@ -160,6 +199,19 @@ ChaosReport RunChaos(const ChaosOptions& options) {
           [&cluster](std::shared_ptr<const cluster::FleetView> view) {
             cluster.sharded_client()->SetFleetView(std::move(view));
           });
+      // The observability plane rides along on its own per-node scrape
+      // channels (never the data path, never the probe channels). The
+      // harness drives ScrapeOnce at controlled points instead of
+      // Start(), so every SLO evaluation is schedule-deterministic.
+      std::vector<std::shared_ptr<ndp::NdpClient>> scrape_clients;
+      for (int i = 0; i < options.servers; ++i) {
+        scrape_clients.push_back(cluster.NewNodeClient(i));
+      }
+      cluster::FleetScraperOptions fleet_opts;
+      fleet_opts.seed = options.seed + static_cast<std::uint64_t>(sched);
+      fleet_opts.objectives = {ChaosAvailabilityObjective()};
+      cluster::FleetScraper scraper(std::move(scrape_clients), fleet_opts);
+
       phase("setup");
       monitor.Start();
       // Let the first sweeps record every node's identity before faults
@@ -167,6 +219,9 @@ ChaosReport RunChaos(const ChaosOptions& options) {
       // one probe gap leaves `identity == 0`, which disables the
       // silent-restart tripwire and the schedule never journals a rejoin.
       std::this_thread::sleep_for(2 * options.probe_period);
+      // Two warm sweeps: SLO deltas need a previous cumulative snapshot.
+      scraper.ScrapeOnce();
+      scraper.ScrapeOnce();
 
       std::uint64_t last_epoch = 0;
       auto check_fetch = [&](int step) {
@@ -339,6 +394,19 @@ ChaosReport RunChaos(const ChaosOptions& options) {
                        sched, step, kFaultNames[static_cast<int>(fault)], s);
         }
 
+        if (step == 0 && options.servers >= 2) {
+          // Kill -> burn: the dead node's failed scrapes are availability
+          // bad events (1/3 of each sweep), so a burst of sweeps inside
+          // the short window must page exactly once (edge-triggered).
+          for (int sweep = 0; sweep < 6; ++sweep) {
+            scraper.ScrapeOnce();
+            std::this_thread::sleep_for(std::chrono::milliseconds(40));
+          }
+          if (journal.CountSince("slo.burn_alert", base_seq) == 0) {
+            violate(step, "step-0 kill never fired slo.burn_alert");
+          }
+        }
+
         for (int f = 0; f < options.fetches_per_step; ++f) check_fetch(step);
       }
 
@@ -380,6 +448,30 @@ ChaosReport RunChaos(const ChaosOptions& options) {
       }
       if (!converged) {
         violate(options.steps, "fleet never converged back to all-live");
+      }
+
+      // Rejoin must restore the error budget: with every node serving
+      // again, good sweeps age the kill burst out of the budget window,
+      // the alert clears, and budget_remaining returns to 1.
+      {
+        const auto slo_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        bool restored = false;
+        while (!restored && std::chrono::steady_clock::now() < slo_deadline) {
+          const auto snap = scraper.ScrapeOnce();
+          restored = !snap->slo.empty() && !snap->slo[0].alerting &&
+                     snap->slo[0].budget_remaining >= 0.999;
+          if (!restored) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          }
+        }
+        if (!restored) {
+          violate(options.steps, "slo budget never restored after rejoin");
+        }
+        if (journal.CountSince("slo.burn_alert", base_seq) > 0 &&
+            journal.CountSince("slo.burn_clear", base_seq) == 0) {
+          violate(options.steps, "slo alert never cleared after rejoin");
+        }
       }
 
       // Bit-rot round trip: plant rot at rest in a brick every fetch
@@ -491,7 +583,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     // lockstep with its journal event...
     for (size_t p = 0; p < std::size(kAuditPairs); ++p) {
       const std::uint64_t delta =
-          CounterValue(kAuditPairs[p].counter) - counter_base[p];
+          CounterFamilyValue(kAuditPairs[p].counter) - counter_base[p];
       const size_t events = journal.CountSince(kAuditPairs[p].event, base_seq);
       if (delta != events) {
         violate(-1, std::string("audit: ") + kAuditPairs[p].counter + "=" +
@@ -509,6 +601,9 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     }
     report.view_changes += view_events;
     report.rejoins += journal.CountSince("cluster.rejoin", base_seq);
+    report.slo_burn_alerts += journal.CountSince("slo.burn_alert", base_seq);
+    report.slo_burn_clears += journal.CountSince("slo.burn_clear", base_seq);
+    report.slow_nodes += journal.CountSince("cluster.slow_node", base_seq);
     // ...and no hedge loser outlived its client.
     const double parked =
         obs::DefaultRegistry().GetGauge("cluster_hedge_parked").value();

@@ -17,7 +17,12 @@
 //   6. a full bit-rot round trip per schedule: rot planted at rest is
 //      quarantined by every node's scrubber, a clean re-Put serves
 //      through the quarantine-skip path bit-identically, and the next
-//      scrub pass re-admits the brick on every node.
+//      scrub pass re-admits the brick on every node;
+//   7. the observability plane closes the loop: a FleetScraper on its
+//      own per-node channels sweeps through the step-0 kill, whose
+//      failed scrapes must burn the availability SLO (slo.burn_alert
+//      fires), and after the recovery tail good sweeps must age the
+//      burst out of the budget window (alert clears, budget restored).
 //
 // Determinism: every schedule decision comes from FuzzRng(seed, index),
 // so `vizndp_tool chaos --seed S` replays the same fault sequence — a
@@ -71,6 +76,10 @@ struct ChaosReport {
   std::uint64_t rejoined_served = 0;  // restarted nodes serving again
   std::uint64_t rot_roundtrips = 0;   // quarantine->repair->readmit cycles
   std::uint64_t view_changes = 0;
+  // Observability-plane events journaled (audited 1:1 with counters).
+  std::uint64_t slo_burn_alerts = 0;
+  std::uint64_t slo_burn_clears = 0;
+  std::uint64_t slow_nodes = 0;
   // Invariant violations; empty = the run passed.
   std::vector<std::string> violations;
 

@@ -14,6 +14,7 @@
 #include "cluster/sharded_client.h"
 #include "io/vnd_format.h"
 #include "net/fault.h"
+#include "obs/windowed.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "sim/impact.h"
@@ -415,7 +416,9 @@ TEST(Cluster, PerShardCountersAdvance) {
   // 64 bricks over 3 shards: every shard holds a slice.
   EXPECT_EQ(advanced, 3u);
   EXPECT_GE(obs::DefaultRegistry()
-                .GetHistogram("cluster_subfetch_seconds", obs::LatencyBounds())
+                .GetWindowedHistogram("cluster_subfetch_seconds",
+                                      obs::LatencyBounds())
+                .cumulative()
                 .count(),
             3u);
 }

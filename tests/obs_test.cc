@@ -10,12 +10,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <limits>
+
 #include "common/error.h"
 #include "obs/context.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_merge.h"
+#include "obs/windowed.h"
 
 namespace vizndp::obs {
 namespace {
@@ -599,6 +604,187 @@ TEST(Trace, RingBufferKeepsNewestEvents) {
   // Oldest three were overwritten; survivors come back oldest-first.
   EXPECT_EQ(events[0].name, "e3");
   EXPECT_EQ(events[3].name, "e6");
+}
+
+// Long epochs so wall time never rotates underneath a test; rotation is
+// driven explicitly with AdvanceEpochsForTest.
+WindowedHistogramOptions FrozenClock(int epochs = 4) {
+  WindowedHistogramOptions options;
+  options.epochs = epochs;
+  options.epoch_duration = std::chrono::milliseconds(3600 * 1000);
+  return options;
+}
+
+TEST(Windowed, ObservationsLandInCumulativeAndWindow) {
+  WindowedHistogram wh({1.0, 2.0, 4.0}, FrozenClock());
+  wh.Observe(0.5);
+  wh.Observe(3.0);
+  EXPECT_EQ(wh.cumulative().count(), 2u);
+  EXPECT_EQ(wh.WindowCount(), 2u);
+  const MetricSnapshot snap = wh.WindowSnapshot("h_window");
+  EXPECT_EQ(snap.name, "h_window");
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_GT(snap.window_seconds, 0.0);
+}
+
+TEST(Windowed, RotationExpiresOldEpochsButNotCumulative) {
+  WindowedHistogram wh({1.0, 2.0, 4.0}, FrozenClock(4));
+  wh.Observe(0.5);
+  wh.Observe(0.5);
+  EXPECT_EQ(wh.WindowCount(), 2u);
+  // Advance past the whole ring: every observation ages out of the
+  // window; the cumulative series never forgets.
+  wh.AdvanceEpochsForTest(5);
+  EXPECT_EQ(wh.WindowCount(), 0u);
+  EXPECT_EQ(wh.cumulative().count(), 2u);
+}
+
+TEST(Windowed, WindowQuantileSeesOnlyRecentEpochs) {
+  WindowedHistogram wh(ExponentialBounds(0.001, 2.0, 14), FrozenClock(4));
+  // An old regime of slow observations...
+  for (int i = 0; i < 100; ++i) wh.Observe(1.0);
+  wh.AdvanceEpochsForTest(5);  // ...ages out completely...
+  for (int i = 0; i < 100; ++i) wh.Observe(0.002);
+  // ...so the window quantile reflects the new regime while the
+  // cumulative quantile still averages both.
+  EXPECT_LT(wh.WindowQuantile(0.99), 0.01);
+  EXPECT_GT(HistogramQuantile(wh.cumulative(), 0.99), 0.5);
+}
+
+TEST(Windowed, PartialExpiryKeepsRecentEpochs) {
+  WindowedHistogram wh({1.0, 2.0}, FrozenClock(4));
+  wh.Observe(0.5);              // epoch E
+  wh.AdvanceEpochsForTest(2);   // E+2: still inside the 4-epoch ring
+  wh.Observe(0.5);
+  EXPECT_EQ(wh.WindowCount(), 2u);
+  wh.AdvanceEpochsForTest(2);   // E+4: first observation expires
+  EXPECT_EQ(wh.WindowCount(), 1u);
+}
+
+TEST(Windowed, NameGainsWindowSuffixBeforeLabels) {
+  EXPECT_EQ(WindowedName("ndp_select_seconds"), "ndp_select_seconds_window");
+  EXPECT_EQ(WindowedName("h{a=b,c=d}"), "h_window{a=b,c=d}");
+}
+
+TEST(Windowed, ConcurrentObserveAndSnapshotIsExact) {
+  // tsan exercise: observers race the rotating snapshot reader. The
+  // cumulative count must be exact; the window is bounded by the total.
+  WindowedHistogram wh(ExponentialBounds(1e-6, 4.0, 8), FrozenClock(8));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wh] {
+      for (int i = 0; i < kPerThread; ++i) wh.Observe(1e-4);
+    });
+  }
+  std::atomic<bool> done{false};
+  std::thread reader([&wh, &done] {
+    while (!done.load()) {
+      (void)wh.WindowSnapshot();
+      (void)wh.WindowQuantile(0.95);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(wh.cumulative().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(wh.WindowCount(), wh.cumulative().count());
+}
+
+TEST(Windowed, RegistryExportsCumulativeAndWindowSeries) {
+  Registry registry;
+  WindowedHistogram& wh = registry.GetWindowedHistogram(
+      "lat_seconds", {1.0, 2.0}, {{"m", "x"}}, FrozenClock());
+  wh.Observe(0.5);
+  const auto snap = registry.Snapshot();
+  const MetricSnapshot* cumulative = FindMetric(snap, "lat_seconds{m=x}");
+  const MetricSnapshot* window = FindMetric(snap, "lat_seconds_window{m=x}");
+  ASSERT_NE(cumulative, nullptr);
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(cumulative->count, 1u);
+  EXPECT_EQ(cumulative->window_seconds, 0.0);
+  EXPECT_EQ(window->count, 1u);
+  EXPECT_GT(window->window_seconds, 0.0);
+  // Find-or-create returns the same ring.
+  EXPECT_EQ(&registry.GetWindowedHistogram("lat_seconds", {1.0, 2.0},
+                                           {{"m", "x"}}),
+            &wh);
+}
+
+TEST(Metrics, SnapshotQuantileEdgeCasesArePinned) {
+  MetricSnapshot h;
+  h.kind = MetricSnapshot::Kind::kHistogram;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.buckets = {2, 0, 2, 0};
+  h.count = 4;
+  // q clamps: negative, >1, and NaN all behave.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(h, -3.0), SnapshotQuantile(h, 0.0));
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(h, 7.0), SnapshotQuantile(h, 1.0));
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(h, std::nan("")),
+                   SnapshotQuantile(h, 0.0));
+  // q=0 -> lower edge of first occupied bucket; q=1 -> upper edge of
+  // the last occupied one.
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(h, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(h, 1.0), 4.0);
+  // Empty and non-histogram snapshots return 0.
+  MetricSnapshot empty = h;
+  empty.buckets = {0, 0, 0, 0};
+  empty.count = 0;
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(empty, 0.5), 0.0);
+  MetricSnapshot counter;
+  counter.kind = MetricSnapshot::Kind::kCounter;
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(counter, 0.5), 0.0);
+  // Overflow mass reports the last finite bound (known-low estimate).
+  MetricSnapshot overflow = h;
+  overflow.buckets = {0, 0, 0, 10};
+  overflow.count = 10;
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(overflow, 0.5), 4.0);
+  // A hand-merged snapshot whose `count` disagrees with its buckets
+  // ranks against the actual bucket mass, not the stale count.
+  MetricSnapshot merged = h;
+  merged.count = 400;  // lies
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(merged, 1.0), 4.0);
+  // No finite bounds at all: only an overflow bucket.
+  MetricSnapshot unbounded;
+  unbounded.kind = MetricSnapshot::Kind::kHistogram;
+  unbounded.buckets = {5};
+  unbounded.count = 5;
+  EXPECT_DOUBLE_EQ(SnapshotQuantile(unbounded, 0.5), 0.0);
+}
+
+TEST(Metrics, PromEmitsOneTypePerFamilyDespiteWindowInterleave) {
+  // Sorted canonical order interleaves "foo_window{...}" between "foo"
+  // and "foo{...}" ('_' < '{'), which a consecutive-dedup TYPE emitter
+  // would double-emit. One # TYPE per family, exactly.
+  Registry registry;
+  registry.GetWindowedHistogram("foo", {1.0}, {}, FrozenClock()).Observe(0.5);
+  registry.GetWindowedHistogram("foo", {1.0}, {{"m", "x"}}, FrozenClock())
+      .Observe(0.5);
+  const std::string prom = SnapshotToProm(registry.Snapshot());
+  auto count_of = [&prom](const std::string& needle) {
+    size_t n = 0;
+    for (size_t at = prom.find(needle); at != std::string::npos;
+         at = prom.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("# TYPE foo histogram"), 1u);
+  EXPECT_EQ(count_of("# TYPE foo_window histogram"), 1u);
+}
+
+TEST(Metrics, StampSnapshotAppendsProcessClocks) {
+  std::vector<MetricSnapshot> snap;
+  StampSnapshot(snap);
+  const MetricSnapshot* wall = FindMetric(snap, "process_wall_time_seconds");
+  const MetricSnapshot* up = FindMetric(snap, "process_uptime_seconds");
+  ASSERT_NE(wall, nullptr);
+  ASSERT_NE(up, nullptr);
+  EXPECT_GT(wall->value, 1e9);  // seconds since the Unix epoch
+  EXPECT_GE(up->value, 0.0);
+  const double up1 = ProcessUptimeSeconds();
+  const double up2 = ProcessUptimeSeconds();
+  EXPECT_GE(up2, up1);  // monotonic
 }
 
 TEST(Trace, ConcurrentSpansAllRecorded) {

@@ -89,6 +89,75 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ./build-tsan/tests/chaos_test
   ./build-tsan/tools/vizndp_tool chaos --seed 7 --schedules 3
 
+  stage "obs-fleet: windowed quantiles + merge algebra + SLO burn under asan/tsan"
+  # The fleet observability plane: merge-algebra property tests, SLO
+  # burn-rate edges, and the FleetScraper over a live cluster testbed —
+  # under asan (buffer-heavy snapshot merging) and tsan (the windowed
+  # histogram's record path races its rotation by design).
+  cmake --build build-asan -j"$(nproc)" --target fleet_test
+  ./build-asan/tests/fleet_test
+  cmake --build build-tsan -j"$(nproc)" --target obs_test fleet_test
+  ./build-tsan/tests/obs_test
+  ./build-tsan/tests/fleet_test
+  # One seeded chaos schedule closes the SLO loop: the step-0 kill must
+  # burn the availability SLO (slo.burn_alert, audited 1:1 with its
+  # counter) and the recovery tail must clear the alert and restore the
+  # error budget — RunChaos reports any miss as a violation.
+  ./build-tsan/tools/vizndp_tool chaos --seed 9021 --schedules 1
+  # Window record-path guard: the sliding-window layer must stay under
+  # 2% of a fetch (tier-1 build — this measures time, not races). The
+  # bench prints [warn] when over budget; that fails the stage.
+  WIN_LOG="$(mktemp)"
+  VIZNDP_BENCH_N=64 VIZNDP_BENCH_REPS=4 ./build/bench/abl_window_overhead \
+    2> "$WIN_LOG"
+  cat "$WIN_LOG" >&2
+  ! grep -q '\[warn\]' "$WIN_LOG"
+  rm -f "$WIN_LOG"
+
+  stage "tsan e2e: fleet top dashboard over TCP"
+  # Real two-node fleet: generate, serve on OS-assigned ports, push one
+  # fetch of traffic through, then scrape both nodes with `top --once`.
+  # The JSON must carry both nodes reachable with per-node and
+  # fleet-merged windowed quantiles plus SLO status; the prom form must
+  # label per-node series.
+  E2E_DIR="$(mktemp -d)"
+  trap 'kill "${T0_PID:-}" "${T1_PID:-}" 2> /dev/null || true; \
+       rm -rf "$E2E_DIR"' EXIT
+  mkdir -p "$E2E_DIR/data"
+  ./build-tsan/tools/vizndp_tool gen --kind impact --n 32 --bricks 8 \
+    --out "$E2E_DIR/data/ts.vnd"
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port 0 \
+    > "$E2E_DIR/t0.log" & T0_PID=$!
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port 0 \
+    > "$E2E_DIR/t1.log" & T1_PID=$!
+  for i in 0 1; do
+    for _ in $(seq 1 50); do
+      grep -q '^port:' "$E2E_DIR/t$i.log" && break
+      sleep 0.2
+    done
+  done
+  Q0="$(awk '/^port:/{print $2}' "$E2E_DIR/t0.log")"
+  Q1="$(awk '/^port:/{print $2}' "$E2E_DIR/t1.log")"
+  ./build-tsan/tools/vizndp_tool fetch \
+    --connect "127.0.0.1:$Q0" --connect "127.0.0.1:$Q1" --replicas 1 \
+    --key ts.vnd --array v02 --iso 0.5 --timeout-ms 10000 > /dev/null
+  ./build-tsan/tools/vizndp_tool top \
+    --connect "127.0.0.1:$Q0" --connect "127.0.0.1:$Q1" \
+    --once --format json > "$E2E_DIR/top.json"
+  grep -q '"reachable":2' "$E2E_DIR/top.json"
+  grep -q '"per_node"' "$E2E_DIR/top.json"
+  grep -q '"fleet_window"' "$E2E_DIR/top.json"
+  grep -q '"slo"' "$E2E_DIR/top.json"
+  ./build-tsan/tools/vizndp_tool top \
+    --connect "127.0.0.1:$Q0" --connect "127.0.0.1:$Q1" \
+    --once --format prom > "$E2E_DIR/top.prom"
+  grep -q 'node="1"' "$E2E_DIR/top.prom"
+  grep -q 'fleet_scrape_total' "$E2E_DIR/top.prom"
+  kill "$T0_PID" "$T1_PID" 2> /dev/null || true
+  wait "$T0_PID" "$T1_PID" 2> /dev/null || true
+  rm -rf "$E2E_DIR"
+  trap - EXIT
+
   stage "tsan e2e: fetch --trace-merged over TCP with faults"
   # Real two-process run of the distributed-tracing path: a TCP storage
   # node, a lossy client connection, and a merged-timeline export. The

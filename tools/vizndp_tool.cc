@@ -12,6 +12,9 @@
 //   vizndp_tool fetch   --host H --port P --key K --array NAME --iso V[,V...]
 //                       [--obj FILE] [--trace-merged FILE]  (client node)
 //   vizndp_tool metrics --host H --port P [--json|--format F]
+//                       [--connect HOST:PORT]...  (fleet: merged view)
+//   vizndp_tool top     [--connect HOST:PORT]... [--once]
+//                       [--interval-ms N] [--format text|json|prom]
 //   vizndp_tool health  --host H --port P            (liveness snapshot)
 //   vizndp_tool fuzz    [--target NAME|all] [--seed S] [--iters N]
 //
@@ -51,7 +54,9 @@
 #include "obs/trace.h"
 
 #include "bench_util/table.h"
+#include "cluster/fleet_scraper.h"
 #include "cluster/sharded_client.h"
+#include "obs/merge.h"
 #include "contour/contour_filter.h"
 #include "obs/event_log.h"
 #include "contour/select.h"
@@ -101,6 +106,11 @@ namespace {
                "          [--connect HOST:PORT]... [--replicas R] [--hedge-ms X]\n"
                "          [--shard-fault I:SPEC]...\n"
                "  metrics --host H --port P [--json | --format text|json|prom]\n"
+               "          [--connect HOST:PORT]...  (fleet-merged scrape)\n"
+               "  top     [--connect HOST:PORT]... [--once] [--interval-ms N]\n"
+               "          [--format text|json|prom] [--timeout-ms N]\n"
+               "          [--slo-p99-ms X] [--slo-error-ratio R]\n"
+               "          [--slo-window-s S]\n"
                "  health  --host H --port P\n"
                "  fuzz    [--target NAME|all] [--seed S] [--iters N]\n"
                "  chaos   [--seed S] [--schedules N] [--steps N] [--fetches N]\n"
@@ -158,6 +168,20 @@ namespace {
                "                   quantile), omit to disable hedging\n"
                "  --shard-fault I:SPEC  inject --fault-style faults into server\n"
                "                   I's connection only (testing)\n"
+               "\n"
+               "top (live fleet dashboard over ndp.metrics + ndp.health):\n"
+               "  --connect H:P    one node per flag (or --host/--port for a\n"
+               "                   single server); sweeps every node each frame\n"
+               "  --once           one sweep, print, exit (for scripts/CI)\n"
+               "  --interval-ms N  frame interval in live mode (default 1000)\n"
+               "  --format F       text = dashboard table (cleared + redrawn),\n"
+               "                   json = one machine-readable snapshot/frame,\n"
+               "                   prom = merged exposition, per-node series\n"
+               "                   labeled node=\"i\"\n"
+               "  --slo-p99-ms X   pre-filter latency objective (default 250)\n"
+               "  --slo-error-ratio R  availability objective (default 0.02)\n"
+               "  --slo-window-s S     short burn window; long = 5x, budget =\n"
+               "                   60x (default 30)\n"
                "\n"
                "global options:\n"
                "  --trace FILE    record spans, write Chrome-tracing JSON\n"
@@ -618,18 +642,139 @@ int CmdFetch(const Args& args) {
   return 0;
 }
 
+// Endpoints for the observability commands: repeatable --connect H:P,
+// falling back to the classic --host/--port single server.
+std::vector<std::pair<std::string, std::uint16_t>> ScrapeEndpoints(
+    const Args& args) {
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+  for (const std::string& spec : args.GetAll("connect")) {
+    endpoints.push_back(ParseEndpoint(spec));
+  }
+  if (endpoints.empty()) {
+    endpoints.emplace_back(
+        args.Get("host").value_or("127.0.0.1"),
+        static_cast<std::uint16_t>(args.GetLong("port", 47801)));
+  }
+  return endpoints;
+}
+
+// One dedicated reconnecting client per endpoint — a dead node fails
+// fast (connect timeout) instead of hanging the sweep, and a restarted
+// one becomes scrapeable again without rebuilding the client.
+std::vector<std::shared_ptr<ndp::NdpClient>> ScrapeClients(
+    const std::vector<std::pair<std::string, std::uint16_t>>& endpoints,
+    long timeout_ms) {
+  ndp::NdpClientOptions options;
+  options.call_timeout = std::chrono::milliseconds(timeout_ms);
+  options.connect_timeout = options.call_timeout;
+  net::TcpOptions tcp_options;
+  tcp_options.connect_timeout = options.connect_timeout;
+  std::vector<std::shared_ptr<ndp::NdpClient>> clients;
+  for (const auto& [host, port] : endpoints) {
+    auto dial = [host, port, tcp_options] {
+      return net::TcpConnect(host, port, tcp_options);
+    };
+    clients.push_back(std::make_shared<ndp::NdpClient>(
+        std::make_shared<rpc::Client>(
+            std::make_unique<net::ReconnectingTransport>(dial)),
+        "data", options));
+  }
+  return clients;
+}
+
 int CmdMetrics(const Args& args) {
-  const std::string host = args.Get("host").value_or("127.0.0.1");
-  const auto port = static_cast<std::uint16_t>(args.GetLong("port", 47801));
-  ndp::NdpClient client(
-      std::make_shared<rpc::Client>(net::TcpConnect(host, port)), "data");
   // --format asks the storage node to render server-side (text, json, or
   // prom — Prometheus exposition for a scrape endpoint); --json is the
   // older spelling of --format json.
   const std::string format =
       args.Get("format").value_or(args.Has("json") ? "json" : "text");
-  std::cout << client.ScrapeMetricsFormatted(format);
+  const auto endpoints = ScrapeEndpoints(args);
+  if (endpoints.size() == 1) {
+    ndp::NdpClient client(
+        std::make_shared<rpc::Client>(
+            net::TcpConnect(endpoints[0].first, endpoints[0].second)),
+        "data");
+    std::cout << client.ScrapeMetricsFormatted(format);
+    if (format == "json") std::cout << "\n";
+    return 0;
+  }
+  // Several --connect endpoints: scrape them all. text/json render the
+  // fleet-merged view; prom keeps per-node series distinguishable with a
+  // node="<i>" label (the exposition a Prometheus scraper would want).
+  const auto clients =
+      ScrapeClients(endpoints, args.GetLong("timeout-ms", 2000));
+  std::vector<std::vector<obs::MetricSnapshot>> sources;
+  std::vector<obs::MetricSnapshot> labeled;
+  for (size_t i = 0; i < clients.size(); ++i) {
+    std::vector<obs::MetricSnapshot> snap = clients[i]->ScrapeMetrics();
+    if (format == "prom") {
+      std::vector<obs::MetricSnapshot> with_node =
+          obs::WithLabel(std::move(snap), "node", std::to_string(i));
+      labeled.insert(labeled.end(),
+                     std::make_move_iterator(with_node.begin()),
+                     std::make_move_iterator(with_node.end()));
+    } else {
+      sources.push_back(std::move(snap));
+    }
+  }
+  if (format == "prom") {
+    std::cout << obs::SnapshotToProm(labeled);
+    return 0;
+  }
+  obs::MergeOptions merge_options;
+  merge_options.gauge_policy = obs::DefaultFleetGaugePolicy;
+  std::cout << obs::FormatSnapshot(obs::MergeSnapshots(sources, merge_options),
+                                   format);
   if (format == "json") std::cout << "\n";
+  return 0;
+}
+
+volatile std::sig_atomic_t g_top_interrupted = 0;
+
+int CmdTop(const Args& args) {
+  const auto endpoints = ScrapeEndpoints(args);
+  const auto clients =
+      ScrapeClients(endpoints, args.GetLong("timeout-ms", 2000));
+  cluster::FleetScraperOptions fleet_opts;
+  fleet_opts.period =
+      std::chrono::milliseconds(args.GetLong("interval-ms", 1000));
+  fleet_opts.objectives = cluster::DefaultFleetObjectives(
+      std::atof(args.Get("slo-p99-ms").value_or("250").c_str()),
+      std::atof(args.Get("slo-error-ratio").value_or("0.02").c_str()),
+      std::atof(args.Get("slo-window-s").value_or("30").c_str()));
+  cluster::FleetScraper scraper(clients, fleet_opts);
+  const std::string format = args.Get("format").value_or("text");
+  if (format != "text" && format != "json" && format != "prom") {
+    Usage("top --format must be text, json, or prom");
+  }
+  auto render = [&](const cluster::FleetScraper::FleetSnapshot& snap) {
+    if (format == "json") {
+      std::cout << cluster::FleetSnapshotJson(snap) << "\n";
+    } else if (format == "prom") {
+      std::cout << cluster::FleetSnapshotProm(snap);
+    } else {
+      std::cout << cluster::FleetSnapshotText(snap);
+    }
+    std::cout.flush();
+  };
+  if (args.Has("once")) {
+    render(*scraper.ScrapeOnce());
+    return 0;
+  }
+  // Live dashboard: sweep on the interval, clear + redraw between
+  // frames (text only — json/prom stream one block per sweep).
+  std::signal(SIGINT, [](int) { g_top_interrupted = 1; });
+  std::signal(SIGTERM, [](int) { g_top_interrupted = 1; });
+  while (g_top_interrupted == 0) {
+    const auto snap = scraper.ScrapeOnce();
+    if (format == "text") std::fputs("\033[H\033[2J", stdout);
+    render(*snap);
+    const auto wake = std::chrono::steady_clock::now() + fleet_opts.period;
+    while (g_top_interrupted == 0 &&
+           std::chrono::steady_clock::now() < wake) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
   return 0;
 }
 
@@ -718,6 +863,7 @@ std::set<std::string> BoolFlags(const std::string& command) {
   if (command == "metrics") return {"json"};
   if (command == "fetch") return {"fallback"};
   if (command == "chaos") return {"verbose"};
+  if (command == "top") return {"once"};
   return {};
 }
 
@@ -738,6 +884,7 @@ int main(int argc, char** argv) {
     else if (command == "serve") rc = CmdServe(args);
     else if (command == "fetch") rc = CmdFetch(args);
     else if (command == "metrics") rc = CmdMetrics(args);
+    else if (command == "top") rc = CmdTop(args);
     else if (command == "health") rc = CmdHealth(args);
     else if (command == "fuzz") rc = CmdFuzz(args);
     else if (command == "chaos") rc = CmdChaos(args);
