@@ -159,6 +159,13 @@ std::vector<int> ShardedNdpClient::LiveChain(
   return live;
 }
 
+void ShardedNdpClient::SetStream(const ndp::StreamOptions& options) {
+  stream_ = options;
+  for (const std::shared_ptr<ndp::NdpClient>& s : servers_) {
+    s->SetStream(options);
+  }
+}
+
 void ShardedNdpClient::SetHedgeHint(double seconds) {
   hedge_hint_seconds_.store(seconds, std::memory_order_relaxed);
   hedge_hint_at_us_.store(
@@ -409,6 +416,209 @@ ndp::PartialFetch ShardedNdpClient::SubFetch(
   return result;
 }
 
+ShardedNdpClient::ShardStream ShardedNdpClient::SubFetchStreaming(
+    int shard, const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues,
+    const std::vector<std::int64_t>& bricks,
+    const std::vector<bool>& eligible, StreamMerge& merge) {
+  const std::vector<int> chain =
+      LiveChain(shard, eligible.empty() ? nullptr : &eligible);
+  obs::Registry& reg = obs::DefaultRegistry();
+  reg.GetCounter("cluster_subfetch_total", {{"shard", ShardTag(shard)}})
+      .Increment();
+  obs::Span span("cluster.shard" + ShardTag(shard));
+
+  ShardStream out;
+  const auto deliver = [&](const ndp::DecodedSelection& sel) {
+    std::lock_guard lk(merge.mu);
+    if (!merge.field.has_value()) {
+      merge.dims = out.acc.header.dims;
+      merge.geometry.origin = {out.acc.header.origin[0],
+                               out.acc.header.origin[1],
+                               out.acc.header.origin[2]};
+      merge.geometry.spacing = {out.acc.header.spacing[0],
+                                out.acc.header.spacing[1],
+                                out.acc.header.spacing[2]};
+      merge.field.emplace(merge.dims, out.acc.header.dtype);
+    } else if (merge.dims.nx != out.acc.header.dims.nx ||
+               merge.dims.ny != out.acc.header.dims.ny ||
+               merge.dims.nz != out.acc.header.dims.nz) {
+      throw Error("shards disagree on dataset shape — mixed replicas?");
+    }
+    merge.field->Scatter(sel.ids, sel.values);
+  };
+
+  std::exception_ptr last;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const int sv = chain[i];
+    if (i > 0) {
+      reg.GetCounter("cluster_failover_total").Increment();
+      obs::GlobalEventLog().Append(
+          "cluster.failover",
+          "shard=" + ShardTag(shard) + " server=" + std::to_string(sv));
+      if (out.acc.got_header) {
+        // The hop continues a started stream from its cursor — a
+        // mid-stream resume on a different data copy, the recovery rung
+        // the per-node resume budget cannot provide.
+        reg.GetCounter("ndp_stream_resume_total").Increment();
+        obs::GlobalEventLog().Append(
+            "ndp.stream_resume",
+            "key=" + key + " cursor=" + std::to_string(out.acc.cursor) +
+                " server=" + std::to_string(sv));
+      }
+    }
+    try {
+      out.terminal = servers_[static_cast<size_t>(sv)]->StreamSelect(
+          key, array, isovalues, &bricks, out.acc, deliver);
+      span.End();
+      subfetch_seconds_.Observe(span.ElapsedSeconds());
+      return out;
+    } catch (const BusyError&) {
+      MarkSuspect(sv, true);
+      last = std::current_exception();
+    } catch (const RpcError&) {
+      throw;  // application error: identical on every replica
+    } catch (const Error&) {
+      last = std::current_exception();
+    }
+  }
+  std::rethrow_exception(last);
+}
+
+contour::SparseField ShardedNdpClient::FetchSparseFieldStreaming(
+    const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
+    ndp::NdpLoadStats* stats,
+    const ndp::NdpClient::FileInfo::Array& meta) {
+  obs::Span total_span("cluster.fetch");
+  Reap(/*wait=*/false);
+  const std::vector<bool> eligible = Eligibility(fleet_view());
+
+  std::vector<std::pair<int, std::vector<std::int64_t>>> plan;
+  std::vector<std::vector<std::int64_t>> slices =
+      map_.Partition(key, meta.brick_count, &eligible);
+  for (int s = 0; s < static_cast<int>(slices.size()); ++s) {
+    if (!slices[static_cast<size_t>(s)].empty()) {
+      plan.emplace_back(s, std::move(slices[static_cast<size_t>(s)]));
+    }
+  }
+
+  StreamMerge merge;
+  const obs::TraceContext parent_ctx = obs::CurrentTraceContext();
+  std::vector<std::future<ShardStream>> futures;
+  futures.reserve(plan.size());
+  for (const auto& [shard, bricks] : plan) {
+    futures.push_back(std::async(
+        std::launch::async,
+        [this, shard = shard, &key, &array, &isovalues, &bricks, parent_ctx,
+         &eligible, &merge]() {
+          std::optional<obs::ScopedTraceContext> scope;
+          if (parent_ctx.valid()) scope.emplace(parent_ctx);
+          return SubFetchStreaming(shard, key, array, isovalues, bricks,
+                                   eligible, merge);
+        }));
+  }
+
+  std::vector<ShardStream> results;
+  results.reserve(plan.size());
+  std::exception_ptr shard_failure;
+  for (std::future<ShardStream>& f : futures) {
+    try {
+      results.push_back(f.get());
+    } catch (const BusyError&) {
+      shard_failure = std::current_exception();
+    } catch (const RpcError&) {
+      throw;  // application error: identical on every replica
+    } catch (const Error&) {
+      shard_failure = std::current_exception();
+    }
+  }
+
+  if (shard_failure != nullptr) {
+    // Rung 3, as in the monolithic path: a shard exhausted its chain,
+    // so trade bandwidth for availability with an unrestricted rescue
+    // fetch. The whole-dataset selection re-covers bricks the streams
+    // already scattered; the duplicate-invariant Scatter absorbs that.
+    obs::DefaultRegistry().GetCounter("cluster_unrestricted_fallback_total")
+        .Increment();
+    obs::GlobalEventLog().Append("cluster.unrestricted_fallback",
+                                 "key=" + key);
+    bool rescued = false;
+    std::vector<int> rescue_order;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int sv = 0; sv < server_count(); ++sv) {
+        if (eligible[static_cast<size_t>(sv)] == (pass == 0)) {
+          rescue_order.push_back(sv);
+        }
+      }
+    }
+    for (const int sv : rescue_order) {
+      if (rescued) break;
+      try {
+        obs::Span rescue_span("cluster.rescue");
+        ndp::PartialFetch whole =
+            servers_[static_cast<size_t>(sv)]->FetchPartial(key, array,
+                                                            isovalues,
+                                                            nullptr);
+        std::lock_guard lk(merge.mu);
+        if (!merge.field.has_value()) {
+          merge.dims = whole.dims;
+          merge.geometry = whole.geometry;
+          merge.field.emplace(whole.dims, whole.dtype);
+        }
+        merge.field->Scatter(whole.selection.ids, whole.selection.values);
+        rescued = true;
+      } catch (const Error& e) {
+        obs::GlobalEventLog().Append(
+            "cluster.rescue_failed",
+            "server=" + std::to_string(sv) + " error=" + e.what());
+      }
+    }
+    if (!rescued) std::rethrow_exception(shard_failure);
+  }
+
+  VIZNDP_CHECK_MSG(merge.field.has_value(),
+                   "sharded streaming fetch produced no field");
+  if (geometry != nullptr) *geometry = merge.geometry;
+
+  if (stats != nullptr) {
+    *stats = ndp::NdpLoadStats{};
+    stats->trace_id = obs::CurrentTraceContext().trace_id;
+    stats->streamed = true;
+    for (const ShardStream& r : results) {
+      stats->stream_chunks += r.acc.chunks;
+      stats->stream_resumes += r.acc.resumes;
+      stats->stream_cancelled = stats->stream_cancelled || r.acc.cancelled;
+      stats->payload_bytes += r.acc.payload_bytes;
+      stats->reply_bytes += r.acc.payload_bytes + 256 * (r.acc.chunks + 2);
+      stats->bricks_total =
+          std::max(stats->bricks_total, r.acc.header.bricks_total);
+      stats->total_points =
+          std::max(stats->total_points,
+                   static_cast<std::uint64_t>(r.acc.header.total_points));
+      stats->client_decode_s += r.acc.decode_s;
+      stats->client_scatter_s += r.acc.scatter_s;
+      if (r.terminal.Is<msgpack::Map>()) {
+        stats->stored_bytes += r.terminal.At("stored_bytes").AsUint();
+        stats->raw_bytes = std::max(stats->raw_bytes,
+                                    r.terminal.At("raw_bytes").AsUint());
+        stats->bricks_read += r.terminal.At("bricks_read").AsInt();
+        // Parallel shards: the fleet's phase time is the slowest shard.
+        stats->server_read_s = std::max(stats->server_read_s,
+                                        r.terminal.At("read_s").AsDouble());
+        stats->server_select_s =
+            std::max(stats->server_select_s,
+                     r.terminal.At("select_s").AsDouble());
+      }
+    }
+    stats->selected_points =
+        static_cast<std::uint64_t>(merge.field->ValidCount());
+    total_span.End();
+    stats->client_s = total_span.ElapsedSeconds();
+  }
+  return std::move(*merge.field);
+}
+
 contour::SparseField ShardedNdpClient::FetchSparseField(
     const std::string& key, const std::string& array,
     const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
@@ -416,6 +626,17 @@ contour::SparseField ShardedNdpClient::FetchSparseField(
   std::optional<obs::ScopedTraceContext> root;
   if (obs::GlobalTracer().enabled() && !obs::CurrentTraceContext().valid()) {
     root.emplace(obs::TraceContext::Mint(/*sampled=*/true));
+  }
+  if (stream_.chunk_bricks > 0) {
+    // Streaming needs a brick-id cursor space; unbricked (or unknown)
+    // arrays fall through to the monolithic path below, which routes
+    // them whole to their rendezvous owner.
+    const ndp::NdpClient::FileInfo sinfo = Info(key);
+    const ndp::NdpClient::FileInfo::Array* smeta = sinfo.Find(array);
+    if (smeta != nullptr && smeta->brick_count > 0) {
+      return FetchSparseFieldStreaming(key, array, isovalues, geometry,
+                                       stats, *smeta);
+    }
   }
   obs::Span total_span("cluster.fetch");
   Reap(/*wait=*/false);

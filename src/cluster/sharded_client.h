@@ -75,6 +75,18 @@ class ShardedNdpClient : public ndp::NdpFetcher {
       const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
       ndp::NdpLoadStats* stats = nullptr) override;
 
+  // Streaming mode (chunk_bricks > 0): each shard sub-request becomes a
+  // chunked stream scattered into the shared field as chunks arrive.
+  // Mid-stream recovery gets a deeper ladder than the per-node resume:
+  // when a node's resume budget is exhausted the stream hops to the
+  // next replica in the chain carrying its cursor, so a node killed at
+  // chunk k costs only the chunks in flight, not the shard. Streaming
+  // sub-fetches fail over sequentially instead of hedging — a hedge
+  // would ship every chunk twice, the exact cost streaming exists to
+  // avoid. Propagates the options to the per-server clients.
+  void SetStream(const ndp::StreamOptions& options);
+  const ndp::StreamOptions& stream() const { return stream_; }
+
   // Polls ndp.health on every server; draining or unreachable nodes are
   // marked suspect and moved to the back of every replica chain until
   // the next probe. Returns the number of suspect servers.
@@ -136,6 +148,34 @@ class ShardedNdpClient : public ndp::NdpFetcher {
                              const std::vector<std::int64_t>* only_bricks,
                              const std::vector<bool>& eligible);
 
+  // Shared scatter target of one streaming fetch: shard workers append
+  // chunks under the mutex as they arrive (SparseField::Scatter is
+  // order/duplicate-invariant, so interleaving is safe).
+  struct StreamMerge {
+    std::mutex mu;
+    std::optional<contour::SparseField> field;
+    grid::Dims dims;
+    grid::UniformGeometry geometry;
+  };
+  struct ShardStream {
+    ndp::StreamAccumulator acc;
+    msgpack::Value terminal;
+  };
+
+  // Streaming sub-fetch: walks the replica chain sequentially, carrying
+  // the accumulator (cursor) across hops.
+  ShardStream SubFetchStreaming(int shard, const std::string& key,
+                                const std::string& array,
+                                const std::vector<double>& isovalues,
+                                const std::vector<std::int64_t>& bricks,
+                                const std::vector<bool>& eligible,
+                                StreamMerge& merge);
+
+  contour::SparseField FetchSparseFieldStreaming(
+      const std::string& key, const std::string& array,
+      const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
+      ndp::NdpLoadStats* stats, const ndp::NdpClient::FileInfo::Array& meta);
+
   // Replica chain for `shard` over the eligible servers, with suspect
   // servers demoted to the back (skips counted and journaled).
   std::vector<int> LiveChain(int shard, const std::vector<bool>* eligible);
@@ -159,6 +199,7 @@ class ShardedNdpClient : public ndp::NdpFetcher {
   std::vector<std::shared_ptr<ndp::NdpClient>> servers_;
   ShardMap map_;
   ShardedClientOptions options_;
+  ndp::StreamOptions stream_;
   obs::WindowedHistogram& subfetch_seconds_;
   obs::Gauge& parked_gauge_;
   std::atomic<double> hedge_hint_seconds_{0};

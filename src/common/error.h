@@ -80,6 +80,17 @@ class PeerClosedError : public IoError {
   using IoError::IoError;
 };
 
+// A streaming reply stopped making progress: the per-chunk progress
+// deadline elapsed with no new chunk (distinct from the overall call
+// deadline — a healthy stream of many chunks may legitimately outlive
+// one call timeout). Subtypes TimeoutError so deadline catch sites keep
+// working; streaming clients catch exactly this type to resume from the
+// last acknowledged cursor instead of restarting the fetch.
+class StreamStallError : public TimeoutError {
+ public:
+  using TimeoutError::TimeoutError;
+};
+
 [[noreturn]] void ThrowError(const char* file, int line, const char* expr,
                              const std::string& message);
 

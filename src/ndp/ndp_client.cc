@@ -81,6 +81,219 @@ PartialFetch NdpClient::FetchPartial(const std::string& key,
   return out;
 }
 
+msgpack::Value NdpClient::StreamSelectOnce(
+    const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues,
+    const std::vector<std::int64_t>* only_bricks, StreamAccumulator& acc,
+    const StreamDeliverFn& deliver) {
+  Array isos;
+  for (const double v : isovalues) isos.emplace_back(v);
+  Array params{Value(bucket_), Value(key), Value(array),
+               Value(std::move(isos)),
+               Value(static_cast<std::uint64_t>(encoding_))};
+  // The restriction slot (index 5) must be present — possibly Nil — so
+  // the stream map lands at its fixed position 6.
+  params.push_back(only_bricks != nullptr ? BrickRestrictionToValue(
+                                                *only_bricks)
+                                          : Value());
+  params.push_back(StreamParamsToValue(
+      StreamParams{stream_.chunk_bricks, acc.cursor}));
+
+  StreamDecoder decoder(acc.cursor);
+  rpc::Client::StreamCallOptions copts;
+  copts.timeout = options_.call_timeout;
+  copts.chunk_timeout = stream_.chunk_timeout;
+  bool cancelled = false;
+  const Value terminal = client_->CallStreaming(
+      kRpcNdpSelect, std::move(params), copts,
+      [&](const msgpack::Value& chunk_map) -> bool {
+        obs::Span decode_span("ndp.decode");
+        const std::optional<StreamChunk> data = decoder.Feed(chunk_map);
+        if (!data.has_value()) {
+          // Header. On a resume the stream restarts with a fresh header;
+          // the original stays authoritative (its stream_bricks is the
+          // full stream's size, for progress), but the grid shape must
+          // agree — a replica describing different data is corruption,
+          // not recovery.
+          const StreamHeader& h = decoder.header();
+          if (acc.got_header) {
+            if (h.dims.nx != acc.header.dims.nx ||
+                h.dims.ny != acc.header.dims.ny ||
+                h.dims.nz != acc.header.dims.nz ||
+                h.dtype != acc.header.dtype) {
+              throw DecodeError("stream resume: header shape mismatch");
+            }
+          } else {
+            acc.got_header = true;
+            acc.header = h;
+          }
+          decode_span.End();
+          acc.decode_s += decode_span.ElapsedSeconds();
+          return true;
+        }
+        if (cancel_ && cancel_()) return false;
+        const DecodedSelection sel =
+            DecodeSelection(data->payload, acc.header.dims);
+        decode_span.End();
+        acc.decode_s += decode_span.ElapsedSeconds();
+        obs::Span scatter_span("ndp.scatter");
+        deliver(sel);
+        scatter_span.End();
+        acc.scatter_s += scatter_span.ElapsedSeconds();
+        acc.cursor = data->cursor;
+        acc.chunks += 1;
+        acc.bricks_done += data->bricks;
+        acc.shipped_points += sel.ids.size();
+        acc.payload_bytes += data->payload.size();
+        if (progress_) {
+          progress_(StreamProgress{acc.chunks, acc.bricks_done,
+                                   acc.header.stream_bricks,
+                                   acc.shipped_points, acc.resumes});
+        }
+        return true;
+      },
+      &cancelled);
+  if (cancelled) {
+    acc.cancelled = true;
+    return Value();
+  }
+  if (decoder.got_header()) {
+    decoder.Finish();
+    return terminal;
+  }
+  // Monolithic degradation: a pre-streaming server (or an unbricked
+  // array) answered with the ordinary reply and zero chunk frames.
+  // Deliver the whole payload as one pseudo-chunk — after a resume this
+  // re-covers bricks already scattered, which the duplicate-invariant
+  // Scatter absorbs.
+  obs::Span decode_span("ndp.decode");
+  const auto& dims_v = terminal.At("dims").As<Array>();
+  StreamHeader h;
+  h.dims = grid::Dims{dims_v.at(0).AsInt(), dims_v.at(1).AsInt(),
+                      dims_v.at(2).AsInt()};
+  const auto& o = terminal.At("origin").As<Array>();
+  const auto& s = terminal.At("spacing").As<Array>();
+  for (int i = 0; i < 3; ++i) {
+    h.origin[i] = o.at(static_cast<size_t>(i)).AsDouble();
+    h.spacing[i] = s.at(static_cast<size_t>(i)).AsDouble();
+  }
+  h.dtype = grid::DataTypeFromName(terminal.At("dtype").As<std::string>());
+  h.bricks_total = terminal.At("bricks_total").AsInt();
+  h.stream_bricks = terminal.At("bricks_read").AsInt();
+  h.total_points =
+      static_cast<std::int64_t>(terminal.At("total_points").AsUint());
+  if (!acc.got_header) {
+    acc.got_header = true;
+    acc.header = h;
+  }
+  const Bytes& payload = terminal.At("payload").As<Bytes>();
+  const DecodedSelection sel = DecodeSelection(payload, acc.header.dims);
+  decode_span.End();
+  acc.decode_s += decode_span.ElapsedSeconds();
+  obs::Span scatter_span("ndp.scatter");
+  deliver(sel);
+  scatter_span.End();
+  acc.scatter_s += scatter_span.ElapsedSeconds();
+  acc.chunks += 1;
+  acc.bricks_done += terminal.At("bricks_read").AsInt();
+  acc.shipped_points += sel.ids.size();
+  acc.payload_bytes += payload.size();
+  return terminal;
+}
+
+msgpack::Value NdpClient::StreamSelect(
+    const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues,
+    const std::vector<std::int64_t>* only_bricks, StreamAccumulator& acc,
+    const StreamDeliverFn& deliver) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return StreamSelectOnce(key, array, isovalues, only_bricks, acc,
+                              deliver);
+    } catch (const Error& e) {
+      // Resumable: the stream died (deadline, stall, peer gone, a
+      // transient I/O blip) but the cursor survived. Anything else —
+      // application errors, corruption — propagates; a different data
+      // copy, not a retry, is the recovery for those.
+      const bool resumable = dynamic_cast<const TimeoutError*>(&e) !=
+                                 nullptr ||
+                             dynamic_cast<const PeerClosedError*>(&e) !=
+                                 nullptr ||
+                             dynamic_cast<const TransientIoError*>(&e) !=
+                                 nullptr;
+      if (!resumable || attempt >= stream_.max_resumes) throw;
+      acc.resumes += 1;
+      obs::DefaultRegistry().GetCounter("ndp_stream_resume_total")
+          .Increment();
+      obs::GlobalEventLog().Append(
+          "ndp.stream_resume",
+          "key=" + key + " cursor=" + std::to_string(acc.cursor));
+      net::BackoffSleep(options_.retry, attempt + 1,
+                        net::MixBits(0x73747265616Dull));
+    }
+  }
+}
+
+contour::SparseField NdpClient::FetchSparseFieldStreaming(
+    const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
+    NdpLoadStats* stats) {
+  obs::Span total_span("ndp.fetch");
+  std::optional<contour::SparseField> field;
+  StreamAccumulator acc;
+  obs::Span rpc_span("ndp.partial");
+  const Value terminal =
+      StreamSelect(key, array, isovalues, nullptr, acc,
+                   [&](const DecodedSelection& sel) {
+                     if (!field.has_value()) {
+                       field.emplace(acc.header.dims, acc.header.dtype);
+                     }
+                     field->Scatter(sel.ids, sel.values);
+                   });
+  rpc_span.End();
+  VIZNDP_CHECK_MSG(acc.got_header,
+                   "stream produced neither header nor data");
+  if (!field.has_value()) {
+    // Zero-chunk stream: no straddling bricks (or cancelled before any
+    // data) — a legitimately empty selection.
+    field.emplace(acc.header.dims, acc.header.dtype);
+  }
+  if (geometry != nullptr) {
+    geometry->origin = {acc.header.origin[0], acc.header.origin[1],
+                        acc.header.origin[2]};
+    geometry->spacing = {acc.header.spacing[0], acc.header.spacing[1],
+                         acc.header.spacing[2]};
+  }
+  if (stats != nullptr) {
+    stats->trace_id = obs::CurrentTraceContext().trace_id;
+    stats->streamed = true;
+    stats->stream_cancelled = acc.cancelled;
+    stats->stream_chunks = acc.chunks;
+    stats->stream_resumes = acc.resumes;
+    stats->payload_bytes = acc.payload_bytes;
+    stats->reply_bytes = acc.payload_bytes + 256 * (acc.chunks + 2);
+    // Deduplicated: chunk halos may ship boundary points twice.
+    stats->selected_points = static_cast<std::uint64_t>(field->ValidCount());
+    stats->total_points =
+        static_cast<std::uint64_t>(acc.header.total_points);
+    stats->bricks_total = acc.header.bricks_total;
+    // Terminal summary (absent after a cancel — the stream never
+    // finished, so only client-side accounting exists).
+    if (terminal.Is<msgpack::Map>()) {
+      stats->stored_bytes = terminal.At("stored_bytes").AsUint();
+      stats->raw_bytes = terminal.At("raw_bytes").AsUint();
+      stats->bricks_read = terminal.At("bricks_read").AsInt();
+      stats->server_read_s = terminal.At("read_s").AsDouble();
+      stats->server_select_s = terminal.At("select_s").AsDouble();
+    }
+    stats->client_decode_s = acc.decode_s;
+    stats->client_scatter_s = acc.scatter_s;
+    total_span.End();
+    stats->client_s = total_span.ElapsedSeconds();
+  }
+  return std::move(*field);
+}
+
 contour::SparseField NdpClient::FetchSparseField(
     const std::string& key, const std::string& array,
     const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
@@ -93,6 +306,9 @@ contour::SparseField NdpClient::FetchSparseField(
   std::optional<obs::ScopedTraceContext> root;
   if (obs::GlobalTracer().enabled() && !obs::CurrentTraceContext().valid()) {
     root.emplace(obs::TraceContext::Mint(/*sampled=*/true));
+  }
+  if (stream_.chunk_bricks > 0) {
+    return FetchSparseFieldStreaming(key, array, isovalues, geometry, stats);
   }
   obs::Span total_span("ndp.fetch");
 

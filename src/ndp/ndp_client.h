@@ -32,6 +32,53 @@ struct NdpClientOptions {
   net::RetryPolicy retry{};
 };
 
+// Streaming-fetch knobs (protocol.h stream shape). chunk_bricks == 0
+// keeps the monolithic path; > 0 asks the server for per-brick-batch
+// chunk frames, scattered into the sparse field as they arrive.
+struct StreamOptions {
+  std::int64_t chunk_bricks = 0;
+  // Per-chunk progress deadline: how long the stream may sit with no
+  // frame before the call fails typed (StreamStallError — distinct from
+  // the overall call deadline, which still applies). 0 = no per-chunk
+  // deadline.
+  std::chrono::milliseconds chunk_timeout{0};
+  // Mid-stream recovery budget against one node: how many times a fetch
+  // re-issues the call with resume_after=<cursor> after a timeout /
+  // stall / closed peer before the error propagates (and, under
+  // ShardedNdpClient, the stream hops to the next replica).
+  int max_resumes = 4;
+};
+
+// Live progress of one streaming fetch, delivered per chunk to
+// NdpClient::SetStreamProgress (vizndp_tool's progress line).
+struct StreamProgress {
+  std::uint64_t chunks = 0;
+  std::int64_t bricks_done = 0;
+  std::int64_t stream_bricks = 0;  // from the header; 0 until it arrives
+  std::uint64_t points = 0;        // shipped (incl. ghost duplicates)
+  std::uint64_t resumes = 0;
+};
+using StreamProgressFn = std::function<void(const StreamProgress&)>;
+
+// One logical stream's state across resume attempts and (in the
+// sharded client) replica hops. The cursor is the resume token: chunks
+// already scattered are never re-requested, and the order/duplicate-
+// invariant SparseField::Scatter makes re-delivered ghost points
+// harmless, so any mix of nodes reconstructs the same field.
+struct StreamAccumulator {
+  std::int64_t cursor = -1;  // last brick id scattered
+  bool got_header = false;
+  bool cancelled = false;  // client-initiated cancel was acknowledged
+  StreamHeader header;     // first attempt's header (authoritative)
+  std::uint64_t chunks = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t shipped_points = 0;  // incl. ghost duplicates
+  std::int64_t bricks_done = 0;
+  double decode_s = 0;
+  double scatter_s = 0;
+};
+
 // Per-phase accounting of one NDP data load (the paper's "data load
 // time" for NDP runs = read + decompress + filter + transfer).
 struct NdpLoadStats {
@@ -54,6 +101,11 @@ struct NdpLoadStats {
   // True when the NDP path was unreachable and NdpContourSource served
   // this load through the baseline full-array read instead.
   bool used_fallback = false;
+  // Streaming-fetch accounting (all zero on monolithic loads).
+  bool streamed = false;
+  bool stream_cancelled = false;
+  std::uint64_t stream_chunks = 0;
+  std::uint64_t stream_resumes = 0;
   // Distributed trace this load ran under (0 when tracing was off); the
   // key into the merged timeline and the event journal.
   std::uint64_t trace_id = 0;
@@ -116,6 +168,44 @@ class NdpClient : public NdpFetcher {
 
   void SetEncoding(SelectionEncoding encoding) { encoding_ = encoding; }
   SelectionEncoding encoding() const { return encoding_; }
+
+  // Streaming mode: chunk_bricks > 0 turns FetchSparseField into a
+  // chunked fetch with mid-stream recovery (see StreamSelect).
+  void SetStream(const StreamOptions& options) { stream_ = options; }
+  const StreamOptions& stream() const { return stream_; }
+
+  // Per-chunk progress callback (streaming fetches only). Called on the
+  // fetch thread; keep it cheap.
+  void SetStreamProgress(StreamProgressFn fn) { progress_ = std::move(fn); }
+
+  // Client-side cancellation hook: polled before each data chunk is
+  // scattered; returning true sends the cancel frame and ends the fetch
+  // with whatever already arrived (StreamAccumulator::cancelled set,
+  // NdpLoadStats::stream_cancelled on the load).
+  void SetStreamCancel(std::function<bool()> fn) { cancel_ = std::move(fn); }
+
+  // Chunks scattered by StreamSelect are handed to this callback; the
+  // accumulator's header has always arrived by the first call.
+  using StreamDeliverFn = std::function<void(const DecodedSelection&)>;
+
+  // One streaming ndp.select with mid-stream recovery against this
+  // node: issues the call with the accumulator's cursor, delivers each
+  // decoded data chunk, and on TimeoutError / StreamStallError /
+  // PeerClosedError / TransientIoError re-issues the call with
+  // resume_after=<cursor> (ndp_stream_resume_total / ndp.stream_resume
+  // per attempt, up to stream().max_resumes) — chunks already delivered
+  // are never refetched. Other errors, and an exhausted resume budget,
+  // propagate (ShardedNdpClient then hops to the next replica with the
+  // same accumulator). Returns the terminal summary map; a monolithic
+  // reply (pre-streaming server, unbricked array) is delivered as one
+  // pseudo-chunk and returned as-is; a client-initiated cancel returns
+  // Nil with acc.cancelled set.
+  msgpack::Value StreamSelect(const std::string& key,
+                              const std::string& array,
+                              const std::vector<double>& isovalues,
+                              const std::vector<std::int64_t>* only_bricks,
+                              StreamAccumulator& acc,
+                              const StreamDeliverFn& deliver);
 
   // Runs the pre-filter remotely and reconstructs the sparse field.
   // Grid geometry comes back in the reply. `stats` may be null.
@@ -251,10 +341,27 @@ class NdpClient : public NdpFetcher {
     return rpc::CallOptions{options_.call_timeout, /*idempotent=*/true};
   }
 
+  // One CallStreaming attempt feeding the accumulator from its current
+  // cursor; throws on any mid-stream failure (StreamSelect resumes).
+  msgpack::Value StreamSelectOnce(const std::string& key,
+                                  const std::string& array,
+                                  const std::vector<double>& isovalues,
+                                  const std::vector<std::int64_t>* only_bricks,
+                                  StreamAccumulator& acc,
+                                  const StreamDeliverFn& deliver);
+
+  contour::SparseField FetchSparseFieldStreaming(
+      const std::string& key, const std::string& array,
+      const std::vector<double>& isovalues, grid::UniformGeometry* geometry,
+      NdpLoadStats* stats);
+
   std::shared_ptr<rpc::Client> client_;
   std::string bucket_;
   NdpClientOptions options_;
   SelectionEncoding encoding_ = SelectionEncoding::kRunLength;
+  StreamOptions stream_;
+  StreamProgressFn progress_;
+  std::function<bool()> cancel_;
 };
 
 // Quantile-based contour-value suggestions from near-data statistics.

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 #include <optional>
+#include <thread>
 
 #include "common/error.h"
 #include "net/retry.h"
@@ -74,6 +75,27 @@ Value SnapshotsToValue(const std::vector<obs::MetricSnapshot>& snapshot) {
     out.push_back(Value(std::move(m)));
   }
   return Value(std::move(out));
+}
+
+// Mid-stream admission: a started stream must never shed — `!busy:`
+// tells the client "retry the whole call", and a retry would duplicate
+// the chunks already shipped. Wait briefly for budget to free up (other
+// streams release per batch, so turnover is fast); if the node stays
+// saturated, fail plain so the client resumes from its cursor instead
+// of restarting from scratch.
+rpc::MemoryBudget::Reservation ReserveMidStream(rpc::MemoryBudget& budget,
+                                                std::uint64_t bytes) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return rpc::MemoryBudget::Reservation(budget, bytes);
+    } catch (const BusyError& e) {
+      if (attempt >= 200) {
+        throw Error(std::string("stream reservation starved mid-flight: ") +
+                    e.what());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
 }
 
 }  // namespace
@@ -229,6 +251,212 @@ msgpack::Value NdpServer::Select(const std::string& key,
   return Value(std::move(reply));
 }
 
+msgpack::Value NdpServer::SelectStreaming(
+    const std::string& key, const std::string& array,
+    const std::vector<double>& isovalues, SelectionEncoding encoding,
+    const std::vector<std::int64_t>* only_bricks, const StreamParams& stream,
+    rpc::StreamSink& sink) {
+  obs::Span total_span("ndp.select.stream");
+  metrics_.GetCounter("ndp_stream_requests_total").Increment();
+  const io::VndReader reader(gateway_.Open(key));
+  const io::ArrayMeta* meta = reader.header().Find(array);
+  VIZNDP_CHECK_MSG(meta != nullptr, "no array '" + array + "' in VND file");
+  if (!meta->bricks.has_value()) {
+    // Unbricked arrays have no brick-id cursor space to chunk over;
+    // degrade to the monolithic reply (zero chunk frames — the client
+    // accepts a plain type-1 result as the degraded form of a streaming
+    // request, same as talking to a pre-streaming server).
+    VIZNDP_CHECK_MSG(only_bricks == nullptr,
+                     "brick restriction on unbricked array '" + array + "'");
+    return Select(key, array, isovalues, encoding, nullptr);
+  }
+  const auto brick_count =
+      static_cast<std::int64_t>(meta->bricks->entries.size());
+  if (only_bricks != nullptr) {
+    VIZNDP_CHECK_MSG(
+        only_bricks->empty() || only_bricks->back() < brick_count,
+        "brick restriction id out of range for '" + array + "'");
+    metrics_.GetCounter("ndp_restricted_select_total").Increment();
+  }
+
+  // The stream covers exactly the straddling bricks (within the
+  // restriction, above the resume cursor), in ascending id order — the
+  // same set the monolithic bricked pre-filter reads, just split into
+  // batches so each batch's slab is reserved, scanned, shipped, and
+  // released before the next begins. The straddle predicate must match
+  // bricked_select.cc exactly or resumed streams would cover a
+  // different brick set than the original.
+  std::vector<std::int64_t> todo;
+  {
+    size_t ri = 0;  // walks the sorted restriction
+    for (std::int64_t b = 0; b < brick_count; ++b) {
+      if (only_bricks != nullptr) {
+        while (ri < only_bricks->size() && (*only_bricks)[ri] < b) ++ri;
+        if (ri >= only_bricks->size() || (*only_bricks)[ri] != b) continue;
+      }
+      if (b <= stream.resume_after) continue;
+      const io::BrickEntry& e = meta->bricks->entries[static_cast<size_t>(b)];
+      const bool straddles =
+          std::any_of(isovalues.begin(), isovalues.end(), [&](double iso) {
+            return e.min < iso && e.max >= iso;
+          });
+      if (straddles) todo.push_back(b);
+    }
+  }
+
+  const io::BrickGrid bgrid(reader.header().dims, meta->bricks->edge);
+  const auto batch_bytes = [&](size_t start, size_t n) {
+    // Decompressed slab bytes this batch pins at once — the incremental
+    // analogue of the monolithic path's whole-array raw_size.
+    std::uint64_t bytes = 0;
+    for (size_t i = start; i < start + n; ++i) {
+      bytes +=
+          static_cast<std::uint64_t>(bgrid.BrickExtent(todo[i]).PointCount()) *
+          grid::DataTypeSize(meta->type);
+    }
+    return bytes;
+  };
+  const auto chunk_bricks = static_cast<size_t>(stream.chunk_bricks);
+
+  // First batch's reservation happens before anything is emitted, so an
+  // exhausted budget sheds the request with the ordinary retryable
+  // `!busy:` — the one window where shedding a stream is allowed.
+  rpc::MemoryBudget::Reservation reservation;
+  if (mem_budget_ != nullptr && !todo.empty()) {
+    reservation = rpc::MemoryBudget::Reservation(
+        *mem_budget_, batch_bytes(0, std::min(chunk_bricks, todo.size())));
+  }
+
+  const auto on_cancel = [&]() {
+    // One counter, one event: covers both the client's explicit cancel
+    // frame and a peer-closed transport — either way the remaining
+    // brick work is abandoned. The dispatcher stamps the terminal with
+    // the `!cancelled:` error, so this result is never shipped.
+    metrics_.GetCounter("ndp_stream_cancelled_total").Increment();
+    obs::GlobalEventLog().Append("ndp.stream_cancel", "array=" + array);
+    return Value();
+  };
+
+  const auto& h = reader.header();
+  StreamHeader header;
+  header.dims = h.dims;
+  for (int i = 0; i < 3; ++i) {
+    header.origin[i] = h.geometry.origin[static_cast<size_t>(i)];
+    header.spacing[i] = h.geometry.spacing[static_cast<size_t>(i)];
+  }
+  header.dtype = meta->type;
+  header.bricks_total = brick_count;
+  header.stream_bricks = static_cast<std::int64_t>(todo.size());
+  header.total_points = h.dims.PointCount();
+  if (!sink.Emit(StreamHeaderToValue(header))) return on_cancel();
+
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t selected_total = 0;
+  std::int64_t bricks_read = 0;
+  double read_s = 0;
+  double select_s = 0;
+  std::int64_t chunks = 0;
+  // Registry lookups are name-hash-under-mutex; resolve the per-chunk
+  // instruments once per stream, not once per chunk.
+  auto& chunk_hist = metrics_.GetWindowedHistogram("ndp_stream_chunk_seconds",
+                                                   obs::LatencyBounds());
+  auto& chunk_counter = metrics_.GetCounter("ndp_stream_chunks_total");
+  for (size_t start = 0; start < todo.size(); start += chunk_bricks) {
+    if (sink.Cancelled()) return on_cancel();
+    const size_t n = std::min(chunk_bricks, todo.size() - start);
+    if (mem_budget_ != nullptr && start > 0) {
+      reservation = ReserveMidStream(*mem_budget_, batch_bytes(start, n));
+    }
+    obs::Span chunk_span("ndp.stream.chunk");
+    const std::vector<std::int64_t> batch(
+        todo.begin() + static_cast<std::ptrdiff_t>(start),
+        todo.begin() + static_cast<std::ptrdiff_t>(start + n));
+    BrickedSelectStats bstats;
+    contour::Selection selection;
+    try {
+      selection = SelectInterestingPointsBricked(reader, array, isovalues,
+                                                 &bstats, &batch, quarantine_,
+                                                 key);
+    } catch (const CorruptDataError&) {
+      // No mid-stream whole-blob fallback: a blob-sized read would blow
+      // the per-batch memory contract and answer for bricks already
+      // shipped. Cross the wire typed; the client's resume-on-a-replica
+      // rung (an independent data copy) is the right recovery.
+      if (only_bricks != nullptr) {
+        metrics_.GetCounter("ndp_restricted_corrupt_total").Increment();
+        obs::GlobalEventLog().Append("ndp.restricted_corrupt",
+                                     "array=" + array);
+      }
+      throw;
+    } catch (const IoError&) {
+      if (only_bricks != nullptr) {
+        metrics_.GetCounter("ndp_restricted_io_total").Increment();
+        obs::GlobalEventLog().Append("ndp.restricted_io", "array=" + array);
+      }
+      throw;
+    }
+    StreamChunk chunk;
+    chunk.cursor = batch.back();
+    chunk.bricks = static_cast<std::int64_t>(batch.size());
+    chunk.selected = static_cast<std::int64_t>(selection.ids.size());
+    chunk.payload = EncodeSelection(selection, encoding);
+    stored_bytes += bstats.bytes_read;
+    payload_bytes += chunk.payload.size();
+    selected_total += selection.ids.size();
+    bricks_read += bstats.bricks_read;
+    read_s += bstats.read_seconds;
+    select_s += bstats.scan_seconds;
+    const bool emitted = sink.Emit(StreamChunkToValue(std::move(chunk)));
+    // Release this batch's slab before the next reservation — the whole
+    // point of streaming admission: the budget sees one batch at a
+    // time, not the whole array.
+    reservation = rpc::MemoryBudget::Reservation();
+    chunk_span.End();
+    chunk_hist.Observe(chunk_span.ElapsedSeconds());
+    chunk_counter.Increment();
+    ++chunks;
+    if (!emitted) return on_cancel();
+  }
+
+  metrics_.GetCounter("ndp_select_requests_total").Increment();
+  metrics_.GetCounter("ndp_bytes_in_total").Increment(stored_bytes);
+  metrics_.GetCounter("ndp_bytes_out_total").Increment(payload_bytes);
+  metrics_.GetCounter("ndp_selected_points_total").Increment(selected_total);
+  if (brick_count > bricks_read) {
+    metrics_.GetCounter("ndp_bricks_skipped_total")
+        .Increment(static_cast<std::uint64_t>(brick_count - bricks_read));
+  }
+
+  // Terminal summary: the monolithic reply minus "payload" (the chunks
+  // carried the data). "selected" counts shipped points, which may
+  // exceed the monolithic count by ghost-layer points shared across
+  // batch boundaries — consumers that need exact dedup use the
+  // SparseField's ValidCount after scattering.
+  Map reply;
+  reply.emplace_back(Value("dims"),
+                     Value(Array{Value(h.dims.nx), Value(h.dims.ny),
+                                 Value(h.dims.nz)}));
+  reply.emplace_back(Value("origin"), Triple(h.geometry.origin));
+  reply.emplace_back(Value("spacing"), Triple(h.geometry.spacing));
+  reply.emplace_back(Value("dtype"),
+                     Value(std::string(grid::DataTypeName(meta->type))));
+  reply.emplace_back(Value("stored_bytes"), Value(stored_bytes));
+  reply.emplace_back(Value("raw_bytes"), Value(meta->raw_size));
+  reply.emplace_back(Value("bricks_total"), Value(brick_count));
+  reply.emplace_back(Value("bricks_read"), Value(bricks_read));
+  reply.emplace_back(Value("selected"), Value(selected_total));
+  reply.emplace_back(Value("total_points"),
+                     Value(static_cast<std::uint64_t>(h.dims.PointCount())));
+  reply.emplace_back(Value("read_s"), Value(read_s));
+  reply.emplace_back(Value("select_s"), Value(select_s));
+  reply.emplace_back(Value("chunks"), Value(chunks));
+  total_span.End();
+  metrics_.GetWindowedHistogram("ndp_select_seconds", obs::LatencyBounds())
+      .Observe(total_span.ElapsedSeconds());
+  return Value(std::move(reply));
+}
+
 msgpack::Value NdpServer::Info(const std::string& key) {
   metrics_.GetCounter("ndp_info_requests_total").Increment();
   const io::VndReader reader(gateway_.Open(key));
@@ -319,24 +547,39 @@ msgpack::Value NdpServer::Stats(const std::string& key,
 }
 
 void NdpServer::Bind(rpc::Server& server) {
-  server.Bind(kRpcNdpSelect, [this](const Array& p) -> Value {
-    std::vector<double> isovalues;
-    for (const Value& v : p.at(3).As<Array>()) {
-      isovalues.push_back(v.AsDouble());
-    }
-    // Optional 6th element: the sub-request brick restriction (absent or
-    // empty = the whole brick space, the pre-sharding request shape).
-    std::optional<std::vector<std::int64_t>> bricks;
-    if (p.size() > 5 && p.at(5).Is<Array>() && !p.at(5).As<Array>().empty()) {
-      bricks = BrickRestrictionFromValue(p.at(5));
-    }
-    // p[0] is the bucket, fixed at gateway construction; kept in the
-    // protocol so multi-bucket servers remain possible.
-    return Select(p.at(1).As<std::string>(), p.at(2).As<std::string>(),
-                  isovalues,
-                  static_cast<SelectionEncoding>(p.at(4).AsUint()),
-                  bricks.has_value() ? &*bricks : nullptr);
-  });
+  server.BindStreaming(
+      kRpcNdpSelect, [this](const Array& p, rpc::StreamSink* sink) -> Value {
+        std::vector<double> isovalues;
+        for (const Value& v : p.at(3).As<Array>()) {
+          isovalues.push_back(v.AsDouble());
+        }
+        // Optional 6th element: the sub-request brick restriction (absent
+        // or empty = the whole brick space, the pre-sharding request
+        // shape).
+        std::optional<std::vector<std::int64_t>> bricks;
+        if (p.size() > 5 && p.at(5).Is<Array>() &&
+            !p.at(5).As<Array>().empty()) {
+          bricks = BrickRestrictionFromValue(p.at(5));
+        }
+        // Optional 7th element: the stream map (protocol.h). Absent or
+        // Nil — and any sink-less dispatch, e.g. the in-process Dispatch
+        // without a transport — means the monolithic reply.
+        std::optional<StreamParams> stream;
+        if (p.size() > 6) stream = StreamParamsFromValue(p.at(6));
+        const auto encoding = static_cast<SelectionEncoding>(p.at(4).AsUint());
+        // p[0] is the bucket, fixed at gateway construction; kept in the
+        // protocol so multi-bucket servers remain possible.
+        if (stream.has_value() && sink != nullptr) {
+          return SelectStreaming(p.at(1).As<std::string>(),
+                                 p.at(2).As<std::string>(), isovalues,
+                                 encoding,
+                                 bricks.has_value() ? &*bricks : nullptr,
+                                 *stream, *sink);
+        }
+        return Select(p.at(1).As<std::string>(), p.at(2).As<std::string>(),
+                      isovalues, encoding,
+                      bricks.has_value() ? &*bricks : nullptr);
+      });
   server.Bind(kRpcNdpInfo, [this](const Array& p) -> Value {
     return Info(p.at(1).As<std::string>());
   });

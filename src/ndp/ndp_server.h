@@ -111,6 +111,25 @@ class NdpServer {
                         SelectionEncoding encoding,
                         const std::vector<std::int64_t>* only_bricks = nullptr);
 
+  // Streaming variant (protocol.h stream shape): emits one header chunk,
+  // then per-brick-batch data chunks through `sink` as batches finish,
+  // and returns the terminal summary (the Select reply map minus
+  // "payload"). Memory accounting is incremental — each batch reserves
+  // only its own slab bytes and releases them when its chunk has been
+  // flushed — so at the same MemoryBudget a node admits strictly more
+  // concurrent streaming selects than whole-array monolithic ones.
+  // Shedding (BusyError) can only happen before the first chunk; a
+  // mid-stream reservation failure waits briefly and then fails with a
+  // plain (resumable, never `!busy:`) error. Unbricked arrays cannot
+  // stream and degrade to the monolithic Select reply. A cancel observed
+  // on the sink abandons remaining batches (ndp_stream_cancelled_total /
+  // ndp.stream_cancel).
+  msgpack::Value SelectStreaming(
+      const std::string& key, const std::string& array,
+      const std::vector<double>& isovalues, SelectionEncoding encoding,
+      const std::vector<std::int64_t>* only_bricks,
+      const StreamParams& stream, rpc::StreamSink& sink);
+
   msgpack::Value Info(const std::string& key);
 
   // Near-data array statistics: min/max and a value histogram computed on

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "compress/checksum.h"
 
 namespace vizndp::ndp {
 
@@ -42,6 +43,182 @@ std::vector<std::int64_t> BrickRestrictionFromValue(
     out.push_back(b);
   }
   return out;
+}
+
+namespace {
+
+// Required-key lookup with a typed failure (a hostile map must never
+// surface as std::bad_variant_access or a CHECK).
+const msgpack::Value& StreamAt(const msgpack::Value& map, const char* key) {
+  if (!map.Is<msgpack::Map>()) throw DecodeError("stream chunk: not a map");
+  const msgpack::Value* v = map.Find(key);
+  if (v == nullptr) {
+    throw DecodeError(std::string("stream chunk: missing key '") + key + "'");
+  }
+  return *v;
+}
+
+std::int64_t StreamInt(const msgpack::Value& map, const char* key) {
+  const msgpack::Value& v = StreamAt(map, key);
+  if (!v.IsInteger()) {
+    throw DecodeError(std::string("stream chunk: key '") + key +
+                      "' is not an integer");
+  }
+  return v.AsInt();
+}
+
+void StreamTriple(const msgpack::Value& map, const char* key, double out[3]) {
+  const msgpack::Value& v = StreamAt(map, key);
+  const auto& arr = v.As<msgpack::Array>();
+  if (arr.size() != 3) {
+    throw DecodeError(std::string("stream chunk: key '") + key +
+                      "' is not a 3-vector");
+  }
+  for (size_t i = 0; i < 3; ++i) out[i] = arr[i].AsDouble();
+}
+
+}  // namespace
+
+msgpack::Value StreamParamsToValue(const StreamParams& params) {
+  msgpack::Map out;
+  out.emplace_back(msgpack::Value("chunk_bricks"),
+                   msgpack::Value(params.chunk_bricks));
+  out.emplace_back(msgpack::Value("resume_after"),
+                   msgpack::Value(params.resume_after));
+  return msgpack::Value(std::move(out));
+}
+
+std::optional<StreamParams> StreamParamsFromValue(
+    const msgpack::Value& value) {
+  if (value.Is<msgpack::Nil>()) return std::nullopt;
+  StreamParams params;
+  params.chunk_bricks = StreamInt(value, "chunk_bricks");
+  params.resume_after = StreamInt(value, "resume_after");
+  if (params.chunk_bricks < 1 ||
+      params.chunk_bricks > static_cast<std::int64_t>(kMaxBrickRestriction)) {
+    throw DecodeError("stream params: chunk_bricks out of range");
+  }
+  if (params.resume_after < -1) {
+    throw DecodeError("stream params: resume_after below -1");
+  }
+  return params;
+}
+
+msgpack::Value StreamHeaderToValue(const StreamHeader& header) {
+  using msgpack::Array;
+  using msgpack::Value;
+  msgpack::Map out;
+  out.emplace_back(Value("kind"), Value(std::string("header")));
+  out.emplace_back(Value("dims"),
+                   Value(Array{Value(header.dims.nx), Value(header.dims.ny),
+                               Value(header.dims.nz)}));
+  out.emplace_back(Value("origin"),
+                   Value(Array{Value(header.origin[0]), Value(header.origin[1]),
+                               Value(header.origin[2])}));
+  out.emplace_back(
+      Value("spacing"),
+      Value(Array{Value(header.spacing[0]), Value(header.spacing[1]),
+                  Value(header.spacing[2])}));
+  out.emplace_back(Value("dtype"),
+                   Value(std::string(grid::DataTypeName(header.dtype))));
+  out.emplace_back(Value("bricks_total"), Value(header.bricks_total));
+  out.emplace_back(Value("stream_bricks"), Value(header.stream_bricks));
+  out.emplace_back(Value("total_points"), Value(header.total_points));
+  return Value(std::move(out));
+}
+
+msgpack::Value StreamChunkToValue(const StreamChunk& chunk) {
+  StreamChunk copy = chunk;
+  return StreamChunkToValue(std::move(copy));
+}
+
+msgpack::Value StreamChunkToValue(StreamChunk&& chunk) {
+  using msgpack::Value;
+  msgpack::Map out;
+  out.emplace_back(Value("kind"), Value(std::string("data")));
+  out.emplace_back(Value("cursor"), Value(chunk.cursor));
+  out.emplace_back(Value("bricks"), Value(chunk.bricks));
+  out.emplace_back(Value("selected"), Value(chunk.selected));
+  out.emplace_back(Value("crc32"),
+                   Value(static_cast<std::uint64_t>(
+                       compress::Crc32(chunk.payload))));
+  out.emplace_back(Value("payload"), Value(std::move(chunk.payload)));
+  return Value(std::move(out));
+}
+
+std::optional<StreamChunk> StreamDecoder::Feed(
+    const msgpack::Value& chunk_map) {
+  if (finished_) {
+    throw DecodeError("stream chunk after the terminal frame");
+  }
+  const std::string& kind = StreamAt(chunk_map, "kind").As<std::string>();
+  if (kind == "header") {
+    if (got_header_) throw DecodeError("duplicate stream header");
+    StreamHeader h;
+    const msgpack::Value& dims = StreamAt(chunk_map, "dims");
+    const auto& darr = dims.As<msgpack::Array>();
+    if (darr.size() != 3) throw DecodeError("stream header: bad dims");
+    h.dims = grid::Dims{darr[0].AsInt(), darr[1].AsInt(), darr[2].AsInt()};
+    if (h.dims.nx <= 0 || h.dims.ny <= 0 || h.dims.nz <= 0) {
+      throw DecodeError("stream header: non-positive dims");
+    }
+    StreamTriple(chunk_map, "origin", h.origin);
+    StreamTriple(chunk_map, "spacing", h.spacing);
+    h.dtype = grid::DataTypeFromName(
+        StreamAt(chunk_map, "dtype").As<std::string>());
+    h.bricks_total = StreamInt(chunk_map, "bricks_total");
+    h.stream_bricks = StreamInt(chunk_map, "stream_bricks");
+    h.total_points = StreamInt(chunk_map, "total_points");
+    if (h.bricks_total < 0 || h.stream_bricks < 0 ||
+        h.stream_bricks > h.bricks_total) {
+      throw DecodeError("stream header: inconsistent brick counts");
+    }
+    if (h.total_points != h.dims.PointCount()) {
+      throw DecodeError("stream header: total_points does not match dims");
+    }
+    got_header_ = true;
+    header_ = h;
+    return std::nullopt;
+  }
+  if (kind != "data") {
+    throw DecodeError("stream chunk: unknown kind '" + kind + "'");
+  }
+  if (!got_header_) {
+    throw DecodeError("stream data chunk before the header");
+  }
+  StreamChunk chunk;
+  chunk.cursor = StreamInt(chunk_map, "cursor");
+  chunk.bricks = StreamInt(chunk_map, "bricks");
+  chunk.selected = StreamInt(chunk_map, "selected");
+  if (chunk.cursor <= cursor_) {
+    throw DecodeError("stream cursor not strictly ascending (" +
+                      std::to_string(chunk.cursor) + " after " +
+                      std::to_string(cursor_) + ")");
+  }
+  if (chunk.cursor >= header_.bricks_total) {
+    throw DecodeError("stream cursor beyond the brick count");
+  }
+  if (chunk.bricks < 1 || chunk.selected < 0) {
+    throw DecodeError("stream chunk: bad batch counts");
+  }
+  const msgpack::Value& payload = StreamAt(chunk_map, "payload");
+  if (!payload.Is<Bytes>()) {
+    throw DecodeError("stream chunk: payload is not binary");
+  }
+  chunk.payload = payload.As<Bytes>();
+  const auto crc = static_cast<std::uint32_t>(StreamInt(chunk_map, "crc32"));
+  if (compress::Crc32(chunk.payload) != crc) {
+    throw CorruptDataError("stream chunk failed its CRC-32 check (cursor " +
+                           std::to_string(chunk.cursor) + ")");
+  }
+  cursor_ = chunk.cursor;
+  return chunk;
+}
+
+void StreamDecoder::Finish() {
+  if (finished_) throw DecodeError("duplicate stream terminal frame");
+  if (!got_header_) throw DecodeError("stream terminal before the header");
+  finished_ = true;
 }
 
 void AppendVarint(std::uint64_t value, Bytes& out) {
@@ -135,6 +312,12 @@ DecodedSelection DecodeSelection(ByteSpan payload, const grid::Dims& dims) {
   const std::uint64_t count = LoadLE<std::uint64_t>(payload.data() + 2);
   size_t pos = 10;
 
+  // Bound before the reserve: a hostile count must get a typed rejection,
+  // not a bad_alloc. No selection can mark more ids than the grid has
+  // points (ids are validated against the same bound below).
+  if (count > static_cast<std::uint64_t>(dims.PointCount())) {
+    throw DecodeError("selection count exceeds grid point count");
+  }
   DecodedSelection out;
   out.ids.reserve(count);
   switch (encoding) {

@@ -17,10 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "contour/select.h"
 #include "grid/data_array.h"
+#include "grid/dims.h"
 #include "msgpack/value.h"
 
 namespace vizndp::ndp {
@@ -70,6 +72,98 @@ inline constexpr size_t kMaxBrickRestriction = size_t{1} << 20;
 // Throws DecodeError on violations.
 std::vector<std::int64_t> BrickRestrictionFromValue(
     const msgpack::Value& value);
+
+// ---- Streaming replies (ROADMAP item 3) ------------------------------
+//
+// ndp.select takes an optional 7th positional parameter, a stream map
+// {"chunk_bricks": N, "resume_after": C}: the server then answers with
+// rpc chunk frames instead of one monolithic reply. Old servers index
+// params positionally and never read a 7th element, so a streaming
+// request degrades to a monolithic response the client accepts as-is —
+// both directions stay backward compatible.
+//
+// Stream shape (all frames carry the request's msgid):
+//   1. header chunk  {"kind": "header", dims/origin/spacing/dtype,
+//                     "bricks_total", "stream_bricks", "total_points"}
+//   2. data chunk*   {"kind": "data", "cursor": last brick id (strictly
+//                     ascending, > resume_after), "bricks": batch size,
+//                     "payload": encoded selection, "crc32": CRC-32 of
+//                     payload}
+//   3. terminal      the ordinary ndp.select reply map minus "payload"
+//                    (totals + per-phase times; the chunks carried the
+//                    data).
+//
+// The cursor is the resume token: a client that loses the stream after
+// cursor C re-issues the call with resume_after=C (same node first,
+// then any replica — the cursor names data, not placement) and scatters
+// the new chunks into the same SparseField, whose Scatter is order- and
+// duplicate-invariant. Ghost-layer points shared by brick batches may
+// arrive twice across chunks or resumes; that is by design.
+struct StreamParams {
+  std::int64_t chunk_bricks = 0;   // straddling bricks per data chunk
+  std::int64_t resume_after = -1;  // last brick id already received
+};
+
+msgpack::Value StreamParamsToValue(const StreamParams& params);
+// Nil/absent → nullopt (monolithic request). Throws DecodeError when
+// present but malformed (chunk_bricks < 1 or > kMaxBrickRestriction,
+// resume_after < -1).
+std::optional<StreamParams> StreamParamsFromValue(const msgpack::Value& value);
+
+struct StreamHeader {
+  grid::Dims dims;
+  double origin[3] = {0, 0, 0};
+  double spacing[3] = {1, 1, 1};
+  grid::DataType dtype = grid::DataType::Float32;
+  std::int64_t bricks_total = 0;   // bricks in the array
+  std::int64_t stream_bricks = 0;  // bricks this stream will cover
+  std::int64_t total_points = 0;   // points in the full grid
+};
+
+struct StreamChunk {
+  std::int64_t cursor = -1;   // last brick id covered, strictly ascending
+  std::int64_t bricks = 0;    // bricks in this batch
+  std::int64_t selected = 0;  // points in payload
+  Bytes payload;              // EncodeSelection bytes, CRC-stamped
+};
+
+msgpack::Value StreamHeaderToValue(const StreamHeader& header);
+msgpack::Value StreamChunkToValue(const StreamChunk& chunk);
+// Move overload for the serving hot path: the payload lands in the wire
+// Value without an intermediate copy.
+msgpack::Value StreamChunkToValue(StreamChunk&& chunk);
+
+// Stateful, validating decoder for one stream's chunk maps — the only
+// path from wire bytes to chunk data, shared by NdpClient and the
+// ndp-stream fuzz target so hostile frames hit the same checks the real
+// client runs. Enforces: header first and exactly once, strictly
+// ascending cursors starting above resume_after, payload CRC match,
+// sane counts, and exactly one terminal.
+class StreamDecoder {
+ public:
+  explicit StreamDecoder(std::int64_t resume_after = -1)
+      : cursor_(resume_after) {}
+
+  bool got_header() const { return got_header_; }
+  bool finished() const { return finished_; }
+  const StreamHeader& header() const { return header_; }
+  std::int64_t cursor() const { return cursor_; }
+
+  // Decodes + validates one chunk map. Returns the data chunk, or
+  // nullopt when the map was the header. Throws DecodeError (or
+  // CorruptDataError for a CRC mismatch) on any violation.
+  std::optional<StreamChunk> Feed(const msgpack::Value& chunk_map);
+
+  // Closes the stream on the terminal result. Throws DecodeError on a
+  // terminal before the header or after a previous terminal.
+  void Finish();
+
+ private:
+  bool got_header_ = false;
+  bool finished_ = false;
+  StreamHeader header_;
+  std::int64_t cursor_;
+};
 
 // RPC method names served by NdpServer.
 inline constexpr const char* kRpcNdpSelect = "ndp.select";

@@ -222,6 +222,7 @@ void FaultInjectingTransport::Close() { inner_->Close(); }
 namespace {
 
 FaultAction ParseAction(const std::string& name, long param) {
+  if (name == "pass") return FaultAction::Pass();
   if (name == "drop") return FaultAction::Drop();
   if (name == "delay") return FaultAction::Delay(std::chrono::microseconds(param));
   if (name == "dup") return FaultAction::Duplicate();

@@ -128,12 +128,16 @@ class FaultInjectingTransport final : public Transport {
 // Parses a compact fault-script spec used by `vizndp_tool --fault`:
 //   spec    := entry (',' entry)*
 //   entry   := ('send'|'recv') '.' action ['*' count] ['=' param]
-//   action  := drop | delay (param: µs) | dup | truncate (param: bytes)
-//            | flip (param: bit index) | down
-// A trailing '+' on an entry loops its action forever. Examples:
+//   action  := pass | drop | delay (param: µs) | dup
+//            | truncate (param: bytes) | flip (param: bit index) | down
+// A trailing '+' on an entry loops its action forever. `pass` delivers
+// the frame untouched — it exists to position a later entry at the k-th
+// frame of a conversation (e.g. a kill at a mid-stream chunk boundary).
+// Examples:
 //   "send.drop*2"          drop the first two requests (retry succeeds)
 //   "send.drop+"           black-hole every request (forces fallback)
 //   "recv.delay=2000*3"    delay the first three replies by 2 ms
+//   "recv.pass*8,recv.down"  deliver 8 frames, then die mid-stream
 // Throws Error on a malformed spec.
 struct FaultSpec {
   std::vector<FaultAction> send_script;

@@ -33,8 +33,16 @@ struct FrameQueue {
     const auto ready = [this] { return !frames.empty() || closed; };
     if (deadline == kNoDeadline) {
       cv.wait(lock, ready);
-    } else if (!cv.wait_until(lock, deadline, ready)) {
-      throw TimeoutError("in-proc receive deadline exceeded");
+    } else if (!ready()) {
+      // An already-expired deadline is a non-blocking poll (the server
+      // sweeps for cancel frames between chunks this way). Handing it to
+      // wait_until anyway costs a pointless timed futex wait — tens of
+      // microseconds per call on glibc — which dominates per-chunk
+      // streaming cost.
+      if (deadline <= std::chrono::steady_clock::now() ||
+          !cv.wait_until(lock, deadline, ready)) {
+        throw TimeoutError("in-proc receive deadline exceeded");
+      }
     }
     if (frames.empty()) {
       throw PeerClosedError("in-proc channel closed by peer");

@@ -45,11 +45,21 @@ void WriteAll(int fd, const Byte* data, size_t size) {
   }
 }
 
-// Waits until `fd` is readable or `deadline` passes.
+// Waits until `fd` is readable or `deadline` passes. An already-expired
+// deadline still checks readability once with a zero timeout: callers use
+// Receive(now) as a non-blocking poll (the server's between-chunk cancel
+// sweep), and a frame that has already arrived must be visible to it.
 void PollReadable(int fd, Deadline deadline) {
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) throw TimeoutError("tcp receive deadline exceeded");
+    if (now >= deadline) {
+      pollfd expired{fd, POLLIN, 0};
+      int rc = ::poll(&expired, 1, 0);
+      while (rc < 0 && errno == EINTR) rc = ::poll(&expired, 1, 0);
+      if (rc < 0) ThrowErrno("tcp poll");
+      if (rc > 0) return;
+      throw TimeoutError("tcp receive deadline exceeded");
+    }
     const auto remaining =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
     // +1 rounds up so we never poll(0) in a hot loop just before expiry.
@@ -117,9 +127,20 @@ class TcpTransport final : public Transport {
     if (fd_ < 0) throw PeerClosedError("tcp transport is closed");
     Byte header[4];
     size_t consumed = 0;
+    // In poll mode (deadline already expired) the sender has started the
+    // frame if the header is readable, but Send() writes header and body
+    // separately, so the body may still be in flight for a few
+    // microseconds. A short grace finishes it instead of timing out
+    // mid-frame, which would poison an otherwise healthy connection.
+    const bool poll_mode = deadline != kNoDeadline &&
+                           deadline <= std::chrono::steady_clock::now();
     try {
       if (!ReadAll(fd_, header, sizeof(header), deadline, &consumed)) {
         throw PeerClosedError("tcp connection closed by peer");
+      }
+      if (poll_mode) {
+        deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
       }
       const std::uint32_t size = LoadLE<std::uint32_t>(header);
       if (size > options_.max_frame_bytes) {

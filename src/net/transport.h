@@ -36,7 +36,10 @@ class Transport {
 
   // Blocks until a frame arrives or `deadline` passes. Throws
   // TimeoutError on deadline expiry and PeerClosedError when the peer
-  // closed.
+  // closed. A deadline already in the past degrades to a non-blocking
+  // poll: a frame that has fully arrived is returned, otherwise
+  // TimeoutError — without sleeping. Streaming handlers lean on this to
+  // sweep for cancel frames between chunks at negligible cost.
   virtual Bytes Receive(Deadline deadline) = 0;
 
   // Blocks until a frame arrives (no deadline).

@@ -54,6 +54,31 @@ void MergeReplyPiggyback(const msgpack::Value& piggyback, std::uint64_t t0,
   obs::MergeRemoteAttempt(tracer, attempt, ctx.trace_id, ctx.span_id);
 }
 
+// Maps a typed-prefix remote error string back to its exception type
+// (the inverse of the server's catch ladder; see rpc/protocol.h).
+[[noreturn]] void ThrowRemoteError(const std::string& method,
+                                   const std::string& remote) {
+  if (remote.starts_with(kBusyErrorPrefix)) {
+    throw BusyError("server busy calling '" + method +
+                    "': " + remote.substr(kBusyErrorPrefix.size()));
+  }
+  if (remote.starts_with(kCorruptErrorPrefix)) {
+    throw CorruptDataError("remote data corruption calling '" + method +
+                           "': " +
+                           remote.substr(kCorruptErrorPrefix.size()));
+  }
+  if (remote.starts_with(kTransientIoErrorPrefix)) {
+    throw TransientIoError(
+        "remote I/O error calling '" + method +
+        "': " + remote.substr(kTransientIoErrorPrefix.size()));
+  }
+  if (remote.starts_with(kIoErrorPrefix)) {
+    throw IoError("remote I/O error calling '" + method +
+                  "': " + remote.substr(kIoErrorPrefix.size()));
+  }
+  throw RpcError("remote error calling '" + method + "': " + remote);
+}
+
 }  // namespace
 
 // One attempt: send the request, then receive until *our* reply arrives.
@@ -89,6 +114,14 @@ msgpack::Value Client::CallOnce(const std::string& method,
     const std::uint64_t t3 = tracer.NowMicros();
     msgpack::Value response = msgpack::Decode(reply);
     auto& fields = response.AsMutable<msgpack::Array>();
+    if (fields.size() >= 2 && fields[0].AsInt() == kChunkType) {
+      // A chunk left over from an abandoned stream on this connection
+      // (the caller resumed after a stall): stale by construction — a
+      // monolithic call never gets chunks of its own.
+      metrics().GetCounter("rpc_stale_replies_total").Increment();
+      obs::GlobalEventLog().Append("rpc.stale_reply", "method=" + method);
+      continue;
+    }
     if (fields.size() < 4 || fields[0].AsInt() != kResponseType) {
       throw RpcError("malformed RPC response");
     }
@@ -110,26 +143,7 @@ msgpack::Value Client::CallOnce(const std::string& method,
     if (!fields[2].IsNil()) {
       // Well-known prefixes carry typed errors across the string-only
       // error slot (see rpc/protocol.h).
-      const std::string& remote = fields[2].As<std::string>();
-      if (remote.starts_with(kBusyErrorPrefix)) {
-        throw BusyError("server busy calling '" + method +
-                        "': " + remote.substr(kBusyErrorPrefix.size()));
-      }
-      if (remote.starts_with(kCorruptErrorPrefix)) {
-        throw CorruptDataError("remote data corruption calling '" + method +
-                               "': " +
-                               remote.substr(kCorruptErrorPrefix.size()));
-      }
-      if (remote.starts_with(kTransientIoErrorPrefix)) {
-        throw TransientIoError(
-            "remote I/O error calling '" + method +
-            "': " + remote.substr(kTransientIoErrorPrefix.size()));
-      }
-      if (remote.starts_with(kIoErrorPrefix)) {
-        throw IoError("remote I/O error calling '" + method +
-                      "': " + remote.substr(kIoErrorPrefix.size()));
-      }
-      throw RpcError("remote error calling '" + method + "': " + remote);
+      ThrowRemoteError(method, fields[2].As<std::string>());
     }
     return std::move(fields[3]);
   }
@@ -214,6 +228,117 @@ msgpack::Value Client::Call(const std::string& method, msgpack::Array params,
         .Increment();
     obs::GlobalEventLog().Append("rpc.retry", EventDetail(method, attempt + 1));
     net::BackoffSleep(retry_, attempt, salt);
+  }
+}
+
+msgpack::Value Client::CallStreaming(const std::string& method,
+                                     msgpack::Array params,
+                                     const StreamCallOptions& options,
+                                     const ChunkCallback& on_chunk,
+                                     bool* cancelled_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::Tracer& tracer = obs::GlobalTracer();
+  if (tracer.enabled()) tracer.SetThreadTrack("client");
+  obs::Span span("rpc.stream:" + method, tracer);
+  if (cancelled_out != nullptr) *cancelled_out = false;
+
+  const auto timeout =
+      options.timeout.count() > 0 ? options.timeout : default_timeout_;
+  const net::Deadline overall = net::DeadlineAfter(timeout);
+  const std::uint64_t msgid = next_msgid_++;
+
+  msgpack::Array request;
+  request.emplace_back(kRequestType);
+  request.emplace_back(msgid);
+  request.emplace_back(method);
+  request.push_back(msgpack::Value(msgpack::Array(params)));
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  const bool traced = ctx.valid() && ctx.sampled;
+  if (traced) request.push_back(ContextToValue(ctx));
+  const std::uint64_t t0 = tracer.NowMicros();
+  transport_->Send(msgpack::Encode(msgpack::Value(std::move(request))));
+
+  bool cancel_sent = false;
+  for (;;) {
+    // Per-frame deadline: the sooner of the overall stream deadline and
+    // the chunk progress deadline, remembering which one is binding so
+    // a wedged stream surfaces as StreamStallError (resumable from the
+    // caller's cursor), not a plain timeout.
+    net::Deadline frame_deadline = overall;
+    bool stall_binding = false;
+    if (options.chunk_timeout.count() > 0) {
+      const net::Deadline stall =
+          std::chrono::steady_clock::now() + options.chunk_timeout;
+      if (stall < frame_deadline) {
+        frame_deadline = stall;
+        stall_binding = true;
+      }
+    }
+    Bytes reply;
+    try {
+      reply = transport_->Receive(frame_deadline);
+    } catch (const TimeoutError&) {
+      if (stall_binding) {
+        metrics()
+            .GetCounter("rpc_stream_stalls_total", {{"method", method}})
+            .Increment();
+        obs::GlobalEventLog().Append("rpc.stream_stall", "method=" + method);
+        throw StreamStallError(
+            "stream '" + method + "' stalled: no frame within " +
+            std::to_string(options.chunk_timeout.count()) + " ms");
+      }
+      metrics().GetCounter("rpc_timeouts_total", {{"method", method}})
+          .Increment();
+      obs::GlobalEventLog().Append("rpc.timeout", EventDetail(method, 1));
+      throw TimeoutError("rpc stream '" + method + "' ran past its overall " +
+                         "deadline");
+    }
+    const std::uint64_t t3 = tracer.NowMicros();
+    msgpack::Value response = msgpack::Decode(reply);
+    auto& fields = response.AsMutable<msgpack::Array>();
+    if (fields.size() < 2) throw RpcError("malformed RPC frame");
+    const std::int64_t type = fields[0].AsInt();
+    const std::uint64_t got = fields[1].AsUint();
+    if (got != msgid) {
+      if (got < msgid) {
+        metrics().GetCounter("rpc_stale_replies_total").Increment();
+        obs::GlobalEventLog().Append("rpc.stale_reply", "method=" + method);
+        continue;  // leftover frame from an abandoned stream
+      }
+      throw RpcError("RPC response msgid mismatch");
+    }
+    if (type == kChunkType) {
+      if (fields.size() < 3) throw RpcError("malformed chunk frame");
+      if (!cancel_sent && !on_chunk(fields[2])) {
+        msgpack::Array cancel;
+        cancel.emplace_back(kCancelType);
+        cancel.emplace_back(msgid);
+        transport_->Send(msgpack::Encode(msgpack::Value(std::move(cancel))));
+        cancel_sent = true;
+        // Keep draining: the terminal frame must be consumed so the
+        // connection stays framed for the next call.
+      }
+      continue;
+    }
+    if (type != kResponseType || fields.size() < 4) {
+      throw RpcError("malformed RPC response");
+    }
+    if (traced && fields.size() >= 5) {
+      MergeReplyPiggyback(fields[4], t0, t3, ctx, tracer);
+    }
+    if (!fields[2].IsNil()) {
+      const std::string& remote = fields[2].As<std::string>();
+      if (remote.starts_with(kCancelledErrorPrefix)) {
+        if (cancel_sent) {
+          // The abort we asked for: an acknowledgement, not an error.
+          if (cancelled_out != nullptr) *cancelled_out = true;
+          return msgpack::Value();
+        }
+        throw RpcError("remote error calling '" + method + "': " + remote);
+      }
+      ThrowRemoteError(method, remote);
+    }
+    return std::move(fields[3]);
   }
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -57,6 +58,37 @@ class Client {
   // were exhausted. Thread-safe (calls are serialized).
   msgpack::Value Call(const std::string& method, msgpack::Array params = {},
                       const CallOptions& options = {});
+
+  // Invoked once per chunk frame with the decoded chunk map. Return
+  // false to cancel the stream: the client sends one cancel frame and
+  // drains to the terminal response.
+  using ChunkCallback = std::function<bool(const msgpack::Value& chunk)>;
+
+  struct StreamCallOptions {
+    // Overall deadline for the whole stream (0 = client default).
+    std::chrono::milliseconds timeout{0};
+    // Progress deadline: the longest wait for the *next* frame before
+    // the stream counts as wedged (StreamStallError); 0 disables. Kept
+    // distinct from `timeout` — a healthy many-chunk stream may
+    // legitimately outlive one monolithic call budget.
+    std::chrono::milliseconds chunk_timeout{0};
+  };
+
+  // Streaming call (protocol.h chunk frames): blocks until the terminal
+  // response, invoking `on_chunk` per chunk. Single attempt by design —
+  // mid-stream recovery is the caller's job, because only the caller
+  // holds the resume cursor. A server that ignores the stream request
+  // simply sends a monolithic response, which is returned with zero
+  // chunk callbacks. Throws StreamStallError (chunk_timeout elapsed,
+  // overall deadline not yet reached), TimeoutError (overall deadline),
+  // or the same typed errors as Call. When the stream ends because
+  // `on_chunk` returned false, `*cancelled_out` is set and the returned
+  // value is Nil. Thread-safe (serialized with Call).
+  msgpack::Value CallStreaming(const std::string& method,
+                               msgpack::Array params,
+                               const StreamCallOptions& options,
+                               const ChunkCallback& on_chunk,
+                               bool* cancelled_out = nullptr);
 
  private:
   msgpack::Value CallOnce(const std::string& method,

@@ -37,6 +37,25 @@ namespace vizndp::rpc {
 inline constexpr std::int64_t kRequestType = 0;
 inline constexpr std::int64_t kResponseType = 1;
 
+// Streaming extension (backward compatible: only handlers bound as
+// streaming ever emit these, and only when the transport-aware dispatch
+// path is in use — a request to an old server never sees them):
+//
+//   chunk:  [2, msgid, chunk(map)]     server -> client, zero or more,
+//                                      all before the closing response
+//   cancel: [3, msgid]                 client -> server, at most once
+//
+// A stream is: chunk* then one ordinary [1, msgid, error, result]
+// response — the terminal frame. Reusing the response type for the
+// terminal frame keeps every error path (typed prefixes, piggybacked
+// trace spans) identical to the monolithic protocol. The chunk map's
+// schema belongs to the method (see ndp/protocol.h for ndp.select's);
+// the rpc layer treats it as opaque. A cancel frame asks the server to
+// stop producing: the server abandons remaining work and closes the
+// stream with a terminal error response carrying the cancelled prefix.
+inline constexpr std::int64_t kChunkType = 2;
+inline constexpr std::int64_t kCancelType = 3;
+
 inline constexpr std::string_view kBusyErrorPrefix = "!busy: ";
 inline constexpr std::string_view kCorruptErrorPrefix = "!corrupt: ";
 // Storage I/O failures reported by the remote store, split the same way
@@ -45,6 +64,9 @@ inline constexpr std::string_view kCorruptErrorPrefix = "!corrupt: ";
 // object, dead device; retrying rereads the same failure).
 inline constexpr std::string_view kIoErrorPrefix = "!io: ";
 inline constexpr std::string_view kTransientIoErrorPrefix = "!io_transient: ";
+// Terminal response of a stream the client cancelled: acknowledged, not
+// an error the client should surface (it asked for the abort).
+inline constexpr std::string_view kCancelledErrorPrefix = "!cancelled: ";
 
 // Keys of the request ctx map.
 inline constexpr const char* kCtxTraceIdKey = "trace_id";

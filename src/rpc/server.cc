@@ -1,6 +1,8 @@
 #include "rpc/server.h"
 
+#include <memory>
 #include <optional>
+#include <thread>
 
 #include "common/error.h"
 #include "msgpack/pack.h"
@@ -20,6 +22,80 @@ namespace {
 // tick, a worker blocked in Receive() on an idle connection would pin
 // TcpRpcServer::Stop() forever.
 constexpr std::chrono::milliseconds kServeTick{50};
+
+// StreamSink bound to one request's transport and msgid. Lives entirely
+// on the dispatch thread: the serve loop is parked inside Dispatch while
+// the handler runs, so Send/Receive here never race it.
+class TransportStreamSink : public StreamSink {
+ public:
+  TransportStreamSink(net::Transport& transport, std::uint64_t msgid)
+      : transport_(transport), msgid_(msgid) {}
+
+  bool Emit(const msgpack::Value& chunk) override {
+    PollCancel();
+    if (cancelled_ || dead_) return false;
+    msgpack::Array frame;
+    frame.emplace_back(kChunkType);
+    frame.emplace_back(msgid_);
+    frame.push_back(chunk);
+    try {
+      transport_.Send(msgpack::Encode(msgpack::Value(std::move(frame))));
+    } catch (const Error&) {
+      dead_ = true;  // peer vanished mid-stream: stop producing
+      return false;
+    }
+    ++chunks_emitted_;
+    // Give a consumer sharing this core a scheduling slot between
+    // chunks. Emitting is much cheaper than consuming, so without the
+    // yield a single-core box runs the whole stream — every chunk plus
+    // the terminal — before the client thread ever wakes, and a cancel
+    // sent after the first chunk can only lose the race. One yield per
+    // chunk is noise at the production chunk size.
+    std::this_thread::yield();
+    return true;
+  }
+
+  bool Cancelled() const override { return cancelled_ || dead_; }
+
+  // Non-blocking drain of frames the client pushed while the handler
+  // computed a batch: a cancel frame for this stream flips cancelled_.
+  // The already-expired deadline never blocks, and on an idle connection
+  // it fires at a frame boundary, so the transport stays framed.
+  void PollCancel() {
+    if (cancelled_ || dead_) return;
+    for (;;) {
+      Bytes frame;
+      try {
+        frame = transport_.Receive(std::chrono::steady_clock::now());
+      } catch (const TimeoutError&) {
+        return;  // nothing waiting
+      } catch (const Error&) {
+        dead_ = true;  // peer closed mid-stream: abandon remaining work
+        return;
+      }
+      try {
+        const msgpack::Value value = msgpack::Decode(frame);
+        const auto& fields = value.As<msgpack::Array>();
+        if (fields.size() >= 2 && fields[0].AsInt() == kCancelType &&
+            fields[1].AsUint() == msgid_) {
+          cancelled_ = true;
+          return;
+        }
+      } catch (const Error&) {
+        dead_ = true;  // garbage between frames poisons this stream only
+        return;
+      }
+      // Anything else (a stale cancel for an earlier stream) is dropped:
+      // a client never pipelines a new request before the terminal frame.
+    }
+  }
+
+ private:
+  net::Transport& transport_;
+  const std::uint64_t msgid_;
+  bool cancelled_ = false;
+  bool dead_ = false;
+};
 
 }  // namespace
 
@@ -82,9 +158,8 @@ void Server::SetOptions(const ServerOptions& options) {
   mem_budget_.SetGauge(&metrics_.GetGauge("rpc_mem_budget_used_bytes"));
 }
 
-void Server::Bind(const std::string& method, Handler handler) {
+Server::Bound& Server::BindCommon(const std::string& method) {
   Bound bound;
-  bound.handler = std::move(handler);
   const obs::Labels labels = {{"method", method}};
   bound.requests = &metrics_.GetCounter("rpc_requests_total", labels);
   bound.errors = &metrics_.GetCounter("rpc_errors_total", labels);
@@ -92,8 +167,18 @@ void Server::Bind(const std::string& method, Handler handler) {
   // plus rpc_dispatch_seconds_window{method} for the last ~10 s.
   bound.latency = &metrics_.GetWindowedHistogram(
       "rpc_dispatch_seconds", obs::LatencyBounds(), labels);
-  VIZNDP_CHECK_MSG(handlers_.emplace(method, std::move(bound)).second,
-                   "duplicate RPC method '" + method + "'");
+  const auto [it, inserted] = handlers_.emplace(method, std::move(bound));
+  VIZNDP_CHECK_MSG(inserted, "duplicate RPC method '" + method + "'");
+  return it->second;
+}
+
+void Server::Bind(const std::string& method, Handler handler) {
+  BindCommon(method).handler = std::move(handler);
+}
+
+void Server::BindStreaming(const std::string& method,
+                           StreamingHandler handler) {
+  BindCommon(method).streaming = std::move(handler);
 }
 
 std::vector<Server::InflightRequest> Server::InflightSnapshot() const {
@@ -105,11 +190,20 @@ std::vector<Server::InflightRequest> Server::InflightSnapshot() const {
 }
 
 Bytes Server::Dispatch(ByteSpan request_frame) {
+  return Dispatch(request_frame, nullptr);
+}
+
+Bytes Server::Dispatch(ByteSpan request_frame, net::Transport* transport) {
   // Receive timestamp for the reply piggyback (this server's clock; the
   // client aligns it with the NTP midpoint — see obs/trace_merge.h).
   const std::uint64_t t_recv = obs::GlobalTracer().NowMicros();
   msgpack::Value request = msgpack::Decode(request_frame);
   const auto& fields = request.As<msgpack::Array>();
+  if (!fields.empty() && fields[0].AsInt() == kCancelType) {
+    // A cancel frame that outlived its stream (the terminal response was
+    // already sent): nothing to do, nothing to answer.
+    return Bytes{};
+  }
   if (fields.size() < 4 || fields[0].AsInt() != kRequestType) {
     throw RpcError("malformed RPC request");
   }
@@ -163,15 +257,40 @@ Bytes Server::Dispatch(ByteSpan request_frame) {
         inflight_table_.emplace(
             inflight_token, InflightRequest{method, ctx.trace_id, t_recv});
       }
+      std::unique_ptr<TransportStreamSink> sink;
+      if (transport != nullptr && it->second.streaming) {
+        sink = std::make_unique<TransportStreamSink>(*transport, msgid);
+      }
       try {
-        result = it->second.handler(params);
+        result = it->second.streaming
+                     ? it->second.streaming(params, sink.get())
+                     : it->second.handler(params);
+        if (sink != nullptr && sink->Cancelled()) {
+          // The client asked for the abort (or vanished): acknowledge
+          // with a typed terminal instead of a half-built result.
+          error = std::string(kCancelledErrorPrefix) + "stream cancelled";
+          result = msgpack::Value();
+        }
       } catch (const BusyError& e) {
-        // Resource budget shed inside the handler, before any effect:
-        // still always retryable from the client's point of view.
-        error = std::string(kBusyErrorPrefix) + e.what();
-        busy_rejected_->Increment();
-        obs::GlobalEventLog().Append("rpc.shed",
-                                     "reason=budget method=" + method);
+        if (sink != nullptr && sink->chunks_emitted() > 0) {
+          // Invariant (overload_test pins it): `!busy:` means "the
+          // handler never ran, retry blindly". A stream that already
+          // emitted chunks has run, so a late budget failure must not
+          // masquerade as a shed — it becomes an ordinary handler error
+          // and the client resumes from its cursor instead of retrying
+          // the whole call.
+          error = std::string("stream failed mid-flight: ") + e.what();
+          it->second.errors->Increment();
+          obs::GlobalEventLog().Append("rpc.handler_error",
+                                       "method=" + method);
+        } else {
+          // Resource budget shed inside the handler, before any effect:
+          // still always retryable from the client's point of view.
+          error = std::string(kBusyErrorPrefix) + e.what();
+          busy_rejected_->Increment();
+          obs::GlobalEventLog().Append("rpc.shed",
+                                       "reason=budget method=" + method);
+        }
       } catch (const CorruptDataError& e) {
         // Typed so the client can distinguish "your data is bad" (fall
         // back to baseline) from generic handler failure.
@@ -307,7 +426,7 @@ void Server::ServeTransport(net::Transport& transport) {
     }
     Bytes response;
     try {
-      response = Dispatch(request);
+      response = Dispatch(request, &transport);
     } catch (const Error&) {
       // Undecodable/malformed frame: drop the connection, keep serving
       // others. Before this guard, one garbage frame killed the thread.
@@ -316,6 +435,7 @@ void Server::ServeTransport(net::Transport& transport) {
       transport.Close();
       return;
     }
+    if (response.empty()) continue;  // stray cancel frame: no reply owed
     try {
       transport.Send(response);
     } catch (const Error&) {

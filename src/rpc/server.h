@@ -107,14 +107,49 @@ class MemoryBudget {
   obs::Gauge* gauge_ = nullptr;
 };
 
+// Outbound side of one streaming reply (protocol.h: chunk frames
+// [2, msgid, map] followed by one ordinary terminal response). Handed to
+// handlers bound with BindStreaming; the dispatcher owns the concrete
+// sink and ties it to the request's transport and msgid.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+
+  // Sends one chunk frame. Returns false when the stream is dead — the
+  // client sent a cancel frame or the connection closed — after which
+  // the handler must stop producing and return promptly (its return
+  // value is replaced by a cancelled terminal response).
+  virtual bool Emit(const msgpack::Value& chunk) = 0;
+
+  // True once a cancel frame or peer-close has been observed. Checked by
+  // handlers between expensive batches to abandon work early.
+  virtual bool Cancelled() const = 0;
+
+  std::uint64_t chunks_emitted() const { return chunks_emitted_; }
+
+ protected:
+  std::uint64_t chunks_emitted_ = 0;
+};
+
 class Server {
  public:
   using Handler = std::function<msgpack::Value(const msgpack::Array& params)>;
+  // Streaming handler: `sink` is null when the request arrived through a
+  // transport-less Dispatch (in-proc tests, old front ends) — the
+  // handler must then answer monolithically, exactly like a Handler.
+  using StreamingHandler = std::function<msgpack::Value(
+      const msgpack::Array& params, StreamSink* sink)>;
 
   void SetOptions(const ServerOptions& options);
   const ServerOptions& options() const { return options_; }
 
   void Bind(const std::string& method, Handler handler);
+
+  // Binds a method that may stream its reply. Whether it actually
+  // streams is the handler's choice per request (ndp.select streams only
+  // when the params carry a stream map), so one binding serves old
+  // monolithic clients and new streaming ones.
+  void BindStreaming(const std::string& method, StreamingHandler handler);
 
   // Serves one connection until the peer closes or the server stops.
   // Runs on the caller's thread; use std::thread for concurrent serving.
@@ -124,6 +159,15 @@ class Server {
   // the encoded response frame. Exposed for tests. Safe to call from
   // many threads at once (that is what the in-flight cap is for).
   Bytes Dispatch(ByteSpan request_frame);
+
+  // Transport-aware dispatch: identical, except a streaming handler gets
+  // a live StreamSink that emits chunk frames on `transport` and polls
+  // it (non-blocking, between frames) for cancel frames. Returns the
+  // terminal response frame, or empty Bytes for a frame that needs no
+  // reply (a stray cancel for an already-closed stream). ServeTransport
+  // uses this overload; chunk emission happens on the caller's thread,
+  // so Send never races the serve loop's Receive.
+  Bytes Dispatch(ByteSpan request_frame, net::Transport* transport);
 
   // Graceful drain: immediately sheds every new request with a busy
   // reply, then waits up to options().drain_deadline for in-flight
@@ -168,13 +212,17 @@ class Server {
 
  private:
   // Handler plus its metric handles, resolved once at Bind so Dispatch
-  // stays lock-free on the metrics path.
+  // stays lock-free on the metrics path. Exactly one of handler /
+  // streaming is set.
   struct Bound {
     Handler handler;
+    StreamingHandler streaming;
     obs::Counter* requests = nullptr;
     obs::Counter* errors = nullptr;
     obs::WindowedHistogram* latency = nullptr;
   };
+
+  Bound& BindCommon(const std::string& method);
 
   std::map<std::string, Bound> handlers_;
   ServerOptions options_;

@@ -36,7 +36,11 @@ struct AuditPair {
 };
 // (scrub_corrupt_found_total is deliberately absent: it counts every
 // corrupt sighting every pass, while scrub.quarantine journals only the
-// transition into quarantine — they are not 1:1 by design.)
+// transition into quarantine — they are not 1:1 by design.
+// ndp_stream_cancelled_total is also absent, but for a different
+// reason: it lives in per-NdpServer registries that a restart resets,
+// so a schedule-wide sum undercounts against the journal. The cancel
+// drill audits it 1:1 over its own restart-free window instead.)
 constexpr AuditPair kAuditPairs[] = {
     {"cluster_failover_total", "cluster.failover"},
     {"ndp_hedge_launched_total", "cluster.hedge"},
@@ -53,6 +57,8 @@ constexpr AuditPair kAuditPairs[] = {
     {"slo_burn_alert_total", "slo.burn_alert"},
     {"slo_burn_clear_total", "slo.burn_clear"},
     {"cluster_slow_node_total", "cluster.slow_node"},
+    {"ndp_stream_resume_total", "ndp.stream_resume"},
+    {"rpc_stream_stalls_total", "rpc.stream_stall"},
 };
 
 enum class Fault {
@@ -127,6 +133,9 @@ std::string ChaosReport::Summary() const {
      << " view_changes=" << view_changes
      << " slo_burn_alerts=" << slo_burn_alerts
      << " slo_burn_clears=" << slo_burn_clears << " slow_nodes=" << slow_nodes
+     << " stream_fetches=" << stream_fetches
+     << " stream_resumes=" << stream_resumes
+     << " stream_cancels=" << stream_cancels
      << " violations=" << violations.size();
   return os.str();
 }
@@ -223,13 +232,22 @@ ChaosReport RunChaos(const ChaosOptions& options) {
       scraper.ScrapeOnce();
       scraper.ScrapeOnce();
 
+      // Every other fetch goes through the chunked-reply path, so every
+      // fault kind also lands on streams — which must hold the exact
+      // same contract: degraded latency, never degraded bits.
+      ndp::StreamOptions stream_on;
+      stream_on.chunk_bricks = options.stream_chunk_bricks;
+      std::uint64_t fetch_index = 0;
       std::uint64_t last_epoch = 0;
-      auto check_fetch = [&](int step) {
+      auto check_fetch_mode = [&](int step, bool streaming) {
+        cluster.sharded_client()->SetStream(streaming ? stream_on
+                                                      : ndp::StreamOptions{});
         const auto fetch_start = std::chrono::steady_clock::now();
         try {
           const contour::PolyData got =
               cluster.sharded_client()->Contour(kKey, "v02", kIsos);
           ++report.fetches;
+          if (streaming) ++report.stream_fetches;
           if (!got.GeometricallyEquals(reference, 0.0)) {
             violate(step, "geometry differs from single-server oracle");
           }
@@ -264,6 +282,10 @@ ChaosReport RunChaos(const ChaosOptions& options) {
           }
           last_epoch = view->epoch;
         }
+      };
+      auto check_fetch = [&](int step) {
+        check_fetch_mode(step, options.stream_chunk_bricks > 0 &&
+                                   (fetch_index++ % 2 == 1));
       };
 
       int busy_node = -1;  // node currently shedding selects, or -1
@@ -571,6 +593,109 @@ ChaosReport RunChaos(const ChaosOptions& options) {
         }
       }
 
+      // Streaming recovery drills — the chunked-reply contract under
+      // chaos: every started stream completes bit-identically, resumes
+      // from its cursor, or is accounted cancelled.
+      if (options.stream_chunk_bricks > 0) {
+        const int drill_step = options.steps + 2;
+        // (a) Client cancel: accounted exactly once, where it is
+        // detected (the serving node's counter) and in the journal.
+        // Audited over this restart-free window because restarts reset
+        // per-server registries (see the kAuditPairs note).
+        {
+          auto cancelled_sum = [&] {
+            std::uint64_t sum = 0;
+            for (int i = 0; i < options.servers; ++i) {
+              sum += cluster.ndp_server(i)
+                         .metrics()
+                         .GetCounter("ndp_stream_cancelled_total")
+                         .value();
+            }
+            return sum;
+          };
+          const std::shared_ptr<ndp::NdpClient> direct =
+              cluster.server_client(pick_alive());
+          ndp::StreamOptions fine;
+          fine.chunk_bricks = 1;  // maximize boundaries for the cancel
+          direct->SetStream(fine);
+          std::atomic<std::uint64_t> chunks_seen{0};
+          direct->SetStreamProgress(
+              [&](const ndp::StreamProgress& p) { chunks_seen = p.chunks; });
+          direct->SetStreamCancel([&] { return chunks_seen.load() >= 1; });
+          const std::uint64_t cancels_before = cancelled_sum();
+          const std::uint64_t cancel_seq = journal.LastSeq();
+          bool landed = false;
+          // A short stream can race to completion before the cancel
+          // frame lands; stream_cancelled says which way it went, so a
+          // lost race just reruns the drill.
+          for (int attempt = 0; attempt < 3 && !landed; ++attempt) {
+            chunks_seen = 0;
+            ndp::NdpLoadStats stats;
+            grid::UniformGeometry geo;
+            try {
+              (void)direct->FetchSparseField(kKey, "v02", kIsos, &geo,
+                                             &stats);
+              landed = stats.stream_cancelled;
+            } catch (const Error& e) {
+              violate(drill_step,
+                      std::string("cancel drill fetch failed: ") + e.what());
+              break;
+            }
+          }
+          direct->SetStreamProgress({});
+          direct->SetStreamCancel({});
+          const std::uint64_t cancel_delta = cancelled_sum() - cancels_before;
+          const size_t cancel_events =
+              journal.CountSince("ndp.stream_cancel", cancel_seq);
+          if (!landed) {
+            violate(drill_step, "cancel drill never landed mid-stream");
+          } else if (cancel_delta == 0) {
+            violate(drill_step, "cancelled stream not accounted on server");
+          }
+          if (cancel_delta != cancel_events) {
+            violate(drill_step,
+                    "audit: ndp_stream_cancelled_total=" +
+                        std::to_string(cancel_delta) +
+                        " but ndp.stream_cancel events=" +
+                        std::to_string(cancel_events));
+          }
+          report.stream_cancels += cancel_delta;
+        }
+        // (b) Chunk-boundary kill: sever one node's data channel at the
+        // first chunk boundary of a sharded stream. The cursor must
+        // resume (same node is permanently down, so on a replica) and
+        // the merged geometry must still match the oracle bit for bit.
+        // The victim is whichever node delivers the first data chunk —
+        // a pre-picked node can't work, because progress only fires for
+        // data chunks and a shard slice with no straddling bricks
+        // streams zero of them, leaving the kill unarmed. This drill
+        // runs last for a reason: fault-layer disconnects are
+        // permanent, and nothing touches the severed channel again
+        // before teardown.
+        {
+          std::atomic<bool> armed{true};
+          for (int i = 0; i < options.servers; ++i) {
+            cluster.server_client(i)->SetStreamProgress(
+                [&, i](const ndp::StreamProgress&) {
+                  if (armed.exchange(false)) {
+                    cluster.fault(i).ScriptReceive(
+                        {net::FaultAction::Disconnect()});
+                  }
+                });
+          }
+          const std::uint64_t resumes_before =
+              CounterValue("ndp_stream_resume_total");
+          check_fetch_mode(drill_step, /*streaming=*/true);
+          for (int i = 0; i < options.servers; ++i) {
+            cluster.server_client(i)->SetStreamProgress({});
+          }
+          if (CounterValue("ndp_stream_resume_total") == resumes_before) {
+            violate(drill_step,
+                    "chunk-boundary kill never produced a stream resume");
+          }
+        }
+      }
+
       const auto view = monitor.view();
       final_epoch = view != nullptr ? view->epoch : 0;
       phase("recovery");
@@ -601,6 +726,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     }
     report.view_changes += view_events;
     report.rejoins += journal.CountSince("cluster.rejoin", base_seq);
+    report.stream_resumes += journal.CountSince("ndp.stream_resume", base_seq);
     report.slo_burn_alerts += journal.CountSince("slo.burn_alert", base_seq);
     report.slo_burn_clears += journal.CountSince("slo.burn_clear", base_seq);
     report.slow_nodes += journal.CountSince("cluster.slow_node", base_seq);

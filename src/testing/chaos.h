@@ -57,6 +57,12 @@ struct ChaosOptions {
   std::chrono::milliseconds probe_period{20};
   std::chrono::milliseconds call_timeout{2000};
   double hedge_ms = 10;  // fixed hedge so parked-loser reaping exercises
+  // Chunked-reply coverage: every other chaotic fetch goes through the
+  // streaming path with this many bricks per chunk, and each schedule
+  // ends with two streaming drills (a client cancel that must be
+  // accounted exactly once, and a chunk-boundary kill that must resume
+  // from its cursor on a replica, bit-identically). 0 disables both.
+  std::int64_t stream_chunk_bricks = 2;
   bool verbose = false;  // per-schedule progress on stdout
 };
 
@@ -80,6 +86,11 @@ struct ChaosReport {
   std::uint64_t slo_burn_alerts = 0;
   std::uint64_t slo_burn_clears = 0;
   std::uint64_t slow_nodes = 0;
+  // Streaming-path coverage: chunked fetches that matched the oracle,
+  // cursor resumes journaled, and cancels accounted on a server.
+  std::uint64_t stream_fetches = 0;
+  std::uint64_t stream_resumes = 0;
+  std::uint64_t stream_cancels = 0;
   // Invariant violations; empty = the run passed.
   std::vector<std::string> violations;
 

@@ -127,6 +127,70 @@ void ValidateSelectParams(ByteSpan input) {
   (void)ndp::BrickRestrictionFromValue(p[5]);
 }
 
+// A complete, valid chunked ndp.select reply stream — header, two
+// CRC-stamped data chunks with real encoded-selection payloads, and a
+// Nil terminal marker — packed as one msgpack array so mutations can hit
+// the frame walk, the StreamDecoder state machine, and the payload
+// decoder in one pass.
+Bytes StreamFramesSeed() {
+  ndp::StreamHeader header;
+  header.dims = grid::Dims{6, 6, 6};
+  header.dtype = grid::DataType::Float32;
+  header.bricks_total = 8;
+  header.stream_bricks = 4;
+  header.total_points = header.dims.PointCount();
+
+  msgpack::Array frames;
+  frames.push_back(ndp::StreamHeaderToValue(header));
+  std::int64_t cursor = 1;
+  for (int batch = 0; batch < 2; ++batch) {
+    contour::Selection sel;
+    sel.dims = header.dims;
+    sel.total_points = header.total_points;
+    std::vector<float> values;
+    for (std::int64_t i = 0; i < 24; ++i) {
+      sel.ids.push_back(static_cast<grid::PointId>(batch * 60 + i * 2));
+      values.push_back(0.1f * static_cast<float>(i + 1));
+    }
+    sel.values = grid::DataArray::FromVector("v", values);
+    ndp::StreamChunk chunk;
+    chunk.cursor = cursor;
+    cursor += 3;
+    chunk.bricks = 2;
+    chunk.selected = static_cast<std::int64_t>(sel.ids.size());
+    chunk.payload =
+        ndp::EncodeSelection(sel, ndp::SelectionEncoding::kRunLength);
+    frames.push_back(ndp::StreamChunkToValue(chunk));
+  }
+  frames.emplace_back(msgpack::Nil{});  // terminal marker
+  return msgpack::Encode(msgpack::Value(std::move(frames)));
+}
+
+// Replays a frame array through the same StreamDecoder the client runs:
+// header first and once, strictly ascending cursors, CRC-checked
+// payloads that must decode against the header's dims, exactly one
+// terminal (the Nil element), nothing after it.
+void ValidateStreamFrames(ByteSpan input) {
+  const msgpack::Value v = msgpack::Decode(input);
+  if (!v.Is<msgpack::Array>()) {
+    throw DecodeError("stream frames: not an array");
+  }
+  ndp::StreamDecoder decoder(/*resume_after=*/-1);
+  for (const msgpack::Value& frame : v.As<msgpack::Array>()) {
+    if (frame.Is<msgpack::Nil>()) {
+      decoder.Finish();
+      continue;
+    }
+    const std::optional<ndp::StreamChunk> chunk = decoder.Feed(frame);
+    if (chunk.has_value()) {
+      (void)ndp::DecodeSelection(chunk->payload, decoder.header().dims);
+    }
+  }
+  if (!decoder.finished()) {
+    throw DecodeError("stream frames: missing terminal");
+  }
+}
+
 }  // namespace
 
 Bytes MutateBytes(ByteSpan input, FuzzRng& rng) {
@@ -242,6 +306,11 @@ std::vector<FuzzTarget> BuiltinFuzzTargets() {
   targets.push_back({"ndp-select", [] { return SelectParamsSeed(); },
                      [](ByteSpan input, size_t) {
                        ValidateSelectParams(input);
+                     }});
+
+  targets.push_back({"ndp-stream", [] { return StreamFramesSeed(); },
+                     [](ByteSpan input, size_t) {
+                       ValidateStreamFrames(input);
                      }});
 
   targets.push_back({"vnd-header", [] { return VndSeedImage(); },

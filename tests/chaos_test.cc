@@ -401,6 +401,13 @@ TEST(Chaos, SeededSchedulesPreserveEveryInvariant) {
   EXPECT_GE(report.restarts, 3u);
   EXPECT_GE(report.rejoins, 3u);
   EXPECT_GE(report.rejoined_served, 3u);
+  // Streaming rode along: every other fetch was chunked, each schedule
+  // ended with a cancel drill (accounted 1:1) and a chunk-boundary kill
+  // drill (cursor resume on a replica, bit-identical) — so resumes and
+  // cancels must both have landed at least once per schedule.
+  EXPECT_GT(report.stream_fetches, 0u);
+  EXPECT_GE(report.stream_resumes, 3u);
+  EXPECT_GE(report.stream_cancels, 3u);
   // Satellite: parked hedge losers drained with the last schedule.
   EXPECT_EQ(
       obs::DefaultRegistry().GetGauge("cluster_hedge_parked").value(), 0.0);

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -301,6 +303,207 @@ TEST(Overload, StopReportsDrainTimeout) {
   inflight.join();
   // Stop is idempotent, and with the straggler gone the drain is clean.
   EXPECT_TRUE(server.Stop());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming replies: incremental memory accounting and the shed-only-
+// before-first-chunk rule.
+// ---------------------------------------------------------------------------
+
+// The point of per-batch reservations: a budget that admits exactly one
+// monolithic request (whole working set held for the call's lifetime)
+// admits strictly more streaming requests, because each stream only ever
+// holds one batch.
+TEST(Overload, StreamingAdmitsStrictlyMoreAtSameMemBudget) {
+  constexpr std::uint64_t kBudget = 100;
+  constexpr int kBatches = 3;
+  constexpr std::uint64_t kBatchBytes = 20;  // 60 bytes of work per request
+
+  Server server;
+  ServerOptions options;
+  options.mem_budget_bytes = kBudget;
+  server.SetOptions(options);
+
+  std::atomic<bool> release_mono{false};
+  std::atomic<int> stream_arrivals{0};
+  std::atomic<std::uint64_t> peak_in_use{0};
+
+  server.BindStreaming(
+      "fetch", [&](const msgpack::Array& p, StreamSink* sink) -> msgpack::Value {
+        const bool streaming =
+            sink != nullptr && !p.empty() && p.at(0).AsInt() == 1;
+        if (!streaming) {
+          // Monolithic: the whole working set stays reserved until the
+          // reply is built.
+          MemoryBudget::Reservation r(server.memory_budget(),
+                                      kBatches * kBatchBytes);
+          while (!release_mono.load()) std::this_thread::yield();
+          return msgpack::Value(true);
+        }
+        for (int batch = 0; batch < kBatches; ++batch) {
+          MemoryBudget::Reservation r(server.memory_budget(), kBatchBytes);
+          if (batch == 0) {
+            // Rendezvous: both streams must hold a reservation at once —
+            // concurrency, not lucky serialization.
+            stream_arrivals.fetch_add(1);
+            const auto deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(5);
+            while (stream_arrivals.load() < 2 &&
+                   std::chrono::steady_clock::now() < deadline) {
+              std::this_thread::yield();
+            }
+          }
+          std::uint64_t seen = server.memory_budget().in_use();
+          std::uint64_t prev = peak_in_use.load();
+          while (seen > prev && !peak_in_use.compare_exchange_weak(prev, seen)) {
+          }
+          if (!sink->Emit(msgpack::Value(static_cast<std::int64_t>(batch)))) {
+            break;
+          }
+        }  // the batch reservation releases as each chunk flushes
+        return msgpack::Value(true);
+      });
+
+  // Monolithic pair: the budget admits exactly one.
+  std::thread mono_holder([&] {
+    const Bytes r = server.Dispatch(RequestFrame(1, "fetch"));
+    EXPECT_EQ(ResponseError(r), "");
+  });
+  while (server.memory_budget().in_use() == 0) std::this_thread::yield();
+  const std::string shed = ResponseError(server.Dispatch(RequestFrame(2, "fetch")));
+  EXPECT_TRUE(shed.starts_with(kBusyErrorPrefix));
+  release_mono.store(true);
+  mono_holder.join();
+  EXPECT_EQ(server.memory_budget().in_use(), 0u);
+  const int mono_admitted = 1;
+
+  // Streaming pair at the same budget: both admitted, both complete.
+  net::TransportPair p1 = net::CreateInProcPair();
+  net::TransportPair p2 = net::CreateInProcPair();
+  std::thread serve1([&] { server.ServeTransport(*p1.b); });
+  std::thread serve2([&] { server.ServeTransport(*p2.b); });
+  std::atomic<int> completed{0};
+  auto run_stream = [&](net::TransportPtr transport) {
+    Client client(std::move(transport));
+    msgpack::Array params;
+    params.emplace_back(std::int64_t{1});
+    int chunks = 0;
+    Client::StreamCallOptions copts;
+    const msgpack::Value terminal = client.CallStreaming(
+        "fetch", std::move(params), copts, [&](const msgpack::Value&) {
+          ++chunks;
+          return true;
+        });
+    EXPECT_EQ(chunks, kBatches);
+    EXPECT_TRUE(terminal.As<bool>());
+    completed.fetch_add(1);
+  };
+  std::thread c1([&] { run_stream(std::move(p1.a)); });
+  std::thread c2([&] { run_stream(std::move(p2.a)); });
+  c1.join();
+  c2.join();
+  serve1.join();
+  serve2.join();
+
+  const int streaming_admitted = completed.load();
+  EXPECT_GT(streaming_admitted, mono_admitted);  // the tentpole claim
+  // Both streams really overlapped (two batch reservations at once)...
+  EXPECT_GE(peak_in_use.load(), 2 * kBatchBytes);
+  // ...yet the budget never saw anything close to two whole working sets.
+  EXPECT_LE(peak_in_use.load(), kBudget);
+  EXPECT_EQ(server.memory_budget().in_use(), 0u);
+}
+
+// Before the first chunk a streaming request is shed exactly like any
+// other: typed busy, safely retryable, nothing consumed.
+TEST(Overload, StreamShedBeforeFirstChunkIsRetryableBusy) {
+  Server server;
+  ServerOptions options;
+  options.max_inflight = 1;
+  server.SetOptions(options);
+
+  std::atomic<bool> release{false};
+  server.BindStreaming("stream",
+                       [&](const msgpack::Array&, StreamSink*) -> msgpack::Value {
+                         while (!release.load()) std::this_thread::yield();
+                         return msgpack::Value(true);
+                       });
+
+  net::TransportPair blocked_pair = net::CreateInProcPair();
+  net::TransportPair shed_pair = net::CreateInProcPair();
+  std::thread serve_blocked([&] { server.ServeTransport(*blocked_pair.b); });
+  std::thread serve_shed([&] { server.ServeTransport(*shed_pair.b); });
+
+  std::thread occupant([&] {
+    Client client(std::move(blocked_pair.a));
+    client.Call("stream");
+  });
+  while (server.inflight() == 0) std::this_thread::yield();
+
+  {
+    Client client(std::move(shed_pair.a));
+    net::RetryPolicy retry;
+    retry.max_attempts = 1;
+    client.SetRetryPolicy(retry);
+    int chunks = 0;
+    Client::StreamCallOptions copts;
+    EXPECT_THROW((void)client.CallStreaming("stream", {}, copts,
+                                            [&](const msgpack::Value&) {
+                                              ++chunks;
+                                              return true;
+                                            }),
+                 BusyError);
+    EXPECT_EQ(chunks, 0);  // shed means *nothing* was consumed
+  }
+
+  release.store(true);
+  occupant.join();
+  serve_blocked.join();
+  serve_shed.join();
+}
+
+// After the first chunk the busy contract is pinned shut: a mid-stream
+// BusyError must NOT surface as a retryable busy reply (the client
+// already consumed chunks; a blind retry would double-scatter a
+// half-delivered stream on a client without resume cursors). It comes
+// back as a plain stream failure instead.
+TEST(Overload, MidStreamBusyNeverBecomesRetryableBusyReply) {
+  Server server;
+
+  server.BindStreaming(
+      "leaky", [&](const msgpack::Array&, StreamSink* sink) -> msgpack::Value {
+        if (sink != nullptr) {
+          sink->Emit(msgpack::Value(std::int64_t{1}));
+          throw BusyError("budget starved mid-flight");
+        }
+        return msgpack::Value(true);
+      });
+
+  net::TransportPair pair = net::CreateInProcPair();
+  std::thread serve([&] { server.ServeTransport(*pair.b); });
+  {
+    Client client(std::move(pair.a));
+    int chunks = 0;
+    Client::StreamCallOptions copts;
+    try {
+      (void)client.CallStreaming("leaky", {}, copts,
+                                 [&](const msgpack::Value&) {
+                                   ++chunks;
+                                   return true;
+                                 });
+      FAIL() << "expected the stream to fail";
+    } catch (const BusyError&) {
+      FAIL() << "mid-stream busy leaked through as retryable";
+    } catch (const RpcError& e) {
+      EXPECT_NE(std::string(e.what()).find("stream failed mid-flight"),
+                std::string::npos);
+    }
+    EXPECT_EQ(chunks, 1);
+  }
+  serve.join();
+  // The guard rewrote the error rather than shedding: no busy accounting.
+  EXPECT_EQ(server.metrics().GetCounter("rpc_busy_rejected_total").value(),
+            0.0);
 }
 
 TEST(Overload, TcpServerStopJoinsCleanly) {

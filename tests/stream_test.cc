@@ -1,0 +1,497 @@
+// Streaming replies with mid-stream recovery: the chunked ndp.select
+// contract. A streamed fetch must reconstruct the exact field the
+// monolithic reply produces — through chunking, stalls, resumes, replica
+// hops, and client cancellation — and every degradation must be visible
+// in metrics and the event journal.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "bench_util/testbed.h"
+#include "common/error.h"
+#include "compress/checksum.h"
+#include "io/vnd_format.h"
+#include "ndp/ndp_client.h"
+#include "ndp/protocol.h"
+#include "net/fault.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "sim/impact.h"
+
+namespace vizndp::ndp {
+namespace {
+
+using namespace std::chrono_literals;
+using bench_util::ClusterTestbed;
+using bench_util::ClusterTestbedConfig;
+using bench_util::Testbed;
+
+const std::vector<double> kIsos = {0.2, 0.5};
+
+void StoreDataset(storage::ObjectStore& store, const std::string& bucket,
+                  const std::string& key, int n, std::int32_t brick_edge) {
+  sim::ImpactConfig cfg;
+  cfg.n = n;
+  const grid::Dataset ds = sim::GenerateImpactTimestep(cfg, 24006, {"v02"});
+  io::VndWriter writer(ds);
+  writer.SetCodec(compress::MakeCodec("lz4"));
+  writer.SetBrickSize(brick_edge);
+  writer.WriteToStore(store, bucket, key);
+}
+
+std::uint64_t CounterValue(const std::string& name) {
+  return obs::DefaultRegistry().GetCounter(name).value();
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+
+TEST(StreamCodec, ParamsRoundTripAndNil) {
+  StreamParams params;
+  params.chunk_bricks = 7;
+  params.resume_after = 41;
+  const auto back = StreamParamsFromValue(StreamParamsToValue(params));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->chunk_bricks, 7);
+  EXPECT_EQ(back->resume_after, 41);
+
+  // Absent (Nil) = monolithic request, the pre-streaming wire shape.
+  EXPECT_FALSE(StreamParamsFromValue(msgpack::Value()).has_value());
+
+  StreamParams bad;
+  bad.chunk_bricks = 0;
+  EXPECT_THROW((void)StreamParamsFromValue(StreamParamsToValue(bad)),
+               DecodeError);
+  bad.chunk_bricks = 4;
+  bad.resume_after = -2;
+  EXPECT_THROW((void)StreamParamsFromValue(StreamParamsToValue(bad)),
+               DecodeError);
+}
+
+StreamHeader TestHeader() {
+  StreamHeader h;
+  h.dims = grid::Dims{6, 6, 6};
+  h.dtype = grid::DataType::Float32;
+  h.bricks_total = 8;
+  h.stream_bricks = 4;
+  h.total_points = h.dims.PointCount();
+  return h;
+}
+
+StreamChunk TestChunk(std::int64_t cursor) {
+  contour::Selection sel;
+  sel.dims = grid::Dims{6, 6, 6};
+  sel.total_points = sel.dims.PointCount();
+  std::vector<float> values;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    sel.ids.push_back(static_cast<grid::PointId>(cursor * 20 + i));
+    values.push_back(0.5f * static_cast<float>(i));
+  }
+  sel.values = grid::DataArray::FromVector("v", values);
+  StreamChunk chunk;
+  chunk.cursor = cursor;
+  chunk.bricks = 1;
+  chunk.selected = 16;
+  chunk.payload = EncodeSelection(sel, SelectionEncoding::kRunLength);
+  return chunk;
+}
+
+TEST(StreamCodec, DecoderAcceptsWellFormedStream) {
+  StreamDecoder decoder;
+  EXPECT_FALSE(decoder.Feed(StreamHeaderToValue(TestHeader())).has_value());
+  ASSERT_TRUE(decoder.got_header());
+  EXPECT_EQ(decoder.header().bricks_total, 8);
+
+  const auto c1 = decoder.Feed(StreamChunkToValue(TestChunk(1)));
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->cursor, 1);
+  const auto decoded = DecodeSelection(c1->payload, decoder.header().dims);
+  EXPECT_EQ(decoded.ids.size(), 16u);
+
+  EXPECT_TRUE(decoder.Feed(StreamChunkToValue(TestChunk(4))).has_value());
+  EXPECT_EQ(decoder.cursor(), 4);
+  decoder.Finish();
+  EXPECT_TRUE(decoder.finished());
+}
+
+TEST(StreamCodec, DecoderEnforcesResumeCursor) {
+  // A resumed stream must never re-deliver bricks at or below the
+  // cursor the client already scattered.
+  StreamDecoder decoder(/*resume_after=*/3);
+  (void)decoder.Feed(StreamHeaderToValue(TestHeader()));
+  EXPECT_THROW((void)decoder.Feed(StreamChunkToValue(TestChunk(3))),
+               DecodeError);
+  StreamDecoder fresh(/*resume_after=*/3);
+  (void)fresh.Feed(StreamHeaderToValue(TestHeader()));
+  EXPECT_TRUE(fresh.Feed(StreamChunkToValue(TestChunk(4))).has_value());
+}
+
+TEST(StreamCodec, DecoderRejectsHostileFrames) {
+  // Data before the header.
+  {
+    StreamDecoder decoder;
+    EXPECT_THROW((void)decoder.Feed(StreamChunkToValue(TestChunk(1))),
+                 DecodeError);
+  }
+  // Duplicate header.
+  {
+    StreamDecoder decoder;
+    (void)decoder.Feed(StreamHeaderToValue(TestHeader()));
+    EXPECT_THROW((void)decoder.Feed(StreamHeaderToValue(TestHeader())),
+                 DecodeError);
+  }
+  // CRC lie: typed as corruption, not a generic decode error.
+  {
+    StreamDecoder decoder;
+    (void)decoder.Feed(StreamHeaderToValue(TestHeader()));
+    StreamChunk chunk = TestChunk(1);
+    chunk.payload[chunk.payload.size() - 1] ^= 0x01;
+    // Re-stamp nothing: StreamChunkToValue recomputes the CRC, so lie by
+    // mutating the payload *after* encoding the map.
+    msgpack::Value map = StreamChunkToValue(TestChunk(1));
+    for (auto& [k, v] : map.AsMutable<msgpack::Map>()) {
+      if (k.Is<std::string>() && k.As<std::string>() == "payload") {
+        Bytes bytes = v.As<Bytes>();
+        bytes[bytes.size() - 1] ^= 0x01;
+        v = msgpack::Value(std::move(bytes));
+      }
+    }
+    EXPECT_THROW((void)decoder.Feed(map), CorruptDataError);
+  }
+  // Cursor beyond the advertised brick count.
+  {
+    StreamDecoder decoder;
+    (void)decoder.Feed(StreamHeaderToValue(TestHeader()));
+    EXPECT_THROW((void)decoder.Feed(StreamChunkToValue(TestChunk(8))),
+                 DecodeError);
+  }
+  // Non-ascending cursors.
+  {
+    StreamDecoder decoder;
+    (void)decoder.Feed(StreamHeaderToValue(TestHeader()));
+    (void)decoder.Feed(StreamChunkToValue(TestChunk(4)));
+    EXPECT_THROW((void)decoder.Feed(StreamChunkToValue(TestChunk(2))),
+                 DecodeError);
+  }
+  // Terminal discipline: not before the header, never twice, nothing
+  // after it.
+  {
+    StreamDecoder decoder;
+    EXPECT_THROW(decoder.Finish(), DecodeError);
+  }
+  {
+    StreamDecoder decoder;
+    (void)decoder.Feed(StreamHeaderToValue(TestHeader()));
+    decoder.Finish();
+    EXPECT_THROW(decoder.Finish(), DecodeError);
+    EXPECT_THROW((void)decoder.Feed(StreamChunkToValue(TestChunk(1))),
+                 DecodeError);
+  }
+}
+
+TEST(StreamCodec, DecodeSelectionRejectsHostileCount) {
+  // Regression: a wire-supplied count must be bounded before any
+  // allocation — typed rejection, never bad_alloc.
+  Bytes payload;
+  payload.push_back(static_cast<Byte>(SelectionEncoding::kRunLength));
+  payload.push_back(static_cast<Byte>(grid::DataType::Float32));
+  for (int i = 0; i < 8; ++i) payload.push_back(0xff);  // count = 2^64-1
+  payload.push_back(0x00);
+  EXPECT_THROW((void)DecodeSelection(payload, grid::Dims{6, 6, 6}),
+               DecodeError);
+}
+
+// ---------------------------------------------------------------------------
+// Single-node streaming end-to-end.
+
+TEST(Stream, StreamedFetchMatchesMonolithic) {
+  Testbed bed;
+  StoreDataset(bed.store(), bed.bucket(), "ts.vnd", 32, 8);
+
+  NdpLoadStats mono_stats;
+  grid::UniformGeometry mono_geo;
+  const contour::SparseField mono = bed.ndp_client().FetchSparseField(
+      "ts.vnd", "v02", kIsos, &mono_geo, &mono_stats);
+  const contour::PolyData mono_poly = mono.Contour(mono_geo, kIsos);
+  ASSERT_GT(mono_poly.TriangleCount(), 0u);
+
+  StreamOptions so;
+  so.chunk_bricks = 2;
+  bed.ndp_client().SetStream(so);
+  std::vector<StreamProgress> progress;
+  bed.ndp_client().SetStreamProgress(
+      [&](const StreamProgress& p) { progress.push_back(p); });
+
+  NdpLoadStats stats;
+  grid::UniformGeometry geo;
+  const contour::SparseField streamed =
+      bed.ndp_client().FetchSparseField("ts.vnd", "v02", kIsos, &geo, &stats);
+
+  EXPECT_TRUE(
+      streamed.Contour(geo, kIsos).GeometricallyEquals(mono_poly, 0.0));
+  EXPECT_EQ(streamed.ValidCount(), mono.ValidCount());
+  EXPECT_EQ(geo.origin[0], mono_geo.origin[0]);
+  EXPECT_EQ(geo.spacing[2], mono_geo.spacing[2]);
+
+  EXPECT_TRUE(stats.streamed);
+  EXPECT_FALSE(stats.stream_cancelled);
+  EXPECT_GE(stats.stream_chunks, 2u);
+  EXPECT_EQ(stats.stream_resumes, 0u);
+  EXPECT_EQ(stats.selected_points, mono_stats.selected_points);
+  EXPECT_EQ(stats.total_points, mono_stats.total_points);
+  EXPECT_EQ(stats.bricks_total, mono_stats.bricks_total);
+  EXPECT_EQ(stats.bricks_read, mono_stats.bricks_read);
+  EXPECT_EQ(stats.stored_bytes, mono_stats.stored_bytes);
+
+  // The progress line saw the stream grow to its final shape.
+  ASSERT_GE(progress.size(), 2u);
+  EXPECT_EQ(progress.back().chunks, stats.stream_chunks);
+  EXPECT_GT(progress.back().stream_bricks, 0);
+  EXPECT_LE(progress.front().bricks_done, progress.back().bricks_done);
+}
+
+TEST(Stream, UnbrickedArrayDegradesToMonolithicReply) {
+  Testbed bed;
+  StoreDataset(bed.store(), bed.bucket(), "mono.vnd", 24, /*brick_edge=*/0);
+
+  NdpLoadStats mono_stats;
+  grid::UniformGeometry mono_geo;
+  const contour::SparseField mono = bed.ndp_client().FetchSparseField(
+      "mono.vnd", "v02", kIsos, &mono_geo, &mono_stats);
+
+  StreamOptions so;
+  so.chunk_bricks = 4;
+  bed.ndp_client().SetStream(so);
+  NdpLoadStats stats;
+  grid::UniformGeometry geo;
+  const contour::SparseField streamed = bed.ndp_client().FetchSparseField(
+      "mono.vnd", "v02", kIsos, &geo, &stats);
+
+  // The server answers monolithically (no bricks to batch); the client
+  // accepts the reply as a single pseudo-chunk.
+  EXPECT_TRUE(stats.streamed);
+  EXPECT_EQ(stats.stream_chunks, 1u);
+  EXPECT_EQ(streamed.ValidCount(), mono.ValidCount());
+  EXPECT_TRUE(streamed.Contour(geo, kIsos)
+                  .GeometricallyEquals(mono.Contour(mono_geo, kIsos), 0.0));
+}
+
+TEST(Stream, ClientCancelStopsTheStreamAndIsAccounted) {
+  Testbed bed;
+  StoreDataset(bed.store(), bed.bucket(), "ts.vnd", 32, 4);
+
+  // Cancellation is accounted where it is detected: on the server.
+  const std::uint64_t cancels_before =
+      bed.ndp_server().metrics().GetCounter("ndp_stream_cancelled_total")
+          .value();
+  const std::uint64_t seq = obs::GlobalEventLog().LastSeq();
+
+  StreamOptions so;
+  so.chunk_bricks = 1;
+  bed.ndp_client().SetStream(so);
+  std::atomic<std::uint64_t> chunks_seen{0};
+  bed.ndp_client().SetStreamProgress(
+      [&](const StreamProgress& p) { chunks_seen = p.chunks; });
+  bed.ndp_client().SetStreamCancel([&] { return chunks_seen.load() >= 1; });
+
+  NdpLoadStats stats;
+  grid::UniformGeometry geo;
+  const contour::SparseField partial =
+      bed.ndp_client().FetchSparseField("ts.vnd", "v02", kIsos, &geo, &stats);
+
+  EXPECT_TRUE(stats.streamed);
+  EXPECT_TRUE(stats.stream_cancelled);
+  EXPECT_GE(stats.stream_chunks, 1u);
+  // Partial by construction: the cancel landed mid-stream.
+  NdpLoadStats full_stats;
+  bed.ndp_client().SetStream(StreamOptions{});
+  bed.ndp_client().SetStreamCancel({});
+  grid::UniformGeometry full_geo;
+  const contour::SparseField full = bed.ndp_client().FetchSparseField(
+      "ts.vnd", "v02", kIsos, &full_geo, &full_stats);
+  EXPECT_LT(partial.ValidCount(), full.ValidCount());
+
+  // Cancellation is audited 1:1 — counter and journal event move
+  // together (the chaos invariant).
+  EXPECT_EQ(
+      bed.ndp_server().metrics().GetCounter("ndp_stream_cancelled_total")
+          .value(),
+      cancels_before + 1);
+  EXPECT_EQ(obs::GlobalEventLog().CountSince("ndp.stream_cancel", seq), 1u);
+}
+
+// NdpClient over a fault-injected connection to the testbed's server.
+struct FaultyStreamClient {
+  net::FaultInjectingTransport* faults = nullptr;  // owned by rpc_client
+  std::shared_ptr<rpc::Client> rpc_client;
+  obs::Registry rpc_metrics;
+  std::shared_ptr<NdpClient> client;
+
+  FaultyStreamClient(Testbed& bed, const StreamOptions& stream) {
+    auto faulty =
+        std::make_unique<net::FaultInjectingTransport>(bed.ConnectToServer());
+    faults = faulty.get();
+    rpc_client = std::make_shared<rpc::Client>(std::move(faulty));
+    rpc_client->SetMetrics(&rpc_metrics);
+    NdpClientOptions options;
+    options.call_timeout = 5000ms;
+    options.retry.max_attempts = 2;
+    options.retry.base_delay = 200us;
+    options.retry.jitter = 0.0;
+    client = std::make_shared<NdpClient>(rpc_client, "data", options);
+    client->SetStream(stream);
+  }
+
+  double RpcCounter(const std::string& name) {
+    const auto snapshot = rpc_metrics.Snapshot();
+    const obs::MetricSnapshot* m = obs::FindMetric(snapshot, name);
+    return m == nullptr ? 0.0 : m->value;
+  }
+};
+
+TEST(Stream, StallSurfacesTypedErrorWhenResumesExhausted) {
+  Testbed bed;
+  StoreDataset(bed.store(), bed.bucket(), "ts.vnd", 32, 4);
+
+  StreamOptions so;
+  so.chunk_bricks = 1;
+  so.chunk_timeout = 100ms;
+  so.max_resumes = 0;  // no recovery: the typed error must escape
+  FaultyStreamClient faulty(bed, so);
+  // Let the header and first chunks through, then hold a frame far past
+  // the per-chunk progress deadline.
+  faulty.faults->ScriptReceive(
+      {net::FaultAction::Pass(), net::FaultAction::Pass(),
+       net::FaultAction::Delay(1000ms)},
+      /*loop_last=*/true);
+
+  grid::UniformGeometry geo;
+  EXPECT_THROW((void)faulty.client->FetchSparseField("ts.vnd", "v02", kIsos,
+                                                     &geo, nullptr),
+               StreamStallError);
+  EXPECT_GE(faulty.RpcCounter("rpc_stream_stalls_total{method=ndp.select}"), 1.0);
+}
+
+TEST(Stream, StallResumesFromCursorAndCompletes) {
+  Testbed bed;
+  StoreDataset(bed.store(), bed.bucket(), "ts.vnd", 32, 4);
+
+  NdpLoadStats mono_stats;
+  grid::UniformGeometry mono_geo;
+  const contour::SparseField mono = bed.ndp_client().FetchSparseField(
+      "ts.vnd", "v02", kIsos, &mono_geo, &mono_stats);
+
+  const std::uint64_t resumes_before = CounterValue("ndp_stream_resume_total");
+  const std::uint64_t seq = obs::GlobalEventLog().LastSeq();
+
+  StreamOptions so;
+  so.chunk_bricks = 1;
+  so.chunk_timeout = 100ms;
+  so.max_resumes = 3;
+  FaultyStreamClient faulty(bed, so);
+  // One mid-stream stall; every frame after it flows normally, so the
+  // resumed call replays only the unscattered tail.
+  faulty.faults->ScriptReceive({net::FaultAction::Pass(),
+                                net::FaultAction::Pass(),
+                                net::FaultAction::Pass(),
+                                net::FaultAction::Delay(1000ms)});
+
+  NdpLoadStats stats;
+  grid::UniformGeometry geo;
+  const contour::SparseField streamed = faulty.client->FetchSparseField(
+      "ts.vnd", "v02", kIsos, &geo, &stats);
+
+  EXPECT_TRUE(stats.streamed);
+  EXPECT_GE(stats.stream_resumes, 1u);
+  EXPECT_EQ(streamed.ValidCount(), mono.ValidCount());
+  EXPECT_TRUE(streamed.Contour(geo, kIsos)
+                  .GeometricallyEquals(mono.Contour(mono_geo, kIsos), 0.0));
+  EXPECT_EQ(stats.selected_points, mono_stats.selected_points);
+
+  EXPECT_GE(CounterValue("ndp_stream_resume_total"), resumes_before + 1);
+  EXPECT_GE(obs::GlobalEventLog().CountSince("ndp.stream_resume", seq), 1u);
+  EXPECT_GE(faulty.RpcCounter("rpc_stream_stalls_total{method=ndp.select}"), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded streaming.
+
+TEST(Stream, ShardedStreamingMatchesReference) {
+  ClusterTestbedConfig config;
+  config.servers = 3;
+  config.replicas = 2;
+  ClusterTestbed cluster(config);
+  StoreDataset(cluster.store(), cluster.bucket(), "ts.vnd", 32, 8);
+
+  const contour::PolyData reference =
+      cluster.server_client(0)->Contour("ts.vnd", "v02", kIsos);
+
+  StreamOptions so;
+  so.chunk_bricks = 2;
+  cluster.sharded_client()->SetStream(so);
+
+  NdpLoadStats stats;
+  const contour::PolyData streamed =
+      cluster.sharded_client()->Contour("ts.vnd", "v02", kIsos, &stats);
+
+  EXPECT_TRUE(streamed.GeometricallyEquals(reference, 0.0));
+  EXPECT_TRUE(stats.streamed);
+  EXPECT_GE(stats.stream_chunks, 3u);  // at least one chunk per shard
+  EXPECT_FALSE(stats.used_fallback);
+}
+
+TEST(Stream, MidStreamDisconnectResumesOnReplica) {
+  ClusterTestbedConfig config;
+  config.servers = 3;
+  config.replicas = 2;
+  config.client_options.call_timeout = 5000ms;
+  config.client_options.retry.max_attempts = 2;
+  config.client_options.retry.base_delay = 200us;
+  config.client_options.retry.jitter = 0.0;
+  ClusterTestbed cluster(config);
+  StoreDataset(cluster.store(), cluster.bucket(), "ts.vnd", 32, 4);
+
+  const contour::PolyData reference =
+      cluster.server_client(1)->Contour("ts.vnd", "v02", kIsos);
+
+  const std::uint64_t resumes_before = CounterValue("ndp_stream_resume_total");
+  const std::uint64_t failovers_before = CounterValue("cluster_failover_total");
+  const std::uint64_t seq = obs::GlobalEventLog().LastSeq();
+
+  StreamOptions so;
+  so.chunk_bricks = 1;
+  so.max_resumes = 1;
+  cluster.sharded_client()->SetStream(so);
+
+  // Arm the kill from the stream itself: the first data chunk node 0
+  // delivers scripts its channel to hard-fail on the next frame, so the
+  // failure always lands mid-stream (header + one chunk scattered).
+  std::atomic<bool> armed{false};
+  cluster.server_client(0)->SetStreamProgress([&](const StreamProgress&) {
+    if (!armed.exchange(true)) {
+      cluster.fault(0).ScriptReceive({net::FaultAction::Disconnect()});
+    }
+  });
+
+  NdpLoadStats stats;
+  const contour::PolyData streamed =
+      cluster.sharded_client()->Contour("ts.vnd", "v02", kIsos, &stats);
+
+  ASSERT_TRUE(armed.load());  // node 0 really was streaming when killed
+  EXPECT_TRUE(streamed.GeometricallyEquals(reference, 0.0));
+  EXPECT_TRUE(stats.streamed);
+  EXPECT_FALSE(stats.used_fallback);
+  EXPECT_GE(stats.stream_resumes, 1u);
+
+  // The replica hop carried the cursor: resume accounting and failover
+  // accounting both moved, and each counter matches its journal event.
+  EXPECT_GE(CounterValue("ndp_stream_resume_total"), resumes_before + 1);
+  EXPECT_GE(CounterValue("cluster_failover_total"), failovers_before + 1);
+  EXPECT_GE(obs::GlobalEventLog().CountSince("ndp.stream_resume", seq), 1u);
+  EXPECT_GE(obs::GlobalEventLog().CountSince("cluster.failover", seq), 1u);
+}
+
+}  // namespace
+}  // namespace vizndp::ndp

@@ -3,8 +3,11 @@
 # address/UB-sanitizer build of the concurrency-heavy tests plus a
 # hostile-input fuzz smoke, the overload/cluster tests under tsan, a
 # storage-fault stage (retry ladder + scrubber under tsan, seeded
-# disk-fault chaos), and a chaos stage (seeded fault schedules under
-# tsan plus a real TCP kill -> restart -> serves-again exercise).
+# disk-fault chaos), a chaos stage (seeded fault schedules under
+# tsan plus a real TCP kill -> restart -> serves-again exercise), and a
+# stream stage (chunked replies + cursor resume + cancel under
+# asan/tsan, chunk-boundary kill chaos, a TCP resume-after-kill e2e,
+# and the <2% streaming-overhead guard).
 #
 #   tools/check.sh            # everything
 #   SKIP_ASAN=1 tools/check.sh  # tier-1 only
@@ -88,6 +91,70 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # A failure replays exactly with the same seed.
   ./build-tsan/tests/chaos_test
   ./build-tsan/tools/vizndp_tool chaos --seed 7 --schedules 3
+
+  stage "stream: chunked replies, resume, cancel under asan/tsan + chunk-boundary chaos"
+  # The streaming-reply suite (`ctest -L stream`): chunked fetch, cursor
+  # resume across injected mid-stream faults, cancellation accounting,
+  # and the stall deadline — under asan (payload slicing, CRC checks)
+  # and tsan (the cancel frame races the emitting handler by design).
+  cmake --build build-asan -j"$(nproc)" --target stream_test
+  ./build-asan/tests/stream_test
+  cmake --build build-tsan -j"$(nproc)" --target stream_test
+  ./build-tsan/tests/stream_test
+  # Seeded chaos with the streaming drills: every schedule ends with a
+  # client cancel (accounted exactly once) and a chunk-boundary kill
+  # that must resume from its cursor on a replica, bit-identical to the
+  # oracle. A failure replays exactly with the same seed.
+  ./build-tsan/tools/vizndp_tool chaos --seed 4242 --schedules 2
+  # Two-process TCP e2e: two replicas over real sockets; shard 0's
+  # connection delivers eight frames, then hard-fails forever — from
+  # the client that is exactly a killed node. The stream must resume
+  # from its cursor on the replica and reproduce the reference
+  # geometry bit for bit, and journal the resume.
+  E2E_DIR="$(mktemp -d)"
+  trap 'kill "${R0_PID:-}" "${R1_PID:-}" 2> /dev/null || true; \
+       rm -rf "$E2E_DIR"' EXIT
+  mkdir -p "$E2E_DIR/data"
+  ./build-tsan/tools/vizndp_tool gen --kind impact --n 32 --bricks 8 \
+    --out "$E2E_DIR/data/ts.vnd"
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port 0 \
+    > "$E2E_DIR/r0.log" & R0_PID=$!
+  ./build-tsan/tools/vizndp_tool serve --dir "$E2E_DIR" --port 0 \
+    > "$E2E_DIR/r1.log" & R1_PID=$!
+  for i in 0 1; do
+    for _ in $(seq 1 50); do
+      grep -q '^port:' "$E2E_DIR/r$i.log" && break
+      sleep 0.2
+    done
+  done
+  R0="$(awk '/^port:/{print $2}' "$E2E_DIR/r0.log")"
+  R1="$(awk '/^port:/{print $2}' "$E2E_DIR/r1.log")"
+  REF_TRIS="$(./build-tsan/tools/vizndp_tool fetch --port "$R0" \
+    --key ts.vnd --array v02 --iso 0.5 --timeout-ms 10000 \
+    | sed -n 's/^NDP contour: \([0-9]*\) triangles.*/\1/p')"
+  ./build-tsan/tools/vizndp_tool fetch \
+    --connect "127.0.0.1:$R0" --connect "127.0.0.1:$R1" --replicas 2 \
+    --stream --chunk-bricks 1 --no-progress \
+    --shard-fault "0:recv.pass*8,recv.down" \
+    --journal "$E2E_DIR/journal.json" \
+    --key ts.vnd --array v02 --iso 0.5 --timeout-ms 15000 \
+    | tee "$E2E_DIR/stream.log"
+  grep -q "^NDP contour: $REF_TRIS triangles" "$E2E_DIR/stream.log"
+  grep -Eq 'stream: .* [1-9][0-9]* resume' "$E2E_DIR/stream.log"
+  grep -q 'ndp.stream_resume' "$E2E_DIR/journal.json"
+  kill "$R0_PID" "$R1_PID" 2> /dev/null || true
+  wait "$R0_PID" "$R1_PID" 2> /dev/null || true
+  rm -rf "$E2E_DIR"
+  trap - EXIT
+  # Streaming-overhead guard (<2% median fetch latency at the
+  # production chunk size vs the monolithic reply; the tier-1 build —
+  # this measures time, not races). The bench prints [warn] when over
+  # budget; that fails the stage.
+  STREAM_LOG="$(mktemp)"
+  ./build/bench/abl_stream_overhead 2> "$STREAM_LOG"
+  cat "$STREAM_LOG" >&2
+  ! grep -q '\[warn\]' "$STREAM_LOG"
+  rm -f "$STREAM_LOG"
 
   stage "obs-fleet: windowed quantiles + merge algebra + SLO burn under asan/tsan"
   # The fleet observability plane: merge-algebra property tests, SLO

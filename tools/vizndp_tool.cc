@@ -44,6 +44,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -104,7 +105,9 @@ namespace {
                "          [--obj FILE] [--timeout-ms N] [--retries N]\n"
                "          [--fault SPEC] [--fallback] [--trace-merged FILE]\n"
                "          [--connect HOST:PORT]... [--replicas R] [--hedge-ms X]\n"
-               "          [--shard-fault I:SPEC]...\n"
+               "          [--shard-fault I:SPEC]... [--stream]\n"
+               "          [--chunk-bricks N] [--chunk-timeout-ms N]\n"
+               "          [--no-progress]\n"
                "  metrics --host H --port P [--json | --format text|json|prom]\n"
                "          [--connect HOST:PORT]...  (fleet-merged scrape)\n"
                "  top     [--connect HOST:PORT]... [--once] [--interval-ms N]\n"
@@ -136,7 +139,8 @@ namespace {
                "\n"
                "fuzz (hostile-input smoke test of every decoder):\n"
                "  --target NAME      inflate|gzip|zlib|lz4|rle|msgpack|\n"
-               "                     vnd-header, or all (default all)\n"
+               "                     vnd-header|ndp-select|ndp-stream,\n"
+               "                     or all (default all)\n"
                "  --seed S           deterministic mutation seed (default 1)\n"
                "  --iters N          iterations per target (default 2000)\n"
                "\n"
@@ -158,6 +162,17 @@ namespace {
                "  --trace-merged FILE  run the load as one sampled distributed\n"
                "                   trace and write a clock-aligned Chrome JSON\n"
                "                   timeline (client + server + wire tracks)\n"
+               "\n"
+               "fetch streaming replies (chunked ndp.select):\n"
+               "  --stream         per-brick-batch chunk frames instead of one\n"
+               "                   monolithic reply; a lost stream resumes from\n"
+               "                   the last cursor (same node, then replicas)\n"
+               "  --chunk-bricks N straddling bricks per chunk (default 16;\n"
+               "                   implies --stream)\n"
+               "  --chunk-timeout-ms N  per-chunk progress deadline: a stream\n"
+               "                   with no frame for N ms fails typed and\n"
+               "                   resumes (0 = only the overall deadline)\n"
+               "  --no-progress    suppress the live progress line on stderr\n"
                "\n"
                "fetch sharded serving (two or more --connect endpoints):\n"
                "  --connect H:P    one storage node; repeat per node. The fetch\n"
@@ -556,6 +571,60 @@ int CmdFetch(const Args& args) {
         options));
   }
 
+  // Streaming mode: --stream (or --chunk-bricks, which implies it)
+  // switches the fetch to chunked replies with cursor resume. The
+  // progress line answers "is anything happening?" during a long fetch
+  // — chunks, bricks, points so far — without waiting for completion.
+  const bool want_stream = args.Has("stream") || args.Has("chunk-bricks");
+  const bool show_progress = want_stream && !args.Has("no-progress");
+  ndp::StreamOptions stream_options;
+  struct ProgressAgg {
+    std::mutex mu;
+    std::vector<ndp::StreamProgress> per_client;
+  };
+  auto agg = std::make_shared<ProgressAgg>();
+  if (want_stream) {
+    stream_options.chunk_bricks = args.GetLong("chunk-bricks", 16);
+    stream_options.chunk_timeout =
+        std::chrono::milliseconds(args.GetLong("chunk-timeout-ms", 0));
+    agg->per_client.resize(clients.size());
+    for (size_t i = 0; i < clients.size(); ++i) {
+      clients[i]->SetStream(stream_options);
+      if (show_progress) {
+        // Sharded fetches stream from several nodes at once; aggregate
+        // the per-client snapshots so the line shows fleet totals.
+        clients[i]->SetStreamProgress(
+            [agg, i](const ndp::StreamProgress& p) {
+              std::lock_guard lk(agg->mu);
+              agg->per_client[i] = p;
+              std::uint64_t chunks = 0;
+              std::uint64_t points = 0;
+              std::uint64_t resumes = 0;
+              std::int64_t done = 0;
+              std::int64_t total = 0;
+              for (const ndp::StreamProgress& q : agg->per_client) {
+                chunks += q.chunks;
+                points += q.points;
+                resumes += q.resumes;
+                done += q.bricks_done;
+                total += q.stream_bricks;
+              }
+              const std::string tail =
+                  resumes != 0 ? "  resumes " + std::to_string(resumes)
+                               : std::string();
+              std::fprintf(stderr,
+                           "\r[stream] chunks %llu  bricks %lld/%lld  "
+                           "points %llu%s   ",
+                           static_cast<unsigned long long>(chunks),
+                           static_cast<long long>(done),
+                           static_cast<long long>(total),
+                           static_cast<unsigned long long>(points),
+                           tail.c_str());
+            });
+      }
+    }
+  }
+
   std::shared_ptr<ndp::NdpFetcher> fetcher;
   std::shared_ptr<cluster::ShardedNdpClient> sharded;
   if (clients.size() > 1) {
@@ -568,6 +637,7 @@ int CmdFetch(const Args& args) {
         clients, static_cast<int>(args.GetLong("replicas", 2)),
         sharded_options);
     fetcher = sharded;
+    if (want_stream) sharded->SetStream(stream_options);
   } else {
     fetcher = clients.front();
   }
@@ -586,6 +656,13 @@ int CmdFetch(const Args& args) {
 
   const contour::PolyData& poly = source.UpdateAndGetOutput()->AsPolyData();
   const ndp::NdpLoadStats& stats = source.last_stats();
+  if (show_progress) std::fprintf(stderr, "\n");
+  if (stats.streamed) {
+    std::printf("stream: %llu chunk(s), %llu resume(s)%s\n",
+                static_cast<unsigned long long>(stats.stream_chunks),
+                static_cast<unsigned long long>(stats.stream_resumes),
+                stats.stream_cancelled ? ", cancelled" : "");
+  }
   if (stats.used_fallback) {
     std::printf("baseline contour (NDP path unavailable, fell back): "
                 "%zu triangles; read %llu raw bytes\n",
@@ -861,7 +938,7 @@ int CmdChaos(const Args& args) {
 // takes a value).
 std::set<std::string> BoolFlags(const std::string& command) {
   if (command == "metrics") return {"json"};
-  if (command == "fetch") return {"fallback"};
+  if (command == "fetch") return {"fallback", "stream", "no-progress"};
   if (command == "chaos") return {"verbose"};
   if (command == "top") return {"once"};
   return {};
